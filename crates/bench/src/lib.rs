@@ -1,0 +1,45 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The benches reuse the experiment harness (`autopower-experiments`) with its fast
+//! settings; this crate only provides small helpers so both bench files stay declarative.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use autopower::{Corpus, CorpusSpec};
+use autopower_config::{boom_configs, CpuConfig, Workload};
+use autopower_perfsim::SimConfig;
+
+/// A small, fixed corpus used by the substrate benches: three configurations, two
+/// workloads, short simulations.
+pub fn bench_corpus() -> Corpus {
+    let cfgs = boom_configs();
+    Corpus::generate(
+        &[cfgs[0], cfgs[7], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Vvadd],
+        &CorpusSpec {
+            sim: SimConfig {
+                max_instructions: 4_000,
+                ..SimConfig::fast()
+            },
+        },
+    )
+}
+
+/// The configurations used by the substrate benches.
+pub fn bench_configs() -> Vec<CpuConfig> {
+    let cfgs = boom_configs();
+    vec![cfgs[0], cfgs[7], cfgs[14]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_corpus_is_small_but_complete() {
+        let c = bench_corpus();
+        assert_eq!(c.runs().len(), 6);
+        assert_eq!(bench_configs().len(), 3);
+    }
+}

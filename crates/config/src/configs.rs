@@ -1,0 +1,165 @@
+//! The 15 BOOM CPU configurations of Table II.
+
+use crate::params::{HardwareParams, HwParam};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one of the 15 evaluated BOOM configurations (`C1` … `C15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigId(u8);
+
+impl ConfigId {
+    /// Creates a configuration identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= index <= 15`.
+    pub fn new(index: u8) -> Self {
+        assert!((1..=15).contains(&index), "config index must be in 1..=15");
+        Self(index)
+    }
+
+    /// 1-based index of the configuration (the `N` of `CN`).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// All 15 identifiers in order.
+    pub fn all() -> impl Iterator<Item = ConfigId> {
+        (1..=15).map(ConfigId)
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A named CPU configuration: an identifier plus its full hardware-parameter assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Identifier (`C1` … `C15` for the paper's design space).
+    pub id: ConfigId,
+    /// Hardware parameter values (one column of Table II).
+    pub params: HardwareParams,
+}
+
+impl CpuConfig {
+    /// Creates a configuration from an identifier and parameters.
+    pub fn new(id: ConfigId, params: HardwareParams) -> Self {
+        Self { id, params }
+    }
+
+    /// Convenience accessor mirroring [`HardwareParams::value`].
+    pub fn value(&self, param: HwParam) -> u32 {
+        self.params.value(param)
+    }
+}
+
+impl fmt::Display for CpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Table II, transposed: one row per configuration, columns in [`HwParam::ALL`] order.
+const TABLE_II: [[u32; 14]; 15] = [
+    // Fetch Dec FBuf Rob IntPR FpPR LdqStq Br MemFp Int Way Dtlb Mshr IFB
+    [4, 1, 5, 16, 36, 36, 4, 6, 1, 1, 2, 8, 2, 2],       // C1
+    [4, 1, 8, 32, 53, 48, 8, 8, 1, 1, 4, 8, 2, 2],       // C2
+    [4, 1, 16, 48, 68, 56, 16, 10, 1, 1, 8, 16, 4, 2],   // C3
+    [4, 2, 8, 64, 64, 56, 12, 10, 1, 1, 4, 8, 2, 2],     // C4
+    [4, 2, 16, 64, 80, 64, 16, 12, 1, 2, 4, 8, 2, 2],    // C5
+    [8, 2, 24, 80, 88, 72, 20, 14, 1, 2, 8, 16, 4, 4],   // C6
+    [8, 3, 18, 81, 88, 88, 16, 14, 1, 2, 8, 16, 4, 4],   // C7
+    [8, 3, 24, 96, 110, 96, 24, 16, 1, 3, 8, 16, 4, 4],  // C8
+    [8, 3, 30, 114, 112, 112, 32, 16, 2, 3, 8, 32, 4, 4], // C9
+    [8, 4, 24, 112, 108, 108, 24, 18, 1, 4, 8, 32, 4, 4], // C10
+    [8, 4, 32, 128, 128, 128, 32, 20, 2, 4, 8, 32, 4, 4], // C11
+    [8, 4, 40, 136, 136, 136, 36, 20, 2, 4, 8, 32, 8, 4], // C12
+    [8, 5, 30, 125, 108, 108, 24, 18, 2, 5, 8, 32, 8, 4], // C13
+    [8, 5, 35, 130, 128, 128, 32, 20, 2, 5, 8, 32, 8, 4], // C14
+    [8, 5, 40, 140, 140, 140, 36, 20, 2, 5, 8, 32, 8, 4], // C15
+];
+
+/// Returns the 15 BOOM configurations of Table II, ordered `C1` … `C15`.
+///
+/// # Example
+///
+/// ```
+/// use autopower_config::{boom_configs, HwParam};
+/// let cfgs = boom_configs();
+/// assert_eq!(cfgs[14].value(HwParam::DecodeWidth), 5);
+/// ```
+pub fn boom_configs() -> Vec<CpuConfig> {
+    TABLE_II
+        .iter()
+        .enumerate()
+        .map(|(i, row)| CpuConfig::new(ConfigId::new(i as u8 + 1), HardwareParams::new(*row)))
+        .collect()
+}
+
+/// Looks up a configuration by identifier.
+pub fn config_by_id(id: ConfigId) -> CpuConfig {
+    boom_configs()[(id.index() - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_configs_in_order() {
+        let cfgs = boom_configs();
+        assert_eq!(cfgs.len(), 15);
+        for (i, c) in cfgs.iter().enumerate() {
+            assert_eq!(c.id.index() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn spot_check_against_table_ii() {
+        let cfgs = boom_configs();
+        // C1 column.
+        assert_eq!(cfgs[0].value(HwParam::FetchWidth), 4);
+        assert_eq!(cfgs[0].value(HwParam::RobEntry), 16);
+        assert_eq!(cfgs[0].value(HwParam::BranchCount), 6);
+        // C8 column.
+        assert_eq!(cfgs[7].value(HwParam::DecodeWidth), 3);
+        assert_eq!(cfgs[7].value(HwParam::IntPhyRegister), 110);
+        assert_eq!(cfgs[7].value(HwParam::IntIssueWidth), 3);
+        // C15 column.
+        assert_eq!(cfgs[14].value(HwParam::FetchBufferEntry), 40);
+        assert_eq!(cfgs[14].value(HwParam::RobEntry), 140);
+        assert_eq!(cfgs[14].value(HwParam::MshrEntry), 8);
+        assert_eq!(cfgs[14].value(HwParam::ICacheFetchBytes), 4);
+    }
+
+    #[test]
+    fn parameters_are_non_decreasing_overall_scale() {
+        // The design space is roughly ordered from small to large; the scale index of the
+        // largest configuration must exceed that of the smallest.
+        let cfgs = boom_configs();
+        assert!(cfgs[14].params.scale_index() > cfgs[0].params.scale_index());
+    }
+
+    #[test]
+    fn config_by_id_roundtrip() {
+        for id in ConfigId::all() {
+            assert_eq!(config_by_id(id).id, id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=15")]
+    fn config_id_out_of_range() {
+        let _ = ConfigId::new(16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConfigId::new(3).to_string(), "C3");
+        assert_eq!(config_by_id(ConfigId::new(12)).to_string(), "C12");
+    }
+}

@@ -1,0 +1,44 @@
+//! Architecture-level description of the design space evaluated in the AutoPower paper.
+//!
+//! This crate holds everything that is *visible at the architecture level* and therefore
+//! shared by every other crate in the workspace:
+//!
+//! * [`HwParam`] / [`HardwareParams`] — the 14 hardware parameters of Table II,
+//! * [`CpuConfig`] and [`boom_configs`] — the 15 BOOM configurations of Table II,
+//! * [`Component`] — the 22 components of Table III together with the hardware
+//!   parameters each component is sensitive to,
+//! * [`SramPosition`] and [`sram_positions`] — the SRAM Position catalogue used by the
+//!   four-level SRAM hierarchy (Component → Position → Block → Macro),
+//! * [`Workload`] — the eight riscv-tests workloads plus the two large trace workloads
+//!   (GEMM, SPMM),
+//! * [`seed`] — deterministic seeding helpers so that every synthetic quantity in the
+//!   workspace is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower_config::{boom_configs, Component, HwParam};
+//!
+//! let configs = boom_configs();
+//! assert_eq!(configs.len(), 15);
+//! let c1 = &configs[0];
+//! assert_eq!(c1.params.value(HwParam::FetchWidth), 4);
+//! // Every component lists the hardware parameters it depends on (Table III).
+//! assert!(Component::Rob.hw_params().contains(&HwParam::RobEntry));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod configs;
+mod params;
+pub mod seed;
+mod sram;
+mod workload;
+
+pub use component::Component;
+pub use configs::{boom_configs, config_by_id, ConfigId, CpuConfig};
+pub use params::{HardwareParams, HwParam};
+pub use sram::{sram_positions, sram_positions_for, SramPosition, SramPositionId};
+pub use workload::Workload;

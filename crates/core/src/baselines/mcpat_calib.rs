@@ -1,0 +1,114 @@
+//! The McPAT-Calib baseline: a single ML model from (H, E) to total power.
+
+use crate::dataset::{Corpus, RunData};
+use crate::error::AutoPowerError;
+use autopower_config::{ConfigId, CpuConfig, HwParam};
+use autopower_ml::{GradientBoosting, Regressor};
+use autopower_perfsim::EventParams;
+
+/// The McPAT-Calib-style baseline.
+///
+/// Features are the full hardware-parameter vector (all 14 Table II parameters) plus all
+/// event parameters; the target is the golden total power.  This mirrors how the paper
+/// instantiates McPAT-Calib with XGBoost as the calibration model.
+#[derive(Debug, Clone)]
+pub struct McpatCalib {
+    model: GradientBoosting,
+}
+
+impl McpatCalib {
+    /// Feature row of one `(configuration, events)` point.
+    pub fn features(config: &CpuConfig, events: &EventParams) -> Vec<f64> {
+        let mut row: Vec<f64> = HwParam::ALL
+            .iter()
+            .map(|&p| config.params.value(p) as f64)
+            .collect();
+        row.extend_from_slice(events.values());
+        row
+    }
+
+    /// Trains the baseline on the runs of `train_configs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the training set is empty or malformed.
+    pub fn train(corpus: &Corpus, train_configs: &[ConfigId]) -> Result<Self, AutoPowerError> {
+        if train_configs.is_empty() {
+            return Err(AutoPowerError::NoTrainingConfigs);
+        }
+        let runs = corpus.training_runs(train_configs);
+        let rows: Vec<Vec<f64>> = runs
+            .iter()
+            .map(|r| Self::features(&r.config, &r.sim.events))
+            .collect();
+        let targets: Vec<f64> = runs.iter().map(|r| r.golden.total_mw()).collect();
+        let mut model = GradientBoosting::default();
+        model
+            .fit(&rows, &targets)
+            .map_err(AutoPowerError::fit(autopower_config::Component::OtherLogic, "McPAT-Calib total power"))?;
+        Ok(Self { model })
+    }
+
+    /// Predicted total power in mW.
+    pub fn predict(&self, config: &CpuConfig, events: &EventParams) -> f64 {
+        self.model
+            .predict(&Self::features(config, events))
+            .max(0.0)
+    }
+
+    /// Convenience: predicts the total power of a corpus run.
+    pub fn predict_run(&self, run: &RunData) -> f64 {
+        self.predict(&run.config, &run.sim.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, Workload};
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn baseline_learns_the_training_runs() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let m = McpatCalib::train(&c, &train).unwrap();
+        for run in c.training_runs(&train) {
+            let pred = m.predict_run(run);
+            let truth = run.golden.total_mw();
+            assert!(((pred - truth) / truth).abs() < 0.10, "{pred} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn baseline_produces_positive_predictions_everywhere() {
+        let c = corpus();
+        let m = McpatCalib::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        for run in c.runs() {
+            assert!(m.predict_run(run) > 0.0);
+        }
+    }
+
+    #[test]
+    fn feature_row_width_is_hw_plus_events() {
+        let c = corpus();
+        let run = &c.runs()[0];
+        let row = McpatCalib::features(&run.config, &run.sim.events);
+        assert_eq!(row.len(), 14 + EventParams::names().len());
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        let c = corpus();
+        assert!(McpatCalib::train(&c, &[]).is_err());
+    }
+}

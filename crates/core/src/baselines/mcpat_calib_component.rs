@@ -1,0 +1,134 @@
+//! The "McPAT-Calib + Component" ablation baseline: one McPAT-Calib-style model per
+//! component, summed.
+
+use crate::dataset::{Corpus, RunData};
+use crate::error::AutoPowerError;
+use crate::features::{model_features, ModelFeatures};
+use autopower_config::{Component, ConfigId, CpuConfig, Workload};
+use autopower_ml::{GradientBoosting, Regressor};
+use autopower_perfsim::EventParams;
+
+/// Per-component total-power baseline (the extra ablation of Fig. 6).
+#[derive(Debug, Clone)]
+pub struct McpatCalibComponent {
+    per_component: Vec<GradientBoosting>,
+}
+
+impl McpatCalibComponent {
+    /// Trains one model per component on the runs of `train_configs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a per-component model cannot be fitted.
+    pub fn train(corpus: &Corpus, train_configs: &[ConfigId]) -> Result<Self, AutoPowerError> {
+        if train_configs.is_empty() {
+            return Err(AutoPowerError::NoTrainingConfigs);
+        }
+        let runs = corpus.training_runs(train_configs);
+        let per_component = Component::ALL
+            .iter()
+            .map(|&component| {
+                let rows: Vec<Vec<f64>> = runs
+                    .iter()
+                    .map(|r| {
+                        model_features(
+                            ModelFeatures::HW_EVENTS,
+                            component,
+                            &r.config,
+                            &r.sim.events,
+                            r.workload,
+                        )
+                    })
+                    .collect();
+                let targets: Vec<f64> = runs
+                    .iter()
+                    .map(|r| r.golden.component(component).total())
+                    .collect();
+                let mut model = GradientBoosting::default();
+                model
+                    .fit(&rows, &targets)
+                    .map_err(AutoPowerError::fit(component, "per-component total power"))?;
+                Ok(model)
+            })
+            .collect::<Result<Vec<_>, AutoPowerError>>()?;
+        Ok(Self { per_component })
+    }
+
+    /// Predicted total power of one component in mW.
+    pub fn predict_component(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> f64 {
+        self.per_component[component.index()]
+            .predict(&model_features(
+                ModelFeatures::HW_EVENTS,
+                component,
+                config,
+                events,
+                workload,
+            ))
+            .max(0.0)
+    }
+
+    /// Predicted total core power in mW (sum of the component models).
+    pub fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.predict_component(c, config, events, workload))
+            .sum()
+    }
+
+    /// Convenience: predicts the total power of a corpus run.
+    pub fn predict_run(&self, run: &RunData) -> f64 {
+        self.predict(&run.config, &run.sim.events, run.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, Workload};
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn component_sum_equals_core_prediction() {
+        let c = corpus();
+        let m = McpatCalibComponent::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(8), Workload::Vvadd).unwrap();
+        let sum: f64 = Component::ALL
+            .iter()
+            .map(|&comp| m.predict_component(comp, &run.config, &run.sim.events, run.workload))
+            .sum();
+        assert!((sum - m.predict_run(run)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_sample_fit_is_tight() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let m = McpatCalibComponent::train(&c, &train).unwrap();
+        for run in c.training_runs(&train) {
+            let pred = m.predict_run(run);
+            let truth = run.golden.total_mw();
+            assert!(((pred - truth) / truth).abs() < 0.15, "{pred} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_training() {
+        let c = corpus();
+        assert!(McpatCalibComponent::train(&c, &[]).is_err());
+    }
+}

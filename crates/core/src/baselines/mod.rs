@@ -1,0 +1,17 @@
+//! Baseline power models the paper compares against.
+//!
+//! * [`McpatCalib`] — the representative ML-based architecture-level power model: one
+//!   gradient-boosted model over all hardware and event parameters predicting total
+//!   power directly (the paper selects XGBoost as McPAT-Calib's best ML model).
+//! * [`McpatCalibComponent`] — the "McPAT-Calib + Component" ablation: the same building
+//!   block instantiated once per component, summed.
+//! * [`AutoPowerMinus`] — the AutoPower− ablation: decoupled across power groups but with
+//!   a direct ML model per group instead of the structural sub-models.
+
+mod autopower_minus;
+mod mcpat_calib;
+mod mcpat_calib_component;
+
+pub use autopower_minus::AutoPowerMinus;
+pub use mcpat_calib::McpatCalib;
+pub use mcpat_calib_component::McpatCalibComponent;

@@ -1,0 +1,95 @@
+//! Error type of the AutoPower crate.
+
+use autopower_config::{Component, ConfigId, SramPositionId};
+use autopower_ml::FitError;
+use std::error::Error;
+use std::fmt;
+
+/// Reasons training or prediction cannot proceed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutoPowerError {
+    /// No training configurations were provided.
+    NoTrainingConfigs,
+    /// A requested training configuration is not present in the corpus.
+    MissingConfig(ConfigId),
+    /// A sub-model could not be fitted.
+    SubModelFit {
+        /// The component whose sub-model failed.
+        component: Component,
+        /// Which sub-model failed (e.g. `"register count"`).
+        sub_model: &'static str,
+        /// The underlying fitting error.
+        source: FitError,
+    },
+    /// The SRAM hardware model could not find any scaling rule for a position.
+    NoScalingRule(SramPositionId),
+}
+
+impl fmt::Display for AutoPowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoPowerError::NoTrainingConfigs => {
+                write!(f, "at least one training configuration is required")
+            }
+            AutoPowerError::MissingConfig(id) => {
+                write!(f, "configuration {id} is not present in the corpus")
+            }
+            AutoPowerError::SubModelFit {
+                component,
+                sub_model,
+                source,
+            } => write!(
+                f,
+                "failed to fit the {sub_model} sub-model of {component}: {source}"
+            ),
+            AutoPowerError::NoScalingRule(position) => {
+                write!(f, "no scaling rule could be fitted for SRAM position {position}")
+            }
+        }
+    }
+}
+
+impl Error for AutoPowerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AutoPowerError::SubModelFit { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl AutoPowerError {
+    /// Helper used by the sub-model trainers to attach context to a [`FitError`].
+    pub(crate) fn fit(component: Component, sub_model: &'static str) -> impl FnOnce(FitError) -> Self {
+        move |source| AutoPowerError::SubModelFit {
+            component,
+            sub_model,
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AutoPowerError::SubModelFit {
+            component: Component::Rob,
+            sub_model: "register count",
+            source: FitError::EmptyTrainingSet,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ROB"));
+        assert!(msg.contains("register count"));
+        assert!(e.source().is_some());
+        assert!(AutoPowerError::NoTrainingConfigs.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<AutoPowerError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Feature assembly: the `H`, `E` and program-level feature vectors of the sub-models.
+
+use autopower_config::{Component, CpuConfig, Workload};
+use autopower_perfsim::EventParams;
+use autopower_workloads::ProgramFeatures;
+
+/// Hardware-parameter (`H`) features of one component: the values of the Table III
+/// parameters the component is sensitive to.
+pub fn hw_features(component: Component, config: &CpuConfig) -> Vec<f64> {
+    component
+        .hw_params()
+        .iter()
+        .map(|&p| config.params.value(p) as f64)
+        .collect()
+}
+
+/// Names of the features returned by [`hw_features`], in the same order.
+pub fn hw_feature_names(component: Component) -> Vec<String> {
+    component
+        .hw_params()
+        .iter()
+        .map(|p| p.name().to_owned())
+        .collect()
+}
+
+/// Event-parameter (`E`) features of one component: the subset of simulator counters the
+/// component's activity depends on.
+pub fn event_features(component: Component, events: &EventParams) -> Vec<f64> {
+    events.component_features(component)
+}
+
+/// Which feature blocks to include when assembling a sub-model's input row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelFeatures {
+    /// Include the component's hardware parameters.
+    pub hardware: bool,
+    /// Include the component's event parameters.
+    pub events: bool,
+    /// Include the microarchitecture-independent program-level features.
+    pub program: bool,
+}
+
+impl ModelFeatures {
+    /// Hardware parameters only (`F_reg`, `F_gate`, `F_sta` in the paper).
+    pub const HW_ONLY: ModelFeatures = ModelFeatures {
+        hardware: true,
+        events: false,
+        program: false,
+    };
+
+    /// Hardware + event parameters (`F_α′`, `F_act`, `F_var`).
+    pub const HW_EVENTS: ModelFeatures = ModelFeatures {
+        hardware: true,
+        events: true,
+        program: false,
+    };
+
+    /// Hardware + events + program-level features (the SRAM activity model; the paper
+    /// notes prior works ignore program-level features and that they improve robustness
+    /// to simulator inaccuracy).
+    pub const HW_EVENTS_PROGRAM: ModelFeatures = ModelFeatures {
+        hardware: true,
+        events: true,
+        program: true,
+    };
+}
+
+/// Assembles one feature row for a `(component, configuration, workload)` sample.
+pub fn model_features(
+    which: ModelFeatures,
+    component: Component,
+    config: &CpuConfig,
+    events: &EventParams,
+    workload: Workload,
+) -> Vec<f64> {
+    let mut row = Vec::new();
+    if which.hardware {
+        row.extend(hw_features(component, config));
+    }
+    if which.events {
+        row.extend(event_features(component, events));
+    }
+    if which.program {
+        row.extend(ProgramFeatures::of(workload).to_vec());
+    }
+    row
+}
+
+/// Names of the features assembled by [`model_features`], in the same order.
+pub fn model_feature_names(which: ModelFeatures, component: Component) -> Vec<String> {
+    let mut names = Vec::new();
+    if which.hardware {
+        names.extend(hw_feature_names(component));
+    }
+    if which.events {
+        names.extend(
+            EventParams::component_feature_names(component)
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+    }
+    if which.program {
+        names.extend(ProgramFeatures::names().iter().map(|s| (*s).to_owned()));
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::boom_configs;
+    use autopower_perfsim::{simulate, SimConfig};
+
+    fn sample_events() -> EventParams {
+        let cfg = boom_configs()[0];
+        simulate(&cfg, Workload::Dhrystone, &SimConfig { max_instructions: 1_000, ..SimConfig::fast() }).events
+    }
+
+    #[test]
+    fn hw_features_follow_table_iii() {
+        let cfg = boom_configs()[7];
+        let f = hw_features(Component::Ifu, &cfg);
+        assert_eq!(f, vec![8.0, 3.0, 24.0]);
+        assert_eq!(hw_feature_names(Component::Ifu), vec!["FetchWidth", "DecodeWidth", "FetchBufferEntry"]);
+    }
+
+    #[test]
+    fn feature_rows_match_their_names_for_every_component_and_mode() {
+        let cfg = boom_configs()[0];
+        let events = sample_events();
+        for mode in [
+            ModelFeatures::HW_ONLY,
+            ModelFeatures::HW_EVENTS,
+            ModelFeatures::HW_EVENTS_PROGRAM,
+        ] {
+            for c in Component::ALL {
+                let row = model_features(mode, c, &cfg, &events, Workload::Dhrystone);
+                let names = model_feature_names(mode, c);
+                assert_eq!(row.len(), names.len(), "{c} mode {mode:?}");
+                assert!(row.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn program_features_extend_the_row() {
+        let cfg = boom_configs()[0];
+        let events = sample_events();
+        let without = model_features(ModelFeatures::HW_EVENTS, Component::Rob, &cfg, &events, Workload::Qsort);
+        let with = model_features(
+            ModelFeatures::HW_EVENTS_PROGRAM,
+            Component::Rob,
+            &cfg,
+            &events,
+            Workload::Qsort,
+        );
+        assert_eq!(with.len(), without.len() + ProgramFeatures::names().len());
+        assert_eq!(&with[..without.len()], &without[..]);
+    }
+}

@@ -1,0 +1,74 @@
+//! AutoPower: automated few-shot architecture-level power modeling by power group
+//! decoupling.
+//!
+//! This crate is the Rust reproduction of the DAC 2025 paper's primary contribution.
+//! Given a handful of *known* configurations — for which netlists and golden power
+//! reports exist — AutoPower trains a set of small, decoupled sub-models and then
+//! predicts the power of *unseen* configurations from architecture-level information
+//! only (hardware parameters `H` and performance-simulator event parameters `E`).
+//!
+//! The decoupling has two levels:
+//!
+//! 1. **Across power groups** — separate models for clock power, SRAM power and logic
+//!    power ([`ClockPowerModel`], [`SramPowerModel`], [`LogicPowerModel`]).
+//! 2. **Within each group** — each group model is split into simple sub-models that
+//!    track structural quantities: register count / gating rate / effective active rate
+//!    for the clock; block shapes / block activity / macro mapping for SRAM; register
+//!    count × activity and stable × variation for logic.
+//!
+//! The crate also implements the paper's baselines (McPAT-Calib, McPAT-Calib +
+//! Component, and the AutoPower− ablation) and time-based power-trace prediction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use autopower::{AutoPower, Corpus, CorpusSpec};
+//! use autopower_config::{boom_configs, ConfigId, Workload};
+//!
+//! // Build a small corpus (three configurations, two workloads) with the fast
+//! // simulation settings so the doctest stays quick.
+//! let configs = [boom_configs()[0], boom_configs()[7], boom_configs()[14]];
+//! let spec = CorpusSpec::fast();
+//! let corpus = Corpus::generate(&configs, &[Workload::Dhrystone, Workload::Vvadd], &spec);
+//!
+//! // Train on the two extreme configurations, predict the third.
+//! let model = AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+//! let run = corpus.run(ConfigId::new(8), Workload::Vvadd).unwrap();
+//! let predicted = model.predict_run(run);
+//! assert!(predicted.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod clock;
+mod dataset;
+mod error;
+mod evaluation;
+mod features;
+mod logic;
+mod model;
+mod sram;
+mod trace;
+mod xval;
+
+pub use clock::ClockPowerModel;
+pub use dataset::{Corpus, CorpusSpec, RunData};
+pub use error::AutoPowerError;
+pub use evaluation::{evaluate_totals, AccuracySummary, PredictionPair};
+pub use features::{
+    event_features, hw_feature_names, hw_features, model_feature_names, model_features,
+    ModelFeatures,
+};
+pub use logic::LogicPowerModel;
+pub use model::AutoPower;
+pub use sram::{
+    predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
+    SramActivityModel, SramPowerModel,
+};
+pub use trace::{evaluate_trace_prediction, trace_errors, PowerTracePredictor, TraceErrors};
+pub use xval::{cross_validate, CrossValidation};
+
+/// Re-export of the golden power-group representation used for predictions as well.
+pub use autopower_powersim::PowerGroups;

@@ -1,0 +1,277 @@
+//! The logic power model (Section II-C of the paper).
+//!
+//! Logic power is split into register power (excluding the clock pins, which belong to
+//! the clock group) and combinational power:
+//!
+//! * register power: `P_reg = F_reg(H) · F_act(H, E)` — a hardware model for the register
+//!   count times an activity model whose label is `P_reg / R`;
+//! * combinational power: `P_comb = F_sta(H) · F_var(H, E)` — a *stable* power (the
+//!   workload-average combinational power of a configuration, a purely hardware-related
+//!   quantity) times a workload-specific *variation* ratio.
+
+use crate::dataset::Corpus;
+use crate::error::AutoPowerError;
+use crate::features::{hw_features, model_features, ModelFeatures};
+use autopower_config::{Component, ConfigId, CpuConfig, Workload};
+use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
+use autopower_perfsim::EventParams;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct ComponentLogicModel {
+    /// Register-count hardware model `F_reg(H)`.
+    reg_hardware: RidgeRegression,
+    /// Register activity model `F_act(H, E)` (label: register power per register).
+    reg_activity: GradientBoosting,
+    /// Combinational stable-power model `F_sta(H)`.
+    comb_stable: RidgeRegression,
+    /// Combinational variation model `F_var(H, E)` (label: power / stable power).
+    comb_variation: GradientBoosting,
+}
+
+/// The logic power model: register and combinational sub-models per component.
+#[derive(Debug, Clone)]
+pub struct LogicPowerModel {
+    per_component: Vec<ComponentLogicModel>,
+}
+
+impl LogicPowerModel {
+    /// Trains the logic model on the runs of `train_configs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sub-model cannot be fitted.
+    pub fn train(corpus: &Corpus, train_configs: &[ConfigId]) -> Result<Self, AutoPowerError> {
+        if train_configs.is_empty() {
+            return Err(AutoPowerError::NoTrainingConfigs);
+        }
+        for id in train_configs {
+            if corpus.runs_for(*id).is_empty() {
+                return Err(AutoPowerError::MissingConfig(*id));
+            }
+        }
+        let per_component = Component::ALL
+            .iter()
+            .map(|&component| Self::train_component(component, corpus, train_configs))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { per_component })
+    }
+
+    fn train_component(
+        component: Component,
+        corpus: &Corpus,
+        train_configs: &[ConfigId],
+    ) -> Result<ComponentLogicModel, AutoPowerError> {
+        let runs = corpus.training_runs(train_configs);
+
+        // --- Register power: hardware model (one sample per configuration). ---
+        let mut hw_rows = Vec::new();
+        let mut reg_targets = Vec::new();
+        for &id in train_configs {
+            let run = corpus.runs_for(id)[0];
+            hw_rows.push(hw_features(component, &run.config));
+            reg_targets.push(run.netlist.component(component).registers as f64);
+        }
+        let mut reg_hardware = RidgeRegression::default();
+        reg_hardware
+            .fit(&hw_rows, &reg_targets)
+            .map_err(AutoPowerError::fit(component, "logic register count"))?;
+
+        // --- Register power: activity model (one sample per run). ---
+        let mut he_rows = Vec::new();
+        let mut act_targets = Vec::new();
+        for run in &runs {
+            let r = run.netlist.component(component).registers as f64;
+            let p_reg = run.golden.component(component).register;
+            he_rows.push(model_features(
+                ModelFeatures::HW_EVENTS,
+                component,
+                &run.config,
+                &run.sim.events,
+                run.workload,
+            ));
+            act_targets.push(if r > 0.0 { p_reg / r } else { 0.0 });
+        }
+        let mut reg_activity = GradientBoosting::default();
+        reg_activity
+            .fit(&he_rows, &act_targets)
+            .map_err(AutoPowerError::fit(component, "register activity"))?;
+
+        // --- Combinational power: stable model (workload-average per configuration). ---
+        let mut per_config_mean: HashMap<ConfigId, (f64, usize)> = HashMap::new();
+        for run in &runs {
+            let entry = per_config_mean.entry(run.config.id).or_insert((0.0, 0));
+            entry.0 += run.golden.component(component).combinational;
+            entry.1 += 1;
+        }
+        let mut sta_rows = Vec::new();
+        let mut sta_targets = Vec::new();
+        let mut stable_by_config: HashMap<ConfigId, f64> = HashMap::new();
+        for &id in train_configs {
+            let run = corpus.runs_for(id)[0];
+            let (sum, n) = per_config_mean[&id];
+            let stable = sum / n as f64;
+            stable_by_config.insert(id, stable);
+            sta_rows.push(hw_features(component, &run.config));
+            sta_targets.push(stable);
+        }
+        let mut comb_stable = RidgeRegression::default();
+        comb_stable
+            .fit(&sta_rows, &sta_targets)
+            .map_err(AutoPowerError::fit(component, "combinational stable power"))?;
+
+        // --- Combinational power: variation model (per run, label power / stable). ---
+        let mut var_rows = Vec::new();
+        let mut var_targets = Vec::new();
+        for run in &runs {
+            let stable = stable_by_config[&run.config.id];
+            let p = run.golden.component(component).combinational;
+            var_rows.push(model_features(
+                ModelFeatures::HW_EVENTS,
+                component,
+                &run.config,
+                &run.sim.events,
+                run.workload,
+            ));
+            var_targets.push(if stable > 0.0 { p / stable } else { 1.0 });
+        }
+        let mut comb_variation = GradientBoosting::default();
+        comb_variation
+            .fit(&var_rows, &var_targets)
+            .map_err(AutoPowerError::fit(component, "combinational variation"))?;
+
+        Ok(ComponentLogicModel {
+            reg_hardware,
+            reg_activity,
+            comb_stable,
+            comb_variation,
+        })
+    }
+
+    /// Predicted register (non-clock) power of one component in mW.
+    pub fn predict_register_component(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> f64 {
+        let m = &self.per_component[component.index()];
+        let r = m.reg_hardware.predict(&hw_features(component, config)).max(1.0);
+        let per_reg = m
+            .reg_activity
+            .predict(&model_features(
+                ModelFeatures::HW_EVENTS,
+                component,
+                config,
+                events,
+                workload,
+            ))
+            .max(0.0);
+        r * per_reg
+    }
+
+    /// Predicted combinational power of one component in mW.
+    pub fn predict_comb_component(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> f64 {
+        let m = &self.per_component[component.index()];
+        let stable = m.comb_stable.predict(&hw_features(component, config)).max(0.0);
+        let variation = m
+            .comb_variation
+            .predict(&model_features(
+                ModelFeatures::HW_EVENTS,
+                component,
+                config,
+                events,
+                workload,
+            ))
+            .max(0.0);
+        stable * variation
+    }
+
+    /// Predicted register power of the whole core in mW.
+    pub fn predict_register(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.predict_register_component(c, config, events, workload))
+            .sum()
+    }
+
+    /// Predicted combinational power of the whole core in mW.
+    pub fn predict_comb(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.predict_comb_component(c, config, events, workload))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::boom_configs;
+    use autopower_ml::metrics;
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn logic_power_prediction_tracks_golden_power() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let model = LogicPowerModel::train(&c, &train).unwrap();
+        let mut truths = Vec::new();
+        let mut preds = Vec::new();
+        for run in c.test_runs(&train) {
+            truths.push(run.golden.total.logic());
+            preds.push(
+                model.predict_register(&run.config, &run.sim.events, run.workload)
+                    + model.predict_comb(&run.config, &run.sim.events, run.workload),
+            );
+        }
+        let mape = metrics::mape(&truths, &preds);
+        assert!(mape < 0.35, "logic power MAPE {mape}");
+    }
+
+    #[test]
+    fn in_sample_combinational_stable_times_variation_recovers_power() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let model = LogicPowerModel::train(&c, &train).unwrap();
+        for run in c.training_runs(&train) {
+            let truth = run.golden.total.combinational;
+            let pred = model.predict_comb(&run.config, &run.sim.events, run.workload);
+            assert!(((pred - truth) / truth).abs() < 0.2, "{pred} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn predictions_are_non_negative() {
+        let c = corpus();
+        let model = LogicPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        for run in c.runs() {
+            for comp in Component::ALL {
+                assert!(model.predict_register_component(comp, &run.config, &run.sim.events, run.workload) >= 0.0);
+                assert!(model.predict_comb_component(comp, &run.config, &run.sim.events, run.workload) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn training_without_configs_fails() {
+        let c = corpus();
+        assert!(LogicPowerModel::train(&c, &[]).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! The end-to-end AutoPower model: power group decoupling assembled.
+
+use crate::clock::ClockPowerModel;
+use crate::dataset::{Corpus, RunData};
+use crate::error::AutoPowerError;
+use crate::features::ModelFeatures;
+use crate::logic::LogicPowerModel;
+use crate::sram::SramPowerModel;
+use autopower_config::{Component, ConfigId, CpuConfig, Workload};
+use autopower_perfsim::EventParams;
+use autopower_powersim::PowerGroups;
+use autopower_techlib::TechLibrary;
+
+/// The full AutoPower model: one decoupled model per power group.
+#[derive(Debug, Clone)]
+pub struct AutoPower {
+    clock: ClockPowerModel,
+    sram: SramPowerModel,
+    logic: LogicPowerModel,
+    library: TechLibrary,
+}
+
+impl AutoPower {
+    /// Trains AutoPower on the runs of `train_configs` (the few *known* configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sub-model cannot be fitted or a requested configuration is
+    /// absent from the corpus.
+    pub fn train(corpus: &Corpus, train_configs: &[ConfigId]) -> Result<Self, AutoPowerError> {
+        Self::train_with_features(corpus, train_configs, ModelFeatures::HW_EVENTS_PROGRAM)
+    }
+
+    /// Trains AutoPower with an explicit SRAM-activity feature mode (used by the
+    /// program-level-feature ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sub-model cannot be fitted or a requested configuration is
+    /// absent from the corpus.
+    pub fn train_with_features(
+        corpus: &Corpus,
+        train_configs: &[ConfigId],
+        sram_features: ModelFeatures,
+    ) -> Result<Self, AutoPowerError> {
+        Ok(Self {
+            clock: ClockPowerModel::train(corpus, train_configs)?,
+            sram: SramPowerModel::train_with_features(corpus, train_configs, sram_features)?,
+            logic: LogicPowerModel::train(corpus, train_configs)?,
+            library: corpus.library().clone(),
+        })
+    }
+
+    /// The clock power model.
+    pub fn clock_model(&self) -> &ClockPowerModel {
+        &self.clock
+    }
+
+    /// The SRAM power model.
+    pub fn sram_model(&self) -> &SramPowerModel {
+        &self.sram
+    }
+
+    /// The logic power model.
+    pub fn logic_model(&self) -> &LogicPowerModel {
+        &self.logic
+    }
+
+    /// Predicts the per-group power of one `(configuration, workload)` point from
+    /// architecture-level information only.
+    pub fn predict(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> PowerGroups {
+        PowerGroups {
+            clock: self.clock.predict(config, events, workload),
+            sram: self.sram.predict(config, events, workload, &self.library),
+            register: self.logic.predict_register(config, events, workload),
+            combinational: self.logic.predict_comb(config, events, workload),
+        }
+    }
+
+    /// Predicts the per-group power of one component.
+    pub fn predict_component(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> PowerGroups {
+        PowerGroups {
+            clock: self.clock.predict_component(component, config, events, workload),
+            sram: self
+                .sram
+                .predict_component(component, config, events, workload, &self.library),
+            register: self
+                .logic
+                .predict_register_component(component, config, events, workload),
+            combinational: self
+                .logic
+                .predict_comb_component(component, config, events, workload),
+        }
+    }
+
+    /// Convenience: predicts the power of a corpus run from its reported events.
+    pub fn predict_run(&self, run: &RunData) -> PowerGroups {
+        self.predict(&run.config, &run.sim.events, run.workload)
+    }
+
+    /// Predicted total power in mW for one run.
+    pub fn predict_total(&self, run: &RunData) -> f64 {
+        self.predict_run(run).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use crate::evaluation::evaluate_totals;
+    use autopower_config::boom_configs;
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[4], cfgs[7], cfgs[11], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn few_shot_training_predicts_unseen_configs_accurately() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let model = AutoPower::train(&c, &train).unwrap();
+        let test_runs = c.test_runs(&train);
+        let summary = evaluate_totals(&test_runs, |run| model.predict_total(run));
+        // The paper reports 4.36 % MAPE / 0.96 R2 on the full 15-config corpus; on this
+        // reduced test corpus we only require the same ballpark of quality.
+        assert!(summary.mape < 0.15, "AutoPower MAPE {}", summary.mape);
+        assert!(summary.r_squared > 0.8, "AutoPower R2 {}", summary.r_squared);
+    }
+
+    #[test]
+    fn per_group_predictions_sum_to_the_total() {
+        let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(8), Workload::Qsort).unwrap();
+        let p = model.predict_run(run);
+        assert!((p.total() - (p.clock + p.sram + p.register + p.combinational)).abs() < 1e-12);
+        assert!(p.is_physical());
+    }
+
+    #[test]
+    fn component_predictions_sum_close_to_core_prediction() {
+        let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(8), Workload::Vvadd).unwrap();
+        let core = model.predict_run(run);
+        let mut sum = PowerGroups::default();
+        for comp in Component::ALL {
+            sum += model.predict_component(comp, &run.config, &run.sim.events, run.workload);
+        }
+        assert!((sum.total() - core.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_errors_are_propagated() {
+        let c = corpus();
+        assert!(AutoPower::train(&c, &[]).is_err());
+        assert!(AutoPower::train(&c, &[ConfigId::new(2)]).is_err());
+    }
+}

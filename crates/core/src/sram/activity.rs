@@ -1,0 +1,159 @@
+//! The SRAM Block activity model.
+//!
+//! Predicts the average per-block read and write frequencies of one SRAM Position from
+//! the component's hardware parameters, its event parameters, and — unlike prior work —
+//! microarchitecture-independent program-level features (Section II-B argues these make
+//! the model robust to performance-simulator inaccuracy).
+
+use crate::dataset::Corpus;
+use crate::error::AutoPowerError;
+use crate::features::{model_features, ModelFeatures};
+use autopower_config::{ConfigId, CpuConfig, SramPositionId, Workload};
+use autopower_ml::{GradientBoosting, Regressor};
+use autopower_perfsim::EventParams;
+
+/// Read/write frequency model of one SRAM Position.
+#[derive(Debug, Clone)]
+pub struct SramActivityModel {
+    position: SramPositionId,
+    feature_mode: ModelFeatures,
+    read_model: GradientBoosting,
+    write_model: GradientBoosting,
+}
+
+impl SramActivityModel {
+    /// Trains the activity model of `position` on the training runs.
+    ///
+    /// Labels are the *block-level* read/write frequencies of the training netlists:
+    /// the position-level access rates observed in RTL-level (here: golden activity)
+    /// simulation divided by the true block count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the training set is empty or malformed.
+    pub fn train(
+        position: SramPositionId,
+        corpus: &Corpus,
+        train_configs: &[ConfigId],
+        feature_mode: ModelFeatures,
+    ) -> Result<Self, AutoPowerError> {
+        let component = position.component;
+        let mut rows = Vec::new();
+        let mut read_targets = Vec::new();
+        let mut write_targets = Vec::new();
+        for run in corpus.training_runs(train_configs) {
+            let Some(block) = run.netlist.component(component).blocks_of(position) else {
+                continue;
+            };
+            let Some(activity) = run.sim.activity.position(position) else {
+                continue;
+            };
+            let count = block.count as f64;
+            rows.push(model_features(
+                feature_mode,
+                component,
+                &run.config,
+                &run.sim.events,
+                run.workload,
+            ));
+            read_targets.push(activity.reads_per_cycle / count);
+            write_targets.push(activity.writes_per_cycle / count);
+        }
+        let mut read_model = GradientBoosting::default();
+        read_model
+            .fit(&rows, &read_targets)
+            .map_err(AutoPowerError::fit(component, "SRAM read frequency"))?;
+        let mut write_model = GradientBoosting::default();
+        write_model
+            .fit(&rows, &write_targets)
+            .map_err(AutoPowerError::fit(component, "SRAM write frequency"))?;
+        Ok(Self {
+            position,
+            feature_mode,
+            read_model,
+            write_model,
+        })
+    }
+
+    /// The position this model describes.
+    pub fn position(&self) -> SramPositionId {
+        self.position
+    }
+
+    /// Predicts `(reads_per_cycle, writes_per_cycle)` per SRAM Block.
+    pub fn predict(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> (f64, f64) {
+        let row = model_features(
+            self.feature_mode,
+            self.position.component,
+            config,
+            events,
+            workload,
+        );
+        (
+            self.read_model.predict(&row).max(0.0),
+            self.write_model.predict(&row).max(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, sram_positions_for, Component};
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn predictions_are_non_negative_and_finite() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let pos = sram_positions_for(Component::ICacheDataArray)[0].id;
+        let m = SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
+        for run in c.runs() {
+            let (r, w) = m.predict(&run.config, &run.sim.events, run.workload);
+            assert!(r >= 0.0 && r.is_finite());
+            assert!(w >= 0.0 && w.is_finite());
+        }
+    }
+
+    #[test]
+    fn read_frequency_prediction_correlates_with_truth() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let pos = sram_positions_for(Component::ICacheDataArray)[0].id;
+        let m = SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
+        let mut truth = Vec::new();
+        let mut pred = Vec::new();
+        for run in c.test_runs(&train) {
+            let block = run.netlist.component(Component::ICacheDataArray).blocks_of(pos).unwrap();
+            let act = run.sim.activity.position(pos).unwrap();
+            truth.push(act.reads_per_cycle / block.count as f64);
+            pred.push(m.predict(&run.config, &run.sim.events, run.workload).0);
+        }
+        // With one held-out configuration and three workloads we only ask for a sane
+        // relative error, not a tight one.
+        for (t, p) in truth.iter().zip(&pred) {
+            assert!((p - t).abs() <= t.max(0.01) * 1.2 + 0.05, "pred {p} truth {t}");
+        }
+    }
+
+    #[test]
+    fn untrained_position_data_is_an_error() {
+        let c = corpus();
+        let pos = sram_positions_for(Component::ICacheDataArray)[0].id;
+        assert!(SramActivityModel::train(pos, &c, &[], ModelFeatures::HW_EVENTS_PROGRAM).is_err());
+    }
+}

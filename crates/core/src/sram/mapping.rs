@@ -1,0 +1,95 @@
+//! Macro-level mapping and the final SRAM power calculation (Eqs. 9 and 10).
+
+use crate::sram::hardware::PredictedBlock;
+use autopower_techlib::TechLibrary;
+
+/// Power of one SRAM Position in mW, computed from a *predicted* block shape and
+/// *predicted* per-block read/write frequencies.
+///
+/// The mapping rule of the VLSI flow decomposes the block into a grid of supported
+/// macros; a block access activates one horizontal row of macros, so each macro sees the
+/// block frequency divided by the number of macros stacked in the depth direction
+/// (`N_col`, Eq. 9).  The power is then the macro read/write energies weighted by the
+/// macro frequencies, plus leakage, plus the calibrated pin-toggling constant
+/// `pin_constant_mw` per block instance (the `C` of Eq. 10).
+pub fn predicted_block_power_mw(
+    block: &PredictedBlock,
+    reads_per_cycle_per_block: f64,
+    writes_per_cycle_per_block: f64,
+    pin_constant_mw: f64,
+    library: &TechLibrary,
+) -> f64 {
+    let mapping = library.sram().map_block(block.width, block.depth);
+    let rows = mapping.rows as f64;
+    // Eq. 9: per-macro frequencies are the block frequencies divided by N_col; summing
+    // the per-macro power over the `rows * cols` macros is equivalent to multiplying the
+    // block frequency by the number of macros in one activated row.
+    let read_mw = reads_per_cycle_per_block.max(0.0) * rows * mapping.macro_spec.read_energy_pj;
+    let write_mw = writes_per_cycle_per_block.max(0.0) * rows * mapping.macro_spec.write_energy_pj;
+    let leakage_mw = library.sram().mapping_leakage_mw(&mapping);
+    block.count as f64 * (read_mw + write_mw + leakage_mw + pin_constant_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::tsmc40_like()
+    }
+
+    #[test]
+    fn power_grows_with_activity() {
+        let block = PredictedBlock {
+            width: 64,
+            depth: 256,
+            count: 2,
+        };
+        let idle = predicted_block_power_mw(&block, 0.0, 0.0, 0.01, &lib());
+        let busy = predicted_block_power_mw(&block, 0.5, 0.2, 0.01, &lib());
+        assert!(busy > idle);
+        assert!(idle > 0.0, "leakage and pin constant remain");
+    }
+
+    #[test]
+    fn power_scales_with_block_count() {
+        let one = PredictedBlock {
+            width: 32,
+            depth: 128,
+            count: 1,
+        };
+        let four = PredictedBlock { count: 4, ..one };
+        let p1 = predicted_block_power_mw(&one, 0.25, 0.1, 0.01, &lib());
+        let p4 = predicted_block_power_mw(&four, 0.25, 0.1, 0.01, &lib());
+        assert!((p4 - 4.0 * p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_frequencies_are_clamped() {
+        let block = PredictedBlock {
+            width: 16,
+            depth: 64,
+            count: 1,
+        };
+        let p = predicted_block_power_mw(&block, -1.0, -1.0, 0.0, &lib());
+        let leak_only = predicted_block_power_mw(&block, 0.0, 0.0, 0.0, &lib());
+        assert_eq!(p, leak_only);
+    }
+
+    #[test]
+    fn wide_blocks_activate_more_macros_per_access() {
+        let narrow = PredictedBlock {
+            width: 32,
+            depth: 256,
+            count: 1,
+        };
+        let wide = PredictedBlock {
+            width: 256,
+            depth: 256,
+            count: 1,
+        };
+        let p_narrow = predicted_block_power_mw(&narrow, 1.0, 0.0, 0.0, &lib());
+        let p_wide = predicted_block_power_mw(&wide, 1.0, 0.0, 0.0, &lib());
+        assert!(p_wide > 2.0 * p_narrow);
+    }
+}

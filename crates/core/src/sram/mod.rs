@@ -1,0 +1,327 @@
+//! The SRAM power model (Section II-B of the paper).
+//!
+//! SRAM power is modelled top-down along the four-level hierarchy
+//! `Component → SRAM Position → SRAM Block → SRAM Macro`:
+//!
+//! 1. features are transferred from the component to each of its SRAM Positions,
+//! 2. a scaling-pattern [`PositionHardwareModel`] estimates the width/depth/count of the
+//!    SRAM Blocks implementing the position,
+//! 3. an ML [`SramActivityModel`] estimates the block-level read/write frequencies,
+//! 4. the macro-level mapping of the VLSI flow converts block shapes and frequencies into
+//!    macro shapes and frequencies (Eq. 9), and the technology library's read/write
+//!    energies give the power (Eq. 10).
+
+mod activity;
+mod hardware;
+mod mapping;
+
+pub use activity::SramActivityModel;
+pub use hardware::{PositionHardwareModel, PredictedBlock, ScalingRule};
+pub use mapping::predicted_block_power_mw;
+
+use crate::dataset::Corpus;
+use crate::error::AutoPowerError;
+use crate::features::ModelFeatures;
+use autopower_config::{sram_positions_for, Component, ConfigId, CpuConfig, SramPositionId, Workload};
+use autopower_perfsim::EventParams;
+use autopower_techlib::TechLibrary;
+
+/// Sub-models of one SRAM Position.
+#[derive(Debug, Clone)]
+struct PositionModel {
+    hardware: PositionHardwareModel,
+    activity: SramActivityModel,
+}
+
+/// The SRAM power model: one hardware + activity model per SRAM Position, plus the
+/// pin-toggling constant `C` of Eq. 10 calibrated from golden power.
+#[derive(Debug, Clone)]
+pub struct SramPowerModel {
+    positions: Vec<PositionModel>,
+    pin_constant_mw: f64,
+    feature_mode: ModelFeatures,
+}
+
+impl SramPowerModel {
+    /// Trains the SRAM model on the runs of `train_configs` with the paper's full
+    /// feature set (hardware + events + program-level features).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training data is missing or a sub-model cannot be fitted.
+    pub fn train(corpus: &Corpus, train_configs: &[ConfigId]) -> Result<Self, AutoPowerError> {
+        Self::train_with_features(corpus, train_configs, ModelFeatures::HW_EVENTS_PROGRAM)
+    }
+
+    /// Trains the SRAM model with an explicit feature mode (used by the program-level
+    /// feature ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training data is missing or a sub-model cannot be fitted.
+    pub fn train_with_features(
+        corpus: &Corpus,
+        train_configs: &[ConfigId],
+        feature_mode: ModelFeatures,
+    ) -> Result<Self, AutoPowerError> {
+        if train_configs.is_empty() {
+            return Err(AutoPowerError::NoTrainingConfigs);
+        }
+        for id in train_configs {
+            if corpus.runs_for(*id).is_empty() {
+                return Err(AutoPowerError::MissingConfig(*id));
+            }
+        }
+
+        let mut positions = Vec::new();
+        for position in autopower_config::sram_positions() {
+            let hardware = PositionHardwareModel::fit(position.id, corpus, train_configs)?;
+            let activity =
+                SramActivityModel::train(position.id, corpus, train_configs, feature_mode)?;
+            positions.push(PositionModel { hardware, activity });
+        }
+
+        let pin_constant_mw = Self::calibrate_pin_constant(corpus, train_configs);
+
+        Ok(Self {
+            positions,
+            pin_constant_mw,
+            feature_mode,
+        })
+    }
+
+    /// Calibrates the pin-toggling constant `C` of Eq. 10 from the golden SRAM power of
+    /// the training runs: the average per-block-instance residual between golden SRAM
+    /// power and the read/write/leakage part reconstructed from true blocks and true
+    /// activity.
+    fn calibrate_pin_constant(corpus: &Corpus, train_configs: &[ConfigId]) -> f64 {
+        let library = corpus.library();
+        let mut residual_sum = 0.0;
+        let mut instance_sum = 0.0;
+        for run in corpus.training_runs(train_configs) {
+            for component in Component::ALL {
+                let netlist = run.netlist.component(component);
+                if netlist.sram_blocks.is_empty() {
+                    continue;
+                }
+                let golden = run.golden.component(component).sram;
+                let mut modeled = 0.0;
+                let mut instances = 0.0;
+                for block in &netlist.sram_blocks {
+                    let act = run
+                        .sim
+                        .activity
+                        .position(block.position)
+                        .expect("catalogue positions always have activity");
+                    let predicted = PredictedBlock {
+                        width: block.width,
+                        depth: block.depth,
+                        count: block.count,
+                    };
+                    modeled += mapping::predicted_block_power_mw(
+                        &predicted,
+                        act.reads_per_cycle / block.count as f64,
+                        act.writes_per_cycle / block.count as f64,
+                        0.0,
+                        library,
+                    );
+                    instances += block.count as f64;
+                }
+                residual_sum += (golden - modeled).max(0.0);
+                instance_sum += instances;
+            }
+        }
+        if instance_sum > 0.0 {
+            residual_sum / instance_sum
+        } else {
+            0.0
+        }
+    }
+
+    fn position_model(&self, position: SramPositionId) -> Option<&PositionModel> {
+        self.positions
+            .iter()
+            .find(|p| p.hardware.position() == position)
+    }
+
+    /// The calibrated pin-toggling constant `C` of Eq. 10, in mW per block instance.
+    pub fn pin_constant_mw(&self) -> f64 {
+        self.pin_constant_mw
+    }
+
+    /// The feature mode the activity models were trained with.
+    pub fn feature_mode(&self) -> ModelFeatures {
+        self.feature_mode
+    }
+
+    /// Predicted SRAM Block shape of one position (the hardware-model output).
+    ///
+    /// Returns `None` for positions that are not in the catalogue.
+    pub fn predict_block(&self, position: SramPositionId, config: &CpuConfig) -> Option<PredictedBlock> {
+        self.position_model(position)
+            .map(|m| m.hardware.predict_block(config))
+    }
+
+    /// Predicted power of one SRAM Position in mW.
+    ///
+    /// Returns `None` for positions that are not in the catalogue.
+    pub fn predict_position(
+        &self,
+        position: SramPositionId,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+    ) -> Option<f64> {
+        let model = self.position_model(position)?;
+        let block = model.hardware.predict_block(config);
+        let (reads, writes) = model.activity.predict(config, events, workload);
+        Some(mapping::predicted_block_power_mw(
+            &block,
+            reads,
+            writes,
+            self.pin_constant_mw,
+            library,
+        ))
+    }
+
+    /// Predicted SRAM power of one component in mW (sum over its SRAM Positions).
+    pub fn predict_component(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+    ) -> f64 {
+        sram_positions_for(component)
+            .into_iter()
+            .filter_map(|p| self.predict_position(p.id, config, events, workload, library))
+            .sum()
+    }
+
+    /// Predicted SRAM power of the whole core in mW.
+    pub fn predict(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+    ) -> f64 {
+        Component::ALL
+            .iter()
+            .map(|&c| self.predict_component(c, config, events, workload, library))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, Workload};
+    use autopower_ml::metrics;
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn hardware_model_recovers_block_capacities() {
+        let c = corpus();
+        let model = SramPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        // On the held-out configuration the predicted block capacities should match the
+        // true netlist capacities (the paper reports "nearly 0 MAPE" for the hardware
+        // model); a small number of positions whose candidate parameters coincide on the
+        // two training configurations may carry a bounded relative error.
+        let run = c.run(ConfigId::new(8), Workload::Dhrystone).unwrap();
+        let mut exact = 0usize;
+        let mut total = 0usize;
+        for component in Component::ALL {
+            for block in &run.netlist.component(component).sram_blocks {
+                let predicted = model.predict_block(block.position, &run.config).unwrap();
+                total += 1;
+                if predicted.bits() == block.bits() {
+                    exact += 1;
+                } else {
+                    let rel = (predicted.bits() as f64 - block.bits() as f64).abs()
+                        / block.bits() as f64;
+                    assert!(rel < 0.2, "{}: relative error {rel}", block.position);
+                }
+            }
+        }
+        assert!(exact * 10 >= total * 8, "only {exact}/{total} positions exact");
+    }
+
+    #[test]
+    fn sram_power_prediction_tracks_golden_power() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let model = SramPowerModel::train(&c, &train).unwrap();
+        let mut truths = Vec::new();
+        let mut preds = Vec::new();
+        for run in c.test_runs(&train) {
+            truths.push(run.golden.total.sram);
+            preds.push(model.predict(&run.config, &run.sim.events, run.workload, c.library()));
+        }
+        let mape = metrics::mape(&truths, &preds);
+        assert!(mape < 0.30, "SRAM power MAPE {mape}");
+    }
+
+    #[test]
+    fn pin_constant_is_close_to_the_golden_flow_constant() {
+        // The golden flow uses 0.012 mW per block instance; calibration from golden
+        // power should land near it.
+        let c = corpus();
+        let model = SramPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let calibrated = model.pin_constant_mw();
+        assert!((calibrated - 0.012).abs() < 0.006, "calibrated C = {calibrated}");
+    }
+
+    #[test]
+    fn component_prediction_sums_positions() {
+        let c = corpus();
+        let model = SramPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(8), Workload::Vvadd).unwrap();
+        let by_positions: f64 = sram_positions_for(Component::Ifu)
+            .into_iter()
+            .map(|p| {
+                model
+                    .predict_position(p.id, &run.config, &run.sim.events, run.workload, c.library())
+                    .unwrap()
+            })
+            .sum();
+        let by_component = model.predict_component(
+            Component::Ifu,
+            &run.config,
+            &run.sim.events,
+            run.workload,
+            c.library(),
+        );
+        assert!((by_positions - by_component).abs() < 1e-9);
+        // Components without SRAM predict exactly zero.
+        assert_eq!(
+            model.predict_component(Component::FuPool, &run.config, &run.sim.events, run.workload, c.library()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ablation_feature_modes_are_respected() {
+        let c = corpus();
+        let full = SramPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let no_prog = SramPowerModel::train_with_features(
+            &c,
+            &[ConfigId::new(1), ConfigId::new(15)],
+            ModelFeatures::HW_EVENTS,
+        )
+        .unwrap();
+        assert_eq!(full.feature_mode(), ModelFeatures::HW_EVENTS_PROGRAM);
+        assert_eq!(no_prog.feature_mode(), ModelFeatures::HW_EVENTS);
+    }
+}

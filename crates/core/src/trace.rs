@@ -1,0 +1,184 @@
+//! Time-based power-trace prediction (Section III-B.5, Table IV).
+//!
+//! A trained [`AutoPower`] model predicts the power of each simulation interval
+//! (50 cycles by default) from the interval's event parameters.  No additional training
+//! on time-based data is performed — exactly the setting of Table IV.
+
+use crate::dataset::{Corpus, RunData};
+use crate::model::AutoPower;
+use autopower_powersim::{PowerSample, PowerTrace};
+use serde::Serialize;
+
+/// Predicts time-based power traces with a trained AutoPower model.
+#[derive(Debug, Clone)]
+pub struct PowerTracePredictor<'a> {
+    model: &'a AutoPower,
+}
+
+impl<'a> PowerTracePredictor<'a> {
+    /// Wraps a trained model.
+    pub fn new(model: &'a AutoPower) -> Self {
+        Self { model }
+    }
+
+    /// Predicts the power trace of one run, one sample per simulation interval.
+    pub fn predict_trace(&self, run: &RunData) -> PowerTrace {
+        let samples = run
+            .sim
+            .intervals
+            .iter()
+            .map(|interval| {
+                let events = run.sim.interval_events(interval);
+                let power = self.model.predict(&run.config, &events, run.workload);
+                PowerSample {
+                    start_cycle: interval.start_cycle,
+                    cycles: interval.counters.cycles,
+                    power,
+                }
+            })
+            .collect();
+        PowerTrace {
+            config: run.config.id,
+            workload: run.workload,
+            interval_cycles: run.sim.sim_config.interval_cycles,
+            samples,
+        }
+    }
+}
+
+/// The error figures Table IV reports for one trace: maximum-power error, minimum-power
+/// error, and the average per-interval error, all as fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceErrors {
+    /// Relative error of the predicted maximum power.
+    pub max_power_error: f64,
+    /// Relative error of the predicted minimum power.
+    pub min_power_error: f64,
+    /// Mean absolute relative error over all intervals.
+    pub average_error: f64,
+}
+
+impl TraceErrors {
+    /// Maximum-power error in percent.
+    pub fn max_power_error_percent(&self) -> f64 {
+        self.max_power_error * 100.0
+    }
+
+    /// Minimum-power error in percent.
+    pub fn min_power_error_percent(&self) -> f64 {
+        self.min_power_error * 100.0
+    }
+
+    /// Average error in percent.
+    pub fn average_error_percent(&self) -> f64 {
+        self.average_error * 100.0
+    }
+}
+
+/// Compares a predicted trace against the golden trace of the same run.
+///
+/// # Panics
+///
+/// Panics if the traces have different lengths or are empty.
+pub fn trace_errors(golden: &PowerTrace, predicted: &PowerTrace) -> TraceErrors {
+    assert!(!golden.is_empty(), "golden trace is empty");
+    assert_eq!(
+        golden.samples.len(),
+        predicted.samples.len(),
+        "traces must have the same number of intervals"
+    );
+    let g = golden.totals();
+    let p = predicted.totals();
+    let avg = g
+        .iter()
+        .zip(&p)
+        .filter(|(t, _)| **t > 0.0)
+        .map(|(t, q)| ((q - t) / t).abs())
+        .sum::<f64>()
+        / g.len() as f64;
+    TraceErrors {
+        max_power_error: rel_err(golden.max_power(), predicted.max_power()),
+        min_power_error: rel_err(golden.min_power(), predicted.min_power()),
+        average_error: avg,
+    }
+}
+
+fn rel_err(truth: f64, pred: f64) -> f64 {
+    if truth == 0.0 {
+        0.0
+    } else {
+        ((pred - truth) / truth).abs()
+    }
+}
+
+/// Convenience: golden trace, predicted trace and their errors for one run.
+pub fn evaluate_trace_prediction(
+    corpus: &Corpus,
+    model: &AutoPower,
+    run: &RunData,
+) -> (PowerTrace, PowerTrace, TraceErrors) {
+    let golden = corpus.golden_trace(run);
+    let predicted = PowerTracePredictor::new(model).predict_trace(run);
+    let errors = trace_errors(&golden, &predicted);
+    (golden, predicted, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, ConfigId, Workload};
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[1], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd, Workload::Gemm],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn predicted_trace_has_one_sample_per_interval() {
+        let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(2), Workload::Gemm).unwrap();
+        let trace = PowerTracePredictor::new(&model).predict_trace(run);
+        assert_eq!(trace.samples.len(), run.sim.intervals.len());
+        assert!(trace.samples.iter().all(|s| s.power.total() > 0.0));
+    }
+
+    #[test]
+    fn trace_errors_are_reasonable_for_a_trained_model() {
+        let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let run = c.run(ConfigId::new(2), Workload::Gemm).unwrap();
+        let (_, _, errors) = evaluate_trace_prediction(&c, &model, run);
+        // Table IV reports single- to low-double-digit percentage errors; allow a loose
+        // band here because the test corpus is tiny.
+        assert!(errors.average_error < 0.35, "average error {}", errors.average_error);
+        assert!(errors.max_power_error < 0.5);
+        assert!(errors.min_power_error < 0.5);
+    }
+
+    #[test]
+    fn identical_traces_have_zero_error() {
+        let c = corpus();
+        let run = c.run(ConfigId::new(1), Workload::Dhrystone).unwrap();
+        let golden = c.golden_trace(run);
+        let e = trace_errors(&golden, &golden);
+        assert_eq!(e.max_power_error, 0.0);
+        assert_eq!(e.min_power_error, 0.0);
+        assert_eq!(e.average_error, 0.0);
+        assert_eq!(e.average_error_percent(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of intervals")]
+    fn mismatched_traces_panic() {
+        let c = corpus();
+        let run_a = c.run(ConfigId::new(1), Workload::Dhrystone).unwrap();
+        let run_b = c.run(ConfigId::new(1), Workload::Gemm).unwrap();
+        let _ = trace_errors(&c.golden_trace(run_a), &c.golden_trace(run_b));
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-validation utilities.
+//!
+//! The paper evaluates fixed training sets (2 or 3 known configurations).  When an
+//! architect actually has `k` known configurations, the natural robustness check is
+//! leave-one-configuration-out cross-validation over those known configurations — it
+//! estimates how well the few-shot model generalises without touching any additional
+//! golden data.  This module provides that utility on top of [`AutoPower::train`].
+
+use crate::dataset::Corpus;
+use crate::error::AutoPowerError;
+use crate::evaluation::{AccuracySummary, PredictionPair};
+use crate::model::AutoPower;
+use autopower_config::ConfigId;
+
+/// Result of leave-one-configuration-out cross-validation.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// The configurations that participated.
+    pub configs: Vec<ConfigId>,
+    /// One accuracy summary per held-out configuration, in the same order as `configs`.
+    pub folds: Vec<AccuracySummary>,
+}
+
+impl CrossValidation {
+    /// Pooled accuracy over all folds (every held-out run counted once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no folds (which [`cross_validate`] never produces).
+    pub fn pooled(&self) -> AccuracySummary {
+        let pairs: Vec<PredictionPair> = self
+            .folds
+            .iter()
+            .flat_map(|f| f.pairs.iter().copied())
+            .collect();
+        AccuracySummary::from_pairs(pairs)
+    }
+
+    /// Worst-fold MAPE — the pessimistic view an architect would plan around.
+    pub fn worst_fold_mape(&self) -> f64 {
+        self.folds.iter().map(|f| f.mape).fold(0.0, f64::max)
+    }
+}
+
+/// Leave-one-configuration-out cross-validation of AutoPower over `configs`.
+///
+/// For every configuration in `configs`, a model is trained on the remaining ones and
+/// evaluated on the held-out configuration's runs.
+///
+/// # Errors
+///
+/// Returns an error if fewer than three configurations are given (each fold needs at
+/// least two for training), if a configuration is missing from the corpus, or if any
+/// fold fails to train.
+pub fn cross_validate(corpus: &Corpus, configs: &[ConfigId]) -> Result<CrossValidation, AutoPowerError> {
+    if configs.len() < 3 {
+        return Err(AutoPowerError::NoTrainingConfigs);
+    }
+    let mut folds = Vec::with_capacity(configs.len());
+    for &held_out in configs {
+        let train: Vec<ConfigId> = configs.iter().copied().filter(|&c| c != held_out).collect();
+        let model = AutoPower::train(corpus, &train)?;
+        let test_runs = corpus.runs_for(held_out);
+        if test_runs.is_empty() {
+            return Err(AutoPowerError::MissingConfig(held_out));
+        }
+        let pairs: Vec<PredictionPair> = test_runs
+            .iter()
+            .map(|run| PredictionPair {
+                config: run.config.id,
+                workload: run.workload,
+                truth: run.golden.total_mw(),
+                prediction: model.predict_total(run),
+            })
+            .collect();
+        folds.push(AccuracySummary::from_pairs(pairs));
+    }
+    Ok(CrossValidation {
+        configs: configs.to_vec(),
+        folds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::{boom_configs, Workload};
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn loocv_produces_one_fold_per_configuration() {
+        let c = corpus();
+        let ids = c.config_ids();
+        let xv = cross_validate(&c, &ids).unwrap();
+        assert_eq!(xv.folds.len(), 3);
+        let pooled = xv.pooled();
+        assert_eq!(pooled.pairs.len(), c.runs().len());
+        assert!(pooled.mape < 0.35, "pooled MAPE {}", pooled.mape);
+        assert!(xv.worst_fold_mape() >= pooled.mape - 1e-12);
+    }
+
+    #[test]
+    fn loocv_requires_at_least_three_configurations() {
+        let c = corpus();
+        let err = cross_validate(&c, &[ConfigId::new(1), ConfigId::new(15)]);
+        assert!(matches!(err, Err(AutoPowerError::NoTrainingConfigs)));
+    }
+
+    #[test]
+    fn loocv_rejects_unknown_configurations() {
+        let c = corpus();
+        let err = cross_validate(
+            &c,
+            &[ConfigId::new(1), ConfigId::new(8), ConfigId::new(15), ConfigId::new(2)],
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end accuracy comparisons (Figs. 4 and 5).
+
+use crate::report::{format_table, percent};
+use crate::Experiments;
+use autopower::baselines::{McpatCalib, McpatCalibComponent};
+use autopower::{evaluate_totals, AccuracySummary, AutoPower, Corpus};
+use autopower_config::ConfigId;
+use std::fmt;
+
+/// Accuracy of one method on the test split.
+#[derive(Debug, Clone)]
+pub struct MethodAccuracy {
+    /// Method name as printed.
+    pub method: String,
+    /// Accuracy summary (MAPE, R², Pearson R and the underlying scatter points).
+    pub summary: AccuracySummary,
+}
+
+/// The full comparison for one number of training configurations.
+#[derive(Debug, Clone)]
+pub struct AccuracyComparison {
+    /// The training configurations.
+    pub train_configs: Vec<ConfigId>,
+    /// Accuracy of every compared method (AutoPower first).
+    pub methods: Vec<MethodAccuracy>,
+}
+
+impl AccuracyComparison {
+    /// The AutoPower entry.
+    pub fn autopower(&self) -> &MethodAccuracy {
+        &self.methods[0]
+    }
+
+    /// The McPAT-Calib entry.
+    pub fn mcpat_calib(&self) -> &MethodAccuracy {
+        &self.methods[1]
+    }
+
+    /// The McPAT-Calib + Component entry.
+    pub fn mcpat_calib_component(&self) -> &MethodAccuracy {
+        &self.methods[2]
+    }
+}
+
+impl fmt::Display for AccuracyComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Accuracy with {} known configuration(s) for training ({})",
+            self.train_configs.len(),
+            self.train_configs
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .methods
+            .iter()
+            .map(|m| {
+                vec![
+                    m.method.clone(),
+                    percent(m.summary.mape),
+                    format!("{:.3}", m.summary.r_squared),
+                    format!("{:.3}", m.summary.pearson),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(&["method", "MAPE", "R^2", "Pearson R"], &rows)
+        )
+    }
+}
+
+/// Trains the three compared methods on `train_configs` and evaluates them on every
+/// other configuration of the corpus.
+pub fn compare_methods(corpus: &Corpus, train_configs: &[ConfigId]) -> AccuracyComparison {
+    let test_runs = corpus.test_runs(train_configs);
+    let autopower = AutoPower::train(corpus, train_configs).expect("AutoPower training succeeds");
+    let mcpat = McpatCalib::train(corpus, train_configs).expect("McPAT-Calib training succeeds");
+    let mcpat_comp = McpatCalibComponent::train(corpus, train_configs)
+        .expect("McPAT-Calib + Component training succeeds");
+
+    let methods = vec![
+        MethodAccuracy {
+            method: "AutoPower".to_owned(),
+            summary: evaluate_totals(&test_runs, |run| autopower.predict_total(run)),
+        },
+        MethodAccuracy {
+            method: "McPAT-Calib".to_owned(),
+            summary: evaluate_totals(&test_runs, |run| mcpat.predict_run(run)),
+        },
+        MethodAccuracy {
+            method: "McPAT-Calib + Component".to_owned(),
+            summary: evaluate_totals(&test_runs, |run| mcpat_comp.predict_run(run)),
+        },
+    ];
+    AccuracyComparison {
+        train_configs: train_configs.to_vec(),
+        methods,
+    }
+}
+
+impl Experiments {
+    /// Fig. 4: accuracy comparison with two known configurations for training.
+    pub fn fig4_accuracy_two_configs(&self) -> AccuracyComparison {
+        let corpus = self.average_corpus();
+        compare_methods(&corpus, &self.settings().train_two)
+    }
+
+    /// Fig. 5: accuracy comparison with three known configurations for training.
+    pub fn fig5_accuracy_three_configs(&self) -> AccuracyComparison {
+        let corpus = self.average_corpus();
+        compare_methods(&corpus, &self.settings().train_three)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autopower_beats_mcpat_calib_with_two_training_configs() {
+        let exp = Experiments::fast();
+        let cmp = exp.fig4_accuracy_two_configs();
+        assert_eq!(cmp.methods.len(), 3);
+        let ours = cmp.autopower().summary.mape;
+        let baseline = cmp.mcpat_calib().summary.mape;
+        assert!(
+            ours < baseline,
+            "AutoPower MAPE {ours} should beat McPAT-Calib MAPE {baseline}"
+        );
+        assert!(cmp.autopower().summary.r_squared > cmp.mcpat_calib().summary.r_squared);
+        // The printed report names all three methods.
+        let text = cmp.to_string();
+        assert!(text.contains("AutoPower"));
+        assert!(text.contains("McPAT-Calib + Component"));
+    }
+
+    #[test]
+    fn three_training_configs_do_not_hurt_autopower() {
+        let exp = Experiments::fast();
+        let two = exp.fig4_accuracy_two_configs().autopower().summary.mape;
+        let three = exp.fig5_accuracy_three_configs().autopower().summary.mape;
+        // More training data should not make AutoPower dramatically worse.
+        assert!(three < two + 0.05, "2-config MAPE {two}, 3-config MAPE {three}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-group detail experiments: Fig. 7 (clock) and Fig. 8 (SRAM), AutoPower vs the
+//! AutoPower− ablation that applies a direct ML model per power group.
+
+use crate::report::{format_table, percent};
+use crate::Experiments;
+use autopower::baselines::AutoPowerMinus;
+use autopower::AutoPower;
+use autopower_config::{Component, ConfigId};
+use autopower_ml::metrics;
+use std::fmt;
+
+/// Accuracy of the clock sub-models (register count and gating rate), reported in
+/// Section III-B.3 of the paper (6.93 % MAPE with two known configurations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubModelAccuracy {
+    /// MAPE of the register-count prediction over components and test configurations.
+    pub register_count_mape: f64,
+    /// MAPE of the gating-rate prediction over components and test configurations.
+    pub gating_rate_mape: f64,
+}
+
+/// Result of one per-group detail experiment.
+#[derive(Debug, Clone)]
+pub struct GroupDetailResult {
+    /// Power group name (`"clock"` or `"SRAM"`).
+    pub group: &'static str,
+    /// The training configurations.
+    pub train_configs: Vec<ConfigId>,
+    /// Per-component MAPE: `(component, AutoPower, AutoPower−, mean golden power in mW)`.
+    pub per_component: Vec<(Component, f64, f64, f64)>,
+    /// Core-level group power MAPE and Pearson R of AutoPower.
+    pub autopower_total: (f64, f64),
+    /// Core-level group power MAPE and Pearson R of AutoPower−.
+    pub minus_total: (f64, f64),
+    /// Clock sub-model accuracy (only set for the clock experiment).
+    pub sub_models: Option<SubModelAccuracy>,
+}
+
+impl GroupDetailResult {
+    /// Number of components for which AutoPower is at least as accurate as AutoPower−.
+    pub fn components_won(&self) -> usize {
+        self.per_component
+            .iter()
+            .filter(|(_, ours, minus, _)| ours <= minus)
+            .count()
+    }
+}
+
+impl fmt::Display for GroupDetailResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} power detail — AutoPower vs AutoPower− ({} training configurations)",
+            self.group,
+            self.train_configs.len()
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .per_component
+            .iter()
+            .map(|(c, ours, minus, mean)| {
+                vec![
+                    c.to_string(),
+                    percent(*ours),
+                    percent(*minus),
+                    format!("{mean:.3}"),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            format_table(
+                &["component", "AutoPower MAPE", "AutoPower- MAPE", "mean golden (mW)"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "core-level {}: AutoPower MAPE {} (R {:.3}), AutoPower- MAPE {} (R {:.3})",
+            self.group,
+            percent(self.autopower_total.0),
+            self.autopower_total.1,
+            percent(self.minus_total.0),
+            self.minus_total.1
+        )?;
+        if let Some(sub) = self.sub_models {
+            writeln!(
+                f,
+                "sub-models: register count MAPE {}, gating rate MAPE {}",
+                percent(sub.register_count_mape),
+                percent(sub.gating_rate_mape)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Which power group a detail experiment extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Group {
+    Clock,
+    Sram,
+}
+
+impl Experiments {
+    fn group_detail(&self, group: Group) -> GroupDetailResult {
+        let corpus = self.average_corpus();
+        let train = self.settings().train_two.clone();
+        let model = AutoPower::train(&corpus, &train).expect("AutoPower training succeeds");
+        let minus = AutoPowerMinus::train(&corpus, &train).expect("AutoPower- training succeeds");
+        let test_runs = corpus.test_runs(&train);
+
+        let components: Vec<Component> = match group {
+            Group::Clock => Component::ALL.to_vec(),
+            Group::Sram => Component::ALL
+                .iter()
+                .copied()
+                .filter(|c| c.has_sram())
+                .collect(),
+        };
+
+        let mut per_component = Vec::new();
+        let mut core_truth = Vec::new();
+        let mut core_ours = Vec::new();
+        let mut core_minus = Vec::new();
+        for run in &test_runs {
+            let mut totals = (0.0, 0.0, 0.0);
+            for &c in &Component::ALL {
+                let truth = match group {
+                    Group::Clock => run.golden.component(c).clock,
+                    Group::Sram => run.golden.component(c).sram,
+                };
+                let ours_groups =
+                    model.predict_component(c, &run.config, &run.sim.events, run.workload);
+                let minus_groups =
+                    minus.predict_component(c, &run.config, &run.sim.events, run.workload);
+                let (ours, theirs) = match group {
+                    Group::Clock => (ours_groups.clock, minus_groups.clock),
+                    Group::Sram => (ours_groups.sram, minus_groups.sram),
+                };
+                totals.0 += truth;
+                totals.1 += ours;
+                totals.2 += theirs;
+            }
+            core_truth.push(totals.0);
+            core_ours.push(totals.1);
+            core_minus.push(totals.2);
+        }
+
+        for &component in &components {
+            let mut truth = Vec::new();
+            let mut ours = Vec::new();
+            let mut theirs = Vec::new();
+            for run in &test_runs {
+                let t = match group {
+                    Group::Clock => run.golden.component(component).clock,
+                    Group::Sram => run.golden.component(component).sram,
+                };
+                let o = model.predict_component(component, &run.config, &run.sim.events, run.workload);
+                let m = minus.predict_component(component, &run.config, &run.sim.events, run.workload);
+                truth.push(t);
+                match group {
+                    Group::Clock => {
+                        ours.push(o.clock);
+                        theirs.push(m.clock);
+                    }
+                    Group::Sram => {
+                        ours.push(o.sram);
+                        theirs.push(m.sram);
+                    }
+                }
+            }
+            let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+            per_component.push((
+                component,
+                metrics::mape(&truth, &ours),
+                metrics::mape(&truth, &theirs),
+                mean,
+            ));
+        }
+
+        let sub_models = match group {
+            Group::Clock => {
+                let mut reg_truth = Vec::new();
+                let mut reg_pred = Vec::new();
+                let mut gate_truth = Vec::new();
+                let mut gate_pred = Vec::new();
+                let mut seen = Vec::new();
+                for run in &test_runs {
+                    if seen.contains(&run.config.id) {
+                        continue;
+                    }
+                    seen.push(run.config.id);
+                    for c in Component::ALL {
+                        let netlist = run.netlist.component(c);
+                        reg_truth.push(netlist.registers as f64);
+                        reg_pred.push(model.clock_model().predict_register_count(c, &run.config));
+                        gate_truth.push(netlist.gating_rate());
+                        gate_pred.push(model.clock_model().predict_gating_rate(c, &run.config));
+                    }
+                }
+                Some(SubModelAccuracy {
+                    register_count_mape: metrics::mape(&reg_truth, &reg_pred),
+                    gating_rate_mape: metrics::mape(&gate_truth, &gate_pred),
+                })
+            }
+            Group::Sram => None,
+        };
+
+        GroupDetailResult {
+            group: match group {
+                Group::Clock => "clock",
+                Group::Sram => "SRAM",
+            },
+            train_configs: train,
+            per_component,
+            autopower_total: (
+                metrics::mape(&core_truth, &core_ours),
+                metrics::pearson(&core_truth, &core_ours),
+            ),
+            minus_total: (
+                metrics::mape(&core_truth, &core_minus),
+                metrics::pearson(&core_truth, &core_minus),
+            ),
+            sub_models,
+        }
+    }
+
+    /// Fig. 7: clock power detail, AutoPower vs AutoPower−.
+    pub fn fig7_clock_detail(&self) -> GroupDetailResult {
+        self.group_detail(Group::Clock)
+    }
+
+    /// Fig. 8: SRAM power detail, AutoPower vs AutoPower−.
+    pub fn fig8_sram_detail(&self) -> GroupDetailResult {
+        self.group_detail(Group::Sram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_detail_shows_decoupling_helps_most_components() {
+        let exp = Experiments::fast();
+        let r = exp.fig7_clock_detail();
+        assert_eq!(r.per_component.len(), Component::ALL.len());
+        // AutoPower's structural clock model should beat the direct ML baseline for the
+        // majority of components and at the core level.
+        assert!(r.components_won() * 2 >= r.per_component.len());
+        assert!(r.autopower_total.0 <= r.minus_total.0 + 0.02);
+        let sub = r.sub_models.expect("clock detail reports sub-model accuracy");
+        assert!(sub.register_count_mape < 0.2);
+        assert!(sub.gating_rate_mape < 0.2);
+    }
+
+    #[test]
+    fn sram_detail_only_covers_sram_components() {
+        let exp = Experiments::fast();
+        let r = exp.fig8_sram_detail();
+        assert!(r.per_component.iter().all(|(c, ..)| c.has_sram()));
+        assert!(r.sub_models.is_none());
+        assert!(r.autopower_total.1 > 0.5, "core-level SRAM Pearson R {}", r.autopower_total.1);
+        assert!(r.to_string().contains("SRAM power detail"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Experiment harness: regenerates every table and figure of the AutoPower evaluation.
+//!
+//! Each experiment is a method on [`Experiments`], which owns the (lazily generated and
+//! cached) corpora so that several experiments can share the expensive simulation work.
+//! The binary `autopower-experiments` exposes every experiment as a subcommand; the
+//! Criterion benches in `autopower-bench` wrap the same methods.
+//!
+//! | Paper artefact | Method | Subcommand |
+//! |---|---|---|
+//! | Fig. 1 (Observation 1, power-group breakdown) | [`Experiments::obs1_breakdown`] | `obs1` |
+//! | Table I (metadata-table scaling example) | [`Experiments::table1_hardware_model`] | `table1` |
+//! | Fig. 4 (accuracy, 2 training configurations) | [`Experiments::fig4_accuracy_two_configs`] | `fig4` |
+//! | Fig. 5 (accuracy, 3 training configurations) | [`Experiments::fig5_accuracy_three_configs`] | `fig5` |
+//! | Fig. 6 (sweep over #training configurations) | [`Experiments::fig6_training_sweep`] | `fig6` |
+//! | Fig. 7 (clock-model detail vs AutoPower−) | [`Experiments::fig7_clock_detail`] | `fig7` |
+//! | Fig. 8 (SRAM-model detail vs AutoPower−) | [`Experiments::fig8_sram_detail`] | `fig8` |
+//! | Table IV (time-based power traces) | [`Experiments::table4_power_trace`] | `table4` |
+//! | Ablations (program features, simulator inaccuracy) | [`Experiments::ablation_study`] | `ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ablation;
+mod accuracy;
+mod detail;
+mod obs1;
+mod report;
+mod settings;
+mod sweep;
+mod table1;
+mod trace_exp;
+
+pub use ablation::AblationResult;
+pub use accuracy::{AccuracyComparison, MethodAccuracy};
+pub use detail::{GroupDetailResult, SubModelAccuracy};
+pub use obs1::BreakdownResult;
+pub use report::{format_table, percent};
+pub use settings::ExperimentSettings;
+pub use sweep::{SweepPoint, SweepResult};
+pub use table1::Table1Result;
+pub use trace_exp::{TraceCase, TraceResult};
+
+use autopower::{Corpus, CorpusSpec};
+use autopower_config::Workload;
+use std::cell::RefCell;
+
+/// The experiment harness: owns the settings and caches the generated corpora.
+pub struct Experiments {
+    settings: ExperimentSettings,
+    average_corpus: RefCell<Option<Corpus>>,
+    trace_corpus: RefCell<Option<Corpus>>,
+}
+
+impl Experiments {
+    /// Creates a harness with the given settings.
+    pub fn new(settings: ExperimentSettings) -> Self {
+        Self {
+            settings,
+            average_corpus: RefCell::new(None),
+            trace_corpus: RefCell::new(None),
+        }
+    }
+
+    /// Creates a harness with the paper-scale settings.
+    pub fn paper() -> Self {
+        Self::new(ExperimentSettings::paper())
+    }
+
+    /// Creates a harness with small, fast settings (tests, benches, smoke runs).
+    pub fn fast() -> Self {
+        Self::new(ExperimentSettings::fast())
+    }
+
+    /// The settings in use.
+    pub fn settings(&self) -> &ExperimentSettings {
+        &self.settings
+    }
+
+    /// The average-power corpus (riscv-tests workloads), generated on first use.
+    pub fn average_corpus(&self) -> Corpus {
+        self.average_corpus
+            .borrow_mut()
+            .get_or_insert_with(|| {
+                Corpus::generate(
+                    &self.settings.configs,
+                    &self.settings.average_workloads,
+                    &CorpusSpec {
+                        sim: self.settings.average_sim,
+                    },
+                )
+            })
+            .clone()
+    }
+
+    /// The trace corpus (GEMM / SPMM on the trace target configurations plus the
+    /// training configurations), generated on first use.
+    pub fn trace_corpus(&self) -> Corpus {
+        self.trace_corpus
+            .borrow_mut()
+            .get_or_insert_with(|| {
+                let mut configs = self.settings.trace_configs.clone();
+                for id in &self.settings.train_two {
+                    let cfg = autopower_config::config_by_id(*id);
+                    if !configs.iter().any(|c| c.id == cfg.id) {
+                        configs.push(cfg);
+                    }
+                }
+                let workloads: Vec<Workload> = Workload::TRACE_WORKLOADS.to_vec();
+                Corpus::generate(
+                    &configs,
+                    &workloads,
+                    &CorpusSpec {
+                        sim: self.settings.trace_sim,
+                    },
+                )
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_cached_and_consistent() {
+        let exp = Experiments::fast();
+        let a = exp.average_corpus();
+        let b = exp.average_corpus();
+        assert_eq!(a.runs().len(), b.runs().len());
+        assert_eq!(
+            a.runs().len(),
+            exp.settings().configs.len() * exp.settings().average_workloads.len()
+        );
+        let t = exp.trace_corpus();
+        assert!(t.runs().iter().all(|r| r.workload.is_trace_workload()));
+    }
+}

@@ -1,0 +1,69 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! autopower-experiments [--fast] [EXPERIMENT ...]
+//! ```
+//!
+//! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
+//! `table4`, `ablation`, or `all` (the default).  `--fast` switches to the reduced
+//! settings used by tests and benches.
+
+use autopower_experiments::Experiments;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: autopower-experiments [--fast] [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|all ...]";
+
+fn run_one(experiments: &Experiments, name: &str) -> Result<(), String> {
+    match name {
+        "obs1" => println!("{}\n", experiments.obs1_breakdown()),
+        "table1" => println!("{}\n", experiments.table1_hardware_model()),
+        "fig4" => println!("{}\n", experiments.fig4_accuracy_two_configs()),
+        "fig5" => println!("{}\n", experiments.fig5_accuracy_three_configs()),
+        "fig6" => println!("{}\n", experiments.fig6_training_sweep()),
+        "fig7" => println!("{}\n", experiments.fig7_clock_detail()),
+        "fig8" => println!("{}\n", experiments.fig8_sram_detail()),
+        "table4" => println!("{}\n", experiments.table4_power_trace()),
+        "ablation" => println!("{}\n", experiments.ablation_study()),
+        other => return Err(format!("unknown experiment '{other}'\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut requested: Vec<String> = args
+        .into_iter()
+        .filter(|a| a != "--fast")
+        .collect();
+    if requested.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if requested.is_empty() || requested.iter().any(|a| a == "all") {
+        requested = [
+            "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    let experiments = if fast {
+        Experiments::fast()
+    } else {
+        Experiments::paper()
+    };
+    println!(
+        "AutoPower experiment harness ({} settings)\n",
+        if fast { "fast" } else { "paper" }
+    );
+
+    for name in &requested {
+        if let Err(message) = run_one(&experiments, name) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

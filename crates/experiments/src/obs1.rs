@@ -1,0 +1,91 @@
+//! Observation 1 (Fig. 1, left): clock and SRAM dominate total power.
+
+use crate::report::{format_table, percent};
+use crate::Experiments;
+use std::fmt;
+
+/// Average power-group breakdown over the whole corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownResult {
+    /// Average fraction of total power in the clock group.
+    pub clock_fraction: f64,
+    /// Average fraction of total power in the SRAM group.
+    pub sram_fraction: f64,
+    /// Average fraction of total power in the register (non-clock) group.
+    pub register_fraction: f64,
+    /// Average fraction of total power in the combinational group.
+    pub combinational_fraction: f64,
+    /// Number of `(configuration, workload)` runs averaged over.
+    pub runs: usize,
+}
+
+impl BreakdownResult {
+    /// Fraction of total power in clock + SRAM (the quantity Observation 1 is about).
+    pub fn clock_plus_sram(&self) -> f64 {
+        self.clock_fraction + self.sram_fraction
+    }
+}
+
+impl fmt::Display for BreakdownResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Observation 1 — power-group breakdown averaged over {} runs (Fig. 1, left)",
+            self.runs
+        )?;
+        let rows = vec![
+            vec!["clock".to_owned(), percent(self.clock_fraction)],
+            vec!["SRAM".to_owned(), percent(self.sram_fraction)],
+            vec!["register".to_owned(), percent(self.register_fraction)],
+            vec!["combinational".to_owned(), percent(self.combinational_fraction)],
+            vec!["clock + SRAM".to_owned(), percent(self.clock_plus_sram())],
+        ];
+        write!(f, "{}", format_table(&["power group", "share of total"], &rows))
+    }
+}
+
+impl Experiments {
+    /// Regenerates the Observation 1 breakdown (Fig. 1, left).
+    pub fn obs1_breakdown(&self) -> BreakdownResult {
+        let corpus = self.average_corpus();
+        let mut clock = 0.0;
+        let mut sram = 0.0;
+        let mut register = 0.0;
+        let mut comb = 0.0;
+        let n = corpus.runs().len();
+        for run in corpus.runs() {
+            let total = run.golden.total_mw();
+            clock += run.golden.total.clock / total;
+            sram += run.golden.total.sram / total;
+            register += run.golden.total.register / total;
+            comb += run.golden.total.combinational / total;
+        }
+        BreakdownResult {
+            clock_fraction: clock / n as f64,
+            sram_fraction: sram / n as f64,
+            register_fraction: register / n as f64,
+            combinational_fraction: comb / n as f64,
+            runs: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_and_sram_dominate() {
+        let exp = Experiments::fast();
+        let b = exp.obs1_breakdown();
+        let sum = b.clock_fraction + b.sram_fraction + b.register_fraction + b.combinational_fraction;
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Observation 1 of the paper: clock + SRAM dominate.
+        assert!(b.clock_plus_sram() > 0.5, "clock+SRAM = {}", b.clock_plus_sram());
+        // And the printed report mentions every group.
+        let text = b.to_string();
+        assert!(text.contains("clock"));
+        assert!(text.contains("SRAM"));
+        assert!(text.contains("combinational"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Small text-table helpers shared by the experiment result types.
+
+/// Formats a fraction as a percentage with two decimals (e.g. `4.36%`).
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a simple aligned text table: a header row plus data rows.
+///
+/// Column widths adapt to the longest cell; columns are separated by two spaces.
+///
+/// # Panics
+///
+/// Panics if a data row has a different number of cells than the header.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match the header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_owned()
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| (*s).to_owned()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formats_two_decimals() {
+        assert_eq!(percent(0.0436), "4.36%");
+        assert_eq!(percent(1.0), "100.00%");
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["method", "MAPE"],
+            &[
+                vec!["AutoPower".to_owned(), "4.36%".to_owned()],
+                vec!["McPAT-Calib".to_owned(), "9.29%".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[2].starts_with("AutoPower"));
+        // The MAPE column starts at the same offset in every row.
+        let col = lines[0].find("MAPE").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "4");
+        assert_eq!(&lines[3][col..col + 1], "9");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["x".to_owned()]]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Experiment settings: which configurations, workloads and simulation budgets to use.
+
+use autopower_config::{boom_configs, ConfigId, CpuConfig, Workload};
+use autopower_perfsim::SimConfig;
+
+/// Settings shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentSettings {
+    /// Configurations of the evaluated design space.
+    pub configs: Vec<CpuConfig>,
+    /// Workloads used for the average-power experiments.
+    pub average_workloads: Vec<Workload>,
+    /// Simulation settings for the average-power corpus.
+    pub average_sim: SimConfig,
+    /// Configurations on which the power-trace experiment is evaluated (Table IV uses
+    /// C2, C3 and C4).
+    pub trace_configs: Vec<CpuConfig>,
+    /// Simulation settings for the trace corpus (longer runs, 50-cycle intervals).
+    pub trace_sim: SimConfig,
+    /// The two known configurations of the headline experiment (Fig. 4).
+    pub train_two: Vec<ConfigId>,
+    /// The three known configurations of Fig. 5.
+    pub train_three: Vec<ConfigId>,
+    /// Training sets of increasing size for the Fig. 6 sweep.
+    pub sweep_training_sets: Vec<Vec<ConfigId>>,
+}
+
+fn ids(indices: &[u8]) -> Vec<ConfigId> {
+    indices.iter().map(|&i| ConfigId::new(i)).collect()
+}
+
+impl ExperimentSettings {
+    /// Paper-scale settings: all 15 configurations, all 8 riscv-tests workloads, 50 k
+    /// instructions per run, trace prediction on C2–C4 with longer runs.
+    pub fn paper() -> Self {
+        let configs = boom_configs();
+        Self {
+            trace_configs: vec![configs[1], configs[2], configs[3]],
+            configs,
+            average_workloads: Workload::RISCV_TESTS.to_vec(),
+            average_sim: SimConfig::paper(),
+            trace_sim: SimConfig {
+                max_instructions: 400_000,
+                ..SimConfig::paper()
+            },
+            train_two: ids(&[1, 15]),
+            train_three: ids(&[1, 8, 15]),
+            sweep_training_sets: vec![
+                ids(&[1, 15]),
+                ids(&[1, 8, 15]),
+                ids(&[1, 5, 10, 15]),
+                ids(&[1, 4, 8, 12, 15]),
+                ids(&[1, 4, 7, 10, 13, 15]),
+            ],
+        }
+    }
+
+    /// Reduced settings used by tests and benches: a 6-configuration subset, three
+    /// workloads, short simulations.
+    pub fn fast() -> Self {
+        let all = boom_configs();
+        let configs = vec![all[0], all[3], all[6], all[9], all[12], all[14]];
+        Self {
+            trace_configs: vec![all[3]],
+            configs,
+            average_workloads: vec![Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            average_sim: SimConfig::fast(),
+            trace_sim: SimConfig {
+                max_instructions: 12_000,
+                ..SimConfig::fast()
+            },
+            train_two: ids(&[1, 15]),
+            train_three: ids(&[1, 7, 15]),
+            sweep_training_sets: vec![ids(&[1, 15]), ids(&[1, 7, 15]), ids(&[1, 7, 13, 15])],
+        }
+    }
+
+    /// The identifiers of all configurations in the settings.
+    pub fn config_ids(&self) -> Vec<ConfigId> {
+        self.configs.iter().map(|c| c.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_the_paper() {
+        let s = ExperimentSettings::paper();
+        assert_eq!(s.configs.len(), 15);
+        assert_eq!(s.average_workloads.len(), 8);
+        assert_eq!(s.train_two, ids(&[1, 15]));
+        assert_eq!(s.trace_configs.iter().map(|c| c.id.index()).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(s.sweep_training_sets.iter().all(|set| set.len() >= 2));
+    }
+
+    #[test]
+    fn fast_settings_are_a_subset_of_the_paper_design_space() {
+        let s = ExperimentSettings::fast();
+        let paper_ids: Vec<ConfigId> = ExperimentSettings::paper().config_ids();
+        assert!(s.config_ids().iter().all(|id| paper_ids.contains(id)));
+        assert!(s.config_ids().contains(&ConfigId::new(1)));
+        assert!(s.config_ids().contains(&ConfigId::new(15)));
+    }
+
+    #[test]
+    fn training_sets_only_reference_available_configs() {
+        for s in [ExperimentSettings::paper(), ExperimentSettings::fast()] {
+            let available = s.config_ids();
+            for set in &s.sweep_training_sets {
+                assert!(set.iter().all(|id| available.contains(id)));
+            }
+            assert!(s.train_two.iter().all(|id| available.contains(id)));
+            assert!(s.train_three.iter().all(|id| available.contains(id)));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 6: accuracy as a function of the number of known configurations for training.
+
+use crate::accuracy::compare_methods;
+use crate::report::{format_table, percent};
+use crate::Experiments;
+use autopower_config::ConfigId;
+use std::fmt;
+
+/// One point of the sweep: the three methods' accuracy for one training-set size.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The training configurations of this point.
+    pub train_configs: Vec<ConfigId>,
+    /// `(method, MAPE, R²)` triples, AutoPower first.
+    pub methods: Vec<(String, f64, f64)>,
+}
+
+/// The full Fig. 6 sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One point per training-set size, in increasing order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// MAPE series of one method over the sweep (by printed method name).
+    pub fn mape_series(&self, method: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                p.methods
+                    .iter()
+                    .find(|(m, _, _)| m == method)
+                    .map(|(_, mape, _)| *mape)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for SweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 6 — accuracy vs. number of known configurations for training")?;
+        let mut rows = Vec::new();
+        for point in &self.points {
+            for (method, mape, r2) in &point.methods {
+                rows.push(vec![
+                    point.train_configs.len().to_string(),
+                    point
+                        .train_configs
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                    method.clone(),
+                    percent(*mape),
+                    format!("{r2:.3}"),
+                ]);
+            }
+        }
+        write!(
+            f,
+            "{}",
+            format_table(&["#configs", "training set", "method", "MAPE", "R^2"], &rows)
+        )
+    }
+}
+
+impl Experiments {
+    /// Fig. 6: sweeps the number of known configurations and compares AutoPower with
+    /// McPAT-Calib and McPAT-Calib + Component.
+    pub fn fig6_training_sweep(&self) -> SweepResult {
+        let corpus = self.average_corpus();
+        let points = self
+            .settings()
+            .sweep_training_sets
+            .iter()
+            .map(|train| {
+                let cmp = compare_methods(&corpus, train);
+                SweepPoint {
+                    train_configs: train.clone(),
+                    methods: cmp
+                        .methods
+                        .iter()
+                        .map(|m| (m.method.clone(), m.summary.mape, m.summary.r_squared))
+                        .collect(),
+                }
+            })
+            .collect();
+        SweepResult { points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autopower_wins_at_every_sweep_point() {
+        let exp = Experiments::fast();
+        let sweep = exp.fig6_training_sweep();
+        assert!(!sweep.points.is_empty());
+        let ours = sweep.mape_series("AutoPower");
+        let mcpat = sweep.mape_series("McPAT-Calib");
+        assert_eq!(ours.len(), mcpat.len());
+        for (a, b) in ours.iter().zip(&mcpat) {
+            assert!(a < b, "AutoPower {a} vs McPAT-Calib {b}");
+        }
+        // The printed table has one row per (point, method).
+        let lines = sweep.to_string().lines().count();
+        assert!(lines >= sweep.points.len() * 3);
+    }
+}

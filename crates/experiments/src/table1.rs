@@ -1,0 +1,185 @@
+//! Table I: the metadata-table walk-through of the scaling-pattern hardware model.
+
+use crate::report::format_table;
+use crate::Experiments;
+use autopower::PositionHardwareModel;
+use autopower_config::{Component, ConfigId, SramPositionId};
+use std::fmt;
+
+/// Result of the Table I experiment: the training rows and the fitted rules for the IFU
+/// metadata table (`ftq_meta`).
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// The SRAM Position used in the walk-through.
+    pub position: SramPositionId,
+    /// `(config, FetchWidth, DecodeWidth, FetchBufferEntry, width, depth, count)` of the
+    /// training configurations.
+    pub training_rows: Vec<(ConfigId, u32, u32, u32, u32, u32, u32)>,
+    /// The fitted hardware model.
+    pub model: PositionHardwareModel,
+    /// Predicted and true block shapes `(config, predicted(w,d,c), true(w,d,c))` on every
+    /// evaluated configuration.
+    pub predictions: Vec<(ConfigId, (u32, u32, u32), (u32, u32, u32))>,
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table I — SRAM Block hardware model walk-through for {}",
+            self.position
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .training_rows
+            .iter()
+            .map(|(id, fw, dw, fbe, w, d, c)| {
+                vec![
+                    id.to_string(),
+                    fw.to_string(),
+                    dw.to_string(),
+                    fbe.to_string(),
+                    w.to_string(),
+                    d.to_string(),
+                    c.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            format_table(
+                &["config", "FetchWidth", "DecodeWidth", "FetchBufferEntry", "width", "depth", "count"],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "fitted capacity rule:   {:.1} x {}",
+            self.model.capacity.coefficient,
+            self.model
+                .capacity
+                .params
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(" x ")
+        )?;
+        writeln!(
+            f,
+            "fitted throughput rule: {:.1} x {}",
+            self.model.throughput.coefficient,
+            self.model
+                .throughput
+                .params
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>()
+                .join(" x ")
+        )?;
+        let pred_rows: Vec<Vec<String>> = self
+            .predictions
+            .iter()
+            .map(|(id, p, t)| {
+                vec![
+                    id.to_string(),
+                    format!("{}x{}x{}", p.0, p.1, p.2),
+                    format!("{}x{}x{}", t.0, t.1, t.2),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(&["config", "predicted (w x d x c)", "true (w x d x c)"], &pred_rows)
+        )
+    }
+}
+
+impl Experiments {
+    /// Regenerates the Table I walk-through.
+    pub fn table1_hardware_model(&self) -> Table1Result {
+        let corpus = self.average_corpus();
+        let position = autopower_config::sram_positions_for(Component::Ifu)
+            .into_iter()
+            .find(|p| p.id.name == "ftq_meta")
+            .expect("the IFU metadata table exists")
+            .id;
+        let train = &self.settings().train_two;
+        let model = PositionHardwareModel::fit(position, &corpus, train)
+            .expect("the metadata table always has a scaling rule");
+
+        let training_rows = train
+            .iter()
+            .map(|&id| {
+                let run = corpus.runs_for(id)[0];
+                let block = run
+                    .netlist
+                    .component(Component::Ifu)
+                    .blocks_of(position)
+                    .expect("ftq_meta block exists");
+                (
+                    id,
+                    run.config.value(autopower_config::HwParam::FetchWidth),
+                    run.config.value(autopower_config::HwParam::DecodeWidth),
+                    run.config.value(autopower_config::HwParam::FetchBufferEntry),
+                    block.width,
+                    block.depth,
+                    block.count,
+                )
+            })
+            .collect();
+
+        let predictions = corpus
+            .config_ids()
+            .into_iter()
+            .map(|id| {
+                let run = corpus.runs_for(id)[0];
+                let block = run
+                    .netlist
+                    .component(Component::Ifu)
+                    .blocks_of(position)
+                    .expect("ftq_meta block exists");
+                let p = model.predict_block(&run.config);
+                (
+                    id,
+                    (p.width, p.depth, p.count),
+                    (block.width, block.depth, block.count),
+                )
+            })
+            .collect();
+
+        Table1Result {
+            position,
+            training_rows,
+            model,
+            predictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::HwParam;
+
+    #[test]
+    fn table1_matches_the_paper_walkthrough() {
+        let exp = Experiments::fast();
+        let r = exp.table1_hardware_model();
+        // Training row of C1: width 120, depth 8, count 1 (Table I of the paper).
+        let c1 = r.training_rows.iter().find(|row| row.0 == ConfigId::new(1)).unwrap();
+        assert_eq!((c1.4, c1.5, c1.6), (120, 8, 1));
+        // The fitted capacity rule uses FetchWidth x DecodeWidth with coefficient 240.
+        assert_eq!(
+            r.model.capacity.params,
+            vec![HwParam::FetchWidth, HwParam::DecodeWidth]
+        );
+        assert!((r.model.capacity.coefficient - 240.0).abs() < 1e-6);
+        // Every prediction matches the true shape exactly.
+        for (id, pred, truth) in &r.predictions {
+            assert_eq!(pred, truth, "{id}");
+        }
+        // The printed report contains the fitted rule.
+        assert!(r.to_string().contains("FetchWidth x DecodeWidth"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Regression metrics: the figures of merit reported in the paper.
+//!
+//! The paper reports MAPE (mean absolute percentage error), the coefficient of
+//! determination R², and for the per-group detail figures the Pearson correlation
+//! coefficient R.
+
+/// Mean absolute percentage error `mean(|pred - truth| / |truth|)`, as a fraction
+/// (multiply by 100 for percent).
+///
+/// Samples whose true value is exactly zero are skipped, matching common practice.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mape(truth: &[f64], predictions: &[f64]) -> f64 {
+    check(truth, predictions);
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(predictions) {
+        if *t != 0.0 {
+            acc += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Coefficient of determination `R² = 1 - SS_res / SS_tot`.
+///
+/// Returns 1.0 when the truth is constant and perfectly predicted, and can be negative
+/// when predictions are worse than predicting the mean.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn r_squared(truth: &[f64], predictions: &[f64]) -> f64 {
+    check(truth, predictions);
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(predictions)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot < 1e-30 {
+        if ss_res < 1e-30 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Pearson correlation coefficient R between truth and predictions.
+///
+/// Returns 0.0 when either side is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn pearson(truth: &[f64], predictions: &[f64]) -> f64 {
+    check(truth, predictions);
+    let n = truth.len() as f64;
+    let mt = truth.iter().sum::<f64>() / n;
+    let mp = predictions.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vt = 0.0;
+    let mut vp = 0.0;
+    for (t, p) in truth.iter().zip(predictions) {
+        cov += (t - mt) * (p - mp);
+        vt += (t - mt) * (t - mt);
+        vp += (p - mp) * (p - mp);
+    }
+    if vt < 1e-30 || vp < 1e-30 {
+        0.0
+    } else {
+        cov / (vt.sqrt() * vp.sqrt())
+    }
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(truth: &[f64], predictions: &[f64]) -> f64 {
+    check(truth, predictions);
+    let ss: f64 = truth
+        .iter()
+        .zip(predictions)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    (ss / truth.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(truth: &[f64], predictions: &[f64]) -> f64 {
+    check(truth, predictions);
+    truth
+        .iter()
+        .zip(predictions)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+fn check(truth: &[f64], predictions: &[f64]) {
+    assert!(!truth.is_empty(), "metrics require at least one sample");
+    assert_eq!(
+        truth.len(),
+        predictions.len(),
+        "truth and prediction lengths must match"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let t = vec![1.0, 2.0, 4.0, 8.0];
+        assert_eq!(mape(&t, &t), 0.0);
+        assert!((r_squared(&t, &t) - 1.0).abs() < 1e-12);
+        assert!((pearson(&t, &t) - 1.0).abs() < 1e-12);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn known_mape() {
+        let t = vec![100.0, 200.0];
+        let p = vec![110.0, 180.0];
+        assert!((mape(&t, &p) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let t = vec![0.0, 100.0];
+        let p = vec![5.0, 150.0];
+        assert!((mape(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let t = vec![1.0, 2.0, 3.0, 4.0];
+        let p = vec![2.5; 4];
+        assert!(r_squared(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative() {
+        let t = vec![1.0, 2.0, 3.0];
+        let p = vec![10.0, -10.0, 20.0];
+        assert!(r_squared(&t, &p) < 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation_and_constants() {
+        let t = vec![1.0, 2.0, 3.0];
+        let anti = vec![3.0, 2.0, 1.0];
+        assert!((pearson(&t, &anti) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&t, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// A linear transform of the truth has |Pearson R| = 1 and scale-dependent RMSE.
+        #[test]
+        fn pearson_invariant_under_positive_affine(
+            t in proptest::collection::vec(-100.0f64..100.0, 3..30),
+            a in 0.1f64..5.0,
+            b in -10.0f64..10.0
+        ) {
+            // Skip degenerate constant vectors.
+            let spread = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - t.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assume!(spread > 1e-6);
+            let p: Vec<f64> = t.iter().map(|v| a * v + b).collect();
+            prop_assert!((pearson(&t, &p) - 1.0).abs() < 1e-9);
+        }
+
+        /// RMSE is always at least MAE.
+        #[test]
+        fn rmse_dominates_mae(
+            t in proptest::collection::vec(-50.0f64..50.0, 2..40),
+            noise in proptest::collection::vec(-5.0f64..5.0, 40)
+        ) {
+            let p: Vec<f64> = t.iter().zip(&noise).map(|(v, n)| v + n).collect();
+            prop_assert!(rmse(&t, &p) + 1e-12 >= mae(&t, &p));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! CART regression trees with XGBoost-style second-order leaf weights.
+
+use crate::error::FitError;
+use crate::validate_training_set;
+
+/// Hyper-parameters of a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth of the tree (a depth of 0 is a single leaf).
+    pub max_depth: usize,
+    /// Minimum sum of hessians (= sample count for squared loss) required in each child.
+    pub min_child_weight: f64,
+    /// L2 regularisation on leaf weights (the `lambda` of XGBoost).
+    pub lambda: f64,
+    /// Minimum loss reduction required to make a split (the `gamma` of XGBoost).
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 3,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A regression tree fitted on gradients/hessians (XGBoost-style).
+///
+/// For squared loss the gradient of sample `i` is `prediction_i - target_i` and the
+/// hessian is 1, in which case the tree fits the residuals with mean-valued leaves
+/// shrunk by `lambda`.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    params: TreeParams,
+    root: Option<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Creates an unfitted tree.
+    pub fn new(params: TreeParams) -> Self {
+        Self {
+            params,
+            root: None,
+            n_features: 0,
+        }
+    }
+
+    /// Fits the tree to gradients and hessians on the given rows.
+    ///
+    /// `rows` indexes into `x`; the caller controls subsampling by passing a subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the data is malformed.
+    pub fn fit_gradients(
+        &mut self,
+        x: &[Vec<f64>],
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: &[usize],
+        features: &[usize],
+    ) -> Result<(), FitError> {
+        let width = validate_training_set(x, gradients)?;
+        if gradients.len() != hessians.len() {
+            return Err(FitError::LengthMismatch {
+                rows: gradients.len(),
+                targets: hessians.len(),
+            });
+        }
+        if rows.is_empty() || features.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        self.n_features = width;
+        self.root = Some(self.build(x, gradients, hessians, rows, features, 0));
+        Ok(())
+    }
+
+    /// Convenience wrapper: fits the tree directly on residual targets (gradient = -y,
+    /// hessian = 1), i.e. a plain CART with shrunk leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the data is malformed.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        let gradients: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hessians = vec![1.0; y.len()];
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let features: Vec<usize> = (0..x.first().map_or(0, |r| r.len())).collect();
+        self.fit_gradients(x, &gradients, &hessians, &rows, &features)
+    }
+
+    fn leaf_weight(&self, grad_sum: f64, hess_sum: f64) -> f64 {
+        -grad_sum / (hess_sum + self.params.lambda)
+    }
+
+    fn gain(&self, gl: f64, hl: f64, gr: f64, hr: f64) -> f64 {
+        let lambda = self.params.lambda;
+        let score = |g: f64, h: f64| g * g / (h + lambda);
+        0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr)) - self.params.gamma
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        depth: usize,
+    ) -> Node {
+        let grad_sum: f64 = rows.iter().map(|&i| gradients[i]).sum();
+        let hess_sum: f64 = rows.iter().map(|&i| hessians[i]).sum();
+        if depth >= self.params.max_depth || rows.len() < 2 {
+            return Node::Leaf {
+                weight: self.leaf_weight(grad_sum, hess_sum),
+            };
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &feature in features {
+            // Sort the rows of this node by the candidate feature.
+            let mut order: Vec<usize> = rows.to_vec();
+            order.sort_by(|&a, &b| {
+                x[a][feature]
+                    .partial_cmp(&x[b][feature])
+                    .expect("finite features")
+            });
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                gl += gradients[i];
+                hl += hessians[i];
+                let gr = grad_sum - gl;
+                let hr = hess_sum - hl;
+                // Do not split between identical feature values.
+                if x[order[w]][feature] == x[order[w + 1]][feature] {
+                    continue;
+                }
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gain = self.gain(gl, hl, gr, hr);
+                if gain > best.map_or(0.0, |b| b.0) + 1e-12 {
+                    let threshold = 0.5 * (x[order[w]][feature] + x[order[w + 1]][feature]);
+                    best = Some((gain, feature, threshold));
+                }
+            }
+        }
+
+        match best {
+            None => Node::Leaf {
+                weight: self.leaf_weight(grad_sum, hess_sum),
+            },
+            Some((_, feature, threshold)) => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&i| x[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(x, gradients, hessians, &left_rows, features, depth + 1)),
+                    right: Box::new(self.build(x, gradients, hessians, &right_rows, features, depth + 1)),
+                }
+            }
+        }
+    }
+
+    /// Predicts the leaf weight for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful fit.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = self.root.as_ref().expect("predict called before fit");
+        loop {
+            match node {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves of the fitted tree (0 before fitting).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_tree_predicts_shrunk_mean() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![10.0, 20.0, 30.0];
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert!((t.predict(&[5.0]) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 2,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert!((t.predict(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[15.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 2,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert!(t.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 0.0, 0.0, 100.0];
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 4,
+            min_child_weight: 2.0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        // The outlier cannot be isolated into its own leaf (child weight 1 < 2).
+        assert!(t.predict(&[3.0]) < 100.0);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 0 is noise-free signal, feature 1 is a constant.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 42.0]).collect();
+        let y: Vec<f64> = (0..30).map(|i| if i < 15 { -2.0 } else { 2.0 }).collect();
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 1,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.leaf_count(), 2);
+        assert!(t.predict(&[0.0, 42.0]) < 0.0);
+        assert!(t.predict(&[29.0, 42.0]) > 0.0);
+    }
+
+    #[test]
+    fn empty_row_selection_is_an_error() {
+        let x = vec![vec![1.0]];
+        let g = vec![1.0];
+        let h = vec![1.0];
+        let mut t = RegressionTree::new(TreeParams::default());
+        assert!(t.fit_gradients(&x, &g, &h, &[], &[0]).is_err());
+    }
+}

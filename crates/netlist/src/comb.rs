@@ -1,0 +1,123 @@
+//! Combinational-area model of each component.
+
+use autopower_config::{seed, Component, CpuConfig, HwParam};
+
+/// Deterministic per-(component, config) synthesis-noise factor for combinational area.
+///
+/// Combinational synthesis is noisier than register placement (logic restructuring,
+/// sharing, mapping effort), so the sigma is larger than for registers.  This is one of
+/// the reasons the paper treats combinational power as the hardest group and models it as
+/// stable-power × variation rather than through physical decoupling.
+fn comb_noise(component: Component, config: &CpuConfig) -> f64 {
+    let s = seed::combine(
+        seed::hash_str(component.name()),
+        seed::combine(seed::hash_str("comb"), config.id.index() as u64),
+    );
+    seed::lognormal_factor(s, 0.06)
+}
+
+/// Combinational area of a component in gate equivalents.
+///
+/// Width-sensitive structures (rename cross-bars, issue select trees, bypass networks)
+/// grow super-linearly with machine width; storage-dominated components grow mostly
+/// linearly with their capacity parameters.
+pub fn comb_gates(component: Component, config: &CpuConfig) -> f64 {
+    use HwParam::*;
+    let v = |p: HwParam| config.params.value(p) as f64;
+    let mem_issue = config.params.mem_issue_width() as f64;
+    let fp_issue = config.params.fp_issue_width() as f64;
+    let iways = config.params.icache_ways() as f64;
+    let dways = config.params.dcache_ways() as f64;
+    let total_issue = v(IntIssueWidth) + mem_issue + fp_issue;
+    let base = match component {
+        Component::BpTage => 2_600.0 + 170.0 * v(BranchCount) + 260.0 * v(FetchWidth),
+        Component::BpBtb => 1_900.0 + 120.0 * v(BranchCount) + 210.0 * v(FetchWidth),
+        Component::BpOthers => 3_400.0 + 200.0 * v(BranchCount) + 330.0 * v(FetchWidth),
+        Component::ICacheTagArray => 900.0 + 260.0 * iways + 120.0 * v(ICacheFetchBytes),
+        Component::ICacheDataArray => 1_200.0 + 380.0 * iways + 540.0 * v(ICacheFetchBytes),
+        Component::ICacheOthers => 2_800.0 + 300.0 * iways + 400.0 * v(ICacheFetchBytes),
+        Component::Rnu => {
+            1_500.0 + 1_500.0 * v(DecodeWidth) + 620.0 * v(DecodeWidth) * v(DecodeWidth)
+        }
+        Component::Rob => 1_800.0 + 52.0 * v(RobEntry) + 900.0 * v(DecodeWidth),
+        Component::Regfile => {
+            1_000.0
+                + 14.0 * v(IntPhyRegister)
+                + 14.0 * v(FpPhyRegister)
+                + 700.0 * v(DecodeWidth)
+                + 450.0 * total_issue
+        }
+        Component::DCacheTagArray => 950.0 + 240.0 * dways + 380.0 * mem_issue + 9.0 * v(DtlbEntry),
+        Component::DCacheDataArray => 1_100.0 + 330.0 * dways + 650.0 * mem_issue,
+        Component::DCacheOthers => 4_300.0 + 420.0 * dways + 1_100.0 * mem_issue + 14.0 * v(DtlbEntry),
+        Component::FpIsu => {
+            1_600.0 + 1_250.0 * v(DecodeWidth) + 1_500.0 * fp_issue + 260.0 * fp_issue * v(DecodeWidth)
+        }
+        Component::IntIsu => {
+            1_700.0
+                + 1_300.0 * v(DecodeWidth)
+                + 1_550.0 * v(IntIssueWidth)
+                + 280.0 * v(IntIssueWidth) * v(DecodeWidth)
+        }
+        Component::MemIsu => {
+            1_650.0 + 1_200.0 * v(DecodeWidth) + 1_450.0 * mem_issue + 240.0 * mem_issue * v(DecodeWidth)
+        }
+        Component::ITlb => 500.0 + 55.0 * config.params.itlb_entries() as f64,
+        Component::DTlb => 560.0 + 62.0 * v(DtlbEntry),
+        Component::FuPool => {
+            5_200.0 + 6_500.0 * v(IntIssueWidth) + 11_500.0 * fp_issue + 4_800.0 * mem_issue
+        }
+        Component::OtherLogic => {
+            7_500.0
+                + 30.0 * v(RobEntry)
+                + 1_200.0 * v(DecodeWidth)
+                + 700.0 * v(FetchWidth)
+                + 55.0 * v(LdqStqEntry)
+                + 16.0 * v(IntPhyRegister)
+                + 16.0 * v(FpPhyRegister)
+                + 500.0 * total_issue
+                + 150.0 * v(BranchCount)
+        }
+        Component::DCacheMshr => 700.0 + 820.0 * v(MshrEntry),
+        Component::Lsu => 2_300.0 + 210.0 * v(LdqStqEntry) + 1_500.0 * mem_issue + 60.0 * v(LdqStqEntry) * mem_issue,
+        Component::Ifu => {
+            2_600.0 + 520.0 * v(FetchWidth) + 230.0 * v(FetchBufferEntry) + 760.0 * v(DecodeWidth)
+        }
+    };
+    base * comb_noise(component, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::boom_configs;
+
+    #[test]
+    fn comb_area_positive_and_deterministic() {
+        for cfg in boom_configs() {
+            for c in Component::ALL {
+                let a = comb_gates(c, &cfg);
+                assert!(a > 0.0);
+                assert_eq!(a, comb_gates(c, &cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn rename_area_grows_superlinearly_with_decode_width() {
+        // Compare C1 (DecodeWidth 1) with C15 (DecodeWidth 5): the RNU must grow by more
+        // than 5x because of the quadratic cross-bar term.
+        let cfgs = boom_configs();
+        let small = comb_gates(Component::Rnu, &cfgs[0]);
+        let large = comb_gates(Component::Rnu, &cfgs[14]);
+        assert!(large / small > 4.0, "ratio {}", large / small);
+    }
+
+    #[test]
+    fn fu_pool_is_among_the_largest_components() {
+        let cfg = boom_configs()[14];
+        let fu = comb_gates(Component::FuPool, &cfg);
+        let itlb = comb_gates(Component::ITlb, &cfg);
+        assert!(fu > 10.0 * itlb);
+    }
+}

@@ -1,0 +1,184 @@
+//! Register-count and clock-gating structure of each component.
+
+use autopower_config::{seed, Component, CpuConfig, HwParam};
+use autopower_techlib::TechLibrary;
+
+/// Deterministic per-(component, config) synthesis-noise factor.
+///
+/// Real synthesis runs never land exactly on an analytical prediction: retiming, register
+/// duplication for fan-out, and scan insertion perturb the count by a few percent.  The
+/// factor is a property of the synthesized design, so it is seeded by (component, config)
+/// only — never by the workload.
+fn synthesis_noise(component: Component, config: &CpuConfig, tag: &str, sigma: f64) -> f64 {
+    let s = seed::combine(
+        seed::hash_str(component.name()),
+        seed::combine(seed::hash_str(tag), config.id.index() as u64),
+    );
+    seed::lognormal_factor(s, sigma)
+}
+
+/// Analytical (pre-noise) register count of a component for a configuration.
+///
+/// The formulas are mostly linear in the Table III parameters of the component, with a
+/// few mild width-squared terms for structures whose port/select logic registers scale
+/// with the square of the machine width (rename, issue select).
+fn base_registers(component: Component, config: &CpuConfig) -> f64 {
+    use HwParam::*;
+    let v = |p: HwParam| config.params.value(p) as f64;
+    let mem_issue = config.params.mem_issue_width() as f64;
+    let fp_issue = config.params.fp_issue_width() as f64;
+    let iways = config.params.icache_ways() as f64;
+    let dways = config.params.dcache_ways() as f64;
+    let itlb = config.params.itlb_entries() as f64;
+    match component {
+        Component::BpTage => 320.0 + 22.0 * v(BranchCount) + 34.0 * v(FetchWidth),
+        Component::BpBtb => 210.0 + 15.0 * v(BranchCount) + 26.0 * v(FetchWidth),
+        Component::BpOthers => 430.0 + 27.0 * v(BranchCount) + 44.0 * v(FetchWidth),
+        Component::ICacheTagArray => 95.0 + 30.0 * iways + 14.0 * v(ICacheFetchBytes),
+        Component::ICacheDataArray => 130.0 + 42.0 * iways + 64.0 * v(ICacheFetchBytes),
+        Component::ICacheOthers => 360.0 + 32.0 * iways + 48.0 * v(ICacheFetchBytes),
+        Component::Rnu => 160.0 + 360.0 * v(DecodeWidth) + 22.0 * v(DecodeWidth) * v(DecodeWidth),
+        Component::Rob => 220.0 + 8.5 * v(RobEntry) + 130.0 * v(DecodeWidth),
+        Component::Regfile => {
+            110.0 + 3.2 * v(IntPhyRegister) + 3.2 * v(FpPhyRegister) + 85.0 * v(DecodeWidth)
+        }
+        Component::DCacheTagArray => 105.0 + 28.0 * dways + 42.0 * mem_issue + 1.8 * v(DtlbEntry),
+        Component::DCacheDataArray => 115.0 + 38.0 * dways + 72.0 * mem_issue,
+        Component::DCacheOthers => 520.0 + 48.0 * dways + 130.0 * mem_issue + 2.6 * v(DtlbEntry),
+        Component::FpIsu => 190.0 + 240.0 * v(DecodeWidth) + 230.0 * fp_issue,
+        Component::IntIsu => {
+            210.0 + 255.0 * v(DecodeWidth)
+                + 245.0 * v(IntIssueWidth)
+                + 18.0 * v(IntIssueWidth) * v(IntIssueWidth)
+        }
+        Component::MemIsu => 195.0 + 225.0 * v(DecodeWidth) + 215.0 * mem_issue,
+        Component::ITlb => 65.0 + 9.5 * itlb,
+        Component::DTlb => 75.0 + 11.5 * v(DtlbEntry),
+        Component::FuPool => {
+            420.0 + 720.0 * v(IntIssueWidth) + 920.0 * fp_issue + 520.0 * mem_issue
+        }
+        Component::OtherLogic => {
+            850.0
+                + 3.8 * v(RobEntry)
+                + 150.0 * v(DecodeWidth)
+                + 90.0 * v(FetchWidth)
+                + 4.0 * v(FetchBufferEntry)
+                + 6.0 * v(LdqStqEntry)
+                + 2.0 * v(IntPhyRegister)
+                + 2.0 * v(FpPhyRegister)
+                + 60.0 * v(IntIssueWidth)
+                + 45.0 * mem_issue
+                + 20.0 * v(BranchCount)
+                + 15.0 * dways
+                + 1.5 * v(DtlbEntry)
+                + 12.0 * v(MshrEntry)
+                + 25.0 * v(ICacheFetchBytes)
+        }
+        Component::DCacheMshr => 90.0 + 115.0 * v(MshrEntry),
+        Component::Lsu => 270.0 + 30.0 * v(LdqStqEntry) + 190.0 * mem_issue,
+        Component::Ifu => {
+            320.0 + 62.0 * v(FetchWidth) + 32.0 * v(FetchBufferEntry) + 95.0 * v(DecodeWidth)
+        }
+    }
+}
+
+/// Analytical (pre-noise) clock-gating rate of a component.
+///
+/// Synthesis gates most datapath registers; control-heavy components have a lower rate.
+/// Larger instances are gated slightly more aggressively (more registers share an enable).
+fn base_gating_rate(component: Component, registers: f64) -> f64 {
+    let base = match component {
+        Component::BpTage | Component::BpBtb => 0.88,
+        Component::BpOthers => 0.80,
+        Component::ICacheTagArray | Component::DCacheTagArray => 0.84,
+        Component::ICacheDataArray | Component::DCacheDataArray => 0.86,
+        Component::ICacheOthers | Component::DCacheOthers => 0.74,
+        Component::Rnu => 0.82,
+        Component::Rob => 0.90,
+        Component::Regfile => 0.92,
+        Component::FpIsu | Component::IntIsu | Component::MemIsu => 0.85,
+        Component::ITlb | Component::DTlb => 0.78,
+        Component::FuPool => 0.89,
+        Component::OtherLogic => 0.62,
+        Component::DCacheMshr => 0.80,
+        Component::Lsu => 0.86,
+        Component::Ifu => 0.83,
+    };
+    // Mild size dependence: every doubling beyond 1k registers adds one point of gating.
+    let size_bonus = 0.01 * ((registers / 1000.0).max(1.0)).log2();
+    (base + size_bonus).clamp(0.4, 0.97)
+}
+
+/// Computes `(registers, gated_registers, gating_cells)` for one component.
+pub fn register_structure(
+    component: Component,
+    config: &CpuConfig,
+    library: &TechLibrary,
+) -> (u64, u64, u64) {
+    let registers_f = base_registers(component, config) * synthesis_noise(component, config, "reg", 0.02);
+    let registers = registers_f.round().max(1.0) as u64;
+
+    let gating = (base_gating_rate(component, registers_f)
+        * synthesis_noise(component, config, "gate", 0.01))
+    .clamp(0.4, 0.97);
+    let gated_registers = ((registers as f64) * gating).round() as u64;
+
+    // Synthesis inserts roughly one gating cell per `fanout` gated registers, with some
+    // slack for enables that cannot be merged.
+    let fanout = library.cells().gating_cell_fanout
+        * synthesis_noise(component, config, "fanout", 0.05).clamp(0.8, 1.25);
+    let gating_cells = ((gated_registers as f64) / fanout).ceil().max(1.0) as u64;
+
+    (registers, gated_registers.min(registers), gating_cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::boom_configs;
+
+    #[test]
+    fn register_counts_are_positive_for_all_components() {
+        let lib = TechLibrary::tsmc40_like();
+        for cfg in boom_configs() {
+            for c in Component::ALL {
+                let (r, g, cells) = register_structure(c, &cfg, &lib);
+                assert!(r > 0);
+                assert!(g <= r);
+                assert!(cells >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_small_and_deterministic() {
+        let cfg = boom_configs()[9];
+        let f1 = synthesis_noise(Component::Rob, &cfg, "reg", 0.02);
+        let f2 = synthesis_noise(Component::Rob, &cfg, "reg", 0.02);
+        assert_eq!(f1, f2);
+        assert!((f1 - 1.0).abs() < 0.15);
+        // Different components get different noise.
+        let f3 = synthesis_noise(Component::Lsu, &cfg, "reg", 0.02);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn rob_registers_track_rob_entries_roughly_linearly() {
+        let lib = TechLibrary::tsmc40_like();
+        let cfgs = boom_configs();
+        let (r_small, _, _) = register_structure(Component::Rob, &cfgs[0], &lib); // RobEntry 16
+        let (r_big, _, _) = register_structure(Component::Rob, &cfgs[14], &lib); // RobEntry 140
+        let ratio = r_big as f64 / r_small as f64;
+        assert!(ratio > 3.0 && ratio < 9.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gating_rate_stays_in_claimed_band() {
+        for r in [100.0, 1000.0, 20_000.0] {
+            for c in Component::ALL {
+                let g = base_gating_rate(c, r);
+                assert!((0.4..=0.97).contains(&g));
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Set-associative cache model with LRU replacement.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+///
+/// Only the presence of lines is modelled (no data); this is all the performance and
+/// activity models need.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    /// `tags[set * ways + way]`; `None` means invalid.
+    tags: Vec<Option<u64>>,
+    /// LRU stamps parallel to `tags` (larger is more recent).
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates a cache with `sets × ways` lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `line_bytes` is not a power of two.
+    pub fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Self {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+
+    /// Accesses `addr`, filling the line on a miss, and returns whether it hit.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.ways;
+        // Hit path.
+        for way in 0..self.ways {
+            if self.tags[base + way] == Some(tag) {
+                self.stamps[base + way] = self.tick;
+                return AccessOutcome::Hit;
+            }
+        }
+        // Miss: fill into the invalid or least recently used way.
+        let victim = (0..self.ways)
+            .min_by_key(|&way| {
+                if self.tags[base + way].is_none() {
+                    0
+                } else {
+                    self.stamps[base + way] + 1
+                }
+            })
+            .expect("ways > 0");
+        self.tags[base + victim] = Some(tag);
+        self.stamps[base + victim] = self.tick;
+        AccessOutcome::Miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(16, 2, 64);
+        assert_eq!(c.access(0x1000), AccessOutcome::Miss);
+        assert_eq!(c.access(0x1000), AccessOutcome::Hit);
+        assert_eq!(c.access(0x1004), AccessOutcome::Hit, "same line");
+    }
+
+    #[test]
+    fn conflict_evicts_lru() {
+        // Direct-mapped 1-set cache: every distinct line conflicts.
+        let mut c = Cache::new(1, 2, 64);
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.access(64), AccessOutcome::Miss);
+        // Touch line 0 so line 64 becomes LRU.
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        assert_eq!(c.access(128), AccessOutcome::Miss); // evicts 64
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        assert_eq!(c.access(64), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn higher_associativity_reduces_conflict_misses() {
+        let trace: Vec<u64> = (0..1000u64).map(|i| (i % 6) * 4096).collect();
+        let misses = |ways: usize| {
+            let mut c = Cache::new(64, ways, 64);
+            trace
+                .iter()
+                .filter(|&&a| c.access(a) == AccessOutcome::Miss)
+                .count()
+        };
+        assert!(misses(8) < misses(2));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = Cache::new(8, 1, 64); // 512 B
+        let stride_trace: Vec<u64> = (0..200u64).map(|i| (i % 32) * 64).collect(); // 2 KiB WS
+        let misses = stride_trace
+            .iter()
+            .filter(|&&a| c.access(a) == AccessOutcome::Miss)
+            .count();
+        assert!(misses > 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        let _ = Cache::new(4, 2, 48);
+    }
+}

@@ -1,0 +1,239 @@
+//! Cycle-level out-of-order CPU performance simulator ("gem5 substitute").
+//!
+//! [`simulate`] executes a synthetic instruction stream for one `(configuration,
+//! workload)` pair and returns a [`SimResult`] containing:
+//!
+//! * the raw, true [`EventCounters`] of the run,
+//! * the architecture-level [`EventParams`] — the `E` features of the power models,
+//!   optionally distorted to emulate performance-simulator inaccuracy,
+//! * the true [`ActivitySnapshot`] consumed by the golden power flow,
+//! * per-interval records (default 50 cycles, matching Table IV of the paper) used for
+//!   time-based power-trace experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower_config::{boom_configs, Workload};
+//! use autopower_perfsim::{simulate, SimConfig};
+//!
+//! let cfg = boom_configs()[7];
+//! let sim = SimConfig { max_instructions: 3_000, ..SimConfig::default() };
+//! let result = simulate(&cfg, Workload::Dhrystone, &sim);
+//! assert!(result.ipc() > 0.0);
+//! assert!(!result.intervals.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod branch;
+mod cache;
+mod events;
+mod pipeline;
+mod tlb;
+
+pub use activity::{derive_activity, ActivitySnapshot, ComponentActivity, IntervalRecord, PositionActivity};
+pub use branch::BranchPredictor;
+pub use cache::{AccessOutcome, Cache};
+pub use events::{EventCounters, EventParams};
+pub use pipeline::Pipeline;
+pub use tlb::Tlb;
+
+use autopower_config::{CpuConfig, Workload};
+use autopower_workloads::StreamGenerator;
+use serde::Serialize;
+
+/// Knobs of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimConfig {
+    /// Number of instructions to commit before stopping.
+    pub max_instructions: u64,
+    /// Length of one activity interval in cycles (the paper's power-trace step is 50).
+    pub interval_cycles: u32,
+    /// Relative magnitude of the simulator-inaccuracy distortion applied to the reported
+    /// event parameters (0.0 = perfect simulator).
+    pub event_distortion: f64,
+    /// Seed of the synthetic instruction stream.
+    pub stream_seed: u64,
+}
+
+impl SimConfig {
+    /// Configuration used by the paper-scale experiments (50 k instructions per run).
+    pub fn paper() -> Self {
+        Self {
+            max_instructions: 50_000,
+            interval_cycles: 50,
+            event_distortion: 0.08,
+            stream_seed: 2024,
+        }
+    }
+
+    /// A small, fast configuration for unit and integration tests.
+    pub fn fast() -> Self {
+        Self {
+            max_instructions: 6_000,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Result of simulating one `(configuration, workload)` pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResult {
+    /// The simulated configuration.
+    pub config: CpuConfig,
+    /// The executed workload.
+    pub workload: Workload,
+    /// The simulation knobs used.
+    pub sim_config: SimConfig,
+    /// True counters of the whole run.
+    pub counters: EventCounters,
+    /// Architecture-level event parameters of the whole run (possibly distorted).
+    pub events: EventParams,
+    /// True activity of the whole run (golden-flow input).
+    pub activity: ActivitySnapshot,
+    /// Per-interval records in execution order.
+    pub intervals: Vec<IntervalRecord>,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.counters.ipc()
+    }
+
+    /// Total simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.counters.cycles
+    }
+
+    /// Event parameters of one interval, derived with this run's distortion setting.
+    pub fn interval_events(&self, interval: &IntervalRecord) -> EventParams {
+        EventParams::from_counters(
+            &interval.counters,
+            self.config.id,
+            self.workload,
+            self.sim_config.event_distortion,
+        )
+    }
+}
+
+/// Simulates `workload` on `config`.
+///
+/// The run is fully deterministic in `(config, workload, sim)`.
+pub fn simulate(config: &CpuConfig, workload: Workload, sim: &SimConfig) -> SimResult {
+    let stream = StreamGenerator::new(workload, sim.stream_seed);
+    let mut pipe = Pipeline::new(*config, stream);
+
+    let mut intervals = Vec::new();
+    let mut last_counters = EventCounters::default();
+    let mut last_cycle = 0u64;
+    let cycle_cap = sim.max_instructions * 40 + 10_000;
+
+    while pipe.counters().committed < sim.max_instructions && pipe.cycle() < cycle_cap {
+        pipe.step();
+        if pipe.cycle() - last_cycle >= sim.interval_cycles as u64 {
+            let delta = pipe.counters().delta_since(&last_counters);
+            intervals.push(IntervalRecord {
+                start_cycle: last_cycle,
+                activity: derive_activity(&delta, config),
+                counters: delta,
+            });
+            last_counters = *pipe.counters();
+            last_cycle = pipe.cycle();
+        }
+    }
+    // Flush the final partial interval, if any.
+    if pipe.cycle() > last_cycle {
+        let delta = pipe.counters().delta_since(&last_counters);
+        intervals.push(IntervalRecord {
+            start_cycle: last_cycle,
+            activity: derive_activity(&delta, config),
+            counters: delta,
+        });
+    }
+
+    let counters = *pipe.counters();
+    let events = EventParams::from_counters(&counters, config.id, workload, sim.event_distortion);
+    let activity = derive_activity(&counters, config);
+
+    SimResult {
+        config: *config,
+        workload,
+        sim_config: *sim,
+        counters,
+        events,
+        activity,
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::boom_configs;
+
+    #[test]
+    fn simulate_produces_consistent_result() {
+        let cfg = boom_configs()[7];
+        let r = simulate(&cfg, Workload::Median, &SimConfig::fast());
+        assert!(r.counters.committed >= SimConfig::fast().max_instructions);
+        assert!(!r.intervals.is_empty());
+        // Interval counters sum back to the whole-run counters.
+        let total_cycles: u64 = r.intervals.iter().map(|i| i.counters.cycles).sum();
+        assert_eq!(total_cycles, r.counters.cycles);
+        let total_committed: u64 = r.intervals.iter().map(|i| i.counters.committed).sum();
+        assert_eq!(total_committed, r.counters.committed);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = boom_configs()[2];
+        let a = simulate(&cfg, Workload::Rsort, &SimConfig::fast());
+        let b = simulate(&cfg, Workload::Rsort, &SimConfig::fast());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.intervals.len(), b.intervals.len());
+    }
+
+    #[test]
+    fn interval_length_matches_config() {
+        let cfg = boom_configs()[5];
+        let sim = SimConfig {
+            interval_cycles: 50,
+            ..SimConfig::fast()
+        };
+        let r = simulate(&cfg, Workload::Gemm, &sim);
+        // All but the last interval are exactly 50 cycles.
+        for i in &r.intervals[..r.intervals.len() - 1] {
+            assert_eq!(i.counters.cycles, 50);
+        }
+    }
+
+    #[test]
+    fn distortion_changes_reported_events_only() {
+        let cfg = boom_configs()[9];
+        let exact = simulate(&cfg, Workload::Spmv, &SimConfig { event_distortion: 0.0, ..SimConfig::fast() });
+        let noisy = simulate(&cfg, Workload::Spmv, &SimConfig { event_distortion: 0.15, ..SimConfig::fast() });
+        // True counters and activity are identical; only the reported events differ.
+        assert_eq!(exact.counters, noisy.counters);
+        assert_eq!(exact.activity, noisy.activity);
+        assert_ne!(exact.events, noisy.events);
+    }
+
+    #[test]
+    fn workloads_produce_different_behaviour() {
+        let cfg = boom_configs()[7];
+        let a = simulate(&cfg, Workload::Vvadd, &SimConfig::fast());
+        let b = simulate(&cfg, Workload::Qsort, &SimConfig::fast());
+        assert_ne!(a.counters, b.counters);
+        assert!(a.events.value("branch_rate") < b.events.value("branch_rate"));
+    }
+}

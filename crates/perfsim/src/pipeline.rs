@@ -1,0 +1,404 @@
+//! The cycle-level out-of-order pipeline model.
+//!
+//! The model tracks the structures whose occupancy and throughput determine both
+//! performance and activity: fetch buffer, ROB, load/store queue, caches, TLBs and the
+//! branch predictor.  It is intentionally simpler than gem5 — issue scheduling is
+//! approximated by per-class bandwidth limits and dependency-derived latencies — but it
+//! reacts to every hardware parameter of Table II in the qualitatively right direction,
+//! which is what the power-model evaluation needs.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{AccessOutcome, Cache};
+use crate::events::EventCounters;
+use crate::tlb::Tlb;
+use autopower_config::{CpuConfig, HwParam};
+use autopower_workloads::{InstrKind, Instruction, StreamGenerator};
+use std::collections::VecDeque;
+
+/// Latency of an instruction-cache miss (cycles).
+const ICACHE_MISS_LATENCY: u32 = 10;
+/// Latency of a data-cache miss (cycles).
+const DCACHE_MISS_LATENCY: u32 = 32;
+/// Latency of a TLB miss (page-table walk, cycles).
+const TLB_MISS_LATENCY: u32 = 14;
+/// Front-end refill penalty after a branch misprediction (cycles).
+const MISPREDICT_PENALTY: u32 = 9;
+
+#[derive(Debug, Clone, Copy)]
+struct RobSlot {
+    complete_cycle: u64,
+    is_store: bool,
+    store_addr: u64,
+}
+
+/// The pipeline simulator for one (configuration, workload) pair.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: CpuConfig,
+    stream: StreamGenerator,
+    icache: Cache,
+    dcache: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    predictor: BranchPredictor,
+    fetch_buffer: VecDeque<Instruction>,
+    rob: VecDeque<RobSlot>,
+    lsq_occupancy: u32,
+    lsq_free_queue: VecDeque<u64>,
+    outstanding_misses: VecDeque<u64>,
+    frontend_stall: u32,
+    cycle: u64,
+    counters: EventCounters,
+    interval_phase: u8,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for `config` executing the given instruction stream.
+    pub fn new(config: CpuConfig, stream: StreamGenerator) -> Self {
+        let icache_sets = 64;
+        let dcache_sets = 64;
+        Self {
+            icache: Cache::new(icache_sets, config.params.icache_ways() as usize, 64),
+            dcache: Cache::new(dcache_sets, config.params.dcache_ways() as usize, 64),
+            itlb: Tlb::new(config.params.itlb_entries() as usize),
+            dtlb: Tlb::new(config.params.value(HwParam::DtlbEntry) as usize),
+            predictor: BranchPredictor::new(config.params.value(HwParam::BranchCount)),
+            fetch_buffer: VecDeque::new(),
+            rob: VecDeque::new(),
+            lsq_occupancy: 0,
+            lsq_free_queue: VecDeque::new(),
+            outstanding_misses: VecDeque::new(),
+            frontend_stall: 0,
+            cycle: 0,
+            counters: EventCounters::default(),
+            interval_phase: 0,
+            config,
+            stream,
+        }
+    }
+
+    /// Raw counters accumulated so far.
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Phase index of the most recently fetched instruction (used to label intervals).
+    pub fn current_phase(&self) -> u8 {
+        self.interval_phase
+    }
+
+    fn fetch_stage(&mut self) {
+        let p = &self.config.params;
+        let fetch_width = p.value(HwParam::FetchWidth) as usize;
+        let fb_capacity = p.value(HwParam::FetchBufferEntry) as usize;
+
+        if self.frontend_stall > 0 {
+            self.frontend_stall -= 1;
+            self.counters.frontend_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_buffer.len() + fetch_width > fb_capacity {
+            // The fetch buffer cannot hold another full group.
+            self.counters.frontend_stall_cycles += 1;
+            return;
+        }
+
+        self.counters.fetch_groups += 1;
+        self.counters.icache_accesses += 1;
+        self.counters.itlb_accesses += 1;
+
+        let mut group_pc: Option<u64> = None;
+        for _ in 0..fetch_width {
+            let instr = match self.stream.next() {
+                Some(i) => i,
+                None => break,
+            };
+            self.interval_phase = instr.phase;
+            if group_pc.is_none() {
+                group_pc = Some(instr.pc);
+                // One cache/TLB lookup per fetch group.
+                if self.icache.access(instr.pc) == AccessOutcome::Miss {
+                    self.counters.icache_misses += 1;
+                    self.frontend_stall += ICACHE_MISS_LATENCY;
+                }
+                if !self.itlb.access(instr.pc) {
+                    self.counters.itlb_misses += 1;
+                    self.frontend_stall += TLB_MISS_LATENCY;
+                }
+            }
+            self.counters.fetched += 1;
+            let mut end_group = false;
+            if instr.kind == InstrKind::Branch {
+                self.counters.branches += 1;
+                let site = instr.branch_site.unwrap_or(0);
+                let correct = self.predictor.predict_and_update(site, instr.taken);
+                if !correct {
+                    self.counters.branch_mispredicts += 1;
+                    self.frontend_stall += MISPREDICT_PENALTY;
+                    end_group = true;
+                } else if instr.taken {
+                    // A correctly-predicted taken branch still ends the fetch group.
+                    end_group = true;
+                }
+            }
+            self.fetch_buffer.push_back(instr);
+            if end_group {
+                break;
+            }
+        }
+    }
+
+    fn dispatch_stage(&mut self) {
+        let p = &self.config.params;
+        let decode_width = p.value(HwParam::DecodeWidth) as usize;
+        let rob_capacity = p.value(HwParam::RobEntry) as usize;
+        let lsq_capacity = 2 * p.value(HwParam::LdqStqEntry);
+        let int_width = p.value(HwParam::IntIssueWidth) as usize;
+        let mem_width = p.mem_issue_width() as usize;
+        let fp_width = p.fp_issue_width() as usize;
+        let mshr_entries = p.value(HwParam::MshrEntry) as usize;
+
+        let mut int_issued = 0usize;
+        let mut fp_issued = 0usize;
+        let mut mem_issued = 0usize;
+        let mut dispatched = 0usize;
+
+        while dispatched < decode_width {
+            let Some(&instr) = self.fetch_buffer.front() else { break };
+            if self.rob.len() >= rob_capacity {
+                self.counters.backend_stall_cycles += 1;
+                break;
+            }
+            // Per-class issue bandwidth.
+            let class_ok = match instr.kind {
+                InstrKind::IntAlu | InstrKind::MulDiv | InstrKind::Branch => int_issued < int_width,
+                InstrKind::Fp => fp_issued < fp_width,
+                InstrKind::Load | InstrKind::Store => {
+                    mem_issued < mem_width && self.lsq_occupancy < lsq_capacity
+                }
+            };
+            if !class_ok {
+                self.counters.backend_stall_cycles += 1;
+                break;
+            }
+            let instr = self.fetch_buffer.pop_front().expect("peeked above");
+            dispatched += 1;
+            self.counters.decoded += 1;
+            self.counters.dispatched += 1;
+
+            // Dependency-induced wait: instructions with very short dependency distances
+            // wait for their producers; long distances issue back-to-back.
+            let dep_wait = if (instr.dep_distance as usize) < decode_width {
+                1 + (decode_width - instr.dep_distance as usize) as u64 / 2
+            } else {
+                0
+            };
+
+            let mut latency: u64 = match instr.kind {
+                InstrKind::IntAlu => 1,
+                InstrKind::Branch => 1,
+                InstrKind::MulDiv => 6,
+                InstrKind::Fp => 4,
+                InstrKind::Load => 3,
+                InstrKind::Store => 1,
+            };
+
+            let mut is_store = false;
+            let mut store_addr = 0;
+            match instr.kind {
+                InstrKind::IntAlu | InstrKind::MulDiv => {
+                    int_issued += 1;
+                    self.counters.int_issued += 1;
+                }
+                InstrKind::Branch => {
+                    int_issued += 1;
+                    self.counters.int_issued += 1;
+                }
+                InstrKind::Fp => {
+                    fp_issued += 1;
+                    self.counters.fp_issued += 1;
+                }
+                InstrKind::Load => {
+                    mem_issued += 1;
+                    self.counters.mem_issued += 1;
+                    self.lsq_occupancy += 1;
+                    self.lsq_free_queue.push_back(self.cycle + latency + dep_wait);
+                    let addr = instr.addr.unwrap_or(0);
+                    self.counters.dcache_reads += 1;
+                    self.counters.dtlb_accesses += 1;
+                    if !self.dtlb.access(addr) {
+                        self.counters.dtlb_misses += 1;
+                        latency += TLB_MISS_LATENCY as u64;
+                    }
+                    if self.dcache.access(addr) == AccessOutcome::Miss {
+                        self.counters.dcache_misses += 1;
+                        self.counters.mshr_allocations += 1;
+                        latency += DCACHE_MISS_LATENCY as u64;
+                        // MSHR pressure: if all MSHRs are busy the miss waits for one.
+                        if self.outstanding_misses.len() >= mshr_entries {
+                            if let Some(&oldest) = self.outstanding_misses.front() {
+                                latency += oldest.saturating_sub(self.cycle);
+                            }
+                        }
+                        self.outstanding_misses.push_back(self.cycle + latency);
+                    }
+                }
+                InstrKind::Store => {
+                    mem_issued += 1;
+                    self.counters.mem_issued += 1;
+                    self.lsq_occupancy += 1;
+                    self.lsq_free_queue.push_back(self.cycle + latency + dep_wait + 2);
+                    is_store = true;
+                    store_addr = instr.addr.unwrap_or(0);
+                }
+            }
+
+            self.rob.push_back(RobSlot {
+                complete_cycle: self.cycle + latency + dep_wait,
+                is_store,
+                store_addr,
+            });
+        }
+    }
+
+    fn commit_stage(&mut self) {
+        let decode_width = self.config.params.value(HwParam::DecodeWidth) as usize;
+        let mshr_entries = self.config.params.value(HwParam::MshrEntry) as usize;
+        let mut committed = 0usize;
+        while committed < decode_width {
+            let Some(front) = self.rob.front() else { break };
+            if front.complete_cycle > self.cycle {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("peeked above");
+            committed += 1;
+            self.counters.committed += 1;
+            if slot.is_store {
+                // Stores access the data cache at commit time.
+                self.counters.dcache_writes += 1;
+                self.counters.dtlb_accesses += 1;
+                if !self.dtlb.access(slot.store_addr) {
+                    self.counters.dtlb_misses += 1;
+                }
+                if self.dcache.access(slot.store_addr) == AccessOutcome::Miss {
+                    self.counters.dcache_misses += 1;
+                    self.counters.mshr_allocations += 1;
+                    if self.outstanding_misses.len() < 4 * mshr_entries {
+                        self.outstanding_misses
+                            .push_back(self.cycle + DCACHE_MISS_LATENCY as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire_bookkeeping(&mut self) {
+        while matches!(self.lsq_free_queue.front(), Some(&t) if t <= self.cycle) {
+            self.lsq_free_queue.pop_front();
+            self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
+        }
+        while matches!(self.outstanding_misses.front(), Some(&t) if t <= self.cycle) {
+            self.outstanding_misses.pop_front();
+        }
+        self.counters.rob_occupancy_sum += self.rob.len() as u64;
+        self.counters.fetch_buffer_occupancy_sum += self.fetch_buffer.len() as u64;
+        self.counters.lsq_occupancy_sum += self.lsq_occupancy as u64;
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        self.counters.cycles += 1;
+        self.commit_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        self.retire_bookkeeping();
+    }
+
+    /// Runs until `instructions` have been committed (or a generous cycle cap is hit,
+    /// to guarantee termination even for pathological configurations).
+    pub fn run(&mut self, instructions: u64) {
+        let cycle_cap = self.cycle + instructions * 40 + 10_000;
+        while self.counters.committed < instructions && self.cycle < cycle_cap {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::{boom_configs, Workload};
+
+    fn run(cfg_idx: usize, workload: Workload, instructions: u64) -> EventCounters {
+        let cfg = boom_configs()[cfg_idx];
+        let stream = StreamGenerator::new(workload, 1);
+        let mut pipe = Pipeline::new(cfg, stream);
+        pipe.run(instructions);
+        *pipe.counters()
+    }
+
+    #[test]
+    fn completes_requested_instructions() {
+        let c = run(7, Workload::Dhrystone, 5_000);
+        assert!(c.committed >= 5_000);
+        assert!(c.cycles > 0);
+        assert!(c.ipc() > 0.05 && c.ipc() < 6.0, "ipc {}", c.ipc());
+    }
+
+    #[test]
+    fn bigger_configs_achieve_higher_ipc() {
+        let small = run(0, Workload::Dhrystone, 8_000); // C1: 1-wide
+        let large = run(14, Workload::Dhrystone, 8_000); // C15: 5-wide
+        assert!(
+            large.ipc() > small.ipc() * 1.2,
+            "C15 ipc {} vs C1 ipc {}",
+            large.ipc(),
+            small.ipc()
+        );
+    }
+
+    #[test]
+    fn branchy_workloads_mispredict_more() {
+        let qsort = run(7, Workload::Qsort, 8_000);
+        let vvadd = run(7, Workload::Vvadd, 8_000);
+        let qsort_rate = qsort.branch_mispredicts as f64 / qsort.branches.max(1) as f64;
+        let vvadd_rate = vvadd.branch_mispredicts as f64 / vvadd.branches.max(1) as f64;
+        assert!(qsort_rate > 2.0 * vvadd_rate, "{qsort_rate} vs {vvadd_rate}");
+    }
+
+    #[test]
+    fn large_working_sets_miss_more() {
+        let spmv = run(7, Workload::Spmv, 8_000);
+        let dhry = run(7, Workload::Dhrystone, 8_000);
+        let spmv_rate = spmv.dcache_misses as f64 / (spmv.dcache_reads + spmv.dcache_writes).max(1) as f64;
+        let dhry_rate = dhry.dcache_misses as f64 / (dhry.dcache_reads + dhry.dcache_writes).max(1) as f64;
+        assert!(spmv_rate > dhry_rate, "{spmv_rate} vs {dhry_rate}");
+    }
+
+    #[test]
+    fn counters_are_internally_consistent() {
+        let c = run(10, Workload::Towers, 6_000);
+        assert!(c.fetched >= c.decoded);
+        assert!(c.decoded >= c.committed || c.decoded + 64 >= c.committed);
+        assert!(c.icache_misses <= c.icache_accesses);
+        assert!(c.dcache_misses <= c.dcache_reads + c.dcache_writes + c.dcache_misses);
+        assert!(c.branch_mispredicts <= c.branches);
+        assert!(c.itlb_misses <= c.itlb_accesses);
+        assert!(c.dtlb_misses <= c.dtlb_accesses);
+        assert!(c.frontend_stall_cycles <= c.cycles);
+        assert!(c.backend_stall_cycles <= c.cycles);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run(4, Workload::Median, 4_000);
+        let b = run(4, Workload::Median, 4_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,271 @@
+//! Golden power evaluation substrate ("PrimePower substitute").
+//!
+//! The paper's golden power labels come from gate-level power simulation of the
+//! synthesized netlist with activity from RTL simulation.  This crate plays that role:
+//! it combines
+//!
+//! * the structural netlist summary from `autopower-netlist`,
+//! * the true micro-architectural activity from `autopower-perfsim`, and
+//! * the cell and macro energy figures from `autopower-techlib`
+//!
+//! into per-component, per-power-group golden power reports ([`PowerReport`]) and
+//! 50-cycle power traces ([`PowerTrace`]).
+//!
+//! The power structure follows the paper exactly:
+//!
+//! * clock power: Eqs. 1–4 (ungated pins + gated pins × activity + gating-cell latches),
+//! * SRAM power: block → macro mapping (Fig. 3(b)) and Eq. 10 (read/write energies plus a
+//!   small pin-toggling constant),
+//! * logic power: register (non-clock) power plus combinational power.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower_config::{boom_configs, Workload};
+//! use autopower_netlist::synthesize;
+//! use autopower_perfsim::{simulate, SimConfig};
+//! use autopower_powersim::evaluate_run;
+//! use autopower_techlib::TechLibrary;
+//!
+//! let lib = TechLibrary::tsmc40_like();
+//! let cfg = boom_configs()[0];
+//! let netlist = synthesize(&cfg, &lib);
+//! let sim = simulate(&cfg, Workload::Vvadd, &SimConfig::fast());
+//! let report = evaluate_run(&netlist, &sim, &lib);
+//! assert!(report.total.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod groups;
+mod report;
+mod trace;
+
+pub use groups::PowerGroups;
+pub use report::{ComponentPower, PowerReport};
+pub use trace::{PowerSample, PowerTrace};
+
+use autopower_config::{Component, Workload};
+use autopower_netlist::{ComponentNetlist, Netlist, SramBlock};
+use autopower_perfsim::{ActivitySnapshot, SimResult};
+use autopower_techlib::TechLibrary;
+
+/// Small constant power per SRAM block instance accounting for address/data pin toggling
+/// (the `C` of Eq. 10), in mW.
+const SRAM_PIN_TOGGLE_MW: f64 = 0.012;
+
+/// Golden clock power of one component (Eqs. 1–4), in mW.
+fn clock_power(netlist: &ComponentNetlist, alpha: f64, library: &TechLibrary) -> f64 {
+    let cells = library.cells();
+    let r = netlist.registers as f64;
+    let gated = netlist.gated_registers as f64;
+    let ungated = r - gated;
+    let ungated_pin = ungated * cells.register_clock_pin_mw;
+    let gated_pin = alpha * gated * cells.register_clock_pin_mw;
+    let gating_cell = netlist.gating_cells as f64 * cells.gating_cell_latch_mw;
+    ungated_pin + gated_pin + gating_cell
+}
+
+/// Golden power of one SRAM block group (all banks of one position), in mW.
+fn sram_block_power(
+    block: &SramBlock,
+    reads_per_cycle: f64,
+    writes_per_cycle: f64,
+    library: &TechLibrary,
+) -> f64 {
+    let mapping = library.sram().map_block(block.width, block.depth);
+    let count = block.count as f64;
+    // Position-level rates are spread evenly over the banks.
+    let f_read_block = reads_per_cycle / count;
+    let f_write_block = writes_per_cycle / count;
+    // A block access activates one horizontal row of macros (`rows` macros); each macro
+    // therefore sees the block frequency divided by the depth-stacking factor N_col.
+    let rows = mapping.rows as f64;
+    let read_mw = f_read_block * rows * mapping.macro_spec.read_energy_pj;
+    let write_mw = f_write_block * rows * mapping.macro_spec.write_energy_pj;
+    let leakage_mw = library.sram().mapping_leakage_mw(&mapping);
+    count * (read_mw + write_mw + leakage_mw + SRAM_PIN_TOGGLE_MW)
+}
+
+/// Golden per-group power of one component for one activity snapshot.
+fn component_power(
+    netlist: &ComponentNetlist,
+    activity: &ActivitySnapshot,
+    library: &TechLibrary,
+) -> PowerGroups {
+    let cells = library.cells();
+    let act = activity.component(netlist.component);
+
+    let clock = clock_power(netlist, act.clock_active_rate, library);
+
+    let sram = netlist
+        .sram_blocks
+        .iter()
+        .map(|block| {
+            let pos_act = activity
+                .position(block.position)
+                .expect("netlist positions always exist in the activity snapshot");
+            sram_block_power(block, pos_act.reads_per_cycle, pos_act.writes_per_cycle, library)
+        })
+        .sum();
+
+    let r = netlist.registers as f64;
+    let register =
+        r * act.reg_toggle_rate * cells.register_toggle_pj + r * cells.register_leakage_mw;
+
+    let combinational = netlist.comb_gates
+        * (act.comb_activity * cells.comb_dynamic_mw_per_gate + cells.comb_leakage_mw_per_gate);
+
+    PowerGroups {
+        clock,
+        sram,
+        register,
+        combinational,
+    }
+}
+
+/// Evaluates golden power for one netlist and one activity snapshot.
+///
+/// This is the core primitive; [`evaluate_run`] and [`evaluate_trace`] wrap it for the
+/// whole-run and per-interval cases.
+pub fn evaluate(
+    netlist: &Netlist,
+    activity: &ActivitySnapshot,
+    workload: Workload,
+    library: &TechLibrary,
+) -> PowerReport {
+    let components: Vec<ComponentPower> = Component::ALL
+        .iter()
+        .map(|&c| ComponentPower {
+            component: c,
+            groups: component_power(netlist.component(c), activity, library),
+        })
+        .collect();
+    PowerReport::new(netlist.config.id, workload, components)
+}
+
+/// Evaluates the whole-run average golden power of one simulation.
+pub fn evaluate_run(netlist: &Netlist, sim: &SimResult, library: &TechLibrary) -> PowerReport {
+    evaluate(netlist, &sim.activity, sim.workload, library)
+}
+
+/// Evaluates the golden time-based power trace of one simulation (one sample per
+/// interval, 50 cycles by default — the granularity of Table IV).
+pub fn evaluate_trace(netlist: &Netlist, sim: &SimResult, library: &TechLibrary) -> PowerTrace {
+    let samples = sim
+        .intervals
+        .iter()
+        .map(|interval| {
+            let report = evaluate(netlist, &interval.activity, sim.workload, library);
+            PowerSample {
+                start_cycle: interval.start_cycle,
+                cycles: interval.counters.cycles,
+                power: report.total,
+            }
+        })
+        .collect();
+    PowerTrace {
+        config: netlist.config.id,
+        workload: sim.workload,
+        interval_cycles: sim.sim_config.interval_cycles,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower_config::boom_configs;
+    use autopower_netlist::synthesize;
+    use autopower_perfsim::{simulate, SimConfig};
+
+    fn setup(cfg_idx: usize, workload: Workload) -> (Netlist, SimResult, TechLibrary) {
+        let lib = TechLibrary::tsmc40_like();
+        let cfg = boom_configs()[cfg_idx];
+        let netlist = synthesize(&cfg, &lib);
+        let sim = simulate(&cfg, workload, &SimConfig::fast());
+        (netlist, sim, lib)
+    }
+
+    #[test]
+    fn power_is_positive_and_deterministic() {
+        let (n, s, lib) = setup(7, Workload::Dhrystone);
+        let a = evaluate_run(&n, &s, &lib);
+        let b = evaluate_run(&n, &s, &lib);
+        assert_eq!(a.total, b.total);
+        assert!(a.total.clock > 0.0);
+        assert!(a.total.sram > 0.0);
+        assert!(a.total.register > 0.0);
+        assert!(a.total.combinational > 0.0);
+    }
+
+    #[test]
+    fn observation_1_clock_and_sram_dominate() {
+        // The paper's Observation 1: clock + SRAM dominate total power. Check on a
+        // mid-size configuration over several workloads.
+        for w in [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd] {
+            let (n, s, lib) = setup(7, w);
+            let report = evaluate_run(&n, &s, &lib);
+            let frac = (report.total.clock + report.total.sram) / report.total.total();
+            assert!(frac > 0.5, "{w}: clock+sram fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn larger_configs_burn_more_power() {
+        let (n1, s1, lib) = setup(0, Workload::Median);
+        let (n15, s15, _) = setup(14, Workload::Median);
+        let p1 = evaluate_run(&n1, &s1, &lib).total.total();
+        let p15 = evaluate_run(&n15, &s15, &lib).total.total();
+        assert!(p15 > 1.5 * p1, "C15 {p15} vs C1 {p1}");
+    }
+
+    #[test]
+    fn busier_workloads_burn_more_dynamic_power() {
+        let lib = TechLibrary::tsmc40_like();
+        let cfg = boom_configs()[7];
+        let netlist = synthesize(&cfg, &lib);
+        let busy = simulate(&cfg, Workload::Vvadd, &SimConfig::fast());
+        // An artificial "idle" activity: reuse the busy snapshot but zero every rate.
+        let mut idle_activity = busy.activity.clone();
+        for c in &mut idle_activity.components {
+            c.clock_active_rate = 0.02;
+            c.reg_toggle_rate = 0.02;
+            c.comb_activity = 0.02;
+        }
+        for p in &mut idle_activity.positions {
+            p.reads_per_cycle = 0.0;
+            p.writes_per_cycle = 0.0;
+        }
+        let p_busy = evaluate(&netlist, &busy.activity, Workload::Vvadd, &lib).total.total();
+        let p_idle = evaluate(&netlist, &idle_activity, Workload::Vvadd, &lib).total.total();
+        assert!(p_busy > p_idle);
+        // Even idle, the ungated clock pins and leakage keep power well above zero.
+        assert!(p_idle > 0.1 * p_busy);
+    }
+
+    #[test]
+    fn trace_samples_cover_the_whole_run() {
+        let (n, s, lib) = setup(5, Workload::Gemm);
+        let trace = evaluate_trace(&n, &s, &lib);
+        assert_eq!(trace.samples.len(), s.intervals.len());
+        let trace_cycles: u64 = trace.samples.iter().map(|p| p.cycles).sum();
+        assert_eq!(trace_cycles, s.cycles());
+        assert!(trace.max_power() >= trace.min_power());
+        assert!(trace.min_power() > 0.0);
+        // The average of the trace is close to the whole-run average power (they use the
+        // same activity model, so only interval-boundary effects differ).
+        let avg_trace = trace.average_power();
+        let avg_run = evaluate_run(&n, &s, &lib).total.total();
+        assert!((avg_trace - avg_run).abs() / avg_run < 0.15);
+    }
+
+    #[test]
+    fn component_powers_sum_to_total() {
+        let (n, s, lib) = setup(10, Workload::Spmv);
+        let report = evaluate_run(&n, &s, &lib);
+        let sum: f64 = report.components.iter().map(|c| c.groups.total()).sum();
+        assert!((sum - report.total.total()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload substrate: profiles and synthetic instruction streams.
+//!
+//! The paper drives its evaluation with eight riscv-tests benchmarks (average power,
+//! Figs. 4–8) and two large kernels, GEMM and SPMM, for time-based power-trace
+//! prediction (Table IV).  We do not ship RISC-V binaries; instead each workload is
+//! described by a [`WorkloadProfile`] — instruction mix, branch behaviour, memory
+//! working sets, instruction-level parallelism and phase structure — from which
+//! [`StreamGenerator`] produces a deterministic synthetic instruction stream.  The
+//! cycle-level performance simulator (`autopower-perfsim`) executes that stream.
+//!
+//! The profiles are chosen so the ten workloads span clearly distinct activity regimes
+//! (branchy vs. streaming, cache-friendly vs. irregular, integer vs. floating point),
+//! which is the property the power-model evaluation actually depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower_config::Workload;
+//! use autopower_workloads::{profile, StreamGenerator};
+//!
+//! let prof = profile(Workload::Qsort);
+//! assert!(prof.mix().branch > 0.1); // qsort is branchy
+//! let mut gen = StreamGenerator::new(Workload::Qsort, 42);
+//! let instrs: Vec<_> = gen.take(1000).collect();
+//! assert_eq!(instrs.len(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod features;
+mod profile;
+mod stream;
+
+pub use features::ProgramFeatures;
+pub use profile::{profile, InstrMix, Phase, WorkloadProfile};
+pub use stream::{InstrKind, Instruction, StreamGenerator};

@@ -1,0 +1,76 @@
+//! Design-space exploration: the use case the paper's introduction motivates.
+//!
+//! An architect has golden data for only two known configurations and wants to rank a
+//! set of *candidate* configurations (never synthesized, never power-simulated) by
+//! energy efficiency.  AutoPower predicts each candidate's power from its hardware
+//! parameters and a fast performance simulation; together with the simulated IPC this
+//! gives an early-stage performance/power Pareto view.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use autopower::{AutoPower, Corpus, CorpusSpec};
+use autopower_config::{boom_configs, ConfigId, CpuConfig, HardwareParams, HwParam, Workload};
+use autopower_perfsim::{simulate, SimConfig};
+
+/// Builds a candidate configuration around the mid-range C8 baseline.
+fn candidate(id: u8, decode: u32, rob: u32, issue: u32, ways: u32) -> CpuConfig {
+    let params = HardwareParams::from_pairs([
+        (HwParam::FetchWidth, 8),
+        (HwParam::DecodeWidth, decode),
+        (HwParam::FetchBufferEntry, 8 * decode),
+        (HwParam::RobEntry, rob),
+        (HwParam::IntPhyRegister, rob),
+        (HwParam::FpPhyRegister, rob),
+        (HwParam::LdqStqEntry, rob / 4),
+        (HwParam::BranchCount, 12 + 2 * decode),
+        (HwParam::MemFpIssueWidth, issue.div_ceil(2)),
+        (HwParam::IntIssueWidth, issue),
+        (HwParam::CacheWay, ways),
+        (HwParam::DtlbEntry, 16),
+        (HwParam::MshrEntry, 4),
+        (HwParam::ICacheFetchBytes, 4),
+    ]);
+    // Candidate identifiers reuse the C1..C15 numbering space for display purposes only.
+    CpuConfig::new(ConfigId::new(id), params)
+}
+
+fn main() {
+    // Train from the two known configurations, exactly as in the quickstart.
+    let known_configs = [boom_configs()[0], boom_configs()[14]];
+    let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+    let corpus = Corpus::generate(&known_configs, &workloads, &CorpusSpec::paper());
+    let model = AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)])
+        .expect("training succeeds");
+
+    // Candidate design points the architect wants to compare (never synthesized).
+    let candidates = [
+        ("narrow-deep", candidate(2, 2, 96, 2, 8)),
+        ("balanced", candidate(3, 3, 96, 3, 8)),
+        ("wide-shallow", candidate(4, 4, 64, 4, 4)),
+        ("wide-deep", candidate(5, 4, 128, 4, 8)),
+        ("very-wide", candidate(6, 5, 140, 5, 8)),
+    ];
+
+    let workload = Workload::Qsort;
+    println!("early design-space exploration on workload '{workload}'\n");
+    println!("candidate      IPC    predicted power (mW)  energy per instr (pJ)");
+    println!("----------------------------------------------------------------");
+    let mut rows = Vec::new();
+    for (name, cfg) in &candidates {
+        let sim = simulate(cfg, workload, &SimConfig::paper());
+        let power = model.predict(cfg, &sim.events, workload).total();
+        let ipc = sim.ipc();
+        // At 1 GHz: energy per instruction [pJ] = power [mW] / (IPC * 1 GHz) * 1e3.
+        let epi = power / ipc.max(1e-9);
+        rows.push((name, ipc, power, epi));
+    }
+    for (name, ipc, power, epi) in &rows {
+        println!("{name:<13} {ipc:>5.2} {power:>21.2} {epi:>21.2}");
+    }
+
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
+        .expect("non-empty candidate list");
+    println!("\nmost energy-efficient candidate: {} ({:.2} pJ per instruction)", best.0, best.3);
+}

@@ -1,0 +1,75 @@
+//! Time-based power-trace prediction (the Table IV use case).
+//!
+//! Trains AutoPower on two known configurations using only average-power data, then
+//! predicts the 50-cycle power trace of the GEMM kernel on an unseen configuration and
+//! compares it with the golden trace.
+//!
+//! Run with `cargo run --release --example power_trace`.
+
+use autopower::{trace_errors, AutoPower, Corpus, CorpusSpec, PowerTracePredictor};
+use autopower_config::{boom_configs, ConfigId, Workload};
+use autopower_perfsim::SimConfig;
+
+fn main() {
+    let configs = boom_configs();
+
+    // Average-power corpus for training (riscv-tests workloads, two known configs).
+    let train_corpus = Corpus::generate(
+        &[configs[0], configs[14]],
+        &Workload::RISCV_TESTS,
+        &CorpusSpec::paper(),
+    );
+    let model = AutoPower::train(&train_corpus, &[ConfigId::new(1), ConfigId::new(15)])
+        .expect("training succeeds");
+
+    // Trace corpus: the large GEMM workload on the unseen C2 configuration.
+    let trace_spec = CorpusSpec {
+        sim: SimConfig {
+            max_instructions: 200_000,
+            ..SimConfig::paper()
+        },
+    };
+    let trace_corpus = Corpus::generate(&[configs[1]], &[Workload::Gemm], &trace_spec);
+    let run = trace_corpus
+        .run(ConfigId::new(2), Workload::Gemm)
+        .expect("the run exists");
+
+    let golden = trace_corpus.golden_trace(run);
+    let predicted = PowerTracePredictor::new(&model).predict_trace(run);
+    let errors = trace_errors(&golden, &predicted);
+
+    println!(
+        "GEMM on C2: {} intervals of {} cycles",
+        golden.len(),
+        golden.interval_cycles
+    );
+    println!(
+        "max-power error {:.2}%, min-power error {:.2}%, average error {:.2}%\n",
+        errors.max_power_error_percent(),
+        errors.min_power_error_percent(),
+        errors.average_error_percent()
+    );
+
+    println!("first intervals (golden vs predicted, mW):");
+    println!("cycle      golden  predicted");
+    println!("-----------------------------");
+    for (g, p) in golden.samples.iter().zip(&predicted.samples).take(15) {
+        println!("{:<9} {:>7.2} {:>10.2}", g.start_cycle, g.power.total(), p.power.total());
+    }
+
+    // A tiny ASCII sparkline of the golden trace, to make the phase structure visible.
+    let totals = golden.totals();
+    let (lo, hi) = totals
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let glyphs: &[char] = &['_', '.', '-', '=', '+', '*', '#'];
+    let line: String = totals
+        .iter()
+        .step_by((totals.len() / 100).max(1))
+        .map(|&v| {
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+            glyphs[((t * (glyphs.len() - 1) as f64).round()) as usize]
+        })
+        .collect();
+    println!("\ngolden trace shape ({lo:.1} .. {hi:.1} mW):\n{line}");
+}

@@ -1,0 +1,21 @@
+//! Workspace umbrella crate: convenient re-exports for the examples and the
+//! workspace-level integration tests.
+//!
+//! Library users should depend on the individual crates (most importantly
+//! [`autopower`]); this crate only exists so that the runnable examples and the
+//! integration tests under `tests/` can refer to every layer of the stack through a
+//! single dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use autopower_config as config;
+pub use autopower_experiments as experiments;
+pub use autopower_ml as ml;
+pub use autopower_netlist as netlist;
+pub use autopower_perfsim as perfsim;
+pub use autopower_powersim as powersim;
+pub use autopower_techlib as techlib;
+pub use autopower_workloads as workloads;
+
+pub use autopower as model;

@@ -1,0 +1,76 @@
+//! Integration tests that pin the qualitative claims of the paper (the "shape" of every
+//! experiment) on the reduced experiment settings.
+
+use autopower_experiments::Experiments;
+
+#[test]
+fn observation_1_clock_and_sram_dominate() {
+    let exp = Experiments::fast();
+    let breakdown = exp.obs1_breakdown();
+    assert!(
+        breakdown.clock_plus_sram() > 0.5,
+        "clock + SRAM should dominate, got {}",
+        breakdown.clock_plus_sram()
+    );
+    // Each of the two dominant groups individually outweighs the register group.
+    assert!(breakdown.clock_fraction > breakdown.register_fraction);
+    assert!(breakdown.sram_fraction > breakdown.register_fraction);
+}
+
+#[test]
+fn table_1_scaling_rule_is_recovered() {
+    let exp = Experiments::fast();
+    let t1 = exp.table1_hardware_model();
+    assert!(t1.model.capacity.relative_error < 1e-6);
+    for (_, predicted, truth) in &t1.predictions {
+        assert_eq!(predicted, truth);
+    }
+}
+
+#[test]
+fn figure_4_and_5_autopower_beats_the_baselines() {
+    let exp = Experiments::fast();
+    for cmp in [exp.fig4_accuracy_two_configs(), exp.fig5_accuracy_three_configs()] {
+        let ours = cmp.autopower().summary.clone();
+        let mcpat = cmp.mcpat_calib().summary.clone();
+        assert!(ours.mape < mcpat.mape, "MAPE {} vs {}", ours.mape, mcpat.mape);
+        assert!(ours.r_squared > mcpat.r_squared);
+        // AutoPower stays in the paper's accuracy regime even on the reduced corpus.
+        assert!(ours.mape < 0.12, "AutoPower MAPE {}", ours.mape);
+        assert!(ours.r_squared > 0.85, "AutoPower R^2 {}", ours.r_squared);
+    }
+}
+
+#[test]
+fn figure_6_gap_narrows_with_more_training_configurations() {
+    let exp = Experiments::fast();
+    let sweep = exp.fig6_training_sweep();
+    let ours = sweep.mape_series("AutoPower");
+    let mcpat = sweep.mape_series("McPAT-Calib");
+    // AutoPower wins everywhere...
+    for (a, b) in ours.iter().zip(&mcpat) {
+        assert!(a < b);
+    }
+    // ... and AutoPower improves (or at least does not get worse) as the number of known
+    // configurations grows; the baseline is allowed to fluctuate on the reduced corpus.
+    assert!(ours.last().unwrap() <= &(ours[0] + 0.02));
+    assert!(mcpat.last().unwrap() <= &(mcpat[0] + 0.10));
+}
+
+#[test]
+fn figures_7_and_8_decoupling_beats_direct_ml_at_the_core_level() {
+    let exp = Experiments::fast();
+    let clock = exp.fig7_clock_detail();
+    assert!(clock.autopower_total.0 < clock.minus_total.0 + 0.02);
+    assert!(clock.sub_models.unwrap().register_count_mape < 0.2);
+    let sram = exp.fig8_sram_detail();
+    assert!(sram.autopower_total.0 < sram.minus_total.0);
+}
+
+#[test]
+fn table_4_trace_errors_stay_in_the_paper_band() {
+    let exp = Experiments::fast();
+    let t4 = exp.table4_power_trace();
+    assert!(!t4.cases.is_empty());
+    assert!(t4.mean_average_error() < 0.25, "mean average error {}", t4.mean_average_error());
+}

@@ -1,0 +1,114 @@
+//! Cross-crate consistency checks of the substrates: the synthetic flow must satisfy the
+//! structural properties the AutoPower method relies on, across the whole design space.
+
+use autopower_config::{boom_configs, sram_positions, Component, HwParam, Workload};
+use autopower_netlist::synthesize;
+use autopower_perfsim::{simulate, SimConfig};
+use autopower_powersim::{evaluate_run, evaluate_trace};
+use autopower_techlib::TechLibrary;
+
+fn fast_sim() -> SimConfig {
+    SimConfig {
+        max_instructions: 4_000,
+        ..SimConfig::fast()
+    }
+}
+
+#[test]
+fn every_configuration_synthesizes_with_all_positions_present() {
+    let lib = TechLibrary::tsmc40_like();
+    for cfg in boom_configs() {
+        let netlist = synthesize(&cfg, &lib);
+        assert_eq!(netlist.components.len(), Component::ALL.len());
+        let block_count: usize = netlist.components.iter().map(|c| c.sram_blocks.len()).sum();
+        assert_eq!(block_count, sram_positions().len(), "{}", cfg.id);
+        for c in &netlist.components {
+            assert!(c.registers > 0);
+            assert!(c.comb_gates > 0.0);
+            assert!(c.gated_registers <= c.registers);
+        }
+    }
+}
+
+#[test]
+fn golden_power_is_monotone_in_design_scale_for_a_fixed_workload() {
+    // Total golden power should broadly increase along the C1..C15 scaling of Table II
+    // (the configurations are ordered from small to large).
+    let lib = TechLibrary::tsmc40_like();
+    let mut totals = Vec::new();
+    for cfg in boom_configs() {
+        let netlist = synthesize(&cfg, &lib);
+        let sim = simulate(&cfg, Workload::Dhrystone, &fast_sim());
+        totals.push(evaluate_run(&netlist, &sim, &lib).total_mw());
+    }
+    assert!(totals[14] > totals[0] * 2.0, "C15 {} vs C1 {}", totals[14], totals[0]);
+    // Allow local non-monotonicity but require a clearly increasing overall trend:
+    // every configuration at least as large as five positions earlier must burn more.
+    for i in 5..totals.len() {
+        assert!(
+            totals[i] > totals[i - 5],
+            "power trend violated between C{} and C{}",
+            i - 4,
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn event_parameters_react_to_hardware_parameters() {
+    // Cache associativity must influence the miss-related event parameters: C1 has a
+    // 2-way data cache, C3 an 8-way one, with everything else close.
+    let cfgs = boom_configs();
+    let small = simulate(&cfgs[0], Workload::Qsort, &fast_sim());
+    let large = simulate(&cfgs[2], Workload::Qsort, &fast_sim());
+    let small_missrate = small.counters.dcache_misses as f64
+        / (small.counters.dcache_reads + small.counters.dcache_writes) as f64;
+    let large_missrate = large.counters.dcache_misses as f64
+        / (large.counters.dcache_reads + large.counters.dcache_writes) as f64;
+    assert!(
+        small_missrate > large_missrate,
+        "2-way miss rate {small_missrate} should exceed 8-way miss rate {large_missrate}"
+    );
+}
+
+#[test]
+fn power_traces_and_average_power_are_consistent_for_every_workload() {
+    let lib = TechLibrary::tsmc40_like();
+    let cfg = boom_configs()[7];
+    let netlist = synthesize(&cfg, &lib);
+    for workload in Workload::ALL {
+        let sim = simulate(&cfg, workload, &fast_sim());
+        let report = evaluate_run(&netlist, &sim, &lib);
+        let trace = evaluate_trace(&netlist, &sim, &lib);
+        assert!(report.total_mw() > 0.0);
+        assert!(!trace.is_empty());
+        let rel = (trace.average_power() - report.total_mw()).abs() / report.total_mw();
+        assert!(rel < 0.2, "{workload}: trace average deviates by {rel}");
+        assert!(trace.max_power() + 1e-9 >= trace.average_power());
+        assert!(trace.min_power() <= trace.average_power() + 1e-9);
+    }
+}
+
+#[test]
+fn table_iii_sensitivity_holds_in_the_netlist() {
+    // Doubling a parameter changes only the components that list it in Table III (plus
+    // OtherLogic, which depends on everything).
+    let lib = TechLibrary::tsmc40_like();
+    let base = boom_configs()[7];
+    let mut scaled = base;
+    scaled
+        .params
+        .set(HwParam::MshrEntry, base.params.value(HwParam::MshrEntry) * 2);
+    let n0 = synthesize(&base, &lib);
+    let n1 = synthesize(&scaled, &lib);
+    for c in Component::ALL {
+        let before = n0.component(c).registers;
+        let after = n1.component(c).registers;
+        let depends = c.hw_params().contains(&HwParam::MshrEntry);
+        if depends {
+            assert!(after > before, "{c} should grow with MSHR entries");
+        } else {
+            assert_eq!(after, before, "{c} must not change");
+        }
+    }
+}
