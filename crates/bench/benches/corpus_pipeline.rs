@@ -1,0 +1,89 @@
+//! Corpus-generation throughput: serial loop vs the staged parallel pipeline.
+//!
+//! Generates a paper-scale corpus (15 configurations × 6 workloads = 90 runs,
+//! fast simulation settings) once per thread count and reports runs/sec plus
+//! the speedup over the serial path.  This is the acceptance benchmark for the
+//! parallel substrate pipeline: on an N-core machine the parallel path should
+//! approach N× the serial throughput (stage 2, performance simulation,
+//! dominates and parallelises per run).
+//!
+//! Run with `cargo bench --bench corpus_pipeline`.
+
+use autopower::{Corpus, CorpusSpec};
+use autopower_bench::harness::{format_duration, Bench};
+use autopower_config::{boom_configs, Workload};
+use autopower_perfsim::SimConfig;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Workload set of the throughput corpus (6 of the riscv-tests workloads).
+const WORKLOADS: [Workload; 6] = [
+    Workload::Dhrystone,
+    Workload::Median,
+    Workload::Qsort,
+    Workload::Rsort,
+    Workload::Towers,
+    Workload::Vvadd,
+];
+
+fn generate(threads: usize) -> Duration {
+    let configs = boom_configs();
+    let spec = CorpusSpec {
+        sim: SimConfig {
+            max_instructions: 8_000,
+            ..SimConfig::fast()
+        },
+        ..CorpusSpec::fast()
+    }
+    .threads(threads);
+
+    // Best of three generations: the least noisy estimate on a shared machine.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let corpus = Corpus::generate(&configs, &WORKLOADS, &spec);
+        best = best.min(start.elapsed());
+        assert_eq!(corpus.runs().len(), configs.len() * WORKLOADS.len());
+        black_box(corpus);
+    }
+    best
+}
+
+fn main() {
+    // Honour the `cargo bench <filter>` name filter like the sibling bench
+    // binaries: a filtered invocation aimed elsewhere must not pay for the
+    // multi-second throughput suite.
+    if !Bench::from_args().should_run("corpus_pipeline") {
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runs = boom_configs().len() * WORKLOADS.len();
+    println!(
+        "corpus generation throughput: {runs} runs (15 configs x 6 workloads), {cores} core(s)\n"
+    );
+
+    let serial = generate(1);
+    let serial_rate = runs as f64 / serial.as_secs_f64();
+    println!(
+        "{:<28} {:>10}   {:>8.1} runs/sec   1.00x",
+        "corpus_serial_threads1",
+        format_duration(serial),
+        serial_rate
+    );
+
+    let mut thread_counts = vec![2, 4, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t > 1);
+    for threads in thread_counts {
+        let parallel = generate(threads);
+        let rate = runs as f64 / parallel.as_secs_f64();
+        println!(
+            "{:<28} {:>10}   {:>8.1} runs/sec   {:.2}x",
+            format!("corpus_parallel_threads{threads}"),
+            format_duration(parallel),
+            rate,
+            serial.as_secs_f64() / parallel.as_secs_f64()
+        );
+    }
+}

@@ -1,108 +1,42 @@
-//! One Criterion bench per table / figure of the paper's evaluation.
+//! One bench per table / figure of the paper's evaluation.
 //!
 //! Each bench regenerates the corresponding experiment on the reduced ("fast") corpus;
 //! the corpora are generated once outside the measurement loop, so the measured time is
 //! the modelling work (training + prediction + metric computation) of the experiment.
+//!
+//! Run with `cargo bench --bench paper_experiments [filter]`.
 
+use autopower_bench::harness::Bench;
 use autopower_experiments::Experiments;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn warmed_harness() -> Experiments {
+fn main() {
+    let bench = Bench::from_args();
+
     let exp = Experiments::fast();
     // Populate the cached corpora so the measurement loops exclude simulation.
     let _ = exp.average_corpus();
     let _ = exp.trace_corpus();
-    exp
-}
 
-fn bench_obs1_breakdown(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig1_obs1_breakdown", |b| {
-        b.iter(|| black_box(exp.obs1_breakdown()))
+    bench.bench("fig1_obs1_breakdown", || black_box(exp.obs1_breakdown()));
+    bench.bench("table1_hardware_model", || {
+        black_box(exp.table1_hardware_model())
+    });
+    bench.bench("fig4_accuracy_2cfg", || {
+        black_box(exp.fig4_accuracy_two_configs())
+    });
+    bench.bench("fig5_accuracy_3cfg", || {
+        black_box(exp.fig5_accuracy_three_configs())
+    });
+    bench.bench("fig6_training_sweep", || {
+        black_box(exp.fig6_training_sweep())
+    });
+    bench.bench("fig7_clock_detail", || black_box(exp.fig7_clock_detail()));
+    bench.bench("fig8_sram_detail", || black_box(exp.fig8_sram_detail()));
+    bench.bench("table4_power_trace", || black_box(exp.table4_power_trace()));
+    // The ablation regenerates corpora at several distortion levels inside the
+    // call, so it is the heaviest experiment by far.
+    bench.bench("ablation_program_features", || {
+        black_box(exp.ablation_study())
     });
 }
-
-fn bench_table1_hardware_model(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("table1_hardware_model", |b| {
-        b.iter(|| black_box(exp.table1_hardware_model()))
-    });
-}
-
-fn bench_fig4_accuracy_2cfg(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig4_accuracy_2cfg", |b| {
-        b.iter(|| black_box(exp.fig4_accuracy_two_configs()))
-    });
-}
-
-fn bench_fig5_accuracy_3cfg(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig5_accuracy_3cfg", |b| {
-        b.iter(|| black_box(exp.fig5_accuracy_three_configs()))
-    });
-}
-
-fn bench_fig6_training_sweep(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig6_training_sweep", |b| {
-        b.iter(|| black_box(exp.fig6_training_sweep()))
-    });
-}
-
-fn bench_fig7_clock_detail(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig7_clock_detail", |b| {
-        b.iter(|| black_box(exp.fig7_clock_detail()))
-    });
-}
-
-fn bench_fig8_sram_detail(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("fig8_sram_detail", |b| {
-        b.iter(|| black_box(exp.fig8_sram_detail()))
-    });
-}
-
-fn bench_table4_power_trace(c: &mut Criterion) {
-    let exp = warmed_harness();
-    c.bench_function("table4_power_trace", |b| {
-        b.iter(|| black_box(exp.table4_power_trace()))
-    });
-}
-
-fn bench_ablation_program_features(c: &mut Criterion) {
-    let exp = warmed_harness();
-    // The ablation regenerates corpora at several distortion levels inside the call, so
-    // it is the heaviest experiment; a tiny sample count keeps the bench suite fast.
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.bench_function("ablation_program_features", |b| {
-        b.iter(|| black_box(exp.ablation_study()))
-    });
-    group.finish();
-}
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = paper;
-    config = configure();
-    targets =
-        bench_obs1_breakdown,
-        bench_table1_hardware_model,
-        bench_fig4_accuracy_2cfg,
-        bench_fig5_accuracy_3cfg,
-        bench_fig6_training_sweep,
-        bench_fig7_clock_detail,
-        bench_fig8_sram_detail,
-        bench_table4_power_trace,
-        bench_ablation_program_features
-}
-criterion_main!(paper);

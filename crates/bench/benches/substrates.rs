@@ -1,7 +1,10 @@
 //! Micro-benchmarks of the substrates: synthesis, performance simulation, golden power
 //! evaluation, ML training and the macro mapping rule.
+//!
+//! Run with `cargo bench --bench substrates [filter]`.
 
 use autopower::{AutoPower, PowerTracePredictor};
+use autopower_bench::harness::Bench;
 use autopower_bench::{bench_configs, bench_corpus};
 use autopower_config::{ConfigId, Workload};
 use autopower_ml::{GbdtParams, GradientBoosting, Regressor, RidgeRegression};
@@ -10,134 +13,81 @@ use autopower_perfsim::{simulate, SimConfig};
 use autopower_powersim::evaluate_run;
 use autopower_techlib::TechLibrary;
 use autopower_workloads::StreamGenerator;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_netlist_synthesis(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_args();
     let lib = TechLibrary::tsmc40_like();
-    let cfg = bench_configs()[2];
-    c.bench_function("substrate_netlist_synthesis", |b| {
-        b.iter(|| black_box(synthesize(&cfg, &lib)))
-    });
-}
-
-fn bench_perfsim_run(c: &mut Criterion) {
-    let cfg = bench_configs()[1];
-    let sim = SimConfig {
+    let configs = bench_configs();
+    let short_sim = SimConfig {
         max_instructions: 4_000,
         ..SimConfig::fast()
     };
-    c.bench_function("substrate_perfsim_4k_instructions", |b| {
-        b.iter(|| black_box(simulate(&cfg, Workload::Qsort, &sim)))
-    });
-}
 
-fn bench_stream_generation(c: &mut Criterion) {
-    c.bench_function("substrate_stream_10k_instructions", |b| {
-        b.iter(|| {
-            let gen = StreamGenerator::new(Workload::Gemm, 3);
-            black_box(gen.take(10_000).count())
-        })
+    bench.bench("substrate_netlist_synthesis", || {
+        black_box(synthesize(&configs[2], &lib))
     });
-}
 
-fn bench_golden_power(c: &mut Criterion) {
-    let lib = TechLibrary::tsmc40_like();
-    let cfg = bench_configs()[1];
-    let netlist = synthesize(&cfg, &lib);
-    let sim = simulate(
-        &cfg,
-        Workload::Dhrystone,
-        &SimConfig {
-            max_instructions: 4_000,
-            ..SimConfig::fast()
-        },
-    );
-    c.bench_function("substrate_golden_power_report", |b| {
-        b.iter(|| black_box(evaluate_run(&netlist, &sim, &lib)))
+    bench.bench("substrate_perfsim_4k_instructions", || {
+        black_box(simulate(&configs[1], Workload::Qsort, &short_sim))
     });
-}
 
-fn bench_macro_mapping(c: &mut Criterion) {
-    let lib = TechLibrary::tsmc40_like();
-    c.bench_function("substrate_macro_mapping", |b| {
-        b.iter(|| black_box(lib.sram().map_block(black_box(120), black_box(320))))
+    bench.bench("substrate_stream_10k_instructions", || {
+        let gen = StreamGenerator::new(Workload::Gemm, 3);
+        black_box(gen.take(10_000).count())
     });
-}
 
-fn bench_ridge_fit(c: &mut Criterion) {
-    let x: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64, (i * i % 17) as f64, 3.0]).collect();
-    let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 0.3 * r[1]).collect();
-    c.bench_function("ml_ridge_fit_32x3", |b| {
-        b.iter(|| {
-            let mut m = RidgeRegression::default();
-            m.fit(&x, &y).expect("well-formed training set");
-            black_box(m.predict(&x[7]))
-        })
+    let netlist = synthesize(&configs[1], &lib);
+    let sim = simulate(&configs[1], Workload::Dhrystone, &short_sim);
+    bench.bench("substrate_golden_power_report", || {
+        black_box(evaluate_run(&netlist, &sim, &lib))
     });
-}
 
-fn bench_gbdt_fit(c: &mut Criterion) {
-    let x: Vec<Vec<f64>> = (0..24)
+    bench.bench("substrate_macro_mapping", || {
+        black_box(lib.sram().map_block(black_box(120), black_box(320)))
+    });
+
+    let ridge_x: Vec<Vec<f64>> = (0..32)
+        .map(|i| vec![i as f64, (i * i % 17) as f64, 3.0])
+        .collect();
+    let ridge_y: Vec<f64> = ridge_x.iter().map(|r| 2.0 * r[0] + 0.3 * r[1]).collect();
+    bench.bench("ml_ridge_fit_32x3", || {
+        let mut m = RidgeRegression::default();
+        m.fit(&ridge_x, &ridge_y).expect("well-formed training set");
+        black_box(m.predict(&ridge_x[7]))
+    });
+
+    let gbdt_x: Vec<Vec<f64>> = (0..24)
         .map(|i| vec![(i % 3) as f64, (i % 8) as f64, (i * 7 % 13) as f64])
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 + (r[1] - 4.0).abs()).collect();
-    let params = GbdtParams {
+    let gbdt_y: Vec<f64> = gbdt_x
+        .iter()
+        .map(|r| r[0] * 3.0 + (r[1] - 4.0).abs())
+        .collect();
+    let gbdt_params = GbdtParams {
         n_estimators: 60,
         ..GbdtParams::default()
     };
-    c.bench_function("ml_gbdt_fit_24x3_60trees", |b| {
-        b.iter(|| {
-            let mut m = GradientBoosting::new(params);
-            m.fit(&x, &y).expect("well-formed training set");
-            black_box(m.predict(&x[5]))
-        })
+    bench.bench("ml_gbdt_fit_24x3_60trees", || {
+        let mut m = GradientBoosting::new(gbdt_params);
+        m.fit(&gbdt_x, &gbdt_y).expect("well-formed training set");
+        black_box(m.predict(&gbdt_x[5]))
     });
-}
 
-fn bench_autopower_training(c: &mut Criterion) {
     let corpus = bench_corpus();
     let train = [ConfigId::new(1), ConfigId::new(15)];
-    let mut group = c.benchmark_group("autopower");
-    group.sample_size(10);
-    group.bench_function("autopower_train_2cfg", |b| {
-        b.iter(|| black_box(AutoPower::train(&corpus, &train).expect("training succeeds")))
+    bench.bench("autopower_train_2cfg", || {
+        black_box(AutoPower::train(&corpus, &train).expect("training succeeds"))
     });
-    group.finish();
-}
 
-fn bench_autopower_prediction(c: &mut Criterion) {
-    let corpus = bench_corpus();
-    let train = [ConfigId::new(1), ConfigId::new(15)];
     let model = AutoPower::train(&corpus, &train).expect("training succeeds");
-    let run = corpus.run(ConfigId::new(8), Workload::Vvadd).expect("run exists");
-    c.bench_function("autopower_predict_single_run", |b| {
-        b.iter(|| black_box(model.predict_run(run)))
+    let run = corpus
+        .run(ConfigId::new(8), Workload::Vvadd)
+        .expect("run exists");
+    bench.bench("autopower_predict_single_run", || {
+        black_box(model.predict_run(run))
     });
-    c.bench_function("autopower_predict_power_trace", |b| {
-        b.iter(|| black_box(PowerTracePredictor::new(&model).predict_trace(run)))
+    bench.bench("autopower_predict_power_trace", || {
+        black_box(PowerTracePredictor::new(&model).predict_trace(run))
     });
 }
-
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = substrates;
-    config = configure();
-    targets =
-        bench_netlist_synthesis,
-        bench_perfsim_run,
-        bench_stream_generation,
-        bench_golden_power,
-        bench_macro_mapping,
-        bench_ridge_fit,
-        bench_gbdt_fit,
-        bench_autopower_training,
-        bench_autopower_prediction
-}
-criterion_main!(substrates);

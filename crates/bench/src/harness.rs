@@ -1,0 +1,118 @@
+//! A minimal `std::time` benchmark harness for `harness = false` bench targets.
+//!
+//! Offline stand-in for Criterion: each measurement warms up once, auto-scales
+//! the iteration count towards a ~200 ms batch, runs up to three batches and
+//! reports the best per-iteration time (the best batch is the least noisy
+//! estimate on a busy machine).  No statistics beyond that — the goal is
+//! stable, comparable numbers with zero external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock length of one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(200);
+/// Batches per measurement (fewer when a single iteration is already slow).
+const BATCHES: u32 = 3;
+
+/// A bench runner: owns the name filter passed on the command line.
+///
+/// `cargo bench <filter>` measures only benches whose name contains `filter`;
+/// the `--bench` flag cargo forwards is ignored.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Creates a runner from `std::env::args`.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Self { filter }
+    }
+
+    /// Creates a runner that measures everything (tests / direct calls).
+    pub fn unfiltered() -> Self {
+        Self { filter: None }
+    }
+
+    /// Whether a bench with this name passes the command-line filter.
+    pub fn should_run(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|filter| name.contains(filter.as_str()))
+    }
+
+    /// Measures `f`, prints one report line, and returns the best
+    /// per-iteration time (`None` when filtered out).
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Option<Duration> {
+        if !self.should_run(name) {
+            return None;
+        }
+
+        // Warm-up: one untimed-ish call that also calibrates the batch size.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let batches = if once > TARGET_BATCH { 1 } else { BATCHES };
+
+        let mut best = Duration::MAX;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            best = best.min(start.elapsed() / iters);
+        }
+
+        println!(
+            "{name:<44} {:>12}/iter   ({batches} x {iters} iters)",
+            format_duration(best)
+        );
+        Some(best)
+    }
+}
+
+/// Formats a duration with a unit that keeps 3–4 significant digits.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_cheap_closures() {
+        let bench = Bench::unfiltered();
+        let time = bench
+            .bench("harness_selftest_noop", || std::hint::black_box(1 + 1))
+            .expect("unfiltered bench always measures");
+        assert!(time < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let bench = Bench {
+            filter: Some("match-me".to_owned()),
+        };
+        assert!(bench.bench("other", || 0).is_none());
+        assert!(bench.bench("does match-me indeed", || 0).is_some());
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(format_duration(Duration::from_micros(123)), "123.00 us");
+        assert_eq!(format_duration(Duration::from_millis(45)), "45.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -1,7 +1,11 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the workspace benchmarks.
 //!
 //! The benches reuse the experiment harness (`autopower-experiments`) with its fast
-//! settings; this crate only provides small helpers so both bench files stay declarative.
+//! settings.  Because the build environment is fully offline, the benches run on the
+//! small [`harness`] module below (plain `std::time` measurement, `harness = false`
+//! targets) instead of Criterion; the measurement loop is deliberately simple —
+//! auto-scaled iteration counts, best-of-N batches — but the reported numbers are
+//! stable enough to compare substrate changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -9,6 +13,8 @@
 use autopower::{Corpus, CorpusSpec};
 use autopower_config::{boom_configs, CpuConfig, Workload};
 use autopower_perfsim::SimConfig;
+
+pub mod harness;
 
 /// A small, fixed corpus used by the substrate benches: three configurations, two
 /// workloads, short simulations.
@@ -22,6 +28,7 @@ pub fn bench_corpus() -> Corpus {
                 max_instructions: 4_000,
                 ..SimConfig::fast()
             },
+            ..CorpusSpec::fast()
         },
     )
 }

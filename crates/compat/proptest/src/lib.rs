@@ -1,0 +1,306 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment of this workspace cannot reach crates.io, so this
+//! crate implements the subset of the proptest API the workspace's test suites
+//! use: the [`proptest!`] macro over functions with `arg in strategy` inputs,
+//! range and [`collection::vec`] strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike the real proptest there is no shrinking: each property runs a fixed
+//! number of deterministically seeded random cases (seeded from the test name,
+//! so failures are reproducible).  That trades minimal counterexamples for a
+//! zero-dependency offline build; the assertions exercised are identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each property is checked against.
+pub const CASES: usize = 48;
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Drives the cases of one property: owns the RNG and failure accounting.
+pub struct TestRunner {
+    name: &'static str,
+    rng: StdRng,
+    rejected: usize,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property, deterministically seeded from the name.
+    pub fn new(name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the property name.
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            name,
+            rng: StdRng::seed_from_u64(seed),
+            rejected: 0,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> usize {
+        CASES
+    }
+
+    /// The RNG strategies sample from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Handles one case's outcome, panicking on falsification.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the surrounding `#[test]`) if the case failed an
+    /// assertion, or if every case was rejected by `prop_assume!`.
+    pub fn handle(&mut self, case: usize, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected < CASES,
+                    "property '{}': every generated case was rejected by prop_assume!",
+                    self.name
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property '{}' falsified (case {case}): {message}",
+                    self.name
+                )
+            }
+        }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u64, u32, u16, u8, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut StdRng) -> i32 {
+        let span = (self.end as i64 - self.start as i64).max(1) as u64;
+        (i64::from(self.start) + (rng.gen::<u64>() % span) as i64) as i32
+    }
+}
+
+/// Collection strategies (the subset of `proptest::collection` used here).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Admissible length specifications for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec length range");
+            Self {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with lengths in `size` (exact or range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` item
+/// becomes a `#[test]` that checks the body against [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::TestRunner::new(stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), runner.rng());)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    runner.handle(case, outcome);
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` for property bodies: falsifies the case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case when its sampled inputs are out of scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runner_seeds_are_stable_per_name() {
+        let mut a = crate::TestRunner::new("some_property");
+        let mut b = crate::TestRunner::new("some_property");
+        assert_eq!(
+            crate::Strategy::sample(&(0u64..1_000_000), a.rng()),
+            crate::Strategy::sample(&(0u64..1_000_000), b.rng())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn falsified_properties_panic() {
+        proptest! {
+            fn always_false(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_false();
+    }
+
+    proptest! {
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..17, f in -2.5f64..4.5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..4.5).contains(&f));
+        }
+
+        /// Vec strategies honour exact and ranged lengths, including nesting.
+        #[test]
+        fn vec_lengths(
+            exact in crate::collection::vec(0.0f64..1.0, 5),
+            ranged in crate::collection::vec(crate::collection::vec(0u32..9, 2), 1usize..4)
+        ) {
+            prop_assert_eq!(exact.len(), 5);
+            prop_assert!((1..4).contains(&ranged.len()));
+            for inner in &ranged {
+                prop_assert_eq!(inner.len(), 2);
+            }
+        }
+
+        /// prop_assume! rejections are tolerated as long as some cases pass.
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

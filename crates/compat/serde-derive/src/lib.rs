@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so the
+//! real serde cannot be fetched.  The workspace crates only use
+//! `#[derive(Serialize, Deserialize)]` as declared intent — nothing serializes
+//! at runtime yet — so these derives expand to nothing.  Swapping the `serde`
+//! path dependency for the real crates.io package requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

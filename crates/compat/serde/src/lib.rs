@@ -1,0 +1,18 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment of this workspace cannot reach crates.io, so this
+//! crate provides just the surface the workspace uses: the `Serialize` /
+//! `Deserialize` trait names and the matching no-op derive macros.  No actual
+//! serialization is implemented; replacing the path dependency with the real
+//! `serde = { version = "1", features = ["derive"] }` requires no source
+//! changes in the workspace crates.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the offline stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the offline stand-in).
+pub trait Deserialize<'de> {}

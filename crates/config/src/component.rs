@@ -130,9 +130,9 @@ impl Component {
             Component::BpTage | Component::BpBtb | Component::BpOthers => {
                 &[FetchWidth, BranchCount]
             }
-            Component::ICacheTagArray
-            | Component::ICacheDataArray
-            | Component::ICacheOthers => &[CacheWay, ICacheFetchBytes],
+            Component::ICacheTagArray | Component::ICacheDataArray | Component::ICacheOthers => {
+                &[CacheWay, ICacheFetchBytes]
+            }
             Component::Rnu => &[DecodeWidth],
             Component::Rob => &[DecodeWidth, RobEntry],
             Component::Regfile => &[DecodeWidth, IntPhyRegister, FpPhyRegister],

@@ -66,14 +66,14 @@ impl fmt::Display for CpuConfig {
 /// Table II, transposed: one row per configuration, columns in [`HwParam::ALL`] order.
 const TABLE_II: [[u32; 14]; 15] = [
     // Fetch Dec FBuf Rob IntPR FpPR LdqStq Br MemFp Int Way Dtlb Mshr IFB
-    [4, 1, 5, 16, 36, 36, 4, 6, 1, 1, 2, 8, 2, 2],       // C1
-    [4, 1, 8, 32, 53, 48, 8, 8, 1, 1, 4, 8, 2, 2],       // C2
-    [4, 1, 16, 48, 68, 56, 16, 10, 1, 1, 8, 16, 4, 2],   // C3
-    [4, 2, 8, 64, 64, 56, 12, 10, 1, 1, 4, 8, 2, 2],     // C4
-    [4, 2, 16, 64, 80, 64, 16, 12, 1, 2, 4, 8, 2, 2],    // C5
-    [8, 2, 24, 80, 88, 72, 20, 14, 1, 2, 8, 16, 4, 4],   // C6
-    [8, 3, 18, 81, 88, 88, 16, 14, 1, 2, 8, 16, 4, 4],   // C7
-    [8, 3, 24, 96, 110, 96, 24, 16, 1, 3, 8, 16, 4, 4],  // C8
+    [4, 1, 5, 16, 36, 36, 4, 6, 1, 1, 2, 8, 2, 2], // C1
+    [4, 1, 8, 32, 53, 48, 8, 8, 1, 1, 4, 8, 2, 2], // C2
+    [4, 1, 16, 48, 68, 56, 16, 10, 1, 1, 8, 16, 4, 2], // C3
+    [4, 2, 8, 64, 64, 56, 12, 10, 1, 1, 4, 8, 2, 2], // C4
+    [4, 2, 16, 64, 80, 64, 16, 12, 1, 2, 4, 8, 2, 2], // C5
+    [8, 2, 24, 80, 88, 72, 20, 14, 1, 2, 8, 16, 4, 4], // C6
+    [8, 3, 18, 81, 88, 88, 16, 14, 1, 2, 8, 16, 4, 4], // C7
+    [8, 3, 24, 96, 110, 96, 24, 16, 1, 3, 8, 16, 4, 4], // C8
     [8, 3, 30, 114, 112, 112, 32, 16, 2, 3, 8, 32, 4, 4], // C9
     [8, 4, 24, 112, 108, 108, 24, 18, 1, 4, 8, 32, 4, 4], // C10
     [8, 4, 32, 128, 128, 128, 32, 20, 2, 4, 8, 32, 4, 4], // C11

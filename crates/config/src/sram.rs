@@ -70,7 +70,12 @@ const CATALOGUE: &[SramPosition] = &[
         1,
         "usefulness / provider metadata of the TAGE tables",
     ),
-    SramPosition::new(Component::BpBtb, "btb_data", 2, "branch target buffer targets"),
+    SramPosition::new(
+        Component::BpBtb,
+        "btb_data",
+        2,
+        "branch target buffer targets",
+    ),
     SramPosition::new(Component::BpBtb, "btb_tag", 1, "branch target buffer tags"),
     SramPosition::new(
         Component::ICacheTagArray,
@@ -84,19 +89,19 @@ const CATALOGUE: &[SramPosition] = &[
         2,
         "instruction-cache data array",
     ),
-    SramPosition::new(
-        Component::DCacheTagArray,
-        "dtag",
-        1,
-        "data-cache tag array",
-    ),
+    SramPosition::new(Component::DCacheTagArray, "dtag", 1, "data-cache tag array"),
     SramPosition::new(
         Component::DCacheDataArray,
         "ddata",
         4,
         "data-cache data array",
     ),
-    SramPosition::new(Component::Rob, "rob_meta", 1, "re-order buffer payload table"),
+    SramPosition::new(
+        Component::Rob,
+        "rob_meta",
+        1,
+        "re-order buffer payload table",
+    ),
     SramPosition::new(
         Component::Regfile,
         "int_rf",
@@ -109,7 +114,12 @@ const CATALOGUE: &[SramPosition] = &[
         1,
         "floating-point physical register file banks",
     ),
-    SramPosition::new(Component::ITlb, "itlb_array", 1, "instruction TLB entry array"),
+    SramPosition::new(
+        Component::ITlb,
+        "itlb_array",
+        1,
+        "instruction TLB entry array",
+    ),
     SramPosition::new(Component::DTlb, "dtlb_array", 1, "data TLB entry array"),
     SramPosition::new(
         Component::DCacheMshr,
@@ -118,7 +128,12 @@ const CATALOGUE: &[SramPosition] = &[
         "miss status holding register payload table",
     ),
     SramPosition::new(Component::Lsu, "ldq_data", 2, "load queue payload"),
-    SramPosition::new(Component::Lsu, "stq_data", 2, "store queue data and address"),
+    SramPosition::new(
+        Component::Lsu,
+        "stq_data",
+        2,
+        "store queue data and address",
+    ),
     SramPosition::new(
         Component::Ifu,
         "ftq_ghist",

@@ -49,9 +49,15 @@ impl AutoPowerMinus {
                 })
                 .collect();
             let group_targets: [Vec<f64>; GROUPS] = [
-                runs.iter().map(|r| r.golden.component(component).clock).collect(),
-                runs.iter().map(|r| r.golden.component(component).sram).collect(),
-                runs.iter().map(|r| r.golden.component(component).register).collect(),
+                runs.iter()
+                    .map(|r| r.golden.component(component).clock)
+                    .collect(),
+                runs.iter()
+                    .map(|r| r.golden.component(component).sram)
+                    .collect(),
+                runs.iter()
+                    .map(|r| r.golden.component(component).register)
+                    .collect(),
                 runs.iter()
                     .map(|r| r.golden.component(component).combinational)
                     .collect(),
@@ -81,7 +87,13 @@ impl AutoPowerMinus {
         events: &EventParams,
         workload: Workload,
     ) -> PowerGroups {
-        let row = model_features(ModelFeatures::HW_EVENTS, component, config, events, workload);
+        let row = model_features(
+            ModelFeatures::HW_EVENTS,
+            component,
+            config,
+            events,
+            workload,
+        );
         let m = &self.models[component.index()];
         PowerGroups {
             clock: m[0].predict(&row).max(0.0),
@@ -92,7 +104,12 @@ impl AutoPowerMinus {
     }
 
     /// Predicted per-group power of the whole core.
-    pub fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
+    pub fn predict(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> PowerGroups {
         let mut total = PowerGroups::default();
         for &c in &Component::ALL {
             total += self.predict_component(c, config, events, workload);
@@ -137,7 +154,12 @@ mod tests {
         let c = corpus();
         let m = AutoPowerMinus::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
         let run = c.run(ConfigId::new(8), Workload::Vvadd).unwrap();
-        let p = m.predict_component(Component::FuPool, &run.config, &run.sim.events, run.workload);
+        let p = m.predict_component(
+            Component::FuPool,
+            &run.config,
+            &run.sim.events,
+            run.workload,
+        );
         assert!(p.sram < 1e-6, "FU pool has no SRAM, predicted {}", p.sram);
     }
 

@@ -43,17 +43,16 @@ impl McpatCalib {
             .collect();
         let targets: Vec<f64> = runs.iter().map(|r| r.golden.total_mw()).collect();
         let mut model = GradientBoosting::default();
-        model
-            .fit(&rows, &targets)
-            .map_err(AutoPowerError::fit(autopower_config::Component::OtherLogic, "McPAT-Calib total power"))?;
+        model.fit(&rows, &targets).map_err(AutoPowerError::fit(
+            autopower_config::Component::OtherLogic,
+            "McPAT-Calib total power",
+        ))?;
         Ok(Self { model })
     }
 
     /// Predicted total power in mW.
     pub fn predict(&self, config: &CpuConfig, events: &EventParams) -> f64 {
-        self.model
-            .predict(&Self::features(config, events))
-            .max(0.0)
+        self.model.predict(&Self::features(config, events)).max(0.0)
     }
 
     /// Convenience: predicts the total power of a corpus run.

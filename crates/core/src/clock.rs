@@ -58,7 +58,9 @@ impl ClockPowerModel {
 
         let per_component = Component::ALL
             .iter()
-            .map(|&component| Self::train_component(component, corpus, train_configs, &runs, preg_mw))
+            .map(|&component| {
+                Self::train_component(component, corpus, train_configs, &runs, preg_mw)
+            })
             .collect::<Result<Vec<_>, _>>()?;
 
         Ok(Self {

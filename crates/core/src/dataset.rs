@@ -7,11 +7,15 @@
 //! report.  Models are then trained on the runs of the *known* configurations and
 //! evaluated on the rest; the evaluation only ever reads `H`, `E` and the golden totals.
 
+use std::sync::Arc;
+
 use autopower_config::{ConfigId, CpuConfig, Workload};
-use autopower_netlist::{synthesize, Netlist};
-use autopower_perfsim::{simulate, SimConfig, SimResult};
-use autopower_powersim::{evaluate_run, evaluate_trace, PowerReport, PowerTrace};
+use autopower_netlist::Netlist;
+use autopower_perfsim::{SimConfig, SimResult};
+use autopower_powersim::{evaluate_trace, PowerReport, PowerTrace};
 use autopower_techlib::TechLibrary;
+
+use crate::pipeline::SubstratePipeline;
 
 /// Everything the flow produces for one `(configuration, workload)` pair.
 #[derive(Debug, Clone)]
@@ -20,9 +24,9 @@ pub struct RunData {
     pub config: CpuConfig,
     /// The executed workload.
     pub workload: Workload,
-    /// Synthesized netlist of the configuration (shared across the workloads of the
-    /// configuration, duplicated here for convenience).
-    pub netlist: Netlist,
+    /// Synthesized netlist of the configuration.  Synthesis runs once per
+    /// configuration; all of that configuration's runs share this allocation.
+    pub netlist: Arc<Netlist>,
     /// Performance-simulation result (event parameters, true activity, intervals).
     pub sim: SimResult,
     /// Golden average power report.
@@ -34,6 +38,10 @@ pub struct RunData {
 pub struct CorpusSpec {
     /// Performance-simulation knobs (instruction budget, interval length, distortion).
     pub sim: SimConfig,
+    /// Worker threads of the substrate pipeline: `0` (the default) uses one
+    /// worker per available core, `1` generates serially, and any other value
+    /// is an explicit pool size.  The corpus is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl CorpusSpec {
@@ -41,6 +49,7 @@ impl CorpusSpec {
     pub fn paper() -> Self {
         Self {
             sim: SimConfig::paper(),
+            threads: 0,
         }
     }
 
@@ -48,6 +57,7 @@ impl CorpusSpec {
     pub fn fast() -> Self {
         Self {
             sim: SimConfig::fast(),
+            threads: 0,
         }
     }
 
@@ -56,6 +66,23 @@ impl CorpusSpec {
     pub fn with_distortion(mut self, distortion: f64) -> Self {
         self.sim.event_distortion = distortion;
         self
+    }
+
+    /// Same settings with an explicit worker-thread count (`0` = one per
+    /// available core, `1` = serial generation).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count generation will actually use: the explicit
+    /// setting, or the available parallelism when the setting is `0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -77,7 +104,10 @@ pub struct Corpus {
 impl Corpus {
     /// Runs the full flow for every `(configuration, workload)` pair.
     ///
-    /// Generation is deterministic; the same inputs always produce the same corpus.
+    /// Generation runs on the staged substrate pipeline
+    /// ([`SubstratePipeline`]) with the worker count of
+    /// [`CorpusSpec::threads`], and is deterministic for every worker count:
+    /// the same inputs always produce the same corpus, bit for bit.
     pub fn generate(configs: &[CpuConfig], workloads: &[Workload], spec: &CorpusSpec) -> Self {
         let library = TechLibrary::tsmc40_like();
         Self::generate_with_library(configs, workloads, spec, library)
@@ -90,21 +120,7 @@ impl Corpus {
         spec: &CorpusSpec,
         library: TechLibrary,
     ) -> Self {
-        let mut runs = Vec::with_capacity(configs.len() * workloads.len());
-        for config in configs {
-            let netlist = synthesize(config, &library);
-            for &workload in workloads {
-                let sim = simulate(config, workload, &spec.sim);
-                let golden = evaluate_run(&netlist, &sim, &library);
-                runs.push(RunData {
-                    config: *config,
-                    workload,
-                    netlist: netlist.clone(),
-                    sim,
-                    golden,
-                });
-            }
-        }
+        let runs = SubstratePipeline::new(configs, workloads, spec, &library).run();
         Self {
             library,
             spec: *spec,

@@ -43,7 +43,10 @@ impl fmt::Display for AutoPowerError {
                 "failed to fit the {sub_model} sub-model of {component}: {source}"
             ),
             AutoPowerError::NoScalingRule(position) => {
-                write!(f, "no scaling rule could be fitted for SRAM position {position}")
+                write!(
+                    f,
+                    "no scaling rule could be fitted for SRAM position {position}"
+                )
             }
         }
     }
@@ -60,7 +63,10 @@ impl Error for AutoPowerError {
 
 impl AutoPowerError {
     /// Helper used by the sub-model trainers to attach context to a [`FitError`].
-    pub(crate) fn fit(component: Component, sub_model: &'static str) -> impl FnOnce(FitError) -> Self {
+    pub(crate) fn fit(
+        component: Component,
+        sub_model: &'static str,
+    ) -> impl FnOnce(FitError) -> Self {
         move |source| AutoPowerError::SubModelFit {
             component,
             sub_model,

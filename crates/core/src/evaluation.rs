@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn perfect_predictions_summarise_perfectly() {
-        let s = AccuracySummary::from_pairs(vec![pair(50.0, 50.0), pair(75.0, 75.0), pair(100.0, 100.0)]);
+        let s = AccuracySummary::from_pairs(vec![
+            pair(50.0, 50.0),
+            pair(75.0, 75.0),
+            pair(100.0, 100.0),
+        ]);
         assert_eq!(s.mape, 0.0);
         assert!((s.r_squared - 1.0).abs() < 1e-12);
     }

@@ -113,7 +113,15 @@ mod tests {
 
     fn sample_events() -> EventParams {
         let cfg = boom_configs()[0];
-        simulate(&cfg, Workload::Dhrystone, &SimConfig { max_instructions: 1_000, ..SimConfig::fast() }).events
+        simulate(
+            &cfg,
+            Workload::Dhrystone,
+            &SimConfig {
+                max_instructions: 1_000,
+                ..SimConfig::fast()
+            },
+        )
+        .events
     }
 
     #[test]
@@ -121,7 +129,10 @@ mod tests {
         let cfg = boom_configs()[7];
         let f = hw_features(Component::Ifu, &cfg);
         assert_eq!(f, vec![8.0, 3.0, 24.0]);
-        assert_eq!(hw_feature_names(Component::Ifu), vec!["FetchWidth", "DecodeWidth", "FetchBufferEntry"]);
+        assert_eq!(
+            hw_feature_names(Component::Ifu),
+            vec!["FetchWidth", "DecodeWidth", "FetchBufferEntry"]
+        );
     }
 
     #[test]
@@ -146,7 +157,13 @@ mod tests {
     fn program_features_extend_the_row() {
         let cfg = boom_configs()[0];
         let events = sample_events();
-        let without = model_features(ModelFeatures::HW_EVENTS, Component::Rob, &cfg, &events, Workload::Qsort);
+        let without = model_features(
+            ModelFeatures::HW_EVENTS,
+            Component::Rob,
+            &cfg,
+            &events,
+            Workload::Qsort,
+        );
         let with = model_features(
             ModelFeatures::HW_EVENTS_PROGRAM,
             Component::Rob,

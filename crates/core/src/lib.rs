@@ -49,6 +49,7 @@ mod evaluation;
 mod features;
 mod logic;
 mod model;
+pub mod pipeline;
 mod sram;
 mod trace;
 mod xval;
@@ -63,6 +64,7 @@ pub use features::{
 };
 pub use logic::LogicPowerModel;
 pub use model::AutoPower;
+pub use pipeline::SubstratePipeline;
 pub use sram::{
     predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
     SramActivityModel, SramPowerModel,

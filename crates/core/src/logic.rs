@@ -157,7 +157,10 @@ impl LogicPowerModel {
         workload: Workload,
     ) -> f64 {
         let m = &self.per_component[component.index()];
-        let r = m.reg_hardware.predict(&hw_features(component, config)).max(1.0);
+        let r = m
+            .reg_hardware
+            .predict(&hw_features(component, config))
+            .max(1.0);
         let per_reg = m
             .reg_activity
             .predict(&model_features(
@@ -180,7 +183,10 @@ impl LogicPowerModel {
         workload: Workload,
     ) -> f64 {
         let m = &self.per_component[component.index()];
-        let stable = m.comb_stable.predict(&hw_features(component, config)).max(0.0);
+        let stable = m
+            .comb_stable
+            .predict(&hw_features(component, config))
+            .max(0.0);
         let variation = m
             .comb_variation
             .predict(&model_features(
@@ -195,7 +201,12 @@ impl LogicPowerModel {
     }
 
     /// Predicted register power of the whole core in mW.
-    pub fn predict_register(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+    pub fn predict_register(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> f64 {
         Component::ALL
             .iter()
             .map(|&c| self.predict_register_component(c, config, events, workload))
@@ -203,7 +214,12 @@ impl LogicPowerModel {
     }
 
     /// Predicted combinational power of the whole core in mW.
-    pub fn predict_comb(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+    pub fn predict_comb(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> f64 {
         Component::ALL
             .iter()
             .map(|&c| self.predict_comb_component(c, config, events, workload))
@@ -263,8 +279,18 @@ mod tests {
         let model = LogicPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
         for run in c.runs() {
             for comp in Component::ALL {
-                assert!(model.predict_register_component(comp, &run.config, &run.sim.events, run.workload) >= 0.0);
-                assert!(model.predict_comb_component(comp, &run.config, &run.sim.events, run.workload) >= 0.0);
+                assert!(
+                    model.predict_register_component(
+                        comp,
+                        &run.config,
+                        &run.sim.events,
+                        run.workload
+                    ) >= 0.0
+                );
+                assert!(
+                    model.predict_comb_component(comp, &run.config, &run.sim.events, run.workload)
+                        >= 0.0
+                );
             }
         }
     }

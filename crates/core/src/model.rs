@@ -91,7 +91,9 @@ impl AutoPower {
         workload: Workload,
     ) -> PowerGroups {
         PowerGroups {
-            clock: self.clock.predict_component(component, config, events, workload),
+            clock: self
+                .clock
+                .predict_component(component, config, events, workload),
             sram: self
                 .sram
                 .predict_component(component, config, events, workload, &self.library),
@@ -141,7 +143,11 @@ mod tests {
         // The paper reports 4.36 % MAPE / 0.96 R2 on the full 15-config corpus; on this
         // reduced test corpus we only require the same ballpark of quality.
         assert!(summary.mape < 0.15, "AutoPower MAPE {}", summary.mape);
-        assert!(summary.r_squared > 0.8, "AutoPower R2 {}", summary.r_squared);
+        assert!(
+            summary.r_squared > 0.8,
+            "AutoPower R2 {}",
+            summary.r_squared
+        );
     }
 
     #[test]

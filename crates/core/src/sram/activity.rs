@@ -121,7 +121,8 @@ mod tests {
         let c = corpus();
         let train = [ConfigId::new(1), ConfigId::new(15)];
         let pos = sram_positions_for(Component::ICacheDataArray)[0].id;
-        let m = SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
+        let m =
+            SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
         for run in c.runs() {
             let (r, w) = m.predict(&run.config, &run.sim.events, run.workload);
             assert!(r >= 0.0 && r.is_finite());
@@ -134,11 +135,16 @@ mod tests {
         let c = corpus();
         let train = [ConfigId::new(1), ConfigId::new(15)];
         let pos = sram_positions_for(Component::ICacheDataArray)[0].id;
-        let m = SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
+        let m =
+            SramActivityModel::train(pos, &c, &train, ModelFeatures::HW_EVENTS_PROGRAM).unwrap();
         let mut truth = Vec::new();
         let mut pred = Vec::new();
         for run in c.test_runs(&train) {
-            let block = run.netlist.component(Component::ICacheDataArray).blocks_of(pos).unwrap();
+            let block = run
+                .netlist
+                .component(Component::ICacheDataArray)
+                .blocks_of(pos)
+                .unwrap();
             let act = run.sim.activity.position(pos).unwrap();
             truth.push(act.reads_per_cycle / block.count as f64);
             pred.push(m.predict(&run.config, &run.sim.events, run.workload).0);
@@ -146,7 +152,10 @@ mod tests {
         // With one held-out configuration and three workloads we only ask for a sane
         // relative error, not a tight one.
         for (t, p) in truth.iter().zip(&pred) {
-            assert!((p - t).abs() <= t.max(0.01) * 1.2 + 0.05, "pred {p} truth {t}");
+            assert!(
+                (p - t).abs() <= t.max(0.01) * 1.2 + 0.05,
+                "pred {p} truth {t}"
+            );
         }
     }
 

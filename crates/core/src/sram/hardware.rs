@@ -157,7 +157,11 @@ impl PositionHardwareModel {
         for &id in train_configs {
             let runs = corpus.runs_for(id);
             let Some(run) = runs.first() else { continue };
-            let Some(block) = run.netlist.component(position.component).blocks_of(position) else {
+            let Some(block) = run
+                .netlist
+                .component(position.component)
+                .blocks_of(position)
+            else {
                 continue;
             };
             capacity_samples.push((&run.config, block.bits() as f64));
@@ -229,11 +233,10 @@ mod tests {
         let cfgs = boom_configs();
         // A target proportional to FetchWidth alone; {FetchWidth} and any superset fit
         // with zero error, the single-parameter rule must be chosen.
-        let samples: Vec<(&autopower_config::CpuConfig, f64)> = vec![
-            (&cfgs[0], 4.0 * 7.0),
-            (&cfgs[14], 8.0 * 7.0),
-        ];
-        let rule = ScalingRule::fit_best(&[HwParam::FetchWidth, HwParam::DecodeWidth], &samples).unwrap();
+        let samples: Vec<(&autopower_config::CpuConfig, f64)> =
+            vec![(&cfgs[0], 4.0 * 7.0), (&cfgs[14], 8.0 * 7.0)];
+        let rule =
+            ScalingRule::fit_best(&[HwParam::FetchWidth, HwParam::DecodeWidth], &samples).unwrap();
         assert_eq!(rule.params, vec![HwParam::FetchWidth]);
     }
 
@@ -260,7 +263,12 @@ mod tests {
                 .blocks_of(position.id)
                 .unwrap();
             let model3 = PositionHardwareModel::fit(position.id, &corpus, &three).unwrap();
-            assert_eq!(model3.predict_block(&run.config).bits(), truth.bits(), "{}", position.id);
+            assert_eq!(
+                model3.predict_block(&run.config).bits(),
+                truth.bits(),
+                "{}",
+                position.id
+            );
             let model2 = PositionHardwareModel::fit(position.id, &corpus, &two).unwrap();
             let predicted = model2.predict_block(&run.config).bits() as f64;
             let rel = (predicted - truth.bits() as f64).abs() / truth.bits() as f64;

@@ -22,7 +22,9 @@ pub use mapping::predicted_block_power_mw;
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
 use crate::features::ModelFeatures;
-use autopower_config::{sram_positions_for, Component, ConfigId, CpuConfig, SramPositionId, Workload};
+use autopower_config::{
+    sram_positions_for, Component, ConfigId, CpuConfig, SramPositionId, Workload,
+};
 use autopower_perfsim::EventParams;
 use autopower_techlib::TechLibrary;
 
@@ -157,7 +159,11 @@ impl SramPowerModel {
     /// Predicted SRAM Block shape of one position (the hardware-model output).
     ///
     /// Returns `None` for positions that are not in the catalogue.
-    pub fn predict_block(&self, position: SramPositionId, config: &CpuConfig) -> Option<PredictedBlock> {
+    pub fn predict_block(
+        &self,
+        position: SramPositionId,
+        config: &CpuConfig,
+    ) -> Option<PredictedBlock> {
         self.position_model(position)
             .map(|m| m.hardware.predict_block(config))
     }
@@ -249,13 +255,16 @@ mod tests {
                 if predicted.bits() == block.bits() {
                     exact += 1;
                 } else {
-                    let rel = (predicted.bits() as f64 - block.bits() as f64).abs()
-                        / block.bits() as f64;
+                    let rel =
+                        (predicted.bits() as f64 - block.bits() as f64).abs() / block.bits() as f64;
                     assert!(rel < 0.2, "{}: relative error {rel}", block.position);
                 }
             }
         }
-        assert!(exact * 10 >= total * 8, "only {exact}/{total} positions exact");
+        assert!(
+            exact * 10 >= total * 8,
+            "only {exact}/{total} positions exact"
+        );
     }
 
     #[test]
@@ -280,7 +289,10 @@ mod tests {
         let c = corpus();
         let model = SramPowerModel::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
         let calibrated = model.pin_constant_mw();
-        assert!((calibrated - 0.012).abs() < 0.006, "calibrated C = {calibrated}");
+        assert!(
+            (calibrated - 0.012).abs() < 0.006,
+            "calibrated C = {calibrated}"
+        );
     }
 
     #[test]
@@ -292,7 +304,13 @@ mod tests {
             .into_iter()
             .map(|p| {
                 model
-                    .predict_position(p.id, &run.config, &run.sim.events, run.workload, c.library())
+                    .predict_position(
+                        p.id,
+                        &run.config,
+                        &run.sim.events,
+                        run.workload,
+                        c.library(),
+                    )
                     .unwrap()
             })
             .sum();
@@ -306,7 +324,13 @@ mod tests {
         assert!((by_positions - by_component).abs() < 1e-9);
         // Components without SRAM predict exactly zero.
         assert_eq!(
-            model.predict_component(Component::FuPool, &run.config, &run.sim.events, run.workload, c.library()),
+            model.predict_component(
+                Component::FuPool,
+                &run.config,
+                &run.sim.events,
+                run.workload,
+                c.library()
+            ),
             0.0
         );
     }

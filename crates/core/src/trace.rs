@@ -156,7 +156,11 @@ mod tests {
         let (_, _, errors) = evaluate_trace_prediction(&c, &model, run);
         // Table IV reports single- to low-double-digit percentage errors; allow a loose
         // band here because the test corpus is tiny.
-        assert!(errors.average_error < 0.35, "average error {}", errors.average_error);
+        assert!(
+            errors.average_error < 0.35,
+            "average error {}",
+            errors.average_error
+        );
         assert!(errors.max_power_error < 0.5);
         assert!(errors.min_power_error < 0.5);
     }

@@ -52,7 +52,10 @@ impl CrossValidation {
 /// Returns an error if fewer than three configurations are given (each fold needs at
 /// least two for training), if a configuration is missing from the corpus, or if any
 /// fold fails to train.
-pub fn cross_validate(corpus: &Corpus, configs: &[ConfigId]) -> Result<CrossValidation, AutoPowerError> {
+pub fn cross_validate(
+    corpus: &Corpus,
+    configs: &[ConfigId],
+) -> Result<CrossValidation, AutoPowerError> {
     if configs.len() < 3 {
         return Err(AutoPowerError::NoTrainingConfigs);
     }
@@ -120,7 +123,12 @@ mod tests {
         let c = corpus();
         let err = cross_validate(
             &c,
-            &[ConfigId::new(1), ConfigId::new(8), ConfigId::new(15), ConfigId::new(2)],
+            &[
+                ConfigId::new(1),
+                ConfigId::new(8),
+                ConfigId::new(15),
+                ConfigId::new(2),
+            ],
         );
         assert!(err.is_err());
     }

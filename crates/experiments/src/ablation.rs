@@ -49,7 +49,11 @@ impl fmt::Display for AblationResult {
             f,
             "{}",
             format_table(
-                &["event distortion", "MAPE (with program features)", "MAPE (without)"],
+                &[
+                    "event distortion",
+                    "MAPE (with program features)",
+                    "MAPE (without)"
+                ],
                 &rows
             )
         )
@@ -67,6 +71,7 @@ impl Experiments {
         for &distortion in &distortions {
             let spec = CorpusSpec {
                 sim: settings.average_sim,
+                threads: settings.threads,
             }
             .with_distortion(distortion);
             let corpus = Corpus::generate(&settings.configs, &settings.average_workloads, &spec);
@@ -83,8 +88,7 @@ fn train_and_score(
     train: &[autopower_config::ConfigId],
     features: ModelFeatures,
 ) -> f64 {
-    let model =
-        AutoPower::train_with_features(corpus, train, features).expect("training succeeds");
+    let model = AutoPower::train_with_features(corpus, train, features).expect("training succeeds");
     let test_runs = corpus.test_runs(train);
     evaluate_totals(&test_runs, |run| model.predict_total(run)).mape
 }
@@ -101,7 +105,10 @@ mod tests {
         for (d, with, without) in &r.rows {
             assert!(*d >= 0.0);
             assert!(*with >= 0.0 && *without >= 0.0);
-            assert!(*with < 0.5 && *without < 0.5, "MAPE should stay sane: {with} / {without}");
+            assert!(
+                *with < 0.5 && *without < 0.5,
+                "MAPE should stay sane: {with} / {without}"
+            );
         }
         assert!(r.to_string().contains("event distortion"));
     }

@@ -145,6 +145,9 @@ mod tests {
         let two = exp.fig4_accuracy_two_configs().autopower().summary.mape;
         let three = exp.fig5_accuracy_three_configs().autopower().summary.mape;
         // More training data should not make AutoPower dramatically worse.
-        assert!(three < two + 0.05, "2-config MAPE {two}, 3-config MAPE {three}");
+        assert!(
+            three < two + 0.05,
+            "2-config MAPE {two}, 3-config MAPE {three}"
+        );
     }
 }

@@ -70,7 +70,12 @@ impl fmt::Display for GroupDetailResult {
             f,
             "{}",
             format_table(
-                &["component", "AutoPower MAPE", "AutoPower- MAPE", "mean golden (mW)"],
+                &[
+                    "component",
+                    "AutoPower MAPE",
+                    "AutoPower- MAPE",
+                    "mean golden (mW)"
+                ],
                 &rows
             )
         )?;
@@ -156,8 +161,10 @@ impl Experiments {
                     Group::Clock => run.golden.component(component).clock,
                     Group::Sram => run.golden.component(component).sram,
                 };
-                let o = model.predict_component(component, &run.config, &run.sim.events, run.workload);
-                let m = minus.predict_component(component, &run.config, &run.sim.events, run.workload);
+                let o =
+                    model.predict_component(component, &run.config, &run.sim.events, run.workload);
+                let m =
+                    minus.predict_component(component, &run.config, &run.sim.events, run.workload);
                 truth.push(t);
                 match group {
                     Group::Clock => {
@@ -250,7 +257,9 @@ mod tests {
         // majority of components and at the core level.
         assert!(r.components_won() * 2 >= r.per_component.len());
         assert!(r.autopower_total.0 <= r.minus_total.0 + 0.02);
-        let sub = r.sub_models.expect("clock detail reports sub-model accuracy");
+        let sub = r
+            .sub_models
+            .expect("clock detail reports sub-model accuracy");
         assert!(sub.register_count_mape < 0.2);
         assert!(sub.gating_rate_mape < 0.2);
     }
@@ -261,7 +270,11 @@ mod tests {
         let r = exp.fig8_sram_detail();
         assert!(r.per_component.iter().all(|(c, ..)| c.has_sram()));
         assert!(r.sub_models.is_none());
-        assert!(r.autopower_total.1 > 0.5, "core-level SRAM Pearson R {}", r.autopower_total.1);
+        assert!(
+            r.autopower_total.1 > 0.5,
+            "core-level SRAM Pearson R {}",
+            r.autopower_total.1
+        );
         assert!(r.to_string().contains("SRAM power detail"));
     }
 }

@@ -37,7 +37,7 @@ pub use obs1::BreakdownResult;
 pub use report::{format_table, percent};
 pub use settings::ExperimentSettings;
 pub use sweep::{SweepPoint, SweepResult};
-pub use table1::Table1Result;
+pub use table1::{BlockShape, Table1Result};
 pub use trace_exp::{TraceCase, TraceResult};
 
 use autopower::{Corpus, CorpusSpec};
@@ -86,6 +86,7 @@ impl Experiments {
                     &self.settings.average_workloads,
                     &CorpusSpec {
                         sim: self.settings.average_sim,
+                        threads: self.settings.threads,
                     },
                 )
             })
@@ -111,6 +112,7 @@ impl Experiments {
                     &workloads,
                     &CorpusSpec {
                         sim: self.settings.trace_sim,
+                        threads: self.settings.threads,
                     },
                 )
             })

@@ -1,17 +1,75 @@
 //! Command-line entry point of the experiment harness.
 //!
 //! ```text
-//! autopower-experiments [--fast] [EXPERIMENT ...]
+//! autopower-experiments [--fast] [--threads N] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
 //! `table4`, `ablation`, or `all` (the default).  `--fast` switches to the reduced
-//! settings used by tests and benches.
+//! settings used by tests and benches; `--threads N` sets the worker count of the
+//! corpus-generation pipeline (default: one per available core, `1` = serial).
+//! Flags and experiment names may appear in any order.
 
-use autopower_experiments::Experiments;
+use autopower::CorpusSpec;
+use autopower_experiments::{ExperimentSettings, Experiments};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: autopower-experiments [--fast] [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|all ...]";
+const USAGE: &str = "usage: autopower-experiments [--fast] [--threads N] \
+                     [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|all ...]";
+
+const ALL_EXPERIMENTS: [&str; 9] = [
+    "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation",
+];
+
+/// Everything the command line selects: settings knobs and the experiment list.
+struct CliArgs {
+    fast: bool,
+    threads: usize,
+    help: bool,
+    requested: Vec<String>,
+}
+
+/// Parses the argument list; flags and experiment names may be interleaved freely.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+    let mut parsed = CliArgs {
+        fast: false,
+        threads: 0,
+        help: false,
+        requested: Vec::new(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => parsed.fast = true,
+            "--help" | "-h" => parsed.help = true,
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--threads needs a value\n{USAGE}"))?;
+                parsed.threads = parse_thread_count(&value)?;
+            }
+            other => {
+                if let Some(value) = other.strip_prefix("--threads=") {
+                    parsed.threads = parse_thread_count(value)?;
+                } else if other.starts_with('-') {
+                    return Err(format!("unknown flag '{other}'\n{USAGE}"));
+                } else {
+                    parsed.requested.push(other.to_owned());
+                }
+            }
+        }
+    }
+    if parsed.requested.is_empty() || parsed.requested.iter().any(|a| a == "all") {
+        parsed.requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    Ok(parsed)
+}
+
+fn parse_thread_count(value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("--threads expects a non-negative integer, got '{value}'\n{USAGE}"))
+}
 
 fn run_one(experiments: &Experiments, name: &str) -> Result<(), String> {
     match name {
@@ -30,40 +88,94 @@ fn run_one(experiments: &Experiments, name: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let mut requested: Vec<String> = args
-        .into_iter()
-        .filter(|a| a != "--fast")
-        .collect();
-    if requested.iter().any(|a| a == "--help" || a == "-h") {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    if requested.is_empty() || requested.iter().any(|a| a == "all") {
-        requested = [
-            "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
-    }
 
-    let experiments = if fast {
-        Experiments::fast()
+    let settings = if args.fast {
+        ExperimentSettings::fast()
     } else {
-        Experiments::paper()
+        ExperimentSettings::paper()
+    }
+    .with_threads(args.threads);
+    let experiments = Experiments::new(settings);
+    // Resolve through CorpusSpec so the banner always matches the worker count
+    // generation will actually use.
+    let effective = CorpusSpec::paper()
+        .threads(args.threads)
+        .effective_threads();
+    let label = if args.threads == 0 {
+        format!("{effective} (auto)")
+    } else {
+        effective.to_string()
     };
     println!(
-        "AutoPower experiment harness ({} settings)\n",
-        if fast { "fast" } else { "paper" }
+        "AutoPower experiment harness ({} settings, {label} corpus worker{})\n",
+        if args.fast { "fast" } else { "paper" },
+        if effective == 1 { "" } else { "s" },
     );
 
-    for name in &requested {
+    for name in &args.requested {
         if let Err(message) = run_one(&experiments, name) {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn flags_are_order_independent() {
+        for permutation in [
+            &["--fast", "--threads", "3", "fig4"][..],
+            &["fig4", "--threads", "3", "--fast"][..],
+            &["--threads=3", "fig4", "--fast"][..],
+        ] {
+            let parsed = parse_args(args(permutation)).expect("valid arguments");
+            assert!(parsed.fast);
+            assert_eq!(parsed.threads, 3);
+            assert_eq!(parsed.requested, vec!["fig4".to_owned()]);
+            assert!(!parsed.help);
+        }
+    }
+
+    #[test]
+    fn help_wins_regardless_of_position() {
+        for permutation in [&["--fast", "--help"][..], &["--help", "--fast", "fig4"][..]] {
+            let parsed = parse_args(args(permutation)).expect("valid arguments");
+            assert!(parsed.help);
+        }
+    }
+
+    #[test]
+    fn empty_or_all_expands_to_every_experiment() {
+        let default = parse_args(args(&[])).expect("valid arguments");
+        assert_eq!(default.requested.len(), ALL_EXPERIMENTS.len());
+        let all = parse_args(args(&["all", "--fast"])).expect("valid arguments");
+        assert_eq!(all.requested.len(), ALL_EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn bad_flags_and_thread_counts_are_rejected() {
+        assert!(parse_args(args(&["--nope"])).is_err());
+        assert!(parse_args(args(&["--threads"])).is_err());
+        assert!(parse_args(args(&["--threads", "many"])).is_err());
+        assert!(parse_args(args(&["--threads=-2"])).is_err());
+    }
 }

@@ -37,10 +37,17 @@ impl fmt::Display for BreakdownResult {
             vec!["clock".to_owned(), percent(self.clock_fraction)],
             vec!["SRAM".to_owned(), percent(self.sram_fraction)],
             vec!["register".to_owned(), percent(self.register_fraction)],
-            vec!["combinational".to_owned(), percent(self.combinational_fraction)],
+            vec![
+                "combinational".to_owned(),
+                percent(self.combinational_fraction),
+            ],
             vec!["clock + SRAM".to_owned(), percent(self.clock_plus_sram())],
         ];
-        write!(f, "{}", format_table(&["power group", "share of total"], &rows))
+        write!(
+            f,
+            "{}",
+            format_table(&["power group", "share of total"], &rows)
+        )
     }
 }
 
@@ -78,10 +85,15 @@ mod tests {
     fn clock_and_sram_dominate() {
         let exp = Experiments::fast();
         let b = exp.obs1_breakdown();
-        let sum = b.clock_fraction + b.sram_fraction + b.register_fraction + b.combinational_fraction;
+        let sum =
+            b.clock_fraction + b.sram_fraction + b.register_fraction + b.combinational_fraction;
         assert!((sum - 1.0).abs() < 1e-9);
         // Observation 1 of the paper: clock + SRAM dominate.
-        assert!(b.clock_plus_sram() > 0.5, "clock+SRAM = {}", b.clock_plus_sram());
+        assert!(
+            b.clock_plus_sram() > 0.5,
+            "clock+SRAM = {}",
+            b.clock_plus_sram()
+        );
         // And the printed report mentions every group.
         let text = b.to_string();
         assert!(text.contains("clock"));

@@ -23,6 +23,10 @@ pub struct ExperimentSettings {
     pub train_three: Vec<ConfigId>,
     /// Training sets of increasing size for the Fig. 6 sweep.
     pub sweep_training_sets: Vec<Vec<ConfigId>>,
+    /// Worker threads of the corpus-generation pipeline (`0` = one per
+    /// available core, `1` = serial); forwarded to the `threads` knob of
+    /// [`CorpusSpec`](autopower::CorpusSpec).
+    pub threads: usize,
 }
 
 fn ids(indices: &[u8]) -> Vec<ConfigId> {
@@ -52,6 +56,7 @@ impl ExperimentSettings {
                 ids(&[1, 4, 8, 12, 15]),
                 ids(&[1, 4, 7, 10, 13, 15]),
             ],
+            threads: 0,
         }
     }
 
@@ -72,7 +77,14 @@ impl ExperimentSettings {
             train_two: ids(&[1, 15]),
             train_three: ids(&[1, 7, 15]),
             sweep_training_sets: vec![ids(&[1, 15]), ids(&[1, 7, 15]), ids(&[1, 7, 13, 15])],
+            threads: 0,
         }
+    }
+
+    /// Same settings with an explicit corpus-generation worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The identifiers of all configurations in the settings.
@@ -91,7 +103,13 @@ mod tests {
         assert_eq!(s.configs.len(), 15);
         assert_eq!(s.average_workloads.len(), 8);
         assert_eq!(s.train_two, ids(&[1, 15]));
-        assert_eq!(s.trace_configs.iter().map(|c| c.id.index()).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            s.trace_configs
+                .iter()
+                .map(|c| c.id.index())
+                .collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
         assert!(s.sweep_training_sets.iter().all(|set| set.len() >= 2));
     }
 

@@ -39,7 +39,10 @@ impl SweepResult {
 
 impl fmt::Display for SweepResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 6 — accuracy vs. number of known configurations for training")?;
+        writeln!(
+            f,
+            "Fig. 6 — accuracy vs. number of known configurations for training"
+        )?;
         let mut rows = Vec::new();
         for point in &self.points {
             for (method, mape, r2) in &point.methods {
@@ -60,7 +63,10 @@ impl fmt::Display for SweepResult {
         write!(
             f,
             "{}",
-            format_table(&["#configs", "training set", "method", "MAPE", "R^2"], &rows)
+            format_table(
+                &["#configs", "training set", "method", "MAPE", "R^2"],
+                &rows
+            )
         )
     }
 }

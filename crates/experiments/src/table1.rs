@@ -6,6 +6,9 @@ use autopower::PositionHardwareModel;
 use autopower_config::{Component, ConfigId, SramPositionId};
 use std::fmt;
 
+/// An SRAM block shape triple `(width, depth, count)`.
+pub type BlockShape = (u32, u32, u32);
+
 /// Result of the Table I experiment: the training rows and the fitted rules for the IFU
 /// metadata table (`ftq_meta`).
 #[derive(Debug, Clone)]
@@ -17,9 +20,9 @@ pub struct Table1Result {
     pub training_rows: Vec<(ConfigId, u32, u32, u32, u32, u32, u32)>,
     /// The fitted hardware model.
     pub model: PositionHardwareModel,
-    /// Predicted and true block shapes `(config, predicted(w,d,c), true(w,d,c))` on every
-    /// evaluated configuration.
-    pub predictions: Vec<(ConfigId, (u32, u32, u32), (u32, u32, u32))>,
+    /// Predicted and true block shapes `(config, predicted, true)` on every evaluated
+    /// configuration.
+    pub predictions: Vec<(ConfigId, BlockShape, BlockShape)>,
 }
 
 impl fmt::Display for Table1Result {
@@ -48,7 +51,15 @@ impl fmt::Display for Table1Result {
             f,
             "{}",
             format_table(
-                &["config", "FetchWidth", "DecodeWidth", "FetchBufferEntry", "width", "depth", "count"],
+                &[
+                    "config",
+                    "FetchWidth",
+                    "DecodeWidth",
+                    "FetchBufferEntry",
+                    "width",
+                    "depth",
+                    "count"
+                ],
                 &rows
             )
         )?;
@@ -90,7 +101,10 @@ impl fmt::Display for Table1Result {
         write!(
             f,
             "{}",
-            format_table(&["config", "predicted (w x d x c)", "true (w x d x c)"], &pred_rows)
+            format_table(
+                &["config", "predicted (w x d x c)", "true (w x d x c)"],
+                &pred_rows
+            )
         )
     }
 }
@@ -121,7 +135,8 @@ impl Experiments {
                     id,
                     run.config.value(autopower_config::HwParam::FetchWidth),
                     run.config.value(autopower_config::HwParam::DecodeWidth),
-                    run.config.value(autopower_config::HwParam::FetchBufferEntry),
+                    run.config
+                        .value(autopower_config::HwParam::FetchBufferEntry),
                     block.width,
                     block.depth,
                     block.count,
@@ -167,7 +182,11 @@ mod tests {
         let exp = Experiments::fast();
         let r = exp.table1_hardware_model();
         // Training row of C1: width 120, depth 8, count 1 (Table I of the paper).
-        let c1 = r.training_rows.iter().find(|row| row.0 == ConfigId::new(1)).unwrap();
+        let c1 = r
+            .training_rows
+            .iter()
+            .find(|row| row.0 == ConfigId::new(1))
+            .unwrap();
         assert_eq!((c1.4, c1.5, c1.6), (120, 8, 1));
         // The fitted capacity rule uses FetchWidth x DecodeWidth with coefficient 240.
         assert_eq!(

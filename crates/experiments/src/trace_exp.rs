@@ -34,7 +34,11 @@ impl TraceResult {
         if self.cases.is_empty() {
             return 0.0;
         }
-        self.cases.iter().map(|c| c.errors.average_error).sum::<f64>() / self.cases.len() as f64
+        self.cases
+            .iter()
+            .map(|c| c.errors.average_error)
+            .sum::<f64>()
+            / self.cases.len() as f64
     }
 }
 
@@ -63,7 +67,14 @@ impl fmt::Display for TraceResult {
             f,
             "{}",
             format_table(
-                &["workload", "config", "intervals", "max power err", "min power err", "average err"],
+                &[
+                    "workload",
+                    "config",
+                    "intervals",
+                    "max power err",
+                    "min power err",
+                    "average err"
+                ],
                 &rows
             )
         )
@@ -83,7 +94,9 @@ impl Experiments {
         let mut cases = Vec::new();
         for workload in Workload::TRACE_WORKLOADS {
             for cfg in &self.settings().trace_configs {
-                let Some(run) = trace_corpus.run(cfg.id, workload) else { continue };
+                let Some(run) = trace_corpus.run(cfg.id, workload) else {
+                    continue;
+                };
                 let golden = trace_corpus.golden_trace(run);
                 let predicted = predictor.predict_trace(run);
                 cases.push(TraceCase {
@@ -111,7 +124,12 @@ mod tests {
         let r = exp.table4_power_trace();
         assert!(!r.cases.is_empty());
         for case in &r.cases {
-            assert!(case.intervals > 10, "trace for {} has {} intervals", case.workload, case.intervals);
+            assert!(
+                case.intervals > 10,
+                "trace for {} has {} intervals",
+                case.workload,
+                case.intervals
+            );
             // Table IV reports single- to low-double-digit percentage errors; on the fast
             // corpus we accept a looser band but still require sanity.
             assert!(case.errors.average_error < 0.35, "{:?}", case);

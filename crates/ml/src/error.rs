@@ -49,7 +49,11 @@ mod tests {
         let msgs = [
             FitError::EmptyTrainingSet.to_string(),
             FitError::RaggedRows.to_string(),
-            FitError::LengthMismatch { rows: 3, targets: 4 }.to_string(),
+            FitError::LengthMismatch {
+                rows: 3,
+                targets: 4,
+            }
+            .to_string(),
             FitError::NonFiniteValue.to_string(),
             FitError::SingularSystem.to_string(),
         ];

@@ -67,7 +67,10 @@ impl GbdtParams {
             self.colsample > 0.0 && self.colsample <= 1.0,
             "colsample must be in (0, 1]"
         );
-        assert!(self.lambda >= 0.0 && self.gamma >= 0.0, "regularisers must be non-negative");
+        assert!(
+            self.lambda >= 0.0 && self.gamma >= 0.0,
+            "regularisers must be non-negative"
+        );
     }
 }
 
@@ -226,7 +229,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_the_same_seed() {
-        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * 3 % 7) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * r[1]).collect();
         let mut a = GradientBoosting::default();
         let mut b = GradientBoosting::default();
@@ -248,14 +253,18 @@ mod tests {
         };
         let c = subsampled(99);
         let d = subsampled(100);
-        let differs = x.iter().any(|row| (c.predict(row) - d.predict(row)).abs() > 1e-12);
+        let differs = x
+            .iter()
+            .any(|row| (c.predict(row) - d.predict(row)).abs() > 1e-12);
         assert!(differs);
     }
 
     #[test]
     fn handles_tiny_few_shot_datasets() {
         // 16 samples (2 configurations x 8 workloads) is the paper's smallest regime.
-        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![(i % 2) as f64 * 4.0, i as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 2) as f64 * 4.0, i as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 1.0 + 0.2 * r[0] + 0.05 * r[1]).collect();
         let mut m = GradientBoosting::default();
         m.fit(&x, &y).unwrap();

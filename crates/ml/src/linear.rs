@@ -29,7 +29,10 @@ impl RidgeRegression {
     ///
     /// Panics if `alpha` is negative or non-finite.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
         Self {
             alpha,
             standardizer: None,
@@ -170,7 +173,9 @@ mod tests {
     fn rejects_bad_training_data() {
         let mut m = RidgeRegression::default();
         assert!(m.fit(&[], &[]).is_err());
-        assert!(m.fit(&[vec![1.0], vec![f64::INFINITY]], &[1.0, 2.0]).is_err());
+        assert!(m
+            .fit(&[vec![1.0], vec![f64::INFINITY]], &[1.0, 2.0])
+            .is_err());
     }
 
     proptest! {

@@ -175,8 +175,22 @@ impl RegressionTree {
                 Node::Split {
                     feature,
                     threshold,
-                    left: Box::new(self.build(x, gradients, hessians, &left_rows, features, depth + 1)),
-                    right: Box::new(self.build(x, gradients, hessians, &right_rows, features, depth + 1)),
+                    left: Box::new(self.build(
+                        x,
+                        gradients,
+                        hessians,
+                        &left_rows,
+                        features,
+                        depth + 1,
+                    )),
+                    right: Box::new(self.build(
+                        x,
+                        gradients,
+                        hessians,
+                        &right_rows,
+                        features,
+                        depth + 1,
+                    )),
                 }
             }
         }
@@ -198,7 +212,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

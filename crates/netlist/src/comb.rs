@@ -49,9 +49,14 @@ pub fn comb_gates(component: Component, config: &CpuConfig) -> f64 {
         }
         Component::DCacheTagArray => 950.0 + 240.0 * dways + 380.0 * mem_issue + 9.0 * v(DtlbEntry),
         Component::DCacheDataArray => 1_100.0 + 330.0 * dways + 650.0 * mem_issue,
-        Component::DCacheOthers => 4_300.0 + 420.0 * dways + 1_100.0 * mem_issue + 14.0 * v(DtlbEntry),
+        Component::DCacheOthers => {
+            4_300.0 + 420.0 * dways + 1_100.0 * mem_issue + 14.0 * v(DtlbEntry)
+        }
         Component::FpIsu => {
-            1_600.0 + 1_250.0 * v(DecodeWidth) + 1_500.0 * fp_issue + 260.0 * fp_issue * v(DecodeWidth)
+            1_600.0
+                + 1_250.0 * v(DecodeWidth)
+                + 1_500.0 * fp_issue
+                + 260.0 * fp_issue * v(DecodeWidth)
         }
         Component::IntIsu => {
             1_700.0
@@ -60,7 +65,10 @@ pub fn comb_gates(component: Component, config: &CpuConfig) -> f64 {
                 + 280.0 * v(IntIssueWidth) * v(DecodeWidth)
         }
         Component::MemIsu => {
-            1_650.0 + 1_200.0 * v(DecodeWidth) + 1_450.0 * mem_issue + 240.0 * mem_issue * v(DecodeWidth)
+            1_650.0
+                + 1_200.0 * v(DecodeWidth)
+                + 1_450.0 * mem_issue
+                + 240.0 * mem_issue * v(DecodeWidth)
         }
         Component::ITlb => 500.0 + 55.0 * config.params.itlb_entries() as f64,
         Component::DTlb => 560.0 + 62.0 * v(DtlbEntry),
@@ -79,7 +87,12 @@ pub fn comb_gates(component: Component, config: &CpuConfig) -> f64 {
                 + 150.0 * v(BranchCount)
         }
         Component::DCacheMshr => 700.0 + 820.0 * v(MshrEntry),
-        Component::Lsu => 2_300.0 + 210.0 * v(LdqStqEntry) + 1_500.0 * mem_issue + 60.0 * v(LdqStqEntry) * mem_issue,
+        Component::Lsu => {
+            2_300.0
+                + 210.0 * v(LdqStqEntry)
+                + 1_500.0 * mem_issue
+                + 60.0 * v(LdqStqEntry) * mem_issue
+        }
         Component::Ifu => {
             2_600.0 + 520.0 * v(FetchWidth) + 230.0 * v(FetchBufferEntry) + 760.0 * v(DecodeWidth)
         }

@@ -195,7 +195,12 @@ mod tests {
             let n = synthesize(&cfg, &lib());
             for c in &n.components {
                 assert!(c.gated_registers <= c.registers, "{}", c.component);
-                assert!(c.gating_rate() >= 0.4, "{} gating {}", c.component, c.gating_rate());
+                assert!(
+                    c.gating_rate() >= 0.4,
+                    "{} gating {}",
+                    c.component,
+                    c.gating_rate()
+                );
                 assert!(c.gating_rate() <= 0.98);
             }
         }
@@ -206,7 +211,9 @@ mod tests {
         // Scaling only RobEntry must grow the ROB, not the ICache.
         let base = boom_configs()[7];
         let mut bigger = base;
-        bigger.params.set(HwParam::RobEntry, base.params.value(HwParam::RobEntry) * 2);
+        bigger
+            .params
+            .set(HwParam::RobEntry, base.params.value(HwParam::RobEntry) * 2);
         let n0 = synthesize(&base, &lib());
         let n1 = synthesize(&bigger, &lib());
         assert!(n1.component(Component::Rob).registers > n0.component(Component::Rob).registers);
@@ -224,7 +231,7 @@ mod tests {
             let cfg = boom_configs()[idx];
             let n = synthesize(&cfg, &lib());
             for c in &n.components {
-                prop_assert!(c.gating_cells as u64 <= c.gated_registers.max(1));
+                prop_assert!(c.gating_cells <= c.gated_registers.max(1));
                 if c.gated_registers > 64 {
                     prop_assert!(c.gating_cells >= c.gated_registers / 64);
                 }

@@ -47,7 +47,8 @@ fn base_registers(component: Component, config: &CpuConfig) -> f64 {
         Component::DCacheOthers => 520.0 + 48.0 * dways + 130.0 * mem_issue + 2.6 * v(DtlbEntry),
         Component::FpIsu => 190.0 + 240.0 * v(DecodeWidth) + 230.0 * fp_issue,
         Component::IntIsu => {
-            210.0 + 255.0 * v(DecodeWidth)
+            210.0
+                + 255.0 * v(DecodeWidth)
                 + 245.0 * v(IntIssueWidth)
                 + 18.0 * v(IntIssueWidth) * v(IntIssueWidth)
         }
@@ -115,7 +116,8 @@ pub fn register_structure(
     config: &CpuConfig,
     library: &TechLibrary,
 ) -> (u64, u64, u64) {
-    let registers_f = base_registers(component, config) * synthesis_noise(component, config, "reg", 0.02);
+    let registers_f =
+        base_registers(component, config) * synthesis_noise(component, config, "reg", 0.02);
     let registers = registers_f.round().max(1.0) as u64;
 
     let gating = (base_gating_rate(component, registers_f)

@@ -161,9 +161,8 @@ mod tests {
     #[test]
     fn throughput_scaling_positions_scale_bank_count() {
         let cfgs = boom_configs();
-        let banks = |idx: usize| {
-            blocks_for_component(Component::DCacheDataArray, &cfgs[idx])[0].count
-        };
+        let banks =
+            |idx: usize| blocks_for_component(Component::DCacheDataArray, &cfgs[idx])[0].count;
         // C1: 2 ways x 1 mem issue = 2 banks; C15: 8 ways x 2 mem issue = 16 banks.
         assert_eq!(banks(0), 2);
         assert_eq!(banks(14), 16);
@@ -172,9 +171,7 @@ mod tests {
     #[test]
     fn rob_capacity_proportional_to_rob_entries() {
         let cfgs = boom_configs();
-        let bits = |idx: usize| {
-            blocks_for_component(Component::Rob, &cfgs[idx])[0].bits() as f64
-        };
+        let bits = |idx: usize| blocks_for_component(Component::Rob, &cfgs[idx])[0].bits() as f64;
         let r = |idx: usize| cfgs[idx].params.value(HwParam::RobEntry) as f64;
         // capacity / RobEntry is the same constant for every configuration.
         let k0 = bits(0) / r(0);

@@ -53,7 +53,10 @@ impl ActivitySnapshot {
 
     /// Activity of one SRAM Position, if it exists in the catalogue.
     pub fn position(&self, position: SramPositionId) -> Option<PositionActivity> {
-        self.positions.iter().copied().find(|p| p.position == position)
+        self.positions
+            .iter()
+            .copied()
+            .find(|p| p.position == position)
     }
 }
 
@@ -134,17 +137,21 @@ pub fn derive_activity(delta: &EventCounters, config: &CpuConfig) -> ActivitySna
         .iter()
         .map(|p| {
             let (reads, writes) = match (p.id.component, p.id.name) {
-                (Component::BpTage, "tage_table") => (per_cyc(delta.fetch_groups), per_cyc(delta.branches)),
+                (Component::BpTage, "tage_table") => {
+                    (per_cyc(delta.fetch_groups), per_cyc(delta.branches))
+                }
                 (Component::BpTage, "tage_meta") => (
                     per_cyc(delta.fetch_groups),
                     per_cyc(delta.branch_mispredicts) + 0.1 * per_cyc(delta.branches),
                 ),
-                (Component::BpBtb, "btb_data") => {
-                    (per_cyc(delta.fetch_groups), per_cyc(delta.branch_mispredicts))
-                }
-                (Component::BpBtb, "btb_tag") => {
-                    (per_cyc(delta.fetch_groups), per_cyc(delta.branch_mispredicts))
-                }
+                (Component::BpBtb, "btb_data") => (
+                    per_cyc(delta.fetch_groups),
+                    per_cyc(delta.branch_mispredicts),
+                ),
+                (Component::BpBtb, "btb_tag") => (
+                    per_cyc(delta.fetch_groups),
+                    per_cyc(delta.branch_mispredicts),
+                ),
                 (Component::ICacheTagArray, "itag") => {
                     (per_cyc(delta.icache_accesses), per_cyc(delta.icache_misses))
                 }
@@ -175,15 +182,18 @@ pub fn derive_activity(delta: &EventCounters, config: &CpuConfig) -> ActivitySna
                 (Component::DTlb, "dtlb_array") => {
                     (per_cyc(delta.dtlb_accesses), per_cyc(delta.dtlb_misses))
                 }
-                (Component::DCacheMshr, "mshr_table") => {
-                    (per_cyc(delta.dcache_misses), per_cyc(delta.mshr_allocations))
-                }
-                (Component::Lsu, "ldq_data") => {
-                    (0.5 * per_cyc(delta.mem_issued), 0.6 * per_cyc(delta.mem_issued))
-                }
-                (Component::Lsu, "stq_data") => {
-                    (0.45 * per_cyc(delta.mem_issued), 0.4 * per_cyc(delta.mem_issued))
-                }
+                (Component::DCacheMshr, "mshr_table") => (
+                    per_cyc(delta.dcache_misses),
+                    per_cyc(delta.mshr_allocations),
+                ),
+                (Component::Lsu, "ldq_data") => (
+                    0.5 * per_cyc(delta.mem_issued),
+                    0.6 * per_cyc(delta.mem_issued),
+                ),
+                (Component::Lsu, "stq_data") => (
+                    0.45 * per_cyc(delta.mem_issued),
+                    0.4 * per_cyc(delta.mem_issued),
+                ),
                 (Component::Ifu, "ftq_ghist") => (
                     per_cyc(delta.branch_mispredicts) + 0.1 * per_cyc(delta.fetch_groups),
                     per_cyc(delta.fetch_groups),
@@ -289,11 +299,16 @@ mod tests {
         let base = derive_activity(&busy_counters(10_000), &cfg);
         let heavy = derive_activity(&mem_heavy, &cfg);
         assert!(
-            heavy.component(Component::DCacheDataArray).clock_active_rate
+            heavy
+                .component(Component::DCacheDataArray)
+                .clock_active_rate
                 > base.component(Component::DCacheDataArray).clock_active_rate
         );
         let pos = autopower_config::sram_positions_for(Component::DCacheDataArray)[0].id;
-        assert!(heavy.position(pos).unwrap().reads_per_cycle > base.position(pos).unwrap().reads_per_cycle);
+        assert!(
+            heavy.position(pos).unwrap().reads_per_cycle
+                > base.position(pos).unwrap().reads_per_cycle
+        );
     }
 
     #[test]

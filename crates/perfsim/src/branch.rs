@@ -73,10 +73,8 @@ mod tests {
         let mut bp = BranchPredictor::new(8);
         let mut correct = 0;
         for i in 0..1000 {
-            if bp.predict_and_update(3, true) {
-                if i >= 10 {
-                    correct += 1;
-                }
+            if bp.predict_and_update(3, true) && i >= 10 {
+                correct += 1;
             }
         }
         assert!(correct > 950);

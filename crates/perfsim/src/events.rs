@@ -210,10 +210,7 @@ impl EventParams {
                 } else {
                     let s = seed::combine(
                         seed::hash_str(name),
-                        seed::combine(
-                            seed::hash_str(workload.name()),
-                            config.index() as u64,
-                        ),
+                        seed::combine(seed::hash_str(workload.name()), config.index() as u64),
                     );
                     v * seed::lognormal_factor(s, distortion)
                 }
@@ -269,7 +266,12 @@ impl EventParams {
                 "frontend_stall_fraction",
             ],
             Component::Rnu => &["decode_rate", "dispatch_rate", "ipc"],
-            Component::Rob => &["dispatch_rate", "ipc", "rob_occupancy", "backend_stall_fraction"],
+            Component::Rob => &[
+                "dispatch_rate",
+                "ipc",
+                "rob_occupancy",
+                "backend_stall_fraction",
+            ],
             Component::Regfile => &["int_issue_rate", "fp_issue_rate", "mem_issue_rate", "ipc"],
             Component::DCacheTagArray | Component::DCacheDataArray | Component::DCacheOthers => &[
                 "dcache_read_rate",
@@ -345,12 +347,8 @@ mod tests {
 
     #[test]
     fn names_and_values_align() {
-        let p = EventParams::from_counters(
-            &sample_counters(),
-            ConfigId::new(3),
-            Workload::Qsort,
-            0.0,
-        );
+        let p =
+            EventParams::from_counters(&sample_counters(), ConfigId::new(3), Workload::Qsort, 0.0);
         assert_eq!(p.values().len(), EventParams::names().len());
         assert!((p.value("ipc") - 0.8).abs() < 1e-12);
         assert!((p.value("rob_occupancy") - 40.0).abs() < 1e-12);
@@ -388,12 +386,8 @@ mod tests {
 
     #[test]
     fn every_component_has_event_features() {
-        let p = EventParams::from_counters(
-            &sample_counters(),
-            ConfigId::new(1),
-            Workload::Vvadd,
-            0.0,
-        );
+        let p =
+            EventParams::from_counters(&sample_counters(), ConfigId::new(1), Workload::Vvadd, 0.0);
         for c in Component::ALL {
             let f = p.component_features(c);
             assert!(!f.is_empty());
@@ -405,12 +399,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown event parameter")]
     fn unknown_event_name_panics() {
-        let p = EventParams::from_counters(
-            &sample_counters(),
-            ConfigId::new(1),
-            Workload::Vvadd,
-            0.0,
-        );
+        let p =
+            EventParams::from_counters(&sample_counters(), ConfigId::new(1), Workload::Vvadd, 0.0);
         let _ = p.value("no_such_event");
     }
 }

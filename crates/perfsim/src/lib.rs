@@ -33,7 +33,9 @@ mod events;
 mod pipeline;
 mod tlb;
 
-pub use activity::{derive_activity, ActivitySnapshot, ComponentActivity, IntervalRecord, PositionActivity};
+pub use activity::{
+    derive_activity, ActivitySnapshot, ComponentActivity, IntervalRecord, PositionActivity,
+};
 pub use branch::BranchPredictor;
 pub use cache::{AccessOutcome, Cache};
 pub use events::{EventCounters, EventParams};
@@ -220,8 +222,22 @@ mod tests {
     #[test]
     fn distortion_changes_reported_events_only() {
         let cfg = boom_configs()[9];
-        let exact = simulate(&cfg, Workload::Spmv, &SimConfig { event_distortion: 0.0, ..SimConfig::fast() });
-        let noisy = simulate(&cfg, Workload::Spmv, &SimConfig { event_distortion: 0.15, ..SimConfig::fast() });
+        let exact = simulate(
+            &cfg,
+            Workload::Spmv,
+            &SimConfig {
+                event_distortion: 0.0,
+                ..SimConfig::fast()
+            },
+        );
+        let noisy = simulate(
+            &cfg,
+            Workload::Spmv,
+            &SimConfig {
+                event_distortion: 0.15,
+                ..SimConfig::fast()
+            },
+        );
         // True counters and activity are identical; only the reported events differ.
         assert_eq!(exact.counters, noisy.counters);
         assert_eq!(exact.activity, noisy.activity);

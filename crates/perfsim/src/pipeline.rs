@@ -169,7 +169,9 @@ impl Pipeline {
         let mut dispatched = 0usize;
 
         while dispatched < decode_width {
-            let Some(&instr) = self.fetch_buffer.front() else { break };
+            let Some(&instr) = self.fetch_buffer.front() else {
+                break;
+            };
             if self.rob.len() >= rob_capacity {
                 self.counters.backend_stall_cycles += 1;
                 break;
@@ -227,7 +229,8 @@ impl Pipeline {
                     mem_issued += 1;
                     self.counters.mem_issued += 1;
                     self.lsq_occupancy += 1;
-                    self.lsq_free_queue.push_back(self.cycle + latency + dep_wait);
+                    self.lsq_free_queue
+                        .push_back(self.cycle + latency + dep_wait);
                     let addr = instr.addr.unwrap_or(0);
                     self.counters.dcache_reads += 1;
                     self.counters.dtlb_accesses += 1;
@@ -252,7 +255,8 @@ impl Pipeline {
                     mem_issued += 1;
                     self.counters.mem_issued += 1;
                     self.lsq_occupancy += 1;
-                    self.lsq_free_queue.push_back(self.cycle + latency + dep_wait + 2);
+                    self.lsq_free_queue
+                        .push_back(self.cycle + latency + dep_wait + 2);
                     is_store = true;
                     store_addr = instr.addr.unwrap_or(0);
                 }
@@ -365,19 +369,27 @@ mod tests {
 
     #[test]
     fn branchy_workloads_mispredict_more() {
-        let qsort = run(7, Workload::Qsort, 8_000);
-        let vvadd = run(7, Workload::Vvadd, 8_000);
+        let qsort = run(7, Workload::Qsort, 40_000);
+        let vvadd = run(7, Workload::Vvadd, 40_000);
         let qsort_rate = qsort.branch_mispredicts as f64 / qsort.branches.max(1) as f64;
         let vvadd_rate = vvadd.branch_mispredicts as f64 / vvadd.branches.max(1) as f64;
-        assert!(qsort_rate > 2.0 * vvadd_rate, "{qsort_rate} vs {vvadd_rate}");
+        // 40 k instructions amortise the cold-start mispredictions (64 sites warming
+        // 2-bit counters), which at shorter budgets floor both rates and shrink the
+        // gap below the 2x this test guards.
+        assert!(
+            qsort_rate > 2.0 * vvadd_rate,
+            "{qsort_rate} vs {vvadd_rate}"
+        );
     }
 
     #[test]
     fn large_working_sets_miss_more() {
         let spmv = run(7, Workload::Spmv, 8_000);
         let dhry = run(7, Workload::Dhrystone, 8_000);
-        let spmv_rate = spmv.dcache_misses as f64 / (spmv.dcache_reads + spmv.dcache_writes).max(1) as f64;
-        let dhry_rate = dhry.dcache_misses as f64 / (dhry.dcache_reads + dhry.dcache_writes).max(1) as f64;
+        let spmv_rate =
+            spmv.dcache_misses as f64 / (spmv.dcache_reads + spmv.dcache_writes).max(1) as f64;
+        let dhry_rate =
+            dhry.dcache_misses as f64 / (dhry.dcache_reads + dhry.dcache_writes).max(1) as f64;
         assert!(spmv_rate > dhry_rate, "{spmv_rate} vs {dhry_rate}");
     }
 

@@ -106,7 +106,12 @@ fn component_power(
             let pos_act = activity
                 .position(block.position)
                 .expect("netlist positions always exist in the activity snapshot");
-            sram_block_power(block, pos_act.reads_per_cycle, pos_act.writes_per_cycle, library)
+            sram_block_power(
+                block,
+                pos_act.reads_per_cycle,
+                pos_act.writes_per_cycle,
+                library,
+            )
         })
         .sum();
 
@@ -238,8 +243,12 @@ mod tests {
             p.reads_per_cycle = 0.0;
             p.writes_per_cycle = 0.0;
         }
-        let p_busy = evaluate(&netlist, &busy.activity, Workload::Vvadd, &lib).total.total();
-        let p_idle = evaluate(&netlist, &idle_activity, Workload::Vvadd, &lib).total.total();
+        let p_busy = evaluate(&netlist, &busy.activity, Workload::Vvadd, &lib)
+            .total
+            .total();
+        let p_idle = evaluate(&netlist, &idle_activity, Workload::Vvadd, &lib)
+            .total
+            .total();
         assert!(p_busy > p_idle);
         // Even idle, the ungated clock pins and leakage keep power well above zero.
         assert!(p_idle > 0.1 * p_busy);

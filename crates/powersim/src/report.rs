@@ -33,9 +33,17 @@ impl PowerReport {
     ///
     /// Panics if `components` is not the full 22-component list in canonical order.
     pub fn new(config: ConfigId, workload: Workload, components: Vec<ComponentPower>) -> Self {
-        assert_eq!(components.len(), Component::ALL.len(), "need all components");
+        assert_eq!(
+            components.len(),
+            Component::ALL.len(),
+            "need all components"
+        );
         for (i, c) in components.iter().enumerate() {
-            assert_eq!(c.component.index(), i, "components must be in canonical order");
+            assert_eq!(
+                c.component.index(),
+                i,
+                "components must be in canonical order"
+            );
         }
         let mut total = PowerGroups::default();
         for c in &components {
@@ -81,11 +89,7 @@ mod tests {
 
     #[test]
     fn totals_sum_over_components() {
-        let r = PowerReport::new(
-            ConfigId::new(3),
-            Workload::Qsort,
-            uniform_components(1.0),
-        );
+        let r = PowerReport::new(ConfigId::new(3), Workload::Qsort, uniform_components(1.0));
         assert!((r.total.clock - 22.0).abs() < 1e-9);
         assert!((r.total_mw() - 44.0).abs() < 1e-9);
         assert!((r.component(Component::Rob).total() - 2.0).abs() < 1e-9);

@@ -159,8 +159,7 @@ impl SramCompiler {
                 Some((area, cnt, b)) => {
                     total_area < *area - 1e-9
                         || ((total_area - *area).abs() <= 1e-9
-                            && (count < *cnt
-                                || (count == *cnt && m.bits() < b.macro_spec.bits())))
+                            && (count < *cnt || (count == *cnt && m.bits() < b.macro_spec.bits())))
                 }
             };
             if better {

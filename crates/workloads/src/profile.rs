@@ -142,6 +142,8 @@ impl WorkloadProfile {
     }
 }
 
+// The catalogue below reads best as one compact positional row per workload.
+#[allow(clippy::too_many_arguments)]
 fn single_phase(
     workload: Workload,
     mix: InstrMix,
@@ -376,7 +378,10 @@ mod tests {
         // vvadd has far more instruction-level parallelism.
         assert!(vvadd.ilp() > qsort.ilp());
         // spmv touches much more data than dhrystone.
-        assert!(profile(Workload::Spmv).data_working_set() > 10.0 * profile(Workload::Dhrystone).data_working_set());
+        assert!(
+            profile(Workload::Spmv).data_working_set()
+                > 10.0 * profile(Workload::Dhrystone).data_working_set()
+        );
     }
 
     #[test]

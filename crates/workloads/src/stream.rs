@@ -101,7 +101,10 @@ impl StreamGenerator {
     ///
     /// Panics if the profile has no phases.
     pub fn with_profile(profile: WorkloadProfile, seed_value: u64) -> Self {
-        assert!(!profile.phases.is_empty(), "profile must have at least one phase");
+        assert!(
+            !profile.phases.is_empty(),
+            "profile must have at least one phase"
+        );
         let mixed = seed::combine(seed::hash_str(profile.workload.name()), seed_value);
         let mut rng = StdRng::seed_from_u64(mixed);
         let total_w: f64 = profile.phases.iter().map(|p| p.weight).sum();
@@ -272,9 +275,15 @@ mod tests {
         }
         let target = profile(Workload::Vvadd).mix();
         let load_frac = counts[&InstrKind::Load] as f64 / n as f64;
-        assert!((load_frac - target.load).abs() < 0.03, "load fraction {load_frac}");
+        assert!(
+            (load_frac - target.load).abs() < 0.03,
+            "load fraction {load_frac}"
+        );
         let br_frac = *counts.get(&InstrKind::Branch).unwrap_or(&0) as f64 / n as f64;
-        assert!((br_frac - target.branch).abs() < 0.02, "branch fraction {br_frac}");
+        assert!(
+            (br_frac - target.branch).abs() < 0.02,
+            "branch fraction {br_frac}"
+        );
     }
 
     #[test]

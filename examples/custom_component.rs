@@ -46,7 +46,8 @@ fn main() {
         "custom pointer-chasing kernel on {}: IPC {:.2}, dcache miss rate {:.1}%",
         config.id,
         counters.ipc(),
-        100.0 * counters.dcache_misses as f64 / (counters.dcache_reads + counters.dcache_writes) as f64
+        100.0 * counters.dcache_misses as f64
+            / (counters.dcache_reads + counters.dcache_writes) as f64
     );
 
     // 3. Golden power for the custom workload vs. the stock spmv workload.
@@ -54,7 +55,11 @@ fn main() {
     let custom_activity = derive_activity(&counters, &config);
     let custom_power = evaluate(&netlist, &custom_activity, Workload::Spmv, &library);
 
-    let stock = autopower_perfsim::simulate(&config, Workload::Spmv, &autopower_perfsim::SimConfig::paper());
+    let stock = autopower_perfsim::simulate(
+        &config,
+        Workload::Spmv,
+        &autopower_perfsim::SimConfig::paper(),
+    );
     let stock_power = evaluate(&netlist, &stock.activity, Workload::Spmv, &library);
     println!(
         "golden power: custom kernel {:.2} mW vs stock spmv {:.2} mW (stock profile: {} instructions)",
@@ -74,7 +79,8 @@ fn main() {
     let default_mapping = library.sram().map_block(block.width, block.depth);
     println!(
         "\nDCache data block {}x{} maps to {} macro(s) of {} by default",
-        block.width, block.depth,
+        block.width,
+        block.depth,
         default_mapping.macro_count(),
         default_mapping.macro_spec
     );

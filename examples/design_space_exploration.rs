@@ -72,5 +72,8 @@ fn main() {
         .iter()
         .min_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
         .expect("non-empty candidate list");
-    println!("\nmost energy-efficient candidate: {} ({:.2} pJ per instruction)", best.0, best.3);
+    println!(
+        "\nmost energy-efficient candidate: {} ({:.2} pJ per instruction)",
+        best.0, best.3
+    );
 }

@@ -28,6 +28,7 @@ fn main() {
             max_instructions: 200_000,
             ..SimConfig::paper()
         },
+        ..CorpusSpec::paper()
     };
     let trace_corpus = Corpus::generate(&[configs[1]], &[Workload::Gemm], &trace_spec);
     let run = trace_corpus
@@ -54,14 +55,21 @@ fn main() {
     println!("cycle      golden  predicted");
     println!("-----------------------------");
     for (g, p) in golden.samples.iter().zip(&predicted.samples).take(15) {
-        println!("{:<9} {:>7.2} {:>10.2}", g.start_cycle, g.power.total(), p.power.total());
+        println!(
+            "{:<9} {:>7.2} {:>10.2}",
+            g.start_cycle,
+            g.power.total(),
+            p.power.total()
+        );
     }
 
     // A tiny ASCII sparkline of the golden trace, to make the phase structure visible.
     let totals = golden.totals();
     let (lo, hi) = totals
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let glyphs: &[char] = &['_', '.', '-', '=', '+', '*', '#'];
     let line: String = totals
         .iter()

@@ -11,8 +11,17 @@ fn main() {
     //    (configuration, workload) pair.  In the paper this is weeks of EDA runtime; here
     //    it is the synthetic substrate flow.
     let configs = boom_configs();
-    let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Spmv, Workload::Vvadd];
-    println!("generating corpus: {} configurations x {} workloads ...", configs.len(), workloads.len());
+    let workloads = [
+        Workload::Dhrystone,
+        Workload::Qsort,
+        Workload::Spmv,
+        Workload::Vvadd,
+    ];
+    println!(
+        "generating corpus: {} configurations x {} workloads ...",
+        configs.len(),
+        workloads.len()
+    );
     let corpus = Corpus::generate(&configs, &workloads, &CorpusSpec::paper());
 
     // 2. Train AutoPower from only two *known* configurations (the few-shot setting).

@@ -12,6 +12,7 @@ fn small_spec() -> CorpusSpec {
             max_instructions: 5_000,
             ..SimConfig::fast()
         },
+        ..CorpusSpec::fast()
     }
 }
 

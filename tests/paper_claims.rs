@@ -30,10 +30,18 @@ fn table_1_scaling_rule_is_recovered() {
 #[test]
 fn figure_4_and_5_autopower_beats_the_baselines() {
     let exp = Experiments::fast();
-    for cmp in [exp.fig4_accuracy_two_configs(), exp.fig5_accuracy_three_configs()] {
+    for cmp in [
+        exp.fig4_accuracy_two_configs(),
+        exp.fig5_accuracy_three_configs(),
+    ] {
         let ours = cmp.autopower().summary.clone();
         let mcpat = cmp.mcpat_calib().summary.clone();
-        assert!(ours.mape < mcpat.mape, "MAPE {} vs {}", ours.mape, mcpat.mape);
+        assert!(
+            ours.mape < mcpat.mape,
+            "MAPE {} vs {}",
+            ours.mape,
+            mcpat.mape
+        );
         assert!(ours.r_squared > mcpat.r_squared);
         // AutoPower stays in the paper's accuracy regime even on the reduced corpus.
         assert!(ours.mape < 0.12, "AutoPower MAPE {}", ours.mape);
@@ -72,5 +80,9 @@ fn table_4_trace_errors_stay_in_the_paper_band() {
     let exp = Experiments::fast();
     let t4 = exp.table4_power_trace();
     assert!(!t4.cases.is_empty());
-    assert!(t4.mean_average_error() < 0.25, "mean average error {}", t4.mean_average_error());
+    assert!(
+        t4.mean_average_error() < 0.25,
+        "mean average error {}",
+        t4.mean_average_error()
+    );
 }

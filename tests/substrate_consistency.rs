@@ -41,7 +41,12 @@ fn golden_power_is_monotone_in_design_scale_for_a_fixed_workload() {
         let sim = simulate(&cfg, Workload::Dhrystone, &fast_sim());
         totals.push(evaluate_run(&netlist, &sim, &lib).total_mw());
     }
-    assert!(totals[14] > totals[0] * 2.0, "C15 {} vs C1 {}", totals[14], totals[0]);
+    assert!(
+        totals[14] > totals[0] * 2.0,
+        "C15 {} vs C1 {}",
+        totals[14],
+        totals[0]
+    );
     // Allow local non-monotonicity but require a clearly increasing overall trend:
     // every configuration at least as large as five positions earlier must burn more.
     for i in 5..totals.len() {
@@ -96,9 +101,10 @@ fn table_iii_sensitivity_holds_in_the_netlist() {
     let lib = TechLibrary::tsmc40_like();
     let base = boom_configs()[7];
     let mut scaled = base;
-    scaled
-        .params
-        .set(HwParam::MshrEntry, base.params.value(HwParam::MshrEntry) * 2);
+    scaled.params.set(
+        HwParam::MshrEntry,
+        base.params.value(HwParam::MshrEntry) * 2,
+    );
     let n0 = synthesize(&base, &lib);
     let n1 = synthesize(&scaled, &lib);
     for c in Component::ALL {
