@@ -1,0 +1,84 @@
+//! Design-space sweep throughput: serial vs parallel batch inference.
+//!
+//! Trains one fast few-shot model, draws a fixed set of generated
+//! configurations from the design space, and measures how many configurations
+//! per second the sweep engine scores (each configuration = one performance
+//! simulation + one power prediction per workload) with one worker versus a
+//! pool.  This is the acceptance benchmark of the sweep subsystem: stage work
+//! is embarrassingly parallel, so on an N-core machine the parallel rate
+//! should approach N× serial.
+//!
+//! Run with `cargo bench --bench sweep`.
+
+use autopower::{AutoPower, Corpus, CorpusSpec, SweepEngine, SweepSpec};
+use autopower_bench::harness::{format_duration, Bench};
+use autopower_config::{boom_configs, ConfigId, DesignSpace, Workload};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Configurations scored per measurement.
+const SWEEP_CONFIGS: usize = 96;
+
+/// Workloads each configuration is scored on.
+const WORKLOADS: [Workload; 3] = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+
+fn sweep(model: &AutoPower, configs: &[autopower_config::CpuConfig], threads: usize) -> Duration {
+    let spec = SweepSpec::fast().threads(threads);
+    // Best of three sweeps: the least noisy estimate on a shared machine.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let points = SweepEngine::new(model, spec).run(configs, &WORKLOADS);
+        best = best.min(start.elapsed());
+        assert_eq!(points.len(), configs.len() * WORKLOADS.len());
+        black_box(points);
+    }
+    best
+}
+
+fn main() {
+    if !Bench::from_args().should_run("sweep") {
+        return;
+    }
+    let cfgs = boom_configs();
+    let corpus = Corpus::generate(
+        &[cfgs[0], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Vvadd],
+        &CorpusSpec::fast(),
+    );
+    let model = AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)])
+        .expect("training succeeds");
+    let configs = DesignSpace::boom().sample(SWEEP_CONFIGS, 2025);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "design-space sweep throughput: {SWEEP_CONFIGS} generated configs x {} workloads, \
+         {cores} core(s)\n",
+        WORKLOADS.len()
+    );
+
+    let serial = sweep(&model, &configs, 1);
+    let serial_rate = SWEEP_CONFIGS as f64 / serial.as_secs_f64();
+    println!(
+        "{:<28} {:>10}   {:>8.1} configs/sec   1.00x",
+        "sweep_serial_threads1",
+        format_duration(serial),
+        serial_rate
+    );
+
+    let mut thread_counts = vec![2, 4, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t > 1);
+    for threads in thread_counts {
+        let parallel = sweep(&model, &configs, threads);
+        let rate = SWEEP_CONFIGS as f64 / parallel.as_secs_f64();
+        println!(
+            "{:<28} {:>10}   {:>8.1} configs/sec   {:.2}x",
+            format!("sweep_parallel_threads{threads}"),
+            format_duration(parallel),
+            rate,
+            serial.as_secs_f64() / parallel.as_secs_f64()
+        );
+    }
+}

@@ -4,35 +4,78 @@ use crate::params::{HardwareParams, HwParam};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifier of one of the 15 evaluated BOOM configurations (`C1` … `C15`).
+/// Number of seeded BOOM configurations (the columns of Table II).
+pub const SEED_CONFIG_COUNT: u32 = 15;
+
+/// Identifier of a CPU configuration.
+///
+/// The 15 seeded BOOM configurations of Table II are `C1` … `C15`
+/// ([`ConfigId::new`]); configurations emitted by the design-space generator
+/// ([`crate::DesignSpace`]) are `G1`, `G2`, … ([`ConfigId::generated`]) and live
+/// in a disjoint identifier range, so a generated configuration can never be
+/// mistaken for a seed.  Every deterministic seed in the workspace (synthesis
+/// noise, simulator distortion) is derived from [`ConfigId::index`], which is
+/// unique across both ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct ConfigId(u8);
+pub struct ConfigId(u32);
 
 impl ConfigId {
-    /// Creates a configuration identifier.
+    /// Creates a seeded-configuration identifier (`C1` … `C15`).
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= index <= 15`.
     pub fn new(index: u8) -> Self {
-        assert!((1..=15).contains(&index), "config index must be in 1..=15");
-        Self(index)
+        assert!(
+            (1..=SEED_CONFIG_COUNT as u8).contains(&index),
+            "config index must be in 1..=15"
+        );
+        Self(u32::from(index))
     }
 
-    /// 1-based index of the configuration (the `N` of `CN`).
-    pub fn index(self) -> u8 {
+    /// Creates the identifier of the `n`-th generated (non-seed) configuration,
+    /// 1-based: `generated(1)` is `G1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the identifier would overflow.
+    pub fn generated(n: u32) -> Self {
+        assert!(n > 0, "generated config numbering is 1-based");
+        Self(
+            SEED_CONFIG_COUNT
+                .checked_add(n)
+                .expect("generated config index overflow"),
+        )
+    }
+
+    /// 1-based index of the configuration, unique across seeds and generated
+    /// configurations (seeds occupy `1..=15`, `Gn` maps to `15 + n`).
+    pub fn index(self) -> u32 {
         self.0
     }
 
-    /// All 15 identifiers in order.
+    /// Whether this identifies one of the 15 seeded Table II configurations.
+    pub fn is_seed(self) -> bool {
+        self.0 <= SEED_CONFIG_COUNT
+    }
+
+    /// The `n` of `Gn` for generated configurations, `None` for seeds.
+    pub fn generated_index(self) -> Option<u32> {
+        (!self.is_seed()).then(|| self.0 - SEED_CONFIG_COUNT)
+    }
+
+    /// All 15 seeded identifiers in order.
     pub fn all() -> impl Iterator<Item = ConfigId> {
-        (1..=15).map(ConfigId)
+        (1..=SEED_CONFIG_COUNT).map(ConfigId)
     }
 }
 
 impl fmt::Display for ConfigId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "C{}", self.0)
+        match self.generated_index() {
+            Some(n) => write!(f, "G{n}"),
+            None => write!(f, "C{}", self.0),
+        }
     }
 }
 
@@ -100,8 +143,17 @@ pub fn boom_configs() -> Vec<CpuConfig> {
         .collect()
 }
 
-/// Looks up a configuration by identifier.
+/// Looks up a seeded configuration by identifier.
+///
+/// # Panics
+///
+/// Panics if `id` identifies a generated configuration — those carry their
+/// parameters themselves (see [`crate::DesignSpace`]) and have no table entry.
 pub fn config_by_id(id: ConfigId) -> CpuConfig {
+    assert!(
+        id.is_seed(),
+        "{id} is not one of the 15 seeded configurations"
+    );
     boom_configs()[(id.index() - 1) as usize]
 }
 
@@ -161,5 +213,31 @@ mod tests {
     fn display_formats() {
         assert_eq!(ConfigId::new(3).to_string(), "C3");
         assert_eq!(config_by_id(ConfigId::new(12)).to_string(), "C12");
+        assert_eq!(ConfigId::generated(7).to_string(), "G7");
+    }
+
+    #[test]
+    fn generated_ids_are_disjoint_from_seeds() {
+        let g1 = ConfigId::generated(1);
+        assert!(!g1.is_seed());
+        assert_eq!(g1.generated_index(), Some(1));
+        assert_eq!(g1.index(), SEED_CONFIG_COUNT + 1);
+        for seed in ConfigId::all() {
+            assert!(seed.is_seed());
+            assert_eq!(seed.generated_index(), None);
+            assert_ne!(seed, g1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn generated_zero_rejected() {
+        let _ = ConfigId::generated(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of the 15 seeded")]
+    fn config_by_id_rejects_generated_ids() {
+        let _ = config_by_id(ConfigId::generated(3));
     }
 }

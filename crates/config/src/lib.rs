@@ -5,6 +5,9 @@
 //!
 //! * [`HwParam`] / [`HardwareParams`] — the 14 hardware parameters of Table II,
 //! * [`CpuConfig`] and [`boom_configs`] — the 15 BOOM configurations of Table II,
+//! * [`DesignSpace`] — a parametric generator of arbitrarily many valid
+//!   configurations beyond the 15 seeds (deterministic enumeration and seeded
+//!   sampling),
 //! * [`Component`] — the 22 components of Table III together with the hardware
 //!   parameters each component is sensitive to,
 //! * [`SramPosition`] and [`sram_positions`] — the SRAM Position catalogue used by the
@@ -34,11 +37,13 @@ mod component;
 mod configs;
 mod params;
 pub mod seed;
+mod space;
 mod sram;
 mod workload;
 
 pub use component::Component;
-pub use configs::{boom_configs, config_by_id, ConfigId, CpuConfig};
+pub use configs::{boom_configs, config_by_id, ConfigId, CpuConfig, SEED_CONFIG_COUNT};
 pub use params::{HardwareParams, HwParam};
+pub use space::{Axis, DesignSpace};
 pub use sram::{sram_positions, sram_positions_for, SramPosition, SramPositionId};
 pub use workload::Workload;

@@ -1,0 +1,331 @@
+//! Parametric design-space generation beyond the 15 seeded configurations.
+//!
+//! The paper's promise is that a model trained on a handful of *known*
+//! configurations predicts the power of *unseen* ones — but the seeded design
+//! space only has 15 points.  [`DesignSpace`] closes that gap: it spans a grid
+//! over the architecturally independent hardware parameters (fetch/decode/issue
+//! widths, ROB, cache/TLB/branch-predictor sizing), derives the dependent
+//! parameters (physical register files, load/store queues, fetch buffer, fetch
+//! bytes) from them the way the BOOM generator ties them together, and emits
+//! only points that satisfy the validity constraints observed across Table II.
+//!
+//! Two emission modes are provided, both fully deterministic:
+//!
+//! * [`DesignSpace::enumerate`] walks the grid in lexicographic axis order and
+//!   yields every valid point exactly once, and
+//! * [`DesignSpace::sample`] draws a duplicate-free pseudo-random subset from a
+//!   caller-provided seed (splitmix64 counter stream — no RNG state involved).
+//!
+//! Emitted configurations carry generated identifiers (`G1`, `G2`, …) that are
+//! disjoint from the seed identifiers, and any point whose parameters coincide
+//! with a seeded configuration is skipped, so callers can rely on every emitted
+//! config being genuinely new.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower_config::DesignSpace;
+//!
+//! let space = DesignSpace::boom();
+//! let configs = space.sample(100, 42);
+//! assert_eq!(configs.len(), 100);
+//! assert!(configs.iter().all(|c| !c.id.is_seed()));
+//! assert!(configs.iter().all(|c| space.is_valid(&c.params)));
+//! ```
+
+use crate::configs::{boom_configs, ConfigId, CpuConfig};
+use crate::params::{HardwareParams, HwParam};
+use crate::seed;
+
+/// One swept axis: a hardware parameter and the candidate values it may take.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// The swept hardware parameter.
+    pub param: HwParam,
+    /// Candidate values, in increasing order.
+    pub values: Vec<u32>,
+}
+
+/// A parametric design space: swept axes plus derived parameters and validity
+/// constraints.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    axes: Vec<Axis>,
+}
+
+/// The parameters swept as independent axes; everything else is derived.
+const SWEPT: [HwParam; 9] = [
+    HwParam::FetchWidth,
+    HwParam::DecodeWidth,
+    HwParam::RobEntry,
+    HwParam::IntIssueWidth,
+    HwParam::MemFpIssueWidth,
+    HwParam::CacheWay,
+    HwParam::DtlbEntry,
+    HwParam::BranchCount,
+    HwParam::MshrEntry,
+];
+
+impl DesignSpace {
+    /// The default BOOM-like space: axis ranges covering (and extending between)
+    /// the Table II columns.
+    pub fn boom() -> Self {
+        let values: [&[u32]; 9] = [
+            &[4, 8],                                  // FetchWidth
+            &[1, 2, 3, 4, 5],                         // DecodeWidth
+            &[16, 32, 48, 64, 80, 96, 112, 128, 140], // RobEntry
+            &[1, 2, 3, 4, 5],                         // IntIssueWidth
+            &[1, 2],                                  // MemFpIssueWidth
+            &[2, 4, 8],                               // CacheWay
+            &[8, 16, 32],                             // DtlbEntry
+            &[6, 8, 10, 12, 14, 16, 18, 20],          // BranchCount
+            &[2, 4, 8],                               // MshrEntry
+        ];
+        Self {
+            axes: SWEPT
+                .iter()
+                .zip(values)
+                .map(|(&param, vals)| Axis {
+                    param,
+                    values: vals.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces the candidate values of one swept axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` is not a swept axis (derived parameters cannot be
+    /// overridden), if `values` is empty, or if any value is zero.
+    pub fn with_axis(mut self, param: HwParam, values: Vec<u32>) -> Self {
+        assert!(
+            !values.is_empty(),
+            "axis needs at least one candidate value"
+        );
+        assert!(
+            values.iter().all(|&v| v > 0),
+            "axis values must be positive"
+        );
+        let axis = self
+            .axes
+            .iter_mut()
+            .find(|a| a.param == param)
+            .unwrap_or_else(|| panic!("{param} is a derived parameter, not a swept axis"));
+        axis.values = values;
+        self
+    }
+
+    /// The swept axes.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of raw grid points (before validity filtering).
+    pub fn raw_size(&self) -> u64 {
+        self.axes.iter().map(|a| a.values.len() as u64).product()
+    }
+
+    /// Whether a full parameter assignment satisfies the space's validity
+    /// constraints (all of which hold for every Table II column):
+    ///
+    /// * `DecodeWidth <= FetchWidth`,
+    /// * `IntIssueWidth <= DecodeWidth` and `MemFpIssueWidth <= IntIssueWidth`,
+    /// * `RobEntry >= 16 * DecodeWidth` (enough in-flight instructions to feed
+    ///   the width),
+    /// * `FetchBufferEntry >= FetchWidth` and divisible by `DecodeWidth`,
+    /// * `BranchCount >= 2 * DecodeWidth` (room for the branches a wide decode
+    ///   exposes),
+    /// * `LdqStqEntry >= 4`.
+    pub fn is_valid(&self, p: &HardwareParams) -> bool {
+        let fetch = p.value(HwParam::FetchWidth);
+        let decode = p.value(HwParam::DecodeWidth);
+        let int_issue = p.value(HwParam::IntIssueWidth);
+        let memfp_issue = p.value(HwParam::MemFpIssueWidth);
+        let rob = p.value(HwParam::RobEntry);
+        let fbuf = p.value(HwParam::FetchBufferEntry);
+        decode <= fetch
+            && int_issue <= decode
+            && memfp_issue <= int_issue
+            && rob >= 16 * decode
+            && fbuf >= fetch
+            && fbuf.is_multiple_of(decode)
+            && p.value(HwParam::BranchCount) >= 2 * decode
+            && p.value(HwParam::LdqStqEntry) >= 4
+    }
+
+    /// The full parameter assignment of the raw grid point with mixed-radix
+    /// index `k` (axis order, last axis fastest).
+    fn params_at(&self, mut k: u64) -> HardwareParams {
+        let mut swept = [0u32; SWEPT.len()];
+        for (slot, axis) in swept.iter_mut().zip(&self.axes).rev() {
+            let radix = axis.values.len() as u64;
+            *slot = axis.values[(k % radix) as usize];
+            k /= radix;
+        }
+        let [fetch, decode, rob, int_issue, memfp_issue, way, dtlb, branch, mshr] = swept;
+        // Dependent parameters, tied to the independent ones the way the BOOM
+        // generator sizes them: the fetch buffer holds a few groups per decode
+        // lane (always a multiple of DecodeWidth), the physical register files
+        // track the ROB within the Table II envelope, the load/store queues are
+        // a quarter of the ROB, and the fetch bytes scale with the fetch width.
+        let fbuf = 8 * decode;
+        let phys = (rob + 4).clamp(36, 140);
+        let ldq = (rob / 4).max(4);
+        let fetch_bytes = fetch / 2;
+        HardwareParams::new([
+            fetch,
+            decode,
+            fbuf,
+            rob,
+            phys,
+            phys,
+            ldq,
+            branch,
+            memfp_issue,
+            int_issue,
+            way,
+            dtlb,
+            mshr,
+            fetch_bytes,
+        ])
+    }
+
+    /// Enumerates every valid, non-seed grid point in deterministic
+    /// lexicographic axis order, assigning generated identifiers (`G1`, `G2`,
+    /// …) in emission order.
+    pub fn enumerate(&self) -> impl Iterator<Item = CpuConfig> + '_ {
+        let seeds = seed_params();
+        (0..self.raw_size())
+            .map(|k| self.params_at(k))
+            .filter(move |p| self.is_valid(p) && !seeds.contains(p))
+            .enumerate()
+            .map(|(i, params)| CpuConfig::new(ConfigId::generated(i as u32 + 1), params))
+    }
+
+    /// Draws `count` distinct valid, non-seed configurations from a seeded,
+    /// stateless pseudo-random stream.  The result is a pure function of
+    /// `(self, count, sample_seed)` — independent of call order, thread count
+    /// or global state — and identifiers are assigned `G1..=Gcount` in draw
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space does not contain `count` distinct valid points
+    /// (detected after a bounded number of rejected draws).
+    pub fn sample(&self, count: usize, sample_seed: u64) -> Vec<CpuConfig> {
+        // Seeds pre-populate the taken set so seeded points are rejected like
+        // duplicates; the set keeps duplicate detection O(1) per draw.
+        let mut taken: std::collections::HashSet<HardwareParams> =
+            seed_params().into_iter().collect();
+        let mut configs = Vec::with_capacity(count);
+        // A generous rejection budget: the boom() space keeps well over 10 % of
+        // its raw grid, so running out means the caller over-constrained the
+        // axes relative to `count`.
+        let max_attempts = (count as u64 + 16).saturating_mul(1_000);
+        let mut attempt: u64 = 0;
+        while configs.len() < count {
+            assert!(
+                attempt < max_attempts,
+                "design space too small for {count} distinct configurations"
+            );
+            let draw = seed::splitmix64(seed::combine(sample_seed, attempt));
+            attempt += 1;
+            let k = draw % self.raw_size();
+            let params = self.params_at(k);
+            if !self.is_valid(&params) || !taken.insert(params) {
+                continue;
+            }
+            configs.push(CpuConfig::new(
+                ConfigId::generated(configs.len() as u32 + 1),
+                params,
+            ));
+        }
+        configs
+    }
+}
+
+/// Parameter assignments of the 15 seeded configurations (for duplicate
+/// exclusion).
+fn seed_params() -> Vec<HardwareParams> {
+    boom_configs().iter().map(|c| c.params).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_satisfy_the_validity_constraints() {
+        // The constraints are distilled from Table II, so every seeded column
+        // must pass them.
+        let space = DesignSpace::boom();
+        for cfg in boom_configs() {
+            assert!(
+                space.is_valid(&cfg.params),
+                "{} violates constraints",
+                cfg.id
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_yields_valid_distinct_non_seed_points() {
+        let space = DesignSpace::boom();
+        let some: Vec<CpuConfig> = space.enumerate().take(500).collect();
+        assert_eq!(some.len(), 500);
+        let seeds = seed_params();
+        for (i, cfg) in some.iter().enumerate() {
+            assert_eq!(cfg.id, ConfigId::generated(i as u32 + 1));
+            assert!(space.is_valid(&cfg.params));
+            assert!(!seeds.contains(&cfg.params));
+        }
+        let mut params: Vec<_> = some.iter().map(|c| *c.params.values()).collect();
+        params.sort_unstable();
+        params.dedup();
+        assert_eq!(params.len(), 500, "enumeration emitted a duplicate point");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let space = DesignSpace::boom();
+        let a = space.sample(64, 7);
+        let b = space.sample(64, 7);
+        assert_eq!(a, b);
+        let c = space.sample(64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn with_axis_overrides_and_rejects_derived_params() {
+        let space = DesignSpace::boom().with_axis(HwParam::FetchWidth, vec![8]);
+        assert!(space
+            .enumerate()
+            .take(100)
+            .all(|c| c.value(HwParam::FetchWidth) == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "derived parameter")]
+    fn derived_axis_override_panics() {
+        let _ = DesignSpace::boom().with_axis(HwParam::IntPhyRegister, vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn oversampling_a_tiny_space_panics() {
+        // One point per axis: at most one valid configuration exists.
+        let mut space = DesignSpace::boom();
+        for axis in SWEPT {
+            let first = space
+                .axes()
+                .iter()
+                .find(|a| a.param == axis)
+                .unwrap()
+                .values[0];
+            space = space.with_axis(axis, vec![first]);
+        }
+        let _ = space.sample(10, 0);
+    }
+}

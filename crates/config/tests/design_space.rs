@@ -1,0 +1,94 @@
+//! Property tests of the design-space generator: every emitted configuration
+//! is valid, non-seed and duplicate-free, and both emission modes are
+//! deterministic functions of their inputs.
+
+use autopower_config::{boom_configs, DesignSpace, HardwareParams, HwParam};
+use proptest::prelude::*;
+
+/// Collects the parameter vectors of the 15 seeded configurations.
+fn seed_param_sets() -> Vec<HardwareParams> {
+    boom_configs().iter().map(|c| c.params).collect()
+}
+
+/// Asserts the invariants every emitted configuration must satisfy.
+fn check_emitted(
+    space: &DesignSpace,
+    configs: &[autopower_config::CpuConfig],
+) -> Result<(), proptest::TestCaseError> {
+    let seeds = seed_param_sets();
+    let mut seen: Vec<[u32; 14]> = Vec::with_capacity(configs.len());
+    for (i, cfg) in configs.iter().enumerate() {
+        prop_assert!(
+            space.is_valid(&cfg.params),
+            "config {} violates the validity constraints",
+            cfg.id
+        );
+        prop_assert!(!cfg.id.is_seed(), "{} reuses a seed identifier", cfg.id);
+        prop_assert_eq!(cfg.id.generated_index(), Some(i as u32 + 1));
+        prop_assert!(
+            !seeds.contains(&cfg.params),
+            "{} duplicates a seeded configuration",
+            cfg.id
+        );
+        prop_assert!(
+            !seen.contains(cfg.params.values()),
+            "{} duplicates an earlier generated point",
+            cfg.id
+        );
+        seen.push(*cfg.params.values());
+        // Spot-check the structural constraints directly, independent of
+        // is_valid, so a bug in the validity predicate itself cannot hide one
+        // in the emitter.
+        prop_assert!(cfg.value(HwParam::DecodeWidth) <= cfg.value(HwParam::FetchWidth));
+        prop_assert!(cfg.value(HwParam::IntIssueWidth) <= cfg.value(HwParam::DecodeWidth));
+        prop_assert!(cfg.value(HwParam::RobEntry) >= 16 * cfg.value(HwParam::DecodeWidth));
+        prop_assert!(cfg
+            .value(HwParam::FetchBufferEntry)
+            .is_multiple_of(cfg.value(HwParam::DecodeWidth)));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Seeded sampling emits exactly `count` valid, distinct, non-seed
+    /// configurations and is a pure function of `(count, seed)`.
+    #[test]
+    fn sampling_is_valid_duplicate_free_and_deterministic(
+        count in 1usize..40,
+        sample_seed in 0u64..1_000_000,
+    ) {
+        let space = DesignSpace::boom();
+        let configs = space.sample(count, sample_seed);
+        prop_assert_eq!(configs.len(), count);
+        check_emitted(&space, &configs)?;
+        prop_assert_eq!(space.sample(count, sample_seed), configs);
+    }
+
+    /// Enumeration is deterministic, duplicate-free and valid over arbitrary
+    /// prefixes, and a shorter prefix is always a prefix of a longer one.
+    #[test]
+    fn enumeration_is_valid_and_deterministic(take in 1usize..300) {
+        let space = DesignSpace::boom();
+        let configs: Vec<_> = space.enumerate().take(take).collect();
+        prop_assert_eq!(configs.len(), take);
+        check_emitted(&space, &configs)?;
+        let again: Vec<_> = space.enumerate().take(take).collect();
+        prop_assert_eq!(&again, &configs);
+        let shorter: Vec<_> = space.enumerate().take(take / 2).collect();
+        prop_assert_eq!(&configs[..take / 2], &shorter[..]);
+    }
+
+    /// Different sample seeds explore different corners of the space (no seed
+    /// aliasing): two draws of the same size share at most half their points.
+    #[test]
+    fn different_seeds_draw_different_points(sample_seed in 0u64..100_000) {
+        let space = DesignSpace::boom();
+        let a = space.sample(16, sample_seed);
+        let b = space.sample(16, sample_seed.wrapping_add(1));
+        let shared = a
+            .iter()
+            .filter(|c| b.iter().any(|d| d.params == c.params))
+            .count();
+        prop_assert!(shared <= 8, "{shared} of 16 points shared between adjacent seeds");
+    }
+}

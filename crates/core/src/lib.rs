@@ -17,7 +17,9 @@
 //!    count × activity and stable × variation for logic.
 //!
 //! The crate also implements the paper's baselines (McPAT-Calib, McPAT-Calib +
-//! Component, and the AutoPower− ablation) and time-based power-trace prediction.
+//! Component, and the AutoPower− ablation), time-based power-trace prediction, and
+//! the batch design-space sweep path ([`SweepEngine`] / [`AutoPower::predict_batch`])
+//! that scores generated configurations without ever synthesizing them.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ mod logic;
 mod model;
 pub mod pipeline;
 mod sram;
+pub mod sweep;
 mod trace;
 mod xval;
 
@@ -69,6 +72,7 @@ pub use sram::{
     predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
     SramActivityModel, SramPowerModel,
 };
+pub use sweep::{summarize, ConfigSummary, SweepEngine, SweepPoint, SweepSpec};
 pub use trace::{evaluate_trace_prediction, trace_errors, PowerTracePredictor, TraceErrors};
 pub use xval::{cross_validate, CrossValidation};
 

@@ -148,7 +148,7 @@ impl<'a> SubstratePipeline<'a> {
 /// parallel path hands out indices through an atomic cursor to a scoped worker
 /// pool and writes each result into its input-indexed slot, so the output is
 /// identical to the serial path for any pure `f`.
-fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+pub(crate) fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

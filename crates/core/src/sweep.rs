@@ -1,0 +1,292 @@
+//! Batch inference over generated configurations: the design-space sweep path.
+//!
+//! Corpus generation ([`Corpus`](crate::Corpus)) runs the *full* substrate flow
+//! — synthesis, performance simulation and golden power — because training and
+//! evaluation need ground truth.  Scoring an unseen configuration needs none of
+//! that: a trained [`AutoPower`] model predicts power from the hardware
+//! parameters `H` and the event parameters `E` alone, and `E` comes from a fast
+//! performance simulation.  That asymmetry is the paper's whole point, and
+//! [`SweepEngine`] exploits it to score thousands of configurations that were
+//! never synthesized and never power-simulated.
+//!
+//! The engine shards the `configs × workloads` cross product into bounded
+//! chunks and runs each chunk through the same `parallel_map` substrate the
+//! corpus pipeline uses.  Each job simulates one pair, predicts its power, and
+//! keeps only a compact [`SweepPoint`] — the heavyweight `SimResult` dies with
+//! the job, so memory stays flat no matter how many configurations are swept.
+//! Results are collected in input order, making the sweep bit-identical for
+//! every worker-thread count.
+
+use crate::model::AutoPower;
+use crate::pipeline::parallel_map;
+use autopower_config::{CpuConfig, Workload};
+use autopower_perfsim::{simulate, SimConfig};
+use autopower_powersim::PowerGroups;
+
+/// Knobs of a design-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSpec {
+    /// Performance-simulation settings used to obtain each point's event
+    /// parameters.
+    pub sim: SimConfig,
+    /// Worker threads per shard: `0` (the default) uses one worker per
+    /// available core, `1` runs serially.  The predictions are bit-identical
+    /// for every value.
+    pub threads: usize,
+    /// Configurations per shard; bounds peak memory and work-queue length.
+    pub chunk_configs: usize,
+}
+
+impl SweepSpec {
+    /// Paper-scale simulation settings.
+    pub fn paper() -> Self {
+        Self {
+            sim: SimConfig::paper(),
+            threads: 0,
+            chunk_configs: 64,
+        }
+    }
+
+    /// Small, fast settings for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            sim: SimConfig::fast(),
+            ..Self::paper()
+        }
+    }
+
+    /// Same settings with an explicit worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count a sweep will actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One scored `(configuration, workload)` point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The scored configuration.
+    pub config: CpuConfig,
+    /// The simulated workload.
+    pub workload: Workload,
+    /// Predicted per-group power in mW.
+    pub power: PowerGroups,
+    /// Simulated instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Per-configuration aggregate over all swept workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigSummary {
+    /// The scored configuration.
+    pub config: CpuConfig,
+    /// Mean predicted per-group power across the workloads, in mW.
+    pub mean_power: PowerGroups,
+    /// Mean simulated IPC across the workloads.
+    pub mean_ipc: f64,
+    /// Mean energy per instruction in pJ (power / IPC at a nominal 1 GHz).
+    pub energy_per_instruction: f64,
+}
+
+/// Sweeps a set of configurations through a trained model.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEngine<'a> {
+    model: &'a AutoPower,
+    spec: SweepSpec,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// Creates an engine around a trained model.
+    pub fn new(model: &'a AutoPower, spec: SweepSpec) -> Self {
+        Self { model, spec }
+    }
+
+    /// The sweep settings.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Scores every `(configuration, workload)` pair, configuration-major, in
+    /// deterministic input order.
+    pub fn run(&self, configs: &[CpuConfig], workloads: &[Workload]) -> Vec<SweepPoint> {
+        let threads = self.spec.effective_threads();
+        let per_config = workloads.len();
+        let chunk = self.spec.chunk_configs.max(1);
+        let mut points = Vec::with_capacity(configs.len() * per_config);
+        for shard in configs.chunks(chunk) {
+            points.extend(parallel_map(threads, shard.len() * per_config, |i| {
+                let config = shard[i / per_config];
+                let workload = workloads[i % per_config];
+                let sim = simulate(&config, workload, &self.spec.sim);
+                SweepPoint {
+                    config,
+                    workload,
+                    power: self.model.predict(&config, &sim.events, workload),
+                    ipc: sim.ipc(),
+                }
+            }));
+        }
+        points
+    }
+
+    /// Scores every pair and folds the points into one [`ConfigSummary`] per
+    /// configuration, in input order.
+    pub fn run_summaries(
+        &self,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+    ) -> Vec<ConfigSummary> {
+        summarize(&self.run(configs, workloads), workloads.len())
+    }
+}
+
+/// Folds configuration-major sweep points into per-configuration summaries.
+///
+/// # Panics
+///
+/// Panics if `points` is not a whole number of `per_config`-sized groups.
+pub fn summarize(points: &[SweepPoint], per_config: usize) -> Vec<ConfigSummary> {
+    assert!(
+        per_config > 0,
+        "need at least one workload per configuration"
+    );
+    assert_eq!(
+        points.len() % per_config,
+        0,
+        "points must cover every workload of every configuration"
+    );
+    points
+        .chunks(per_config)
+        .map(|group| {
+            let n = group.len() as f64;
+            let mut mean_power = PowerGroups::default();
+            let mut mean_ipc = 0.0;
+            for p in group {
+                mean_power += p.power;
+                mean_ipc += p.ipc;
+            }
+            mean_power.clock /= n;
+            mean_power.sram /= n;
+            mean_power.register /= n;
+            mean_power.combinational /= n;
+            mean_ipc /= n;
+            ConfigSummary {
+                config: group[0].config,
+                mean_power,
+                mean_ipc,
+                energy_per_instruction: mean_power.total() / mean_ipc.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+impl AutoPower {
+    /// Batch inference: predicts per-group power (and simulated IPC) for every
+    /// `(configuration, workload)` pair without synthesis or golden power.
+    ///
+    /// Convenience wrapper around [`SweepEngine::run`].
+    pub fn predict_batch(
+        &self,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+        spec: &SweepSpec,
+    ) -> Vec<SweepPoint> {
+        SweepEngine::new(self, *spec).run(configs, workloads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Corpus, CorpusSpec};
+    use autopower_config::{boom_configs, ConfigId, DesignSpace};
+
+    fn trained_model() -> AutoPower {
+        let cfgs = boom_configs();
+        let corpus = Corpus::generate(
+            &[cfgs[0], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        );
+        AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)]).unwrap()
+    }
+
+    #[test]
+    fn batch_predictions_cover_every_pair_in_order() {
+        let model = trained_model();
+        let configs = DesignSpace::boom().sample(5, 11);
+        let workloads = [Workload::Dhrystone, Workload::Qsort];
+        let points = model.predict_batch(&configs, &workloads, &SweepSpec::fast().threads(1));
+        assert_eq!(points.len(), 10);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.config, configs[i / 2]);
+            assert_eq!(p.workload, workloads[i % 2]);
+            assert!(p.power.total() > 0.0, "non-physical power at point {i}");
+            assert!(p.ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts_and_chunking() {
+        let model = trained_model();
+        let configs = DesignSpace::boom().sample(6, 3);
+        let workloads = [Workload::Dhrystone, Workload::Vvadd];
+        let serial = SweepEngine::new(
+            &model,
+            SweepSpec {
+                chunk_configs: 1,
+                ..SweepSpec::fast().threads(1)
+            },
+        )
+        .run(&configs, &workloads);
+        let parallel =
+            SweepEngine::new(&model, SweepSpec::fast().threads(8)).run(&configs, &workloads);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn summaries_average_over_workloads() {
+        let model = trained_model();
+        let configs = DesignSpace::boom().sample(3, 5);
+        let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+        let engine = SweepEngine::new(&model, SweepSpec::fast().threads(1));
+        let points = engine.run(&configs, &workloads);
+        let summaries = summarize(&points, workloads.len());
+        assert_eq!(summaries.len(), 3);
+        for (i, s) in summaries.iter().enumerate() {
+            assert_eq!(s.config, configs[i]);
+            let expected: f64 = points[i * 3..(i + 1) * 3]
+                .iter()
+                .map(|p| p.power.total())
+                .sum::<f64>()
+                / 3.0;
+            assert!((s.mean_power.total() - expected).abs() < 1e-9);
+            assert!(s.energy_per_instruction > 0.0);
+        }
+        assert_eq!(summaries, engine.run_summaries(&configs, &workloads));
+    }
+
+    #[test]
+    #[should_panic(expected = "every workload")]
+    fn ragged_summary_input_panics() {
+        let model = trained_model();
+        let configs = DesignSpace::boom().sample(1, 1);
+        let points = model.predict_batch(&configs, &[Workload::Vvadd], &SweepSpec::fast());
+        let _ = summarize(&points, 2);
+    }
+}

@@ -89,13 +89,18 @@ pub fn trace_errors(golden: &PowerTrace, predicted: &PowerTrace) -> TraceErrors 
     );
     let g = golden.totals();
     let p = predicted.totals();
-    let avg = g
-        .iter()
-        .zip(&p)
-        .filter(|(t, _)| **t > 0.0)
-        .map(|(t, q)| ((q - t) / t).abs())
-        .sum::<f64>()
-        / g.len() as f64;
+    // Relative error is undefined where the golden power is zero; those
+    // intervals are excluded from the numerator AND the denominator (dividing
+    // by the full interval count would silently bias the average low).
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for (t, q) in g.iter().zip(&p) {
+        if *t > 0.0 {
+            n += 1;
+            sum += ((q - t) / t).abs();
+        }
+    }
+    let avg = if n == 0 { 0.0 } else { sum / n as f64 };
     TraceErrors {
         max_power_error: rel_err(golden.max_power(), predicted.max_power()),
         min_power_error: rel_err(golden.min_power(), predicted.min_power()),
@@ -175,6 +180,42 @@ mod tests {
         assert_eq!(e.min_power_error, 0.0);
         assert_eq!(e.average_error, 0.0);
         assert_eq!(e.average_error_percent(), 0.0);
+    }
+
+    #[test]
+    fn zero_power_intervals_do_not_bias_the_average_error() {
+        use autopower_powersim::PowerGroups;
+        let flat_trace = |totals: &[f64]| PowerTrace {
+            config: ConfigId::new(1),
+            workload: Workload::Gemm,
+            interval_cycles: 50,
+            samples: totals
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| PowerSample {
+                    start_cycle: i as u64 * 50,
+                    cycles: 50,
+                    power: PowerGroups {
+                        clock: t,
+                        sram: 0.0,
+                        register: 0.0,
+                        combinational: 0.0,
+                    },
+                })
+                .collect(),
+        };
+        // Golden [10, 0, 20] vs predicted [11, 5, 22]: 10 % relative error on
+        // each of the two non-zero intervals.  The zero-power interval carries
+        // no defined relative error and must not shrink the mean (the old
+        // divide-by-all-intervals code reported 6.67 % here).
+        let golden = flat_trace(&[10.0, 0.0, 20.0]);
+        let predicted = flat_trace(&[11.0, 5.0, 22.0]);
+        let e = trace_errors(&golden, &predicted);
+        assert!((e.average_error - 0.1).abs() < 1e-12, "{}", e.average_error);
+        // All-zero golden traces degrade to a zero average error, not NaN.
+        let zeros = flat_trace(&[0.0, 0.0]);
+        let pred = flat_trace(&[1.0, 2.0]);
+        assert_eq!(trace_errors(&zeros, &pred).average_error, 0.0);
     }
 
     #[test]

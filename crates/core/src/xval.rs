@@ -37,8 +37,18 @@ impl CrossValidation {
     }
 
     /// Worst-fold MAPE — the pessimistic view an architect would plan around.
+    ///
+    /// NaN-safe: a fold with an undefined MAPE (e.g. from a degenerate golden
+    /// total) makes the worst-fold figure NaN instead of being silently
+    /// dropped, as `f64::max` would do.
     pub fn worst_fold_mape(&self) -> f64 {
-        self.folds.iter().map(|f| f.mape).fold(0.0, f64::max)
+        self.folds.iter().map(|f| f.mape).fold(0.0, |worst, mape| {
+            if worst.is_nan() || mape.is_nan() {
+                f64::NAN
+            } else {
+                worst.max(mape)
+            }
+        })
     }
 }
 
@@ -109,6 +119,31 @@ mod tests {
         assert_eq!(pooled.pairs.len(), c.runs().len());
         assert!(pooled.mape < 0.35, "pooled MAPE {}", pooled.mape);
         assert!(xv.worst_fold_mape() >= pooled.mape - 1e-12);
+    }
+
+    #[test]
+    fn worst_fold_mape_propagates_nan_folds() {
+        let fold = |mape: f64| AccuracySummary {
+            mape,
+            r_squared: 1.0,
+            pearson: 1.0,
+            pairs: vec![PredictionPair {
+                config: ConfigId::new(1),
+                workload: Workload::Vvadd,
+                truth: 1.0,
+                prediction: 1.0,
+            }],
+        };
+        let healthy = CrossValidation {
+            configs: vec![ConfigId::new(1), ConfigId::new(2)],
+            folds: vec![fold(0.05), fold(0.12)],
+        };
+        assert_eq!(healthy.worst_fold_mape(), 0.12);
+        let poisoned = CrossValidation {
+            configs: vec![ConfigId::new(1), ConfigId::new(2)],
+            folds: vec![fold(f64::NAN), fold(0.12)],
+        };
+        assert!(poisoned.worst_fold_mape().is_nan());
     }
 
     #[test]

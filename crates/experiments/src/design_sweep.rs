@@ -1,0 +1,262 @@
+//! Design-space sweep: scoring generated (non-seed) configurations through the
+//! few-shot model — the tool the paper's introduction promises an architect.
+//!
+//! Unlike the figure/table experiments, this one leaves the 15 seeded
+//! configurations behind: it trains AutoPower on the usual two known
+//! configurations, draws `count` fresh configurations from
+//! [`DesignSpace::boom`], and batch-predicts their per-group power across the
+//! average-power workloads.  No synthesis and no golden power simulation run
+//! for any generated configuration — only a fast performance simulation per
+//! `(configuration, workload)` pair.
+
+use crate::report::format_table;
+use crate::Experiments;
+use autopower::{summarize, ConfigSummary, SweepEngine, SweepSpec};
+use autopower_config::{ConfigId, DesignSpace, HwParam, Workload};
+use std::fmt;
+
+/// Seed of the design-space draw: fixed so the swept configurations (and hence
+/// the printed summary) are reproducible across runs and thread counts.
+const SAMPLE_SEED: u64 = 0xA070_90E5;
+
+/// How many best configurations the ranked summary prints.
+const TOP_K: usize = 10;
+
+/// Result of the design-space sweep experiment.
+#[derive(Debug, Clone)]
+pub struct DesignSweepResult {
+    /// The known configurations the model was trained on.
+    pub train_configs: Vec<ConfigId>,
+    /// The workloads every configuration was scored on.
+    pub workloads: Vec<Workload>,
+    /// One summary per generated configuration, in draw order.
+    pub summaries: Vec<ConfigSummary>,
+}
+
+impl DesignSweepResult {
+    /// Quantile of the per-configuration mean total power (q in `[0, 1]`,
+    /// nearest-rank on the sorted totals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn total_power_quantile(&self, q: f64) -> f64 {
+        let totals = sorted(
+            self.summaries
+                .iter()
+                .map(|s| s.mean_power.total())
+                .collect(),
+        );
+        quantile(&totals, q)
+    }
+
+    /// The `k` most energy-efficient configurations (lowest predicted energy
+    /// per instruction), best first.
+    pub fn top_by_efficiency(&self, k: usize) -> Vec<&ConfigSummary> {
+        let mut ranked: Vec<&ConfigSummary> = self.summaries.iter().collect();
+        ranked.sort_by(|a, b| {
+            a.energy_per_instruction
+                .partial_cmp(&b.energy_per_instruction)
+                .expect("finite efficiency")
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Sorts one power series ascending.
+fn sorted(mut values: Vec<f64>) -> Vec<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite power values"));
+    values
+}
+
+/// Nearest-rank quantile of an ascending series (the single implementation
+/// behind both [`DesignSweepResult::total_power_quantile`] and the printed
+/// report).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "empty series has no quantiles");
+    values[((values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize]
+}
+
+/// One report row: a label plus min/p25/median/p75/max of a series.
+fn quantile_row(label: &str, values: Vec<f64>) -> Vec<String> {
+    let values = sorted(values);
+    let mut row = vec![label.to_owned()];
+    for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        row.push(format!("{:.2}", quantile(&values, q)));
+    }
+    row
+}
+
+impl fmt::Display for DesignSweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Design-space sweep — {} generated configurations x {} workloads, trained on {}",
+            self.summaries.len(),
+            self.workloads.len(),
+            self.train_configs
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "predicted power across the space (mW, mean over workloads)"
+        )?;
+        type GroupGetter = fn(&ConfigSummary) -> f64;
+        let groups: [(&str, GroupGetter); 5] = [
+            ("clock", |s| s.mean_power.clock),
+            ("sram", |s| s.mean_power.sram),
+            ("register", |s| s.mean_power.register),
+            ("combinational", |s| s.mean_power.combinational),
+            ("total", |s| s.mean_power.total()),
+        ];
+        let rows: Vec<Vec<String>> = groups
+            .iter()
+            .map(|(label, get)| quantile_row(label, self.summaries.iter().map(get).collect()))
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            format_table(&["group", "min", "p25", "median", "p75", "max"], &rows)
+        )?;
+        writeln!(
+            f,
+            "top {} configurations by predicted energy per instruction",
+            TOP_K.min(self.summaries.len())
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .top_by_efficiency(TOP_K)
+            .iter()
+            .map(|s| {
+                vec![
+                    s.config.id.to_string(),
+                    s.config.value(HwParam::FetchWidth).to_string(),
+                    s.config.value(HwParam::DecodeWidth).to_string(),
+                    s.config.value(HwParam::RobEntry).to_string(),
+                    s.config.value(HwParam::IntIssueWidth).to_string(),
+                    s.config.value(HwParam::CacheWay).to_string(),
+                    format!("{:.2}", s.mean_ipc),
+                    format!("{:.2}", s.mean_power.total()),
+                    format!("{:.2}", s.energy_per_instruction),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            format_table(
+                &[
+                    "config",
+                    "fetch",
+                    "decode",
+                    "rob",
+                    "issue",
+                    "ways",
+                    "IPC",
+                    "power(mW)",
+                    "pJ/instr",
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+impl Experiments {
+    /// Sweeps `count` generated design points through a model trained on the
+    /// two known configurations.
+    ///
+    /// Deterministic end to end: the design-space draw is fixed-seeded, corpus
+    /// generation and batch inference are bit-identical for every thread
+    /// count, so the printed summary never depends on `--threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero — an empty sweep has nothing to report.
+    pub fn design_space_sweep(&self, count: usize) -> DesignSweepResult {
+        assert!(count > 0, "a sweep needs at least one configuration");
+        let corpus = self.sweep_training_corpus();
+        let train = self.settings().train_two.clone();
+        let model =
+            autopower::AutoPower::train(&corpus, &train).expect("AutoPower training succeeds");
+        let configs = DesignSpace::boom().sample(count, SAMPLE_SEED);
+        let workloads = self.settings().average_workloads.clone();
+        let spec = SweepSpec {
+            sim: self.settings().average_sim,
+            threads: self.settings().threads,
+            ..SweepSpec::paper()
+        };
+        let points = SweepEngine::new(&model, spec).run(&configs, &workloads);
+        DesignSweepResult {
+            train_configs: train,
+            workloads: workloads.clone(),
+            summaries: summarize(&points, workloads.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scores_the_requested_number_of_generated_configs() {
+        let exp = Experiments::fast();
+        let result = exp.design_space_sweep(24);
+        assert_eq!(result.summaries.len(), 24);
+        for s in &result.summaries {
+            assert!(!s.config.id.is_seed(), "{} is a seed", s.config.id);
+            assert!(s.mean_power.total() > 0.0);
+            assert!(s.mean_ipc > 0.0);
+        }
+        // Quantiles are ordered and the efficiency ranking is sorted.
+        assert!(result.total_power_quantile(0.0) <= result.total_power_quantile(0.5));
+        assert!(result.total_power_quantile(0.5) <= result.total_power_quantile(1.0));
+        let top = result.top_by_efficiency(5);
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].energy_per_instruction <= pair[1].energy_per_instruction);
+        }
+        // The printed summary names the sweep and contains both tables.
+        let text = result.to_string();
+        assert!(text.contains("24 generated configurations"));
+        assert!(text.contains("median"));
+        assert!(text.contains("pJ/instr"));
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let exp = Experiments::fast();
+        let a = exp.design_space_sweep(8);
+        let b = exp.design_space_sweep(8);
+        assert_eq!(a.summaries, b.summaries);
+    }
+
+    #[test]
+    fn standalone_sweep_matches_sweep_after_full_corpus() {
+        // A standalone sweep trains on the restricted (train-configs-only)
+        // corpus; after another experiment populated the full average-power
+        // corpus, training reuses it.  Both paths must produce the same model
+        // and hence the same sweep.
+        let standalone = Experiments::fast();
+        let a = standalone.design_space_sweep(6);
+        let warmed = Experiments::fast();
+        let _ = warmed.average_corpus();
+        let b = warmed.design_space_sweep(6);
+        assert_eq!(a.summaries, b.summaries);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_sweep_is_rejected() {
+        let _ = Experiments::fast().design_space_sweep(0);
+    }
+}

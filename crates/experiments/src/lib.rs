@@ -16,12 +16,14 @@
 //! | Fig. 8 (SRAM-model detail vs AutoPower−) | [`Experiments::fig8_sram_detail`] | `fig8` |
 //! | Table IV (time-based power traces) | [`Experiments::table4_power_trace`] | `table4` |
 //! | Ablations (program features, simulator inaccuracy) | [`Experiments::ablation_study`] | `ablation` |
+//! | Design-space sweep (generated configurations) | [`Experiments::design_space_sweep`] | `sweep` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ablation;
 mod accuracy;
+mod design_sweep;
 mod detail;
 mod obs1;
 mod report;
@@ -32,6 +34,7 @@ mod trace_exp;
 
 pub use ablation::AblationResult;
 pub use accuracy::{AccuracyComparison, MethodAccuracy};
+pub use design_sweep::DesignSweepResult;
 pub use detail::{GroupDetailResult, SubModelAccuracy};
 pub use obs1::BreakdownResult;
 pub use report::{format_table, percent};
@@ -43,12 +46,14 @@ pub use trace_exp::{TraceCase, TraceResult};
 use autopower::{Corpus, CorpusSpec};
 use autopower_config::Workload;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// The experiment harness: owns the settings and caches the generated corpora.
 pub struct Experiments {
     settings: ExperimentSettings,
-    average_corpus: RefCell<Option<Corpus>>,
-    trace_corpus: RefCell<Option<Corpus>>,
+    average_corpus: RefCell<Option<Arc<Corpus>>>,
+    trace_corpus: RefCell<Option<Arc<Corpus>>>,
+    train_corpus: RefCell<Option<Arc<Corpus>>>,
 }
 
 impl Experiments {
@@ -58,6 +63,7 @@ impl Experiments {
             settings,
             average_corpus: RefCell::new(None),
             trace_corpus: RefCell::new(None),
+            train_corpus: RefCell::new(None),
         }
     }
 
@@ -77,46 +83,75 @@ impl Experiments {
     }
 
     /// The average-power corpus (riscv-tests workloads), generated on first use.
-    pub fn average_corpus(&self) -> Corpus {
-        self.average_corpus
-            .borrow_mut()
-            .get_or_insert_with(|| {
-                Corpus::generate(
-                    &self.settings.configs,
-                    &self.settings.average_workloads,
-                    &CorpusSpec {
-                        sim: self.settings.average_sim,
-                        threads: self.settings.threads,
-                    },
-                )
-            })
-            .clone()
+    ///
+    /// Hands out a shared [`Arc`]: the nine experiments all read the same
+    /// cached corpus instead of each deep-cloning every run.
+    pub fn average_corpus(&self) -> Arc<Corpus> {
+        Arc::clone(self.average_corpus.borrow_mut().get_or_insert_with(|| {
+            Arc::new(Corpus::generate(
+                &self.settings.configs,
+                &self.settings.average_workloads,
+                &CorpusSpec {
+                    sim: self.settings.average_sim,
+                    threads: self.settings.threads,
+                },
+            ))
+        }))
     }
 
     /// The trace corpus (GEMM / SPMM on the trace target configurations plus the
-    /// training configurations), generated on first use.
-    pub fn trace_corpus(&self) -> Corpus {
-        self.trace_corpus
-            .borrow_mut()
-            .get_or_insert_with(|| {
-                let mut configs = self.settings.trace_configs.clone();
-                for id in &self.settings.train_two {
-                    let cfg = autopower_config::config_by_id(*id);
-                    if !configs.iter().any(|c| c.id == cfg.id) {
-                        configs.push(cfg);
-                    }
+    /// training configurations), generated on first use and shared like
+    /// [`Experiments::average_corpus`].
+    pub fn trace_corpus(&self) -> Arc<Corpus> {
+        Arc::clone(self.trace_corpus.borrow_mut().get_or_insert_with(|| {
+            let mut configs = self.settings.trace_configs.clone();
+            for id in &self.settings.train_two {
+                let cfg = autopower_config::config_by_id(*id);
+                if !configs.iter().any(|c| c.id == cfg.id) {
+                    configs.push(cfg);
                 }
-                let workloads: Vec<Workload> = Workload::TRACE_WORKLOADS.to_vec();
-                Corpus::generate(
-                    &configs,
-                    &workloads,
-                    &CorpusSpec {
-                        sim: self.settings.trace_sim,
-                        threads: self.settings.threads,
-                    },
-                )
-            })
-            .clone()
+            }
+            let workloads: Vec<Workload> = Workload::TRACE_WORKLOADS.to_vec();
+            Arc::new(Corpus::generate(
+                &configs,
+                &workloads,
+                &CorpusSpec {
+                    sim: self.settings.trace_sim,
+                    threads: self.settings.threads,
+                },
+            ))
+        }))
+    }
+
+    /// Corpus backing the design-space sweep's training.
+    ///
+    /// Training only reads the runs of the training configurations, so a
+    /// standalone `sweep` must not pay for golden power on the other 13
+    /// configurations: when no earlier experiment has generated the full
+    /// average-power corpus yet, a corpus restricted to
+    /// [`ExperimentSettings::train_two`] is generated (and cached) instead.
+    /// Both corpora contain bit-identical runs for the training
+    /// configurations, so the trained model is the same either way.
+    pub(crate) fn sweep_training_corpus(&self) -> Arc<Corpus> {
+        if let Some(full) = self.average_corpus.borrow().as_ref() {
+            return Arc::clone(full);
+        }
+        Arc::clone(self.train_corpus.borrow_mut().get_or_insert_with(|| {
+            let train: Vec<autopower_config::CpuConfig> = self
+                .settings
+                .train_two
+                .iter()
+                .map(|&id| autopower_config::config_by_id(id))
+                .collect();
+            Arc::new(Corpus::generate(
+                &train,
+                &self.settings.average_workloads,
+                &CorpusSpec {
+                    sim: self.settings.average_sim,
+                    threads: self.settings.threads,
+                },
+            ))
+        }))
     }
 }
 
@@ -129,6 +164,8 @@ mod tests {
         let exp = Experiments::fast();
         let a = exp.average_corpus();
         let b = exp.average_corpus();
+        // Repeated calls hand out the same allocation — no deep clones.
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.runs().len(), b.runs().len());
         assert_eq!(
             a.runs().len(),

@@ -1,39 +1,51 @@
 //! Command-line entry point of the experiment harness.
 //!
 //! ```text
-//! autopower-experiments [--fast] [--threads N] [EXPERIMENT ...]
+//! autopower-experiments [--fast] [--threads N] [--count N] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
-//! `table4`, `ablation`, or `all` (the default).  `--fast` switches to the reduced
-//! settings used by tests and benches; `--threads N` sets the worker count of the
-//! corpus-generation pipeline (default: one per available core, `1` = serial).
-//! Flags and experiment names may appear in any order.
+//! `table4`, `ablation`, `sweep`, or `all` (the default).  `--fast` switches to the
+//! reduced settings used by tests and benches; `--threads N` sets the worker count
+//! of the corpus-generation and sweep pipelines (default: one per available core,
+//! `1` = serial); `--count N` sets how many generated configurations the `sweep`
+//! experiment scores.  Flags and experiment names may appear in any order; unknown
+//! or duplicate experiment names are rejected before any corpus is generated.
 
 use autopower::CorpusSpec;
 use autopower_experiments::{ExperimentSettings, Experiments};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: autopower-experiments [--fast] [--threads N] \
-                     [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|all ...]";
+const USAGE: &str = "usage: autopower-experiments [--fast] [--threads N] [--count N] \
+                     [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|sweep|all ...]";
 
-const ALL_EXPERIMENTS: [&str; 9] = [
-    "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation",
+const ALL_EXPERIMENTS: [&str; 10] = [
+    "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation", "sweep",
 ];
 
+/// Default number of generated configurations the `sweep` experiment scores.
+const DEFAULT_SWEEP_COUNT: usize = 256;
+
 /// Everything the command line selects: settings knobs and the experiment list.
+#[derive(Debug)]
 struct CliArgs {
     fast: bool,
     threads: usize,
+    count: usize,
     help: bool,
     requested: Vec<String>,
 }
 
 /// Parses the argument list; flags and experiment names may be interleaved freely.
+///
+/// Experiment names are validated against [`ALL_EXPERIMENTS`] and de-duplicated
+/// here, at parse time — a typo fails fast with the usage string instead of
+/// surfacing only after minutes of corpus generation.
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
     let mut parsed = CliArgs {
         fast: false,
         threads: 0,
+        count: DEFAULT_SWEEP_COUNT,
         help: false,
         requested: Vec::new(),
     };
@@ -46,15 +58,27 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("--threads needs a value\n{USAGE}"))?;
-                parsed.threads = parse_thread_count(&value)?;
+                parsed.threads = parse_count(&value, "--threads")?;
+            }
+            "--count" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--count needs a value\n{USAGE}"))?;
+                parsed.count = parse_sweep_count(&value)?;
             }
             other => {
                 if let Some(value) = other.strip_prefix("--threads=") {
-                    parsed.threads = parse_thread_count(value)?;
+                    parsed.threads = parse_count(value, "--threads")?;
+                } else if let Some(value) = other.strip_prefix("--count=") {
+                    parsed.count = parse_sweep_count(value)?;
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag '{other}'\n{USAGE}"));
+                } else if other == "all" || ALL_EXPERIMENTS.contains(&other) {
+                    if !parsed.requested.iter().any(|r| r == other) {
+                        parsed.requested.push(other.to_owned());
+                    }
                 } else {
-                    parsed.requested.push(other.to_owned());
+                    return Err(format!("unknown experiment '{other}'\n{USAGE}"));
                 }
             }
         }
@@ -65,13 +89,24 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
     Ok(parsed)
 }
 
-fn parse_thread_count(value: &str) -> Result<usize, String> {
+fn parse_count(value: &str, flag: &str) -> Result<usize, String> {
     value
         .parse::<usize>()
-        .map_err(|_| format!("--threads expects a non-negative integer, got '{value}'\n{USAGE}"))
+        .map_err(|_| format!("{flag} expects a non-negative integer, got '{value}'\n{USAGE}"))
 }
 
-fn run_one(experiments: &Experiments, name: &str) -> Result<(), String> {
+/// Like [`parse_count`] but rejects zero: an empty sweep has nothing to report
+/// (whereas `--threads 0` legitimately means "auto").
+fn parse_sweep_count(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "--count expects a positive integer, got '{value}'\n{USAGE}"
+        )),
+    }
+}
+
+fn run_one(experiments: &Experiments, name: &str, sweep_count: usize) -> Result<(), String> {
     match name {
         "obs1" => println!("{}\n", experiments.obs1_breakdown()),
         "table1" => println!("{}\n", experiments.table1_hardware_model()),
@@ -82,6 +117,7 @@ fn run_one(experiments: &Experiments, name: &str) -> Result<(), String> {
         "fig8" => println!("{}\n", experiments.fig8_sram_detail()),
         "table4" => println!("{}\n", experiments.table4_power_trace()),
         "ablation" => println!("{}\n", experiments.ablation_study()),
+        "sweep" => println!("{}\n", experiments.design_space_sweep(sweep_count)),
         other => return Err(format!("unknown experiment '{other}'\n{USAGE}")),
     }
     Ok(())
@@ -124,7 +160,7 @@ fn main() -> ExitCode {
     );
 
     for name in &args.requested {
-        if let Err(message) = run_one(&experiments, name) {
+        if let Err(message) = run_one(&experiments, name, args.count) {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
@@ -177,5 +213,35 @@ mod tests {
         assert!(parse_args(args(&["--threads"])).is_err());
         assert!(parse_args(args(&["--threads", "many"])).is_err());
         assert!(parse_args(args(&["--threads=-2"])).is_err());
+        assert!(parse_args(args(&["--count"])).is_err());
+        assert!(parse_args(args(&["--count", "lots"])).is_err());
+        assert!(parse_args(args(&["--count", "0"])).is_err());
+        assert!(parse_args(args(&["--count=0"])).is_err());
+    }
+
+    #[test]
+    fn unknown_experiments_fail_at_parse_time() {
+        let err = parse_args(args(&["fig4", "fig9"])).unwrap_err();
+        assert!(err.contains("unknown experiment 'fig9'"));
+        assert!(err.contains("usage:"), "error must repeat the usage line");
+    }
+
+    #[test]
+    fn duplicate_experiments_run_once() {
+        let parsed = parse_args(args(&["fig4", "sweep", "fig4"])).expect("valid arguments");
+        assert_eq!(
+            parsed.requested,
+            vec!["fig4".to_owned(), "sweep".to_owned()]
+        );
+    }
+
+    #[test]
+    fn sweep_count_flag_is_parsed_in_both_forms() {
+        let parsed = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert_eq!(parsed.count, DEFAULT_SWEEP_COUNT);
+        let parsed = parse_args(args(&["sweep", "--count", "200"])).expect("valid arguments");
+        assert_eq!(parsed.count, 200);
+        let parsed = parse_args(args(&["--count=64", "sweep"])).expect("valid arguments");
+        assert_eq!(parsed.count, 64);
     }
 }

@@ -39,13 +39,18 @@ impl PowerTrace {
         self.totals().into_iter().fold(0.0, f64::max)
     }
 
-    /// Minimum sample power in mW (0 for an empty trace).
+    /// Minimum sample power in mW.
+    ///
+    /// An empty trace has no minimum; by convention it reports 0.0, matching
+    /// [`PowerTrace::max_power`] and [`PowerTrace::average_power`], so that
+    /// empty traces never leak the fold's `f64::INFINITY` identity to callers.
     pub fn min_power(&self) -> f64 {
-        self.totals()
-            .into_iter()
-            .fold(f64::INFINITY, f64::min)
-            .min(f64::INFINITY)
-            .pipe_finite()
+        let min = self.totals().into_iter().fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
     }
 
     /// Cycle-weighted average power in mW (0 for an empty trace).
@@ -69,20 +74,6 @@ impl PowerTrace {
     /// Whether the trace has no samples.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
-    }
-}
-
-trait PipeFinite {
-    fn pipe_finite(self) -> f64;
-}
-
-impl PipeFinite for f64 {
-    fn pipe_finite(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
-        }
     }
 }
 
