@@ -1,0 +1,52 @@
+//! Train + predict throughput of every `ModelKind` registry model.
+//!
+//! Trains each of the four registry models on the same fast corpus and
+//! measures (a) time to train and (b) single-run prediction throughput through
+//! the `dyn PowerModel` trait path — the cost the sweep, trace and
+//! cross-validation engines actually pay per point.
+//!
+//! Run with `cargo bench --bench models [filter]`.
+
+use autopower::{Corpus, CorpusSpec, ModelKind, PowerModel};
+use autopower_bench::harness::Bench;
+use autopower_config::{boom_configs, ConfigId, Workload};
+use std::hint::black_box;
+
+fn main() {
+    let bench = Bench::from_args();
+
+    let cfgs = boom_configs();
+    let corpus = Corpus::generate(
+        &[cfgs[0], cfgs[7], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+        &CorpusSpec::fast(),
+    );
+    let train = [ConfigId::new(1), ConfigId::new(15)];
+    let runs = corpus.runs();
+    println!(
+        "registry model train + predict throughput ({} training runs, {} predict runs)\n",
+        corpus.training_runs(&train).len(),
+        runs.len()
+    );
+
+    for kind in ModelKind::ALL {
+        bench.bench(&format!("train_{kind}"), || {
+            black_box(kind.train(&corpus, &train).expect("training succeeds"))
+        });
+    }
+
+    let models: Vec<(ModelKind, Box<dyn PowerModel>)> = ModelKind::ALL
+        .into_iter()
+        .map(|kind| {
+            (
+                kind,
+                kind.train(&corpus, &train).expect("training succeeds"),
+            )
+        })
+        .collect();
+    for (kind, model) in &models {
+        bench.bench(&format!("predict_all_runs_{kind}"), || {
+            runs.iter().map(|run| model.predict_total(run)).sum::<f64>()
+        });
+    }
+}

@@ -23,17 +23,23 @@ fn main() {
         black_box(exp.table1_hardware_model())
     });
     bench.bench("fig4_accuracy_2cfg", || {
-        black_box(exp.fig4_accuracy_two_configs())
+        black_box(exp.fig4_accuracy_two_configs().unwrap())
     });
     bench.bench("fig5_accuracy_3cfg", || {
-        black_box(exp.fig5_accuracy_three_configs())
+        black_box(exp.fig5_accuracy_three_configs().unwrap())
     });
     bench.bench("fig6_training_sweep", || {
-        black_box(exp.fig6_training_sweep())
+        black_box(exp.fig6_training_sweep().unwrap())
     });
     bench.bench("fig7_clock_detail", || black_box(exp.fig7_clock_detail()));
     bench.bench("fig8_sram_detail", || black_box(exp.fig8_sram_detail()));
     bench.bench("table4_power_trace", || black_box(exp.table4_power_trace()));
+    bench.bench("xval_autopower", || {
+        black_box(
+            exp.cross_validation_model(autopower::ModelKind::AutoPower)
+                .unwrap(),
+        )
+    });
     // The ablation regenerates corpora at several distortion levels inside the
     // call, so it is the heaviest experiment by far.
     bench.bench("ablation_program_features", || {

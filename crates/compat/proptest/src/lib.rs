@@ -137,7 +137,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Admissible length specifications for [`vec`]: an exact length or a range.
+    /// Admissible length specifications for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -8,6 +8,7 @@
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{model_features, ModelFeatures};
+use crate::power_model::{ModelKind, PowerModel};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
@@ -120,6 +121,16 @@ impl AutoPowerMinus {
     /// Convenience: predicts the per-group power of a corpus run.
     pub fn predict_run(&self, run: &RunData) -> PowerGroups {
         self.predict(&run.config, &run.sim.events, run.workload)
+    }
+}
+
+impl PowerModel for AutoPowerMinus {
+    fn kind(&self) -> ModelKind {
+        ModelKind::AutoPowerMinus
+    }
+
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
+        AutoPowerMinus::predict(self, config, events, workload)
     }
 }
 

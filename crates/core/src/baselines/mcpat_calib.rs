@@ -2,9 +2,11 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use autopower_config::{ConfigId, CpuConfig, HwParam};
+use crate::power_model::{total_only_groups, ModelKind, PowerModel};
+use autopower_config::{ConfigId, CpuConfig, HwParam, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
+use autopower_powersim::PowerGroups;
 
 /// The McPAT-Calib-style baseline.
 ///
@@ -58,6 +60,23 @@ impl McpatCalib {
     /// Convenience: predicts the total power of a corpus run.
     pub fn predict_run(&self, run: &RunData) -> f64 {
         self.predict(&run.config, &run.sim.events)
+    }
+}
+
+impl PowerModel for McpatCalib {
+    fn kind(&self) -> ModelKind {
+        ModelKind::McpatCalib
+    }
+
+    /// Total-only model: the whole prediction is reported in the
+    /// `combinational` slot (see [`PowerModel::resolves_groups`]).
+    fn predict(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        _workload: Workload,
+    ) -> PowerGroups {
+        total_only_groups(McpatCalib::predict(self, config, events))
     }
 }
 

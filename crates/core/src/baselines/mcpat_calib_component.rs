@@ -4,9 +4,11 @@
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{model_features, ModelFeatures};
+use crate::power_model::{total_only_groups, ModelKind, PowerModel};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
+use autopower_powersim::PowerGroups;
 
 /// Per-component total-power baseline (the extra ablation of Fig. 6).
 #[derive(Debug, Clone)]
@@ -84,6 +86,18 @@ impl McpatCalibComponent {
     /// Convenience: predicts the total power of a corpus run.
     pub fn predict_run(&self, run: &RunData) -> f64 {
         self.predict(&run.config, &run.sim.events, run.workload)
+    }
+}
+
+impl PowerModel for McpatCalibComponent {
+    fn kind(&self) -> ModelKind {
+        ModelKind::McpatCalibComponent
+    }
+
+    /// Total-only model: the whole prediction is reported in the
+    /// `combinational` slot (see [`PowerModel::resolves_groups`]).
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
+        total_only_groups(McpatCalibComponent::predict(self, config, events, workload))
     }
 }
 

@@ -23,6 +23,11 @@ pub enum AutoPowerError {
     },
     /// The SRAM hardware model could not find any scaling rule for a position.
     NoScalingRule(SramPositionId),
+    /// An evaluation was requested over an empty set of prediction pairs
+    /// (e.g. a test split filtered down to nothing).
+    EmptyEvaluation,
+    /// A model name did not match any registry entry.
+    UnknownModel(String),
 }
 
 impl fmt::Display for AutoPowerError {
@@ -46,6 +51,20 @@ impl fmt::Display for AutoPowerError {
                 write!(
                     f,
                     "no scaling rule could be fitted for SRAM position {position}"
+                )
+            }
+            AutoPowerError::EmptyEvaluation => {
+                write!(f, "cannot evaluate an empty set of prediction pairs")
+            }
+            AutoPowerError::UnknownModel(name) => {
+                let known: Vec<&str> = crate::power_model::ModelKind::ALL
+                    .iter()
+                    .map(|kind| kind.registry_name())
+                    .collect();
+                write!(
+                    f,
+                    "unknown model '{name}' (expected one of: {})",
+                    known.join(", ")
                 )
             }
         }
@@ -91,6 +110,12 @@ mod tests {
         assert!(msg.contains("register count"));
         assert!(e.source().is_some());
         assert!(AutoPowerError::NoTrainingConfigs.source().is_none());
+        let unknown = AutoPowerError::UnknownModel("xgboost".to_owned());
+        assert!(unknown.to_string().contains("xgboost"));
+        assert!(unknown.to_string().contains("autopower"));
+        assert!(AutoPowerError::EmptyEvaluation
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Accuracy evaluation helpers: the MAPE / R² / Pearson-R summaries the paper reports.
 
 use crate::dataset::RunData;
+use crate::error::AutoPowerError;
 use autopower_config::{ConfigId, Workload};
 use autopower_ml::metrics;
 use serde::Serialize;
@@ -32,21 +33,37 @@ pub struct AccuracySummary {
 }
 
 impl AccuracySummary {
-    /// Builds a summary from pairs.
+    /// Builds a summary from pairs, failing on empty input.
     ///
-    /// # Panics
+    /// A test split filtered down to nothing (e.g. every configuration ended
+    /// up in the training set) is a caller mistake that deserves an error
+    /// message, not a panic deep inside metric code.
     ///
-    /// Panics if `pairs` is empty.
-    pub fn from_pairs(pairs: Vec<PredictionPair>) -> Self {
-        assert!(!pairs.is_empty(), "need at least one prediction pair");
+    /// # Errors
+    ///
+    /// Returns [`AutoPowerError::EmptyEvaluation`] if `pairs` is empty.
+    pub fn try_from_pairs(pairs: Vec<PredictionPair>) -> Result<Self, AutoPowerError> {
+        if pairs.is_empty() {
+            return Err(AutoPowerError::EmptyEvaluation);
+        }
         let truth: Vec<f64> = pairs.iter().map(|p| p.truth).collect();
         let pred: Vec<f64> = pairs.iter().map(|p| p.prediction).collect();
-        Self {
+        Ok(Self {
             mape: metrics::mape(&truth, &pred),
             r_squared: metrics::r_squared(&truth, &pred),
             pearson: metrics::pearson(&truth, &pred),
             pairs,
-        }
+        })
+    }
+
+    /// Builds a summary from pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty; use [`AccuracySummary::try_from_pairs`] to
+    /// handle that case gracefully.
+    pub fn from_pairs(pairs: Vec<PredictionPair>) -> Self {
+        Self::try_from_pairs(pairs).expect("need at least one prediction pair")
     }
 
     /// MAPE in percent (the unit the paper prints).
@@ -55,12 +72,16 @@ impl AccuracySummary {
     }
 }
 
-/// Evaluates a total-power predictor over a set of runs against the golden totals.
+/// Evaluates a total-power predictor over a set of runs against the golden totals,
+/// failing on an empty run set.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `runs` is empty.
-pub fn evaluate_totals<F>(runs: &[&RunData], mut predict: F) -> AccuracySummary
+/// Returns [`AutoPowerError::EmptyEvaluation`] if `runs` is empty.
+pub fn try_evaluate_totals<F>(
+    runs: &[&RunData],
+    mut predict: F,
+) -> Result<AccuracySummary, AutoPowerError>
 where
     F: FnMut(&RunData) -> f64,
 {
@@ -73,7 +94,20 @@ where
             prediction: predict(run),
         })
         .collect();
-    AccuracySummary::from_pairs(pairs)
+    AccuracySummary::try_from_pairs(pairs)
+}
+
+/// Evaluates a total-power predictor over a set of runs against the golden totals.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty; use [`try_evaluate_totals`] to handle that case
+/// gracefully.
+pub fn evaluate_totals<F>(runs: &[&RunData], predict: F) -> AccuracySummary
+where
+    F: FnMut(&RunData) -> f64,
+{
+    try_evaluate_totals(runs, predict).expect("need at least one prediction pair")
 }
 
 #[cfg(test)]
@@ -112,5 +146,20 @@ mod tests {
     #[should_panic(expected = "at least one prediction pair")]
     fn empty_pairs_panic() {
         let _ = AccuracySummary::from_pairs(Vec::new());
+    }
+
+    #[test]
+    fn try_from_pairs_reports_empty_input_as_an_error() {
+        use crate::error::AutoPowerError;
+        assert!(matches!(
+            AccuracySummary::try_from_pairs(Vec::new()),
+            Err(AutoPowerError::EmptyEvaluation)
+        ));
+        assert!(matches!(
+            try_evaluate_totals(&[], |_| 0.0),
+            Err(AutoPowerError::EmptyEvaluation)
+        ));
+        let ok = AccuracySummary::try_from_pairs(vec![pair(10.0, 11.0)]).unwrap();
+        assert_eq!(ok, AccuracySummary::from_pairs(vec![pair(10.0, 11.0)]));
     }
 }

@@ -21,6 +21,12 @@
 //! the batch design-space sweep path ([`SweepEngine`] / [`AutoPower::predict_batch`])
 //! that scores generated configurations without ever synthesizing them.
 //!
+//! All four predictors implement the object-safe [`PowerModel`] trait and are
+//! listed in the [`ModelKind`] registry, so the sweep, trace and
+//! cross-validation engines run under any of them — select one by name
+//! (`"autopower"`, `"mcpat-calib"`, `"mcpat-calib-component"`,
+//! `"autopower-minus"`) and train it with [`ModelKind::train`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -52,6 +58,7 @@ mod features;
 mod logic;
 mod model;
 pub mod pipeline;
+mod power_model;
 mod sram;
 pub mod sweep;
 mod trace;
@@ -60,7 +67,7 @@ mod xval;
 pub use clock::ClockPowerModel;
 pub use dataset::{Corpus, CorpusSpec, RunData};
 pub use error::AutoPowerError;
-pub use evaluation::{evaluate_totals, AccuracySummary, PredictionPair};
+pub use evaluation::{evaluate_totals, try_evaluate_totals, AccuracySummary, PredictionPair};
 pub use features::{
     event_features, hw_feature_names, hw_features, model_feature_names, model_features,
     ModelFeatures,
@@ -68,13 +75,16 @@ pub use features::{
 pub use logic::LogicPowerModel;
 pub use model::AutoPower;
 pub use pipeline::SubstratePipeline;
+pub use power_model::{ModelKind, PowerModel};
 pub use sram::{
     predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
     SramActivityModel, SramPowerModel,
 };
-pub use sweep::{summarize, ConfigSummary, SweepEngine, SweepPoint, SweepSpec};
+pub use sweep::{
+    rank_by_efficiency, summarize, sweep_multi, ConfigSummary, SweepEngine, SweepPoint, SweepSpec,
+};
 pub use trace::{evaluate_trace_prediction, trace_errors, PowerTracePredictor, TraceErrors};
-pub use xval::{cross_validate, CrossValidation};
+pub use xval::{cross_validate, cross_validate_model, CrossValidation};
 
 /// Re-export of the golden power-group representation used for predictions as well.
 pub use autopower_powersim::PowerGroups;

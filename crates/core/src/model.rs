@@ -5,6 +5,7 @@ use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::ModelFeatures;
 use crate::logic::LogicPowerModel;
+use crate::power_model::{ModelKind, PowerModel};
 use crate::sram::SramPowerModel;
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_perfsim::EventParams;
@@ -114,6 +115,16 @@ impl AutoPower {
     /// Predicted total power in mW for one run.
     pub fn predict_total(&self, run: &RunData) -> f64 {
         self.predict_run(run).total()
+    }
+}
+
+impl PowerModel for AutoPower {
+    fn kind(&self) -> ModelKind {
+        ModelKind::AutoPower
+    }
+
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
+        AutoPower::predict(self, config, events, workload)
     }
 }
 

@@ -1,0 +1,286 @@
+//! The model-agnostic prediction interface: [`PowerModel`] + the [`ModelKind`]
+//! registry.
+//!
+//! The paper's evaluation is a head-to-head between AutoPower and three
+//! baselines, yet historically only [`AutoPower`](crate::AutoPower) could drive
+//! the sweep, power-trace and cross-validation paths — the baselines were
+//! dead-ended behind ad-hoc inherent `train`/`predict` methods.  This module
+//! unifies every predictor behind one object-safe trait so that every existing
+//! and future scenario (design-space sweep, trace prediction, cross-validation,
+//! new workloads) works for every existing and future model:
+//!
+//! * [`PowerModel`] — the trait all four predictors implement.  Downstream
+//!   engines ([`SweepEngine`](crate::SweepEngine),
+//!   [`PowerTracePredictor`](crate::PowerTracePredictor),
+//!   [`cross_validate_model`](crate::cross_validate_model)) consume
+//!   `&dyn PowerModel` and never name a concrete model type.
+//! * [`ModelKind`] — the registry: lists every model ([`ModelKind::ALL`]),
+//!   resolves command-line names ([`FromStr`]) and trains any model into a
+//!   `Box<dyn PowerModel>` ([`ModelKind::train`]).
+//!
+//! # Group resolution
+//!
+//! AutoPower and AutoPower− predict per-group power natively.  McPAT-Calib and
+//! McPAT-Calib + Component predict a single scalar; their trait predictions
+//! carry the whole total in the `combinational` slot of [`PowerGroups`] so that
+//! [`PowerGroups::total`] is bit-identical to the scalar their inherent API
+//! returns.  Check [`PowerModel::resolves_groups`] (or
+//! [`ModelKind::resolves_groups`]) before interpreting individual groups.
+//!
+//! # Example
+//!
+//! ```
+//! use autopower::{Corpus, CorpusSpec, ModelKind};
+//! use autopower_config::{boom_configs, ConfigId, Workload};
+//!
+//! let configs = [boom_configs()[0], boom_configs()[14]];
+//! let corpus = Corpus::generate(&configs, &[Workload::Vvadd], &CorpusSpec::fast());
+//! let train = [ConfigId::new(1), ConfigId::new(15)];
+//!
+//! // Select a model by registry name, exactly as `--model` does on the CLI.
+//! let kind: ModelKind = "mcpat-calib".parse().unwrap();
+//! let model = kind.train(&corpus, &train).unwrap();
+//! let run = corpus.run(ConfigId::new(1), Workload::Vvadd).unwrap();
+//! assert!(model.predict_run(run).total() > 0.0);
+//! ```
+
+use crate::baselines::{AutoPowerMinus, McpatCalib, McpatCalibComponent};
+use crate::dataset::{Corpus, RunData};
+use crate::error::AutoPowerError;
+use crate::model::AutoPower;
+use autopower_config::{ConfigId, CpuConfig, Workload};
+use autopower_perfsim::EventParams;
+use autopower_powersim::PowerGroups;
+use std::fmt;
+use std::str::FromStr;
+
+/// A trained architecture-level power predictor.
+///
+/// Object-safe: the inference engines hold `&dyn PowerModel` / `Box<dyn
+/// PowerModel>` and dispatch dynamically, so any model the [`ModelKind`]
+/// registry can train drives the sweep, trace and cross-validation paths.
+/// `Send + Sync` is required so a single trained model can be shared across
+/// the worker threads of the batch-inference pipeline.
+pub trait PowerModel: fmt::Debug + Send + Sync {
+    /// Which registry entry this model was trained as.
+    fn kind(&self) -> ModelKind;
+
+    /// Predicts the per-group power of one `(configuration, workload)` point
+    /// from architecture-level information only.
+    ///
+    /// For models that do not decompose power into groups (see
+    /// [`PowerModel::resolves_groups`]) the whole prediction is reported in
+    /// the `combinational` slot; [`PowerGroups::total`] is always meaningful.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups;
+
+    /// Predicts the per-group power of a corpus run from its reported events.
+    fn predict_run(&self, run: &RunData) -> PowerGroups {
+        self.predict(&run.config, &run.sim.events, run.workload)
+    }
+
+    /// Predicted total power in mW for one run.
+    fn predict_total(&self, run: &RunData) -> f64 {
+        self.predict_run(run).total()
+    }
+
+    /// Whether the individual groups of a prediction are meaningful
+    /// (as opposed to the whole total parked in one slot).
+    fn resolves_groups(&self) -> bool {
+        self.kind().resolves_groups()
+    }
+}
+
+/// Lifts a total-only prediction into [`PowerGroups`].
+///
+/// The total is parked in the `combinational` slot — not split across groups —
+/// so `PowerGroups::total()` reproduces the scalar bit for bit (an even split
+/// would re-round under summation).
+pub(crate) fn total_only_groups(total: f64) -> PowerGroups {
+    PowerGroups {
+        clock: 0.0,
+        sram: 0.0,
+        register: 0.0,
+        combinational: total,
+    }
+}
+
+/// The registry of trainable power models.
+///
+/// One variant per predictor the paper evaluates.  [`ModelKind::ALL`] lists
+/// them in the paper's reporting order (AutoPower first, the AutoPower−
+/// ablation last); [`FromStr`] resolves the kebab-case registry names the
+/// `--model` CLI flag uses; [`ModelKind::train`] erases the concrete model
+/// type behind `Box<dyn PowerModel>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The paper's contribution: decoupled structural sub-models per power
+    /// group ([`AutoPower`]).
+    AutoPower,
+    /// One gradient-boosted model over all hardware and event parameters
+    /// predicting total power directly ([`McpatCalib`]).
+    McpatCalib,
+    /// The same building block instantiated once per component, summed
+    /// ([`McpatCalibComponent`]).
+    McpatCalibComponent,
+    /// The ablation: decoupled across power groups but with a direct ML model
+    /// per group instead of the structural sub-models ([`AutoPowerMinus`]).
+    AutoPowerMinus,
+}
+
+impl ModelKind {
+    /// Every registry model, in the paper's reporting order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::AutoPower,
+        ModelKind::McpatCalib,
+        ModelKind::McpatCalibComponent,
+        ModelKind::AutoPowerMinus,
+    ];
+
+    /// The kebab-case registry name (`--model` flag value).
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            ModelKind::AutoPower => "autopower",
+            ModelKind::McpatCalib => "mcpat-calib",
+            ModelKind::McpatCalibComponent => "mcpat-calib-component",
+            ModelKind::AutoPowerMinus => "autopower-minus",
+        }
+    }
+
+    /// The method name as the paper's tables and figures print it.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ModelKind::AutoPower => "AutoPower",
+            ModelKind::McpatCalib => "McPAT-Calib",
+            ModelKind::McpatCalibComponent => "McPAT-Calib + Component",
+            ModelKind::AutoPowerMinus => "AutoPower-",
+        }
+    }
+
+    /// Whether the model decomposes power into meaningful groups.
+    pub fn resolves_groups(self) -> bool {
+        match self {
+            ModelKind::AutoPower | ModelKind::AutoPowerMinus => true,
+            ModelKind::McpatCalib | ModelKind::McpatCalibComponent => false,
+        }
+    }
+
+    /// Trains this kind of model on the runs of `train_configs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying trainer does (empty training set,
+    /// missing configuration, sub-model fit failure).
+    pub fn train(
+        self,
+        corpus: &Corpus,
+        train_configs: &[ConfigId],
+    ) -> Result<Box<dyn PowerModel>, AutoPowerError> {
+        Ok(match self {
+            ModelKind::AutoPower => Box::new(AutoPower::train(corpus, train_configs)?),
+            ModelKind::McpatCalib => Box::new(McpatCalib::train(corpus, train_configs)?),
+            ModelKind::McpatCalibComponent => {
+                Box::new(McpatCalibComponent::train(corpus, train_configs)?)
+            }
+            ModelKind::AutoPowerMinus => Box::new(AutoPowerMinus::train(corpus, train_configs)?),
+        })
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.registry_name())
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = AutoPowerError;
+
+    /// Resolves a registry name, case-insensitively.  `_` is accepted in
+    /// place of `-` so shell-friendly spellings work too.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.to_ascii_lowercase().replace('_', "-");
+        ModelKind::ALL
+            .into_iter()
+            .find(|kind| kind.registry_name() == normalized)
+            .ok_or_else(|| AutoPowerError::UnknownModel(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusSpec;
+    use autopower_config::boom_configs;
+
+    fn corpus() -> Corpus {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    }
+
+    #[test]
+    fn registry_names_round_trip_through_fromstr() {
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.registry_name().parse::<ModelKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.registry_name());
+        }
+        // Case-insensitive, underscore-tolerant.
+        assert_eq!(
+            "McPAT_Calib".parse::<ModelKind>().unwrap(),
+            ModelKind::McpatCalib
+        );
+        assert!(matches!(
+            "xgboost".parse::<ModelKind>(),
+            Err(AutoPowerError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn every_registry_model_trains_and_predicts() {
+        let c = corpus();
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        for kind in ModelKind::ALL {
+            let model = kind.train(&c, &train).unwrap();
+            assert_eq!(model.kind(), kind);
+            assert_eq!(model.resolves_groups(), kind.resolves_groups());
+            for run in c.runs() {
+                let p = model.predict_run(run);
+                assert!(p.is_physical(), "{kind} produced non-physical power");
+                assert!(p.total() > 0.0, "{kind} predicted zero power");
+                assert_eq!(model.predict_total(run), p.total());
+            }
+        }
+    }
+
+    #[test]
+    fn training_errors_propagate_through_the_registry() {
+        let c = corpus();
+        for kind in ModelKind::ALL {
+            assert!(
+                kind.train(&c, &[]).is_err(),
+                "{kind} accepted empty training"
+            );
+        }
+    }
+
+    #[test]
+    fn total_only_groups_preserve_the_scalar_bit_for_bit() {
+        for total in [0.0, 1.0, 97.3, 1234.5678] {
+            let g = total_only_groups(total);
+            assert_eq!(g.total(), total);
+            assert_eq!(g.clock, 0.0);
+            assert_eq!(g.sram, 0.0);
+            assert_eq!(g.register, 0.0);
+        }
+    }
+
+    #[test]
+    fn boxed_models_are_shareable_across_threads() {
+        fn check<T: Send + Sync + ?Sized>() {}
+        check::<dyn PowerModel>();
+        check::<Box<dyn PowerModel>>();
+    }
+}

@@ -3,11 +3,12 @@
 //! Corpus generation ([`Corpus`](crate::Corpus)) runs the *full* substrate flow
 //! — synthesis, performance simulation and golden power — because training and
 //! evaluation need ground truth.  Scoring an unseen configuration needs none of
-//! that: a trained [`AutoPower`] model predicts power from the hardware
-//! parameters `H` and the event parameters `E` alone, and `E` comes from a fast
-//! performance simulation.  That asymmetry is the paper's whole point, and
-//! [`SweepEngine`] exploits it to score thousands of configurations that were
-//! never synthesized and never power-simulated.
+//! that: a trained model predicts power from the hardware parameters `H` and
+//! the event parameters `E` alone, and `E` comes from a fast performance
+//! simulation.  That asymmetry is the paper's whole point, and [`SweepEngine`]
+//! exploits it to score thousands of configurations that were never
+//! synthesized and never power-simulated — under any [`PowerModel`]
+//! implementation, not just [`AutoPower`].
 //!
 //! The engine shards the `configs × workloads` cross product into bounded
 //! chunks and runs each chunk through the same `parallel_map` substrate the
@@ -19,6 +20,7 @@
 
 use crate::model::AutoPower;
 use crate::pipeline::parallel_map;
+use crate::power_model::PowerModel;
 use autopower_config::{CpuConfig, Workload};
 use autopower_perfsim::{simulate, SimConfig};
 use autopower_powersim::PowerGroups;
@@ -104,15 +106,19 @@ pub struct ConfigSummary {
 }
 
 /// Sweeps a set of configurations through a trained model.
+///
+/// Model-agnostic: the engine holds a [`&dyn PowerModel`](PowerModel), so any
+/// registry model ([`ModelKind`](crate::ModelKind)) — AutoPower or a baseline —
+/// drives the same batch-inference path.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepEngine<'a> {
-    model: &'a AutoPower,
+    model: &'a dyn PowerModel,
     spec: SweepSpec,
 }
 
 impl<'a> SweepEngine<'a> {
-    /// Creates an engine around a trained model.
-    pub fn new(model: &'a AutoPower, spec: SweepSpec) -> Self {
+    /// Creates an engine around any trained [`PowerModel`].
+    pub fn new(model: &'a dyn PowerModel, spec: SweepSpec) -> Self {
         Self { model, spec }
     }
 
@@ -153,6 +159,70 @@ impl<'a> SweepEngine<'a> {
     ) -> Vec<ConfigSummary> {
         summarize(&self.run(configs, workloads), workloads.len())
     }
+}
+
+/// Scores every `(configuration, workload)` pair under several models while
+/// running the performance simulation of each pair only **once**.
+///
+/// The simulation depends only on the configuration and workload, never on the
+/// model, so sweeping `m` models costs one simulation pass plus `m` cheap
+/// prediction passes instead of `m` full sweeps.  Returns one point list per
+/// model, each bit-identical to what `SweepEngine::new(model, spec).run(...)`
+/// would produce on its own.
+pub fn sweep_multi(
+    models: &[&dyn PowerModel],
+    spec: &SweepSpec,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+) -> Vec<Vec<SweepPoint>> {
+    let threads = spec.effective_threads();
+    let per_config = workloads.len();
+    let chunk = spec.chunk_configs.max(1);
+    let mut results: Vec<Vec<SweepPoint>> = models
+        .iter()
+        .map(|_| Vec::with_capacity(configs.len() * per_config))
+        .collect();
+    for shard in configs.chunks(chunk) {
+        let shard_points = parallel_map(threads, shard.len() * per_config, |i| {
+            let config = shard[i / per_config];
+            let workload = workloads[i % per_config];
+            let sim = simulate(&config, workload, &spec.sim);
+            let ipc = sim.ipc();
+            models
+                .iter()
+                .map(|model| SweepPoint {
+                    config,
+                    workload,
+                    power: model.predict(&config, &sim.events, workload),
+                    ipc,
+                })
+                .collect::<Vec<_>>()
+        });
+        for per_model in shard_points {
+            for (slot, point) in results.iter_mut().zip(per_model) {
+                slot.push(point);
+            }
+        }
+    }
+    results
+}
+
+/// Sorts summaries by predicted energy per instruction, best (lowest) first.
+///
+/// The single ranking rule behind the sweep report's top-k table and the
+/// model-comparison rank-divergence figures.
+///
+/// # Panics
+///
+/// Panics if any efficiency is NaN.
+pub fn rank_by_efficiency(summaries: &[ConfigSummary]) -> Vec<&ConfigSummary> {
+    let mut ranked: Vec<&ConfigSummary> = summaries.iter().collect();
+    ranked.sort_by(|a, b| {
+        a.energy_per_instruction
+            .partial_cmp(&b.energy_per_instruction)
+            .expect("finite efficiency")
+    });
+    ranked
 }
 
 /// Folds configuration-major sweep points into per-configuration summaries.
@@ -257,6 +327,46 @@ mod tests {
         let parallel =
             SweepEngine::new(&model, SweepSpec::fast().threads(8)).run(&configs, &workloads);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn multi_model_sweep_matches_per_model_engines_bit_for_bit() {
+        use crate::power_model::ModelKind;
+        let cfgs = boom_configs();
+        let corpus = Corpus::generate(
+            &[cfgs[0], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        );
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let models: Vec<_> = ModelKind::ALL
+            .into_iter()
+            .map(|kind| kind.train(&corpus, &train).unwrap())
+            .collect();
+        let refs: Vec<&dyn PowerModel> = models.iter().map(|m| m.as_ref()).collect();
+        let configs = DesignSpace::boom().sample(4, 9);
+        let workloads = [Workload::Dhrystone, Workload::Qsort];
+        let spec = SweepSpec::fast().threads(2);
+        let multi = sweep_multi(&refs, &spec, &configs, &workloads);
+        assert_eq!(multi.len(), refs.len());
+        for (model, points) in refs.iter().zip(&multi) {
+            let solo = SweepEngine::new(*model, spec).run(&configs, &workloads);
+            assert_eq!(&solo, points);
+        }
+    }
+
+    #[test]
+    fn efficiency_ranking_is_sorted_and_complete() {
+        let model = trained_model();
+        let configs = DesignSpace::boom().sample(5, 21);
+        let workloads = [Workload::Dhrystone];
+        let summaries = SweepEngine::new(&model, SweepSpec::fast().threads(1))
+            .run_summaries(&configs, &workloads);
+        let ranked = rank_by_efficiency(&summaries);
+        assert_eq!(ranked.len(), summaries.len());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].energy_per_instruction <= pair[1].energy_per_instruction);
+        }
     }
 
     #[test]

@@ -1,23 +1,25 @@
 //! Time-based power-trace prediction (Section III-B.5, Table IV).
 //!
-//! A trained [`AutoPower`] model predicts the power of each simulation interval
-//! (50 cycles by default) from the interval's event parameters.  No additional training
-//! on time-based data is performed — exactly the setting of Table IV.
+//! A trained model predicts the power of each simulation interval (50 cycles by
+//! default) from the interval's event parameters.  No additional training on
+//! time-based data is performed — exactly the setting of Table IV.  The
+//! predictor is model-agnostic: any [`PowerModel`] from the registry (AutoPower
+//! or a baseline) can drive it.
 
 use crate::dataset::{Corpus, RunData};
-use crate::model::AutoPower;
+use crate::power_model::PowerModel;
 use autopower_powersim::{PowerSample, PowerTrace};
 use serde::Serialize;
 
-/// Predicts time-based power traces with a trained AutoPower model.
+/// Predicts time-based power traces with any trained [`PowerModel`].
 #[derive(Debug, Clone)]
 pub struct PowerTracePredictor<'a> {
-    model: &'a AutoPower,
+    model: &'a dyn PowerModel,
 }
 
 impl<'a> PowerTracePredictor<'a> {
     /// Wraps a trained model.
-    pub fn new(model: &'a AutoPower) -> Self {
+    pub fn new(model: &'a dyn PowerModel) -> Self {
         Self { model }
     }
 
@@ -119,7 +121,7 @@ fn rel_err(truth: f64, pred: f64) -> f64 {
 /// Convenience: golden trace, predicted trace and their errors for one run.
 pub fn evaluate_trace_prediction(
     corpus: &Corpus,
-    model: &AutoPower,
+    model: &dyn PowerModel,
     run: &RunData,
 ) -> (PowerTrace, PowerTrace, TraceErrors) {
     let golden = corpus.golden_trace(run);
@@ -132,6 +134,7 @@ pub fn evaluate_trace_prediction(
 mod tests {
     use super::*;
     use crate::dataset::CorpusSpec;
+    use crate::model::AutoPower;
     use autopower_config::{boom_configs, ConfigId, Workload};
 
     fn corpus() -> Corpus {

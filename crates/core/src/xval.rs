@@ -4,17 +4,20 @@
 //! architect actually has `k` known configurations, the natural robustness check is
 //! leave-one-configuration-out cross-validation over those known configurations — it
 //! estimates how well the few-shot model generalises without touching any additional
-//! golden data.  This module provides that utility on top of [`AutoPower::train`].
+//! golden data.  This module provides that utility for every [`ModelKind`] registry
+//! model; [`cross_validate`] is the AutoPower shorthand.
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
 use crate::evaluation::{AccuracySummary, PredictionPair};
-use crate::model::AutoPower;
+use crate::power_model::ModelKind;
 use autopower_config::ConfigId;
 
 /// Result of leave-one-configuration-out cross-validation.
 #[derive(Debug, Clone)]
 pub struct CrossValidation {
+    /// The model that was cross-validated.
+    pub model: ModelKind,
     /// The configurations that participated.
     pub configs: Vec<ConfigId>,
     /// One accuracy summary per held-out configuration, in the same order as `configs`.
@@ -54,17 +57,32 @@ impl CrossValidation {
 
 /// Leave-one-configuration-out cross-validation of AutoPower over `configs`.
 ///
-/// For every configuration in `configs`, a model is trained on the remaining ones and
-/// evaluated on the held-out configuration's runs.
+/// Shorthand for [`cross_validate_model`] with [`ModelKind::AutoPower`].
+///
+/// # Errors
+///
+/// See [`cross_validate_model`].
+pub fn cross_validate(
+    corpus: &Corpus,
+    configs: &[ConfigId],
+) -> Result<CrossValidation, AutoPowerError> {
+    cross_validate_model(corpus, configs, ModelKind::AutoPower)
+}
+
+/// Leave-one-configuration-out cross-validation of any registry model over `configs`.
+///
+/// For every configuration in `configs`, a model of `kind` is trained on the remaining
+/// ones and evaluated on the held-out configuration's runs.
 ///
 /// # Errors
 ///
 /// Returns an error if fewer than three configurations are given (each fold needs at
 /// least two for training), if a configuration is missing from the corpus, or if any
 /// fold fails to train.
-pub fn cross_validate(
+pub fn cross_validate_model(
     corpus: &Corpus,
     configs: &[ConfigId],
+    kind: ModelKind,
 ) -> Result<CrossValidation, AutoPowerError> {
     if configs.len() < 3 {
         return Err(AutoPowerError::NoTrainingConfigs);
@@ -72,7 +90,7 @@ pub fn cross_validate(
     let mut folds = Vec::with_capacity(configs.len());
     for &held_out in configs {
         let train: Vec<ConfigId> = configs.iter().copied().filter(|&c| c != held_out).collect();
-        let model = AutoPower::train(corpus, &train)?;
+        let model = kind.train(corpus, &train)?;
         let test_runs = corpus.runs_for(held_out);
         if test_runs.is_empty() {
             return Err(AutoPowerError::MissingConfig(held_out));
@@ -86,9 +104,10 @@ pub fn cross_validate(
                 prediction: model.predict_total(run),
             })
             .collect();
-        folds.push(AccuracySummary::from_pairs(pairs));
+        folds.push(AccuracySummary::try_from_pairs(pairs)?);
     }
     Ok(CrossValidation {
+        model: kind,
         configs: configs.to_vec(),
         folds,
     })
@@ -114,6 +133,7 @@ mod tests {
         let c = corpus();
         let ids = c.config_ids();
         let xv = cross_validate(&c, &ids).unwrap();
+        assert_eq!(xv.model, ModelKind::AutoPower);
         assert_eq!(xv.folds.len(), 3);
         let pooled = xv.pooled();
         assert_eq!(pooled.pairs.len(), c.runs().len());
@@ -135,15 +155,31 @@ mod tests {
             }],
         };
         let healthy = CrossValidation {
+            model: ModelKind::AutoPower,
             configs: vec![ConfigId::new(1), ConfigId::new(2)],
             folds: vec![fold(0.05), fold(0.12)],
         };
         assert_eq!(healthy.worst_fold_mape(), 0.12);
         let poisoned = CrossValidation {
+            model: ModelKind::AutoPower,
             configs: vec![ConfigId::new(1), ConfigId::new(2)],
             folds: vec![fold(f64::NAN), fold(0.12)],
         };
         assert!(poisoned.worst_fold_mape().is_nan());
+    }
+
+    #[test]
+    fn loocv_runs_under_every_registry_model() {
+        let c = corpus();
+        let ids = c.config_ids();
+        for kind in [ModelKind::McpatCalib, ModelKind::McpatCalibComponent] {
+            let xv = cross_validate_model(&c, &ids, kind).unwrap();
+            assert_eq!(xv.model, kind);
+            assert_eq!(xv.folds.len(), 3);
+            let pooled = xv.pooled();
+            assert_eq!(pooled.pairs.len(), c.runs().len());
+            assert!(pooled.mape.is_finite());
+        }
     }
 
     #[test]

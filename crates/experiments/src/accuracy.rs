@@ -1,16 +1,22 @@
 //! End-to-end accuracy comparisons (Figs. 4 and 5).
+//!
+//! Every method is trained and evaluated through the [`ModelKind`] registry —
+//! one loop over [`ModelKind::ALL`] instead of hand-rolled per-method code —
+//! so adding a model to the registry automatically adds it to every accuracy
+//! figure.
 
 use crate::report::{format_table, percent};
 use crate::Experiments;
-use autopower::baselines::{McpatCalib, McpatCalibComponent};
-use autopower::{evaluate_totals, AccuracySummary, AutoPower, Corpus};
+use autopower::{try_evaluate_totals, AccuracySummary, AutoPowerError, Corpus, ModelKind};
 use autopower_config::ConfigId;
 use std::fmt;
 
 /// Accuracy of one method on the test split.
 #[derive(Debug, Clone)]
 pub struct MethodAccuracy {
-    /// Method name as printed.
+    /// The registry entry this row was trained as.
+    pub kind: ModelKind,
+    /// Method name as printed (the paper's name for the method).
     pub method: String,
     /// Accuracy summary (MAPE, R², Pearson R and the underlying scatter points).
     pub summary: AccuracySummary,
@@ -21,24 +27,43 @@ pub struct MethodAccuracy {
 pub struct AccuracyComparison {
     /// The training configurations.
     pub train_configs: Vec<ConfigId>,
-    /// Accuracy of every compared method (AutoPower first).
+    /// Accuracy of every registry method, in [`ModelKind::ALL`] order
+    /// (AutoPower first).
     pub methods: Vec<MethodAccuracy>,
 }
 
 impl AccuracyComparison {
+    /// The entry of one registry model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not part of the comparison (never the case for
+    /// comparisons built by [`compare_methods`]).
+    pub fn method(&self, kind: ModelKind) -> &MethodAccuracy {
+        self.methods
+            .iter()
+            .find(|m| m.kind == kind)
+            .unwrap_or_else(|| panic!("comparison has no {kind} entry"))
+    }
+
     /// The AutoPower entry.
     pub fn autopower(&self) -> &MethodAccuracy {
-        &self.methods[0]
+        self.method(ModelKind::AutoPower)
     }
 
     /// The McPAT-Calib entry.
     pub fn mcpat_calib(&self) -> &MethodAccuracy {
-        &self.methods[1]
+        self.method(ModelKind::McpatCalib)
     }
 
     /// The McPAT-Calib + Component entry.
     pub fn mcpat_calib_component(&self) -> &MethodAccuracy {
-        &self.methods[2]
+        self.method(ModelKind::McpatCalibComponent)
+    }
+
+    /// The AutoPower− ablation entry.
+    pub fn autopower_minus(&self) -> &MethodAccuracy {
+        self.method(ModelKind::AutoPowerMinus)
     }
 }
 
@@ -74,44 +99,56 @@ impl fmt::Display for AccuracyComparison {
     }
 }
 
-/// Trains the three compared methods on `train_configs` and evaluates them on every
+/// Trains every registry method on `train_configs` and evaluates it on every
 /// other configuration of the corpus.
-pub fn compare_methods(corpus: &Corpus, train_configs: &[ConfigId]) -> AccuracyComparison {
+///
+/// # Errors
+///
+/// Returns an error if a method fails to train or the test split is empty
+/// (e.g. every corpus configuration ended up in the training set).
+pub fn compare_methods(
+    corpus: &Corpus,
+    train_configs: &[ConfigId],
+) -> Result<AccuracyComparison, AutoPowerError> {
     let test_runs = corpus.test_runs(train_configs);
-    let autopower = AutoPower::train(corpus, train_configs).expect("AutoPower training succeeds");
-    let mcpat = McpatCalib::train(corpus, train_configs).expect("McPAT-Calib training succeeds");
-    let mcpat_comp = McpatCalibComponent::train(corpus, train_configs)
-        .expect("McPAT-Calib + Component training succeeds");
-
-    let methods = vec![
-        MethodAccuracy {
-            method: "AutoPower".to_owned(),
-            summary: evaluate_totals(&test_runs, |run| autopower.predict_total(run)),
-        },
-        MethodAccuracy {
-            method: "McPAT-Calib".to_owned(),
-            summary: evaluate_totals(&test_runs, |run| mcpat.predict_run(run)),
-        },
-        MethodAccuracy {
-            method: "McPAT-Calib + Component".to_owned(),
-            summary: evaluate_totals(&test_runs, |run| mcpat_comp.predict_run(run)),
-        },
-    ];
-    AccuracyComparison {
+    if test_runs.is_empty() {
+        // Fail before training anything — training is the expensive step.
+        return Err(AutoPowerError::EmptyEvaluation);
+    }
+    let methods = ModelKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let model = kind.train(corpus, train_configs)?;
+            Ok(MethodAccuracy {
+                kind,
+                method: kind.paper_name().to_owned(),
+                summary: try_evaluate_totals(&test_runs, |run| model.predict_total(run))?,
+            })
+        })
+        .collect::<Result<Vec<_>, AutoPowerError>>()?;
+    Ok(AccuracyComparison {
         train_configs: train_configs.to_vec(),
         methods,
-    }
+    })
 }
 
 impl Experiments {
     /// Fig. 4: accuracy comparison with two known configurations for training.
-    pub fn fig4_accuracy_two_configs(&self) -> AccuracyComparison {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a method fails to train or the test split is empty.
+    pub fn fig4_accuracy_two_configs(&self) -> Result<AccuracyComparison, AutoPowerError> {
         let corpus = self.average_corpus();
         compare_methods(&corpus, &self.settings().train_two)
     }
 
     /// Fig. 5: accuracy comparison with three known configurations for training.
-    pub fn fig5_accuracy_three_configs(&self) -> AccuracyComparison {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a method fails to train or the test split is empty.
+    pub fn fig5_accuracy_three_configs(&self) -> Result<AccuracyComparison, AutoPowerError> {
         let corpus = self.average_corpus();
         compare_methods(&corpus, &self.settings().train_three)
     }
@@ -124,8 +161,10 @@ mod tests {
     #[test]
     fn autopower_beats_mcpat_calib_with_two_training_configs() {
         let exp = Experiments::fast();
-        let cmp = exp.fig4_accuracy_two_configs();
-        assert_eq!(cmp.methods.len(), 3);
+        let cmp = exp.fig4_accuracy_two_configs().unwrap();
+        // One entry per registry model, AutoPower first.
+        assert_eq!(cmp.methods.len(), ModelKind::ALL.len());
+        assert_eq!(cmp.methods[0].kind, ModelKind::AutoPower);
         let ours = cmp.autopower().summary.mape;
         let baseline = cmp.mcpat_calib().summary.mape;
         assert!(
@@ -133,21 +172,45 @@ mod tests {
             "AutoPower MAPE {ours} should beat McPAT-Calib MAPE {baseline}"
         );
         assert!(cmp.autopower().summary.r_squared > cmp.mcpat_calib().summary.r_squared);
-        // The printed report names all three methods.
+        assert!(cmp.autopower_minus().summary.mape.is_finite());
+        // The printed report names every registry method.
         let text = cmp.to_string();
         assert!(text.contains("AutoPower"));
         assert!(text.contains("McPAT-Calib + Component"));
+        assert!(text.contains("AutoPower-"));
     }
 
     #[test]
     fn three_training_configs_do_not_hurt_autopower() {
         let exp = Experiments::fast();
-        let two = exp.fig4_accuracy_two_configs().autopower().summary.mape;
-        let three = exp.fig5_accuracy_three_configs().autopower().summary.mape;
+        let two = exp
+            .fig4_accuracy_two_configs()
+            .unwrap()
+            .autopower()
+            .summary
+            .mape;
+        let three = exp
+            .fig5_accuracy_three_configs()
+            .unwrap()
+            .autopower()
+            .summary
+            .mape;
         // More training data should not make AutoPower dramatically worse.
         assert!(
             three < two + 0.05,
             "2-config MAPE {two}, 3-config MAPE {three}"
         );
+    }
+
+    #[test]
+    fn training_on_every_configuration_fails_with_a_message() {
+        // An empty test split used to panic deep inside the metric code; now
+        // it surfaces as an explicit error.
+        let exp = Experiments::fast();
+        let corpus = exp.average_corpus();
+        let all = exp.settings().config_ids();
+        let err = compare_methods(&corpus, &all).unwrap_err();
+        assert!(matches!(err, AutoPowerError::EmptyEvaluation));
+        assert!(err.to_string().contains("empty"));
     }
 }

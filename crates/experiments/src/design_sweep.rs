@@ -11,9 +11,13 @@
 
 use crate::report::format_table;
 use crate::Experiments;
-use autopower::{summarize, ConfigSummary, SweepEngine, SweepSpec};
-use autopower_config::{ConfigId, DesignSpace, HwParam, Workload};
+use autopower::{
+    rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, Corpus, ModelKind, SweepEngine,
+    SweepSpec,
+};
+use autopower_config::{ConfigId, CpuConfig, DesignSpace, HwParam, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// Seed of the design-space draw: fixed so the swept configurations (and hence
 /// the printed summary) are reproducible across runs and thread counts.
@@ -25,6 +29,8 @@ const TOP_K: usize = 10;
 /// Result of the design-space sweep experiment.
 #[derive(Debug, Clone)]
 pub struct DesignSweepResult {
+    /// The registry model that scored the sweep.
+    pub model: ModelKind,
     /// The known configurations the model was trained on.
     pub train_configs: Vec<ConfigId>,
     /// The workloads every configuration was scored on.
@@ -53,12 +59,7 @@ impl DesignSweepResult {
     /// The `k` most energy-efficient configurations (lowest predicted energy
     /// per instruction), best first.
     pub fn top_by_efficiency(&self, k: usize) -> Vec<&ConfigSummary> {
-        let mut ranked: Vec<&ConfigSummary> = self.summaries.iter().collect();
-        ranked.sort_by(|a, b| {
-            a.energy_per_instruction
-                .partial_cmp(&b.energy_per_instruction)
-                .expect("finite efficiency")
-        });
+        let mut ranked = rank_by_efficiency(&self.summaries);
         ranked.truncate(k);
         ranked
     }
@@ -96,9 +97,11 @@ impl fmt::Display for DesignSweepResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Design-space sweep — {} generated configurations x {} workloads, trained on {}",
+            "Design-space sweep — {} generated configurations x {} workloads, \
+             {} trained on {}",
             self.summaries.len(),
             self.workloads.len(),
+            self.model.paper_name(),
             self.train_configs
                 .iter()
                 .map(|c| c.to_string())
@@ -111,13 +114,19 @@ impl fmt::Display for DesignSweepResult {
             "predicted power across the space (mW, mean over workloads)"
         )?;
         type GroupGetter = fn(&ConfigSummary) -> f64;
-        let groups: [(&str, GroupGetter); 5] = [
-            ("clock", |s| s.mean_power.clock),
-            ("sram", |s| s.mean_power.sram),
-            ("register", |s| s.mean_power.register),
-            ("combinational", |s| s.mean_power.combinational),
-            ("total", |s| s.mean_power.total()),
-        ];
+        // Total-only models park the whole prediction in one slot; printing
+        // per-group quantile rows for them would be noise.
+        let groups: &[(&str, GroupGetter)] = if self.model.resolves_groups() {
+            &[
+                ("clock", |s| s.mean_power.clock),
+                ("sram", |s| s.mean_power.sram),
+                ("register", |s| s.mean_power.register),
+                ("combinational", |s| s.mean_power.combinational),
+                ("total", |s| s.mean_power.total()),
+            ]
+        } else {
+            &[("total", |s| s.mean_power.total())]
+        };
         let rows: Vec<Vec<String>> = groups
             .iter()
             .map(|(label, get)| quantile_row(label, self.summaries.iter().map(get).collect()))
@@ -170,36 +179,78 @@ impl fmt::Display for DesignSweepResult {
     }
 }
 
+/// Everything a design-space sweep needs: the training corpus, the training
+/// set, the fixed-seeded generated configurations and the sweep settings.
+pub(crate) struct SweepInputs {
+    pub corpus: Arc<Corpus>,
+    pub train: Vec<ConfigId>,
+    pub configs: Vec<CpuConfig>,
+    pub workloads: Vec<Workload>,
+    pub spec: SweepSpec,
+}
+
 impl Experiments {
-    /// Sweeps `count` generated design points through a model trained on the
-    /// two known configurations.
+    /// The shared inputs of the `sweep` and `compare` experiments — one
+    /// definition so `compare` provably scores exactly the space (and uses
+    /// exactly the settings) the `sweep` experiment does.
+    pub(crate) fn sweep_inputs(&self, count: usize) -> SweepInputs {
+        SweepInputs {
+            corpus: self.sweep_training_corpus(),
+            train: self.settings().train_two.clone(),
+            configs: DesignSpace::boom().sample(count, SAMPLE_SEED),
+            workloads: self.settings().average_workloads.clone(),
+            spec: SweepSpec {
+                sim: self.settings().average_sim,
+                threads: self.settings().threads,
+                ..SweepSpec::paper()
+            },
+        }
+    }
+
+    /// Sweeps `count` generated design points through an AutoPower model
+    /// trained on the two known configurations.
+    ///
+    /// Shorthand for [`Experiments::design_space_sweep_model`] with
+    /// [`ModelKind::AutoPower`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or training fails.
+    pub fn design_space_sweep(&self, count: usize) -> DesignSweepResult {
+        self.design_space_sweep_model(count, ModelKind::AutoPower)
+            .expect("AutoPower training succeeds")
+    }
+
+    /// Sweeps `count` generated design points through any registry model
+    /// trained on the two known configurations (the `--model` CLI path).
     ///
     /// Deterministic end to end: the design-space draw is fixed-seeded, corpus
     /// generation and batch inference are bit-identical for every thread
     /// count, so the printed summary never depends on `--threads`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if the model fails to train.
+    ///
     /// # Panics
     ///
     /// Panics if `count` is zero — an empty sweep has nothing to report.
-    pub fn design_space_sweep(&self, count: usize) -> DesignSweepResult {
+    pub fn design_space_sweep_model(
+        &self,
+        count: usize,
+        kind: ModelKind,
+    ) -> Result<DesignSweepResult, AutoPowerError> {
         assert!(count > 0, "a sweep needs at least one configuration");
-        let corpus = self.sweep_training_corpus();
-        let train = self.settings().train_two.clone();
-        let model =
-            autopower::AutoPower::train(&corpus, &train).expect("AutoPower training succeeds");
-        let configs = DesignSpace::boom().sample(count, SAMPLE_SEED);
-        let workloads = self.settings().average_workloads.clone();
-        let spec = SweepSpec {
-            sim: self.settings().average_sim,
-            threads: self.settings().threads,
-            ..SweepSpec::paper()
-        };
-        let points = SweepEngine::new(&model, spec).run(&configs, &workloads);
-        DesignSweepResult {
-            train_configs: train,
-            workloads: workloads.clone(),
-            summaries: summarize(&points, workloads.len()),
-        }
+        let inputs = self.sweep_inputs(count);
+        let model = kind.train(&inputs.corpus, &inputs.train)?;
+        let points =
+            SweepEngine::new(model.as_ref(), inputs.spec).run(&inputs.configs, &inputs.workloads);
+        Ok(DesignSweepResult {
+            model: kind,
+            train_configs: inputs.train,
+            summaries: summarize(&points, inputs.workloads.len()),
+            workloads: inputs.workloads,
+        })
     }
 }
 
@@ -230,6 +281,28 @@ mod tests {
         assert!(text.contains("24 generated configurations"));
         assert!(text.contains("median"));
         assert!(text.contains("pJ/instr"));
+    }
+
+    #[test]
+    fn sweep_runs_under_a_baseline_model() {
+        let exp = Experiments::fast();
+        let result = exp
+            .design_space_sweep_model(12, ModelKind::McpatCalib)
+            .unwrap();
+        assert_eq!(result.model, ModelKind::McpatCalib);
+        assert_eq!(result.summaries.len(), 12);
+        for s in &result.summaries {
+            assert!(s.mean_power.total() > 0.0);
+            // Total-only model: groups are unresolved, the total is parked in
+            // the combinational slot.
+            assert_eq!(s.mean_power.clock, 0.0);
+            assert_eq!(s.mean_power.sram, 0.0);
+        }
+        let text = result.to_string();
+        assert!(text.contains("McPAT-Calib"));
+        // The per-group quantile rows are suppressed for total-only models.
+        assert!(!text.contains("clock"));
+        assert!(text.contains("total"));
     }
 
     #[test]

@@ -17,12 +17,20 @@
 //! | Table IV (time-based power traces) | [`Experiments::table4_power_trace`] | `table4` |
 //! | Ablations (program features, simulator inaccuracy) | [`Experiments::ablation_study`] | `ablation` |
 //! | Design-space sweep (generated configurations) | [`Experiments::design_space_sweep`] | `sweep` |
+//! | Leave-one-out cross-validation | [`Experiments::cross_validation_model`] | `xval` |
+//! | Model-disagreement sweep (all registry models) | [`Experiments::model_comparison`] | `compare` |
+//!
+//! The `sweep`, `table4` and `xval` subcommands accept `--model NAME` and run
+//! under any [`ModelKind`](autopower::ModelKind) registry model; `compare`
+//! sweeps the same generated design space under *every* registry model and
+//! reports where they disagree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ablation;
 mod accuracy;
+mod compare;
 mod design_sweep;
 mod detail;
 mod obs1;
@@ -31,9 +39,11 @@ mod settings;
 mod sweep;
 mod table1;
 mod trace_exp;
+mod xval_exp;
 
 pub use ablation::AblationResult;
-pub use accuracy::{AccuracyComparison, MethodAccuracy};
+pub use accuracy::{compare_methods, AccuracyComparison, MethodAccuracy};
+pub use compare::ModelComparison;
 pub use design_sweep::DesignSweepResult;
 pub use detail::{GroupDetailResult, SubModelAccuracy};
 pub use obs1::BreakdownResult;
@@ -42,18 +52,22 @@ pub use settings::ExperimentSettings;
 pub use sweep::{SweepPoint, SweepResult};
 pub use table1::{BlockShape, Table1Result};
 pub use trace_exp::{TraceCase, TraceResult};
+pub use xval_exp::XvalResult;
 
 use autopower::{Corpus, CorpusSpec};
 use autopower_config::Workload;
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The experiment harness: owns the settings and caches the generated corpora.
+///
+/// The corpus caches are [`OnceLock`]s, so the harness is `Send + Sync`: benches
+/// and parallel drivers can share one `Experiments` (and hence one set of
+/// generated corpora) across threads.
 pub struct Experiments {
     settings: ExperimentSettings,
-    average_corpus: RefCell<Option<Arc<Corpus>>>,
-    trace_corpus: RefCell<Option<Arc<Corpus>>>,
-    train_corpus: RefCell<Option<Arc<Corpus>>>,
+    average_corpus: OnceLock<Arc<Corpus>>,
+    trace_corpus: OnceLock<Arc<Corpus>>,
+    train_corpus: OnceLock<Arc<Corpus>>,
 }
 
 impl Experiments {
@@ -61,9 +75,9 @@ impl Experiments {
     pub fn new(settings: ExperimentSettings) -> Self {
         Self {
             settings,
-            average_corpus: RefCell::new(None),
-            trace_corpus: RefCell::new(None),
-            train_corpus: RefCell::new(None),
+            average_corpus: OnceLock::new(),
+            trace_corpus: OnceLock::new(),
+            train_corpus: OnceLock::new(),
         }
     }
 
@@ -87,7 +101,7 @@ impl Experiments {
     /// Hands out a shared [`Arc`]: the nine experiments all read the same
     /// cached corpus instead of each deep-cloning every run.
     pub fn average_corpus(&self) -> Arc<Corpus> {
-        Arc::clone(self.average_corpus.borrow_mut().get_or_insert_with(|| {
+        Arc::clone(self.average_corpus.get_or_init(|| {
             Arc::new(Corpus::generate(
                 &self.settings.configs,
                 &self.settings.average_workloads,
@@ -103,7 +117,7 @@ impl Experiments {
     /// training configurations), generated on first use and shared like
     /// [`Experiments::average_corpus`].
     pub fn trace_corpus(&self) -> Arc<Corpus> {
-        Arc::clone(self.trace_corpus.borrow_mut().get_or_insert_with(|| {
+        Arc::clone(self.trace_corpus.get_or_init(|| {
             let mut configs = self.settings.trace_configs.clone();
             for id in &self.settings.train_two {
                 let cfg = autopower_config::config_by_id(*id);
@@ -133,10 +147,10 @@ impl Experiments {
     /// Both corpora contain bit-identical runs for the training
     /// configurations, so the trained model is the same either way.
     pub(crate) fn sweep_training_corpus(&self) -> Arc<Corpus> {
-        if let Some(full) = self.average_corpus.borrow().as_ref() {
+        if let Some(full) = self.average_corpus.get() {
             return Arc::clone(full);
         }
-        Arc::clone(self.train_corpus.borrow_mut().get_or_insert_with(|| {
+        Arc::clone(self.train_corpus.get_or_init(|| {
             let train: Vec<autopower_config::CpuConfig> = self
                 .settings
                 .train_two
@@ -158,6 +172,27 @@ impl Experiments {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn harness_is_shareable_across_threads() {
+        fn check<T: Send + Sync>() {}
+        check::<Experiments>();
+        // A shared harness generates its corpus exactly once even under
+        // concurrent first use.
+        let exp = std::sync::Arc::new(Experiments::fast());
+        let corpora: Vec<Arc<Corpus>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let exp = Arc::clone(&exp);
+                    scope.spawn(move || exp.average_corpus())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for c in &corpora[1..] {
+            assert!(Arc::ptr_eq(&corpora[0], c));
+        }
+    }
 
     #[test]
     fn corpora_are_cached_and_consistent() {

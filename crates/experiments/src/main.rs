@@ -1,29 +1,49 @@
 //! Command-line entry point of the experiment harness.
 //!
 //! ```text
-//! autopower-experiments [--fast] [--threads N] [--count N] [EXPERIMENT ...]
+//! autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
-//! `table4`, `ablation`, `sweep`, or `all` (the default).  `--fast` switches to the
-//! reduced settings used by tests and benches; `--threads N` sets the worker count
-//! of the corpus-generation and sweep pipelines (default: one per available core,
-//! `1` = serial); `--count N` sets how many generated configurations the `sweep`
-//! experiment scores.  Flags and experiment names may appear in any order; unknown
-//! or duplicate experiment names are rejected before any corpus is generated.
+//! `table4`, `ablation`, `sweep`, `xval`, `compare`, or `all` (the default).
+//! `--fast` switches to the reduced settings used by tests and benches;
+//! `--threads N` sets the worker count of the corpus-generation and sweep
+//! pipelines (default: one per available core, `1` = serial); `--count N` sets
+//! how many generated configurations the `sweep` and `compare` experiments
+//! score; `--model NAME` selects the registry model the `sweep`, `table4` and
+//! `xval` experiments run under (`autopower`, `mcpat-calib`,
+//! `mcpat-calib-component`, `autopower-minus`).  Flags and experiment names may
+//! appear in any order; unknown or duplicate experiment names and unknown model
+//! names are rejected before any corpus is generated.
 
-use autopower::CorpusSpec;
+use autopower::{CorpusSpec, ModelKind};
 use autopower_experiments::{ExperimentSettings, Experiments};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: autopower-experiments [--fast] [--threads N] [--count N] \
-                     [obs1|table1|fig4|fig5|fig6|fig7|fig8|table4|ablation|sweep|all ...]";
-
-const ALL_EXPERIMENTS: [&str; 10] = [
+const ALL_EXPERIMENTS: [&str; 12] = [
     "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation", "sweep",
+    "xval", "compare",
 ];
 
-/// Default number of generated configurations the `sweep` experiment scores.
+/// The usage string, with the experiment and model lists derived from
+/// [`ALL_EXPERIMENTS`] and [`ModelKind::ALL`] so help text cannot drift from
+/// the registries.
+fn usage() -> String {
+    let models: Vec<&str> = ModelKind::ALL
+        .iter()
+        .map(|kind| kind.registry_name())
+        .collect();
+    format!(
+        "usage: autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] \
+         [{}|all ...]\nmodels: {} (default: {})",
+        ALL_EXPERIMENTS.join("|"),
+        models.join(", "),
+        ModelKind::AutoPower,
+    )
+}
+
+/// Default number of generated configurations the `sweep` and `compare`
+/// experiments score.
 const DEFAULT_SWEEP_COUNT: usize = 256;
 
 /// Everything the command line selects: settings knobs and the experiment list.
@@ -32,6 +52,7 @@ struct CliArgs {
     fast: bool,
     threads: usize,
     count: usize,
+    model: ModelKind,
     help: bool,
     requested: Vec<String>,
 }
@@ -46,6 +67,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         fast: false,
         threads: 0,
         count: DEFAULT_SWEEP_COUNT,
+        model: ModelKind::AutoPower,
         help: false,
         requested: Vec::new(),
     };
@@ -57,28 +79,36 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
             "--threads" => {
                 let value = iter
                     .next()
-                    .ok_or_else(|| format!("--threads needs a value\n{USAGE}"))?;
+                    .ok_or_else(|| format!("--threads needs a value\n{}", usage()))?;
                 parsed.threads = parse_count(&value, "--threads")?;
             }
             "--count" => {
                 let value = iter
                     .next()
-                    .ok_or_else(|| format!("--count needs a value\n{USAGE}"))?;
+                    .ok_or_else(|| format!("--count needs a value\n{}", usage()))?;
                 parsed.count = parse_sweep_count(&value)?;
+            }
+            "--model" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--model needs a value\n{}", usage()))?;
+                parsed.model = parse_model(&value)?;
             }
             other => {
                 if let Some(value) = other.strip_prefix("--threads=") {
                     parsed.threads = parse_count(value, "--threads")?;
                 } else if let Some(value) = other.strip_prefix("--count=") {
                     parsed.count = parse_sweep_count(value)?;
+                } else if let Some(value) = other.strip_prefix("--model=") {
+                    parsed.model = parse_model(value)?;
                 } else if other.starts_with('-') {
-                    return Err(format!("unknown flag '{other}'\n{USAGE}"));
+                    return Err(format!("unknown flag '{other}'\n{}", usage()));
                 } else if other == "all" || ALL_EXPERIMENTS.contains(&other) {
                     if !parsed.requested.iter().any(|r| r == other) {
                         parsed.requested.push(other.to_owned());
                     }
                 } else {
-                    return Err(format!("unknown experiment '{other}'\n{USAGE}"));
+                    return Err(format!("unknown experiment '{other}'\n{}", usage()));
                 }
             }
         }
@@ -90,9 +120,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
 }
 
 fn parse_count(value: &str, flag: &str) -> Result<usize, String> {
-    value
-        .parse::<usize>()
-        .map_err(|_| format!("{flag} expects a non-negative integer, got '{value}'\n{USAGE}"))
+    value.parse::<usize>().map_err(|_| {
+        format!(
+            "{flag} expects a non-negative integer, got '{value}'\n{}",
+            usage()
+        )
+    })
 }
 
 /// Like [`parse_count`] but rejects zero: an empty sweep has nothing to report
@@ -101,24 +134,59 @@ fn parse_sweep_count(value: &str) -> Result<usize, String> {
     match value.parse::<usize>() {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(format!(
-            "--count expects a positive integer, got '{value}'\n{USAGE}"
+            "--count expects a positive integer, got '{value}'\n{}",
+            usage()
         )),
     }
 }
 
-fn run_one(experiments: &Experiments, name: &str, sweep_count: usize) -> Result<(), String> {
+/// Resolves a `--model` value against the [`ModelKind`] registry.
+fn parse_model(value: &str) -> Result<ModelKind, String> {
+    value
+        .parse::<ModelKind>()
+        .map_err(|e| format!("{e}\n{}", usage()))
+}
+
+fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), String> {
+    let err = |e: autopower::AutoPowerError| format!("{name}: {e}");
     match name {
         "obs1" => println!("{}\n", experiments.obs1_breakdown()),
         "table1" => println!("{}\n", experiments.table1_hardware_model()),
-        "fig4" => println!("{}\n", experiments.fig4_accuracy_two_configs()),
-        "fig5" => println!("{}\n", experiments.fig5_accuracy_three_configs()),
-        "fig6" => println!("{}\n", experiments.fig6_training_sweep()),
+        "fig4" => println!(
+            "{}\n",
+            experiments.fig4_accuracy_two_configs().map_err(err)?
+        ),
+        "fig5" => println!(
+            "{}\n",
+            experiments.fig5_accuracy_three_configs().map_err(err)?
+        ),
+        "fig6" => println!("{}\n", experiments.fig6_training_sweep().map_err(err)?),
         "fig7" => println!("{}\n", experiments.fig7_clock_detail()),
         "fig8" => println!("{}\n", experiments.fig8_sram_detail()),
-        "table4" => println!("{}\n", experiments.table4_power_trace()),
+        "table4" => println!(
+            "{}\n",
+            experiments
+                .table4_power_trace_model(args.model)
+                .map_err(err)?
+        ),
         "ablation" => println!("{}\n", experiments.ablation_study()),
-        "sweep" => println!("{}\n", experiments.design_space_sweep(sweep_count)),
-        other => return Err(format!("unknown experiment '{other}'\n{USAGE}")),
+        "sweep" => println!(
+            "{}\n",
+            experiments
+                .design_space_sweep_model(args.count, args.model)
+                .map_err(err)?
+        ),
+        "xval" => println!(
+            "{}\n",
+            experiments
+                .cross_validation_model(args.model)
+                .map_err(err)?
+        ),
+        "compare" => println!(
+            "{}\n",
+            experiments.model_comparison(args.count).map_err(err)?
+        ),
+        other => return Err(format!("unknown experiment '{other}'\n{}", usage())),
     }
     Ok(())
 }
@@ -132,7 +200,7 @@ fn main() -> ExitCode {
         }
     };
     if args.help {
-        println!("{USAGE}");
+        println!("{}", usage());
         return ExitCode::SUCCESS;
     }
 
@@ -160,7 +228,7 @@ fn main() -> ExitCode {
     );
 
     for name in &args.requested {
-        if let Err(message) = run_one(&experiments, name, args.count) {
+        if let Err(message) = run_one(&experiments, name, &args) {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
@@ -243,5 +311,35 @@ mod tests {
         assert_eq!(parsed.count, 200);
         let parsed = parse_args(args(&["--count=64", "sweep"])).expect("valid arguments");
         assert_eq!(parsed.count, 64);
+    }
+
+    #[test]
+    fn model_flag_selects_a_registry_model_in_both_forms() {
+        let parsed = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert_eq!(parsed.model, ModelKind::AutoPower);
+        let parsed =
+            parse_args(args(&["sweep", "--model", "mcpat-calib"])).expect("valid arguments");
+        assert_eq!(parsed.model, ModelKind::McpatCalib);
+        let parsed =
+            parse_args(args(&["--model=autopower-minus", "xval"])).expect("valid arguments");
+        assert_eq!(parsed.model, ModelKind::AutoPowerMinus);
+    }
+
+    #[test]
+    fn unknown_models_fail_at_parse_time() {
+        let err = parse_args(args(&["sweep", "--model", "xgboost"])).unwrap_err();
+        assert!(err.contains("unknown model 'xgboost'"));
+        assert!(err.contains("usage:"), "error must repeat the usage line");
+        assert!(parse_args(args(&["--model"])).is_err());
+    }
+
+    #[test]
+    fn new_experiment_verbs_are_registered() {
+        for verb in ["xval", "compare"] {
+            let parsed = parse_args(args(&[verb])).expect("valid arguments");
+            assert_eq!(parsed.requested, vec![verb.to_owned()]);
+        }
+        assert!(ALL_EXPERIMENTS.contains(&"xval"));
+        assert!(ALL_EXPERIMENTS.contains(&"compare"));
     }
 }

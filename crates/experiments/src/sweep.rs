@@ -3,6 +3,7 @@
 use crate::accuracy::compare_methods;
 use crate::report::{format_table, percent};
 use crate::Experiments;
+use autopower::AutoPowerError;
 use autopower_config::ConfigId;
 use std::fmt;
 
@@ -72,27 +73,31 @@ impl fmt::Display for SweepResult {
 }
 
 impl Experiments {
-    /// Fig. 6: sweeps the number of known configurations and compares AutoPower with
-    /// McPAT-Calib and McPAT-Calib + Component.
-    pub fn fig6_training_sweep(&self) -> SweepResult {
+    /// Fig. 6: sweeps the number of known configurations and compares every
+    /// registry method.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sweep point fails to train or evaluate.
+    pub fn fig6_training_sweep(&self) -> Result<SweepResult, AutoPowerError> {
         let corpus = self.average_corpus();
         let points = self
             .settings()
             .sweep_training_sets
             .iter()
             .map(|train| {
-                let cmp = compare_methods(&corpus, train);
-                SweepPoint {
+                let cmp = compare_methods(&corpus, train)?;
+                Ok(SweepPoint {
                     train_configs: train.clone(),
                     methods: cmp
                         .methods
                         .iter()
                         .map(|m| (m.method.clone(), m.summary.mape, m.summary.r_squared))
                         .collect(),
-                }
+                })
             })
-            .collect();
-        SweepResult { points }
+            .collect::<Result<Vec<_>, AutoPowerError>>()?;
+        Ok(SweepResult { points })
     }
 }
 
@@ -103,7 +108,7 @@ mod tests {
     #[test]
     fn autopower_wins_at_every_sweep_point() {
         let exp = Experiments::fast();
-        let sweep = exp.fig6_training_sweep();
+        let sweep = exp.fig6_training_sweep().unwrap();
         assert!(!sweep.points.is_empty());
         let ours = sweep.mape_series("AutoPower");
         let mcpat = sweep.mape_series("McPAT-Calib");

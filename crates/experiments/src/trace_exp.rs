@@ -2,7 +2,7 @@
 
 use crate::report::{format_table, percent};
 use crate::Experiments;
-use autopower::{trace_errors, AutoPower, PowerTracePredictor, TraceErrors};
+use autopower::{trace_errors, AutoPowerError, ModelKind, PowerTracePredictor, TraceErrors};
 use autopower_config::{ConfigId, Workload};
 use std::fmt;
 
@@ -22,6 +22,8 @@ pub struct TraceCase {
 /// The full Table IV result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceResult {
+    /// The registry model that predicted the traces.
+    pub model: ModelKind,
     /// The training configurations (average-power corpus, no trace data).
     pub train_configs: Vec<ConfigId>,
     /// One case per `(workload, configuration)` pair.
@@ -46,7 +48,8 @@ impl fmt::Display for TraceResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Table IV — time-based power-trace prediction (50-cycle steps, trained on {} configurations)",
+            "Table IV — time-based power-trace prediction (50-cycle steps, {} trained on {} configurations)",
+            self.model.paper_name(),
             self.train_configs.len()
         )?;
         let rows: Vec<Vec<String>> = self
@@ -84,11 +87,29 @@ impl fmt::Display for TraceResult {
 impl Experiments {
     /// Table IV: trains on the two known configurations (average-power corpus only) and
     /// predicts the 50-cycle power traces of GEMM and SPMM on the trace configurations.
+    ///
+    /// Shorthand for [`Experiments::table4_power_trace_model`] with
+    /// [`ModelKind::AutoPower`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails.
     pub fn table4_power_trace(&self) -> TraceResult {
+        self.table4_power_trace_model(ModelKind::AutoPower)
+            .expect("AutoPower training succeeds")
+    }
+
+    /// Table IV under any registry model (the `--model` CLI path): trains on the two
+    /// known configurations and predicts the 50-cycle traces of the trace workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model fails to train.
+    pub fn table4_power_trace_model(&self, kind: ModelKind) -> Result<TraceResult, AutoPowerError> {
         let average = self.average_corpus();
         let train = self.settings().train_two.clone();
-        let model = AutoPower::train(&average, &train).expect("AutoPower training succeeds");
-        let predictor = PowerTracePredictor::new(&model);
+        let model = kind.train(&average, &train)?;
+        let predictor = PowerTracePredictor::new(model.as_ref());
 
         let trace_corpus = self.trace_corpus();
         let mut cases = Vec::new();
@@ -107,10 +128,11 @@ impl Experiments {
                 });
             }
         }
-        TraceResult {
+        Ok(TraceResult {
+            model: kind,
             train_configs: train,
             cases,
-        }
+        })
     }
 }
 
@@ -138,5 +160,21 @@ mod tests {
         }
         assert!(r.mean_average_error() < 0.3);
         assert!(r.to_string().contains("Table IV"));
+        assert!(r.to_string().contains("AutoPower"));
+    }
+
+    #[test]
+    fn trace_prediction_runs_under_a_baseline_model() {
+        let exp = Experiments::fast();
+        let r = exp
+            .table4_power_trace_model(ModelKind::McpatCalibComponent)
+            .unwrap();
+        assert_eq!(r.model, ModelKind::McpatCalibComponent);
+        assert!(!r.cases.is_empty());
+        for case in &r.cases {
+            assert!(case.errors.average_error.is_finite());
+            assert!(case.errors.average_error >= 0.0);
+        }
+        assert!(r.to_string().contains("McPAT-Calib + Component"));
     }
 }

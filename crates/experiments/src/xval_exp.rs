@@ -1,0 +1,105 @@
+//! Leave-one-configuration-out cross-validation (`xval` subcommand).
+//!
+//! The paper evaluates fixed training sets; an architect with `k` known
+//! configurations wants the robustness view instead: hold each configuration
+//! out in turn, train on the rest, and look at the per-fold spread.  Runs
+//! under any [`ModelKind`] registry model via `--model`.
+
+use crate::report::{format_table, percent};
+use crate::Experiments;
+use autopower::{cross_validate_model, AutoPowerError, CrossValidation, ModelKind};
+use std::fmt;
+
+/// Result of the cross-validation experiment.
+#[derive(Debug, Clone)]
+pub struct XvalResult {
+    /// The fold-by-fold cross-validation (including the model kind).
+    pub xval: CrossValidation,
+}
+
+impl XvalResult {
+    /// The cross-validated model.
+    pub fn model(&self) -> ModelKind {
+        self.xval.model
+    }
+}
+
+impl fmt::Display for XvalResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Leave-one-configuration-out cross-validation — {} over {} configurations",
+            self.xval.model.paper_name(),
+            self.xval.configs.len()
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .xval
+            .configs
+            .iter()
+            .zip(&self.xval.folds)
+            .map(|(held_out, fold)| {
+                vec![
+                    held_out.to_string(),
+                    fold.pairs.len().to_string(),
+                    percent(fold.mape),
+                    format!("{:.3}", fold.r_squared),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            format_table(&["held-out", "runs", "MAPE", "R^2"], &rows)
+        )?;
+        let pooled = self.xval.pooled();
+        write!(
+            f,
+            "pooled MAPE {} (R^2 {:.3}), worst fold MAPE {}",
+            percent(pooled.mape),
+            pooled.r_squared,
+            percent(self.xval.worst_fold_mape())
+        )
+    }
+}
+
+impl Experiments {
+    /// Cross-validates a registry model over every configuration of the
+    /// average-power corpus (the `xval` subcommand).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fold fails to train or evaluate.
+    pub fn cross_validation_model(&self, kind: ModelKind) -> Result<XvalResult, AutoPowerError> {
+        let corpus = self.average_corpus();
+        let xval = cross_validate_model(&corpus, &self.settings().config_ids(), kind)?;
+        Ok(XvalResult { xval })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xval_experiment_covers_every_configuration() {
+        let exp = Experiments::fast();
+        let r = exp.cross_validation_model(ModelKind::AutoPower).unwrap();
+        assert_eq!(r.model(), ModelKind::AutoPower);
+        assert_eq!(r.xval.folds.len(), exp.settings().configs.len());
+        let pooled = r.xval.pooled();
+        assert_eq!(pooled.pairs.len(), exp.average_corpus().runs().len());
+        assert!(pooled.mape < 0.35, "pooled MAPE {}", pooled.mape);
+        let text = r.to_string();
+        assert!(text.contains("cross-validation"));
+        assert!(text.contains("worst fold"));
+    }
+
+    #[test]
+    fn xval_experiment_runs_under_a_baseline_model() {
+        let exp = Experiments::fast();
+        let r = exp.cross_validation_model(ModelKind::McpatCalib).unwrap();
+        assert_eq!(r.model(), ModelKind::McpatCalib);
+        assert!(r.xval.pooled().mape.is_finite());
+        assert!(r.to_string().contains("McPAT-Calib"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Trait-path parity: for every registry model, predictions made through
+//! `Box<dyn PowerModel>` are bit-identical to the pre-refactor inherent-method
+//! predictions, and the model-agnostic engines (sweep, trace, xval) accept
+//! baselines.
+
+use autopower_repro::config::{boom_configs, ConfigId, DesignSpace, Workload};
+use autopower_repro::model::baselines::{AutoPowerMinus, McpatCalib, McpatCalibComponent};
+use autopower_repro::model::{
+    cross_validate_model, AutoPower, Corpus, CorpusSpec, ModelKind, PowerModel,
+    PowerTracePredictor, SweepEngine, SweepSpec,
+};
+
+fn corpus() -> Corpus {
+    let cfgs = boom_configs();
+    Corpus::generate(
+        &[cfgs[0], cfgs[7], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+        &CorpusSpec::fast(),
+    )
+}
+
+fn train_ids() -> [ConfigId; 2] {
+    [ConfigId::new(1), ConfigId::new(15)]
+}
+
+#[test]
+fn autopower_trait_predictions_are_bit_identical_to_inherent() {
+    let c = corpus();
+    let inherent = AutoPower::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::AutoPower.train(&c, &train_ids()).unwrap();
+    for run in c.runs() {
+        assert_eq!(boxed.predict_run(run), inherent.predict_run(run));
+        assert_eq!(boxed.predict_total(run), inherent.predict_total(run));
+    }
+}
+
+#[test]
+fn autopower_minus_trait_predictions_are_bit_identical_to_inherent() {
+    let c = corpus();
+    let inherent = AutoPowerMinus::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::AutoPowerMinus.train(&c, &train_ids()).unwrap();
+    for run in c.runs() {
+        assert_eq!(boxed.predict_run(run), inherent.predict_run(run));
+    }
+}
+
+#[test]
+fn mcpat_calib_trait_totals_are_bit_identical_to_inherent() {
+    let c = corpus();
+    let inherent = McpatCalib::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::McpatCalib.train(&c, &train_ids()).unwrap();
+    for run in c.runs() {
+        // The inherent API predicts a scalar; the trait parks it in one group
+        // slot, so the total must survive the round trip bit for bit.
+        assert_eq!(boxed.predict_total(run), inherent.predict_run(run));
+        assert_eq!(boxed.predict_run(run).total(), inherent.predict_run(run));
+        assert!(!boxed.resolves_groups());
+    }
+}
+
+#[test]
+fn mcpat_calib_component_trait_totals_are_bit_identical_to_inherent() {
+    let c = corpus();
+    let inherent = McpatCalibComponent::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::McpatCalibComponent
+        .train(&c, &train_ids())
+        .unwrap();
+    for run in c.runs() {
+        assert_eq!(boxed.predict_total(run), inherent.predict_run(run));
+        assert!(!boxed.resolves_groups());
+    }
+}
+
+#[test]
+fn sweep_engine_under_dyn_autopower_matches_predict_batch() {
+    let c = corpus();
+    let inherent = AutoPower::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::AutoPower.train(&c, &train_ids()).unwrap();
+    let configs = DesignSpace::boom().sample(6, 7);
+    let workloads = [Workload::Dhrystone, Workload::Vvadd];
+    let spec = SweepSpec::fast().threads(1);
+    // The default AutoPower sweep path is bit-identical before and after the
+    // trait refactor: `predict_batch` (inherent convenience) and a
+    // `SweepEngine` over the boxed trait object score the same points.
+    let via_inherent = inherent.predict_batch(&configs, &workloads, &spec);
+    let via_trait = SweepEngine::new(boxed.as_ref(), spec).run(&configs, &workloads);
+    assert_eq!(via_inherent, via_trait);
+}
+
+#[test]
+fn trace_predictor_under_dyn_model_matches_inherent_predictions() {
+    let c = corpus();
+    let inherent = AutoPower::train(&c, &train_ids()).unwrap();
+    let boxed: Box<dyn PowerModel> = ModelKind::AutoPower.train(&c, &train_ids()).unwrap();
+    let run = c.run(ConfigId::new(8), Workload::Qsort).unwrap();
+    let via_inherent = PowerTracePredictor::new(&inherent).predict_trace(run);
+    let via_trait = PowerTracePredictor::new(boxed.as_ref()).predict_trace(run);
+    assert_eq!(via_inherent, via_trait);
+}
+
+#[test]
+fn cross_validation_runs_under_a_baseline_model() {
+    let c = corpus();
+    let ids = c.config_ids();
+    let xv = cross_validate_model(&c, &ids, ModelKind::McpatCalib).unwrap();
+    assert_eq!(xv.model, ModelKind::McpatCalib);
+    assert_eq!(xv.folds.len(), ids.len());
+    let pooled = xv.pooled();
+    assert_eq!(pooled.pairs.len(), c.runs().len());
+    assert!(pooled.mape.is_finite());
+    assert!(xv.worst_fold_mape() >= pooled.mape - 1e-12);
+}

@@ -31,8 +31,8 @@ fn table_1_scaling_rule_is_recovered() {
 fn figure_4_and_5_autopower_beats_the_baselines() {
     let exp = Experiments::fast();
     for cmp in [
-        exp.fig4_accuracy_two_configs(),
-        exp.fig5_accuracy_three_configs(),
+        exp.fig4_accuracy_two_configs().unwrap(),
+        exp.fig5_accuracy_three_configs().unwrap(),
     ] {
         let ours = cmp.autopower().summary.clone();
         let mcpat = cmp.mcpat_calib().summary.clone();
@@ -52,7 +52,7 @@ fn figure_4_and_5_autopower_beats_the_baselines() {
 #[test]
 fn figure_6_gap_narrows_with_more_training_configurations() {
     let exp = Experiments::fast();
-    let sweep = exp.fig6_training_sweep();
+    let sweep = exp.fig6_training_sweep().unwrap();
     let ours = sweep.mape_series("AutoPower");
     let mcpat = sweep.mape_series("McPAT-Calib");
     // AutoPower wins everywhere...
