@@ -1,0 +1,519 @@
+//! A minimal self-describing text codec for trained-model persistence.
+//!
+//! The workspace cannot reach crates.io, so instead of `serde` + a format
+//! crate this module provides the small substrate the model save/load path
+//! needs: a line-oriented writer/reader pair plus the [`Codec`] trait the
+//! model types implement.  Design goals, in order:
+//!
+//! 1. **Bit-exact round trips** — every `f64` is stored as the 16-hex-digit
+//!    big-endian form of its IEEE-754 bits, so `decode(encode(x)) == x` bit
+//!    for bit (a human-readable decimal rendering rides along as a comment).
+//! 2. **Self-describing** — values are named and nested in `tag { ... }`
+//!    scopes, so a mismatched field fails loudly with the line number instead
+//!    of silently shifting every following value.
+//! 3. **Deterministic output** — the same value always encodes to the same
+//!    text, making golden tests and drift detection trivial.
+//!
+//! # Format
+//!
+//! ```text
+//! ridge {
+//!   alpha 3F847AE147AE147B ; 0.01
+//!   coefficients {
+//!     len 2
+//!     v 4000000000000000 ; 2
+//!     v 3FE0000000000000 ; 0.5
+//!   }
+//! }
+//! ```
+//!
+//! Everything after `;` on a line is a comment; names and string values are
+//! whitespace-free tokens.
+
+use std::error::Error;
+use std::fmt;
+
+/// A value that can be written to a [`Writer`] and read back from a
+/// [`Reader`], bit-identically.
+pub trait Codec: Sized {
+    /// Writes `self` into the stream.
+    fn encode(&self, w: &mut Writer);
+
+    /// Reads a value previously written by [`Codec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the stream does not match the expected
+    /// shape (wrong tag, wrong field name, malformed value, early end).
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// A malformed or mismatched stream, with the 1-based line it was detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// 1-based line number of the offending line (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CodecError {
+    /// Creates an error anchored to a 1-based line number (0 = end of input).
+    ///
+    /// Decoders reporting a *semantic* failure (bad count, unknown name,
+    /// validation) should anchor it to [`Reader::line`] so the message points
+    /// at the offending content instead of claiming truncation.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "unexpected end of input: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn valid_token(token: &str) -> bool {
+    !token.is_empty()
+        && !token
+            .chars()
+            .any(|c| c.is_whitespace() || c == '{' || c == '}' || c == ';')
+}
+
+/// Serialises named scalars into nested `tag { ... }` scopes.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+    depth: usize,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn line(&mut self, content: &str) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(content);
+        self.out.push('\n');
+    }
+
+    /// Opens a named scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is not a whitespace-free token.
+    pub fn begin(&mut self, tag: &str) {
+        assert!(valid_token(tag), "invalid scope tag {tag:?}");
+        self.line(&format!("{tag} {{"));
+        self.depth += 1;
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn end(&mut self) {
+        assert!(self.depth > 0, "end() without a matching begin()");
+        self.depth -= 1;
+        self.line("}");
+    }
+
+    /// Writes an `f64` as its exact IEEE-754 bits plus a readable comment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a whitespace-free token.
+    pub fn f64(&mut self, name: &str, value: f64) {
+        assert!(valid_token(name), "invalid field name {name:?}");
+        self.line(&format!("{name} {:016X} ; {value}", value.to_bits()));
+    }
+
+    /// Writes a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a whitespace-free token.
+    pub fn u64(&mut self, name: &str, value: u64) {
+        assert!(valid_token(name), "invalid field name {name:?}");
+        self.line(&format!("{name} {value}"));
+    }
+
+    /// Writes a `bool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a whitespace-free token.
+    pub fn bool(&mut self, name: &str, value: bool) {
+        assert!(valid_token(name), "invalid field name {name:?}");
+        self.line(&format!("{name} {value}"));
+    }
+
+    /// Writes a whitespace-free string token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or `value` is not a whitespace-free token.
+    pub fn str(&mut self, name: &str, value: &str) {
+        assert!(valid_token(name), "invalid field name {name:?}");
+        assert!(valid_token(value), "invalid string value {value:?}");
+        self.line(&format!("{name} {value}"));
+    }
+
+    /// Opens a scope that carries a `len` field — the conventional list shape.
+    pub fn begin_list(&mut self, tag: &str, len: usize) {
+        self.begin(tag);
+        self.u64("len", len as u64);
+    }
+
+    /// Writes a whole `f64` slice as one list scope (element lines named `v`).
+    pub fn f64_seq(&mut self, tag: &str, values: &[f64]) {
+        self.begin_list(tag, values.len());
+        for &v in values {
+            self.f64("v", v);
+        }
+        self.end();
+    }
+
+    /// Finishes the stream and returns the text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is still open.
+    pub fn finish(self) -> String {
+        assert_eq!(self.depth, 0, "finish() with {} open scope(s)", self.depth);
+        self.out
+    }
+}
+
+/// Reads the stream a [`Writer`] produced.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a stream; blank and comment-only lines are skipped.
+    pub fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .map(|l| l.split(';').next().unwrap_or("").trim())
+            .collect();
+        Self { lines, pos: 0 }
+    }
+
+    /// Consumes the next non-empty line as `(line_number, tokens)`.
+    fn next_tokens(&mut self) -> Result<(usize, Vec<&'a str>), CodecError> {
+        while self.pos < self.lines.len() {
+            self.pos += 1;
+            let line = self.lines[self.pos - 1];
+            if !line.is_empty() {
+                return Ok((self.pos, line.split_whitespace().collect()));
+            }
+        }
+        Err(CodecError::new(0, "no more lines".to_owned()))
+    }
+
+    fn field(&mut self, name: &str) -> Result<(usize, &'a str), CodecError> {
+        let (line, tokens) = self.next_tokens()?;
+        match tokens.as_slice() {
+            [found, value] if *found == name => Ok((line, value)),
+            [found, _] => Err(CodecError::new(
+                line,
+                format!("expected field '{name}', found '{found}'"),
+            )),
+            _ => Err(CodecError::new(
+                line,
+                format!("expected field '{name}', found a non-field line"),
+            )),
+        }
+    }
+
+    /// Expects `tag {`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the next line is not the expected scope.
+    pub fn begin(&mut self, tag: &str) -> Result<(), CodecError> {
+        let (line, tokens) = self.next_tokens()?;
+        if tokens.as_slice() == [tag, "{"] {
+            Ok(())
+        } else {
+            Err(CodecError::new(
+                line,
+                format!("expected scope '{tag} {{', found '{}'", tokens.join(" ")),
+            ))
+        }
+    }
+
+    /// Like [`Reader::begin`], but on a mismatch rewinds instead of erroring,
+    /// so the caller can try another shape (used for enum-like payloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] only at end of input.
+    pub fn try_begin(&mut self, tag: &str) -> Result<bool, CodecError> {
+        let saved = self.pos;
+        let (_, tokens) = self.next_tokens()?;
+        if tokens.as_slice() == [tag, "{"] {
+            Ok(true)
+        } else {
+            self.pos = saved;
+            Ok(false)
+        }
+    }
+
+    /// Expects the closing `}` of a scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the next line is not a scope end.
+    pub fn end(&mut self) -> Result<(), CodecError> {
+        let (line, tokens) = self.next_tokens()?;
+        if tokens.as_slice() == ["}"] {
+            Ok(())
+        } else {
+            Err(CodecError::new(
+                line,
+                format!("expected '}}', found '{}'", tokens.join(" ")),
+            ))
+        }
+    }
+
+    /// Reads a named `f64` (exact bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on a name mismatch or malformed bits.
+    pub fn f64(&mut self, name: &str) -> Result<f64, CodecError> {
+        let (line, value) = self.field(name)?;
+        if value.len() != 16 {
+            return Err(CodecError::new(
+                line,
+                format!("field '{name}': expected 16 hex digits, found '{value}'"),
+            ));
+        }
+        u64::from_str_radix(value, 16)
+            .map(f64::from_bits)
+            .map_err(|_| CodecError::new(line, format!("field '{name}': malformed bits '{value}'")))
+    }
+
+    /// Reads a named `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on a name mismatch or malformed integer.
+    pub fn u64(&mut self, name: &str) -> Result<u64, CodecError> {
+        let (line, value) = self.field(name)?;
+        value.parse().map_err(|_| {
+            CodecError::new(line, format!("field '{name}': malformed integer '{value}'"))
+        })
+    }
+
+    /// Reads a named `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on a name mismatch or a non-boolean value.
+    pub fn bool(&mut self, name: &str) -> Result<bool, CodecError> {
+        let (line, value) = self.field(name)?;
+        match value {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(CodecError::new(
+                line,
+                format!("field '{name}': expected true/false, found '{other}'"),
+            )),
+        }
+    }
+
+    /// Reads a named string token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on a name mismatch.
+    pub fn str(&mut self, name: &str) -> Result<&'a str, CodecError> {
+        Ok(self.field(name)?.1)
+    }
+
+    /// Opens a list scope and returns its declared length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the scope or its `len` field is missing.
+    pub fn begin_list(&mut self, tag: &str) -> Result<usize, CodecError> {
+        self.begin(tag)?;
+        Ok(self.u64("len")? as usize)
+    }
+
+    /// Reads back an [`Writer::f64_seq`] list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the list shape does not match.
+    pub fn f64_seq(&mut self, tag: &str) -> Result<Vec<f64>, CodecError> {
+        let len = self.begin_list(tag)?;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(self.f64("v")?);
+        }
+        self.end()?;
+        Ok(values)
+    }
+
+    /// The 1-based number of the most recently consumed line (0 before the
+    /// first read) — the anchor for semantic decode errors
+    /// ([`CodecError::new`]).
+    pub fn line(&self) -> usize {
+        self.pos
+    }
+
+    /// The number of unread non-empty lines (0 when fully consumed).
+    pub fn remaining(&self) -> usize {
+        self.lines[self.pos..]
+            .iter()
+            .filter(|l| !l.is_empty())
+            .count()
+    }
+
+    /// Fails unless the whole stream has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] naming the first trailing line.
+    pub fn expect_eof(&mut self) -> Result<(), CodecError> {
+        match self.next_tokens() {
+            Err(_) => Ok(()),
+            Ok((line, tokens)) => Err(CodecError::new(
+                line,
+                format!("trailing content '{}'", tokens.join(" ")),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_bit_for_bit() {
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0 / 3.0,
+            2.4e-3,
+        ];
+        let mut w = Writer::new();
+        w.begin("s");
+        for v in values {
+            w.f64("x", v);
+        }
+        w.u64("n", u64::MAX);
+        w.bool("b", true);
+        w.str("name", "mcpat-calib");
+        w.end();
+        let text = w.finish();
+        let mut r = Reader::new(&text);
+        r.begin("s").unwrap();
+        for v in values {
+            assert_eq!(r.f64("x").unwrap().to_bits(), v.to_bits());
+        }
+        assert_eq!(r.u64("n").unwrap(), u64::MAX);
+        assert!(r.bool("b").unwrap());
+        assert_eq!(r.str("name").unwrap(), "mcpat-calib");
+        r.end().unwrap();
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn f64_seq_round_trips() {
+        let mut w = Writer::new();
+        w.f64_seq("coeffs", &[1.0, f64::NAN, -2.5]);
+        let text = w.finish();
+        let mut r = Reader::new(&text);
+        let back = r.f64_seq("coeffs").unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], 1.0);
+        assert!(back[1].is_nan());
+        assert_eq!(back[2], -2.5);
+    }
+
+    #[test]
+    fn mismatches_fail_with_line_numbers() {
+        let mut w = Writer::new();
+        w.begin("model");
+        w.f64("alpha", 1.0);
+        w.end();
+        let text = w.finish();
+
+        let mut r = Reader::new(&text);
+        let err = r.begin("other").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("other"));
+
+        let mut r = Reader::new(&text);
+        r.begin("model").unwrap();
+        let err = r.f64("beta").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("beta"));
+        assert!(err.to_string().contains("alpha"));
+
+        let mut r = Reader::new("model {\n  alpha deadbeef ; short\n}\n");
+        r.begin("model").unwrap();
+        assert!(r.f64("alpha").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\n; pure comment\nmodel {\n\n  n 7 ; seven\n}\n";
+        let mut r = Reader::new(text);
+        r.begin("model").unwrap();
+        assert_eq!(r.u64("n").unwrap(), 7);
+        r.end().unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        let mut r = Reader::new("model {\n");
+        r.begin("model").unwrap();
+        let err = r.end().unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("end of input"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid string value")]
+    fn whitespace_in_string_values_is_rejected() {
+        let mut w = Writer::new();
+        w.str("name", "two words");
+    }
+
+    #[test]
+    #[should_panic(expected = "open scope")]
+    fn unbalanced_scopes_are_rejected_at_finish() {
+        let mut w = Writer::new();
+        w.begin("model");
+        let _ = w.finish();
+    }
+}

@@ -9,10 +9,12 @@ use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{model_features, ModelFeatures};
 use crate::power_model::{ModelKind, PowerModel};
+use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
 use autopower_powersim::PowerGroups;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// The four power groups a model is trained for.
 const GROUPS: usize = 4;
@@ -129,8 +131,82 @@ impl PowerModel for AutoPowerMinus {
         ModelKind::AutoPowerMinus
     }
 
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
-        AutoPowerMinus::predict(self, config, events, workload)
+    /// Fully component- and group-resolved: the typed prediction carries one
+    /// group split per component, and the core-level groups/total are their
+    /// [`Component::ALL`]-ordered sum — the exact accumulation the inherent
+    /// API performs.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+        Prediction::per_component(ComponentBreakdown::from_groups(|component| {
+            self.predict_component(component, config, events, workload)
+        }))
+    }
+
+    fn predict_components(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> Option<ComponentBreakdown> {
+        Some(ComponentBreakdown::from_groups(|component| {
+            self.predict_component(component, config, events, workload)
+        }))
+    }
+
+    fn serialize(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for AutoPowerMinus {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("autopower-minus");
+        w.begin_list("components", self.models.len());
+        for group_models in &self.models {
+            w.begin_list("groups", group_models.len());
+            for model in group_models {
+                model.encode(w);
+            }
+            w.end();
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("autopower-minus")?;
+        let components = r.begin_list("components")?;
+        if components != Component::ALL.len() {
+            return Err(CodecError::new(
+                r.line(),
+                format!(
+                    "autopower-minus has {components} components, expected {}",
+                    Component::ALL.len()
+                ),
+            ));
+        }
+        let mut models = Vec::with_capacity(components);
+        for _ in 0..components {
+            let groups = r.begin_list("groups")?;
+            if groups != GROUPS {
+                return Err(CodecError::new(
+                    r.line(),
+                    format!("autopower-minus has {groups} group models, expected {GROUPS}"),
+                ));
+            }
+            let mut fitted = Vec::with_capacity(GROUPS);
+            for _ in 0..GROUPS {
+                fitted.push(GradientBoosting::decode(r)?);
+            }
+            r.end()?;
+            models.push(
+                fitted
+                    .try_into()
+                    .expect("exactly four group models were decoded"),
+            );
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self { models })
     }
 }
 

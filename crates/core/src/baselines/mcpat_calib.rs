@@ -2,11 +2,12 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use crate::power_model::{total_only_groups, ModelKind, PowerModel};
+use crate::power_model::{ModelKind, PowerModel};
+use crate::prediction::Prediction;
 use autopower_config::{ConfigId, CpuConfig, HwParam, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
-use autopower_powersim::PowerGroups;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// The McPAT-Calib-style baseline.
 ///
@@ -68,15 +69,29 @@ impl PowerModel for McpatCalib {
         ModelKind::McpatCalib
     }
 
-    /// Total-only model: the whole prediction is reported in the
-    /// `combinational` slot (see [`PowerModel::resolves_groups`]).
-    fn predict(
-        &self,
-        config: &CpuConfig,
-        events: &EventParams,
-        _workload: Workload,
-    ) -> PowerGroups {
-        total_only_groups(McpatCalib::predict(self, config, events))
+    /// Total-only: the typed prediction carries the scalar and nothing else —
+    /// no group slot to misread.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, _workload: Workload) -> Prediction {
+        Prediction::total_only(McpatCalib::predict(self, config, events))
+    }
+
+    fn serialize(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for McpatCalib {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("mcpat-calib");
+        self.model.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("mcpat-calib")?;
+        let model = GradientBoosting::decode(r)?;
+        r.end()?;
+        Ok(Self { model })
     }
 }
 

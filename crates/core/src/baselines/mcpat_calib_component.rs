@@ -4,11 +4,12 @@
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{model_features, ModelFeatures};
-use crate::power_model::{total_only_groups, ModelKind, PowerModel};
+use crate::power_model::{ModelKind, PowerModel};
+use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
-use autopower_powersim::PowerGroups;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Per-component total-power baseline (the extra ablation of Fig. 6).
 #[derive(Debug, Clone)]
@@ -94,10 +95,61 @@ impl PowerModel for McpatCalibComponent {
         ModelKind::McpatCalibComponent
     }
 
-    /// Total-only model: the whole prediction is reported in the
-    /// `combinational` slot (see [`PowerModel::resolves_groups`]).
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
-        total_only_groups(McpatCalibComponent::predict(self, config, events, workload))
+    /// Component-resolved, but without per-component groups: each component
+    /// carries its predicted scalar, and the core-level total is their sum —
+    /// exactly the summation the inherent API performs.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+        Prediction::per_component(ComponentBreakdown::from_totals(|component| {
+            self.predict_component(component, config, events, workload)
+        }))
+    }
+
+    fn predict_components(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> Option<ComponentBreakdown> {
+        Some(ComponentBreakdown::from_totals(|component| {
+            self.predict_component(component, config, events, workload)
+        }))
+    }
+
+    fn serialize(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for McpatCalibComponent {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("mcpat-calib-component");
+        w.begin_list("models", self.per_component.len());
+        for model in &self.per_component {
+            model.encode(w);
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("mcpat-calib-component")?;
+        let len = r.begin_list("models")?;
+        if len != Component::ALL.len() {
+            return Err(CodecError::new(
+                r.line(),
+                format!(
+                    "mcpat-calib-component has {len} models, expected {}",
+                    Component::ALL.len()
+                ),
+            ));
+        }
+        let mut per_component = Vec::with_capacity(len);
+        for _ in 0..len {
+            per_component.push(GradientBoosting::decode(r)?);
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self { per_component })
     }
 }
 

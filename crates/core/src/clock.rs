@@ -13,6 +13,7 @@ use crate::features::{hw_features, model_features, ModelFeatures};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Per-component sub-models of the clock power model.
 #[derive(Debug, Clone)]
@@ -192,6 +193,67 @@ impl ClockPowerModel {
     /// The register clock-pin power used by the model (from the technology library).
     pub fn preg_mw(&self) -> f64 {
         self.preg_mw
+    }
+}
+
+impl Codec for ComponentClockModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("clock-component");
+        self.freg.encode(w);
+        self.fgate.encode(w);
+        self.falpha.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("clock-component")?;
+        let freg = RidgeRegression::decode(r)?;
+        let fgate = RidgeRegression::decode(r)?;
+        let falpha = GradientBoosting::decode(r)?;
+        r.end()?;
+        Ok(Self {
+            freg,
+            fgate,
+            falpha,
+        })
+    }
+}
+
+impl Codec for ClockPowerModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("clock");
+        w.f64("preg_mw", self.preg_mw);
+        w.begin_list("components", self.per_component.len());
+        for component in &self.per_component {
+            component.encode(w);
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("clock")?;
+        let preg_mw = r.f64("preg_mw")?;
+        let len = r.begin_list("components")?;
+        if len != Component::ALL.len() {
+            return Err(CodecError::new(
+                r.line(),
+                format!(
+                    "clock model has {len} components, expected {}",
+                    Component::ALL.len()
+                ),
+            ));
+        }
+        let mut per_component = Vec::with_capacity(len);
+        for _ in 0..len {
+            per_component.push(ComponentClockModel::decode(r)?);
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self {
+            per_component,
+            preg_mw,
+        })
     }
 }
 

@@ -28,6 +28,14 @@ pub enum AutoPowerError {
     EmptyEvaluation,
     /// A model name did not match any registry entry.
     UnknownModel(String),
+    /// The same configuration appears more than once in a training set, which
+    /// would silently double-weight its runs.
+    DuplicateTrainingConfig(ConfigId),
+    /// A serialized model could not be parsed (wrong header, version,
+    /// registry tag, or a malformed body).
+    ModelFormat(String),
+    /// A model file could not be read or written.
+    ModelIo(String),
 }
 
 impl fmt::Display for AutoPowerError {
@@ -66,6 +74,19 @@ impl fmt::Display for AutoPowerError {
                     "unknown model '{name}' (expected one of: {})",
                     known.join(", ")
                 )
+            }
+            AutoPowerError::DuplicateTrainingConfig(id) => {
+                write!(
+                    f,
+                    "configuration {id} appears more than once in the training set \
+                     (its runs would be double-weighted)"
+                )
+            }
+            AutoPowerError::ModelFormat(message) => {
+                write!(f, "malformed model file: {message}")
+            }
+            AutoPowerError::ModelIo(message) => {
+                write!(f, "model file I/O failed: {message}")
             }
         }
     }

@@ -3,6 +3,7 @@
 use autopower_config::{Component, CpuConfig, Workload};
 use autopower_perfsim::EventParams;
 use autopower_workloads::ProgramFeatures;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Hardware-parameter (`H`) features of one component: the values of the Table III
 /// parameters the component is sensitive to.
@@ -63,6 +64,27 @@ impl ModelFeatures {
         events: true,
         program: true,
     };
+}
+
+impl Codec for ModelFeatures {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("features");
+        w.bool("hardware", self.hardware);
+        w.bool("events", self.events);
+        w.bool("program", self.program);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("features")?;
+        let mode = Self {
+            hardware: r.bool("hardware")?,
+            events: r.bool("events")?,
+            program: r.bool("program")?,
+        };
+        r.end()?;
+        Ok(mode)
+    }
 }
 
 /// Assembles one feature row for a `(component, configuration, workload)` sample.

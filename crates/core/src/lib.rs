@@ -59,6 +59,8 @@ mod logic;
 mod model;
 pub mod pipeline;
 mod power_model;
+mod prediction;
+mod serialize;
 mod sram;
 pub mod sweep;
 mod trace;
@@ -76,6 +78,8 @@ pub use logic::LogicPowerModel;
 pub use model::AutoPower;
 pub use pipeline::SubstratePipeline;
 pub use power_model::{ModelKind, PowerModel};
+pub use prediction::{ComponentBreakdown, ComponentPower, Prediction, Resolution};
+pub use serialize::{decode_model, encode_model, load_model, save_model, MODEL_FORMAT_VERSION};
 pub use sram::{
     predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
     SramActivityModel, SramPowerModel,
@@ -83,8 +87,16 @@ pub use sram::{
 pub use sweep::{
     rank_by_efficiency, summarize, sweep_multi, ConfigSummary, SweepEngine, SweepPoint, SweepSpec,
 };
-pub use trace::{evaluate_trace_prediction, trace_errors, PowerTracePredictor, TraceErrors};
+pub use trace::{
+    evaluate_trace_prediction, trace_errors, PowerTracePredictor, PredictedPowerTrace,
+    PredictedSample, TraceErrors,
+};
 pub use xval::{cross_validate, cross_validate_model, CrossValidation};
+
+/// Re-export of the codec substrate the trained-model save/load format is
+/// built on ([`PowerModel::serialize`] writes into its
+/// [`Writer`](codec::Writer)).
+pub use serde::codec;
 
 /// Re-export of the golden power-group representation used for predictions as well.
 pub use autopower_powersim::PowerGroups;

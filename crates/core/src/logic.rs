@@ -15,6 +15,7 @@ use crate::features::{hw_features, model_features, ModelFeatures};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -224,6 +225,65 @@ impl LogicPowerModel {
             .iter()
             .map(|&c| self.predict_comb_component(c, config, events, workload))
             .sum()
+    }
+}
+
+impl Codec for ComponentLogicModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("logic-component");
+        self.reg_hardware.encode(w);
+        self.reg_activity.encode(w);
+        self.comb_stable.encode(w);
+        self.comb_variation.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("logic-component")?;
+        let reg_hardware = RidgeRegression::decode(r)?;
+        let reg_activity = GradientBoosting::decode(r)?;
+        let comb_stable = RidgeRegression::decode(r)?;
+        let comb_variation = GradientBoosting::decode(r)?;
+        r.end()?;
+        Ok(Self {
+            reg_hardware,
+            reg_activity,
+            comb_stable,
+            comb_variation,
+        })
+    }
+}
+
+impl Codec for LogicPowerModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("logic");
+        w.begin_list("components", self.per_component.len());
+        for component in &self.per_component {
+            component.encode(w);
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("logic")?;
+        let len = r.begin_list("components")?;
+        if len != Component::ALL.len() {
+            return Err(CodecError::new(
+                r.line(),
+                format!(
+                    "logic model has {len} components, expected {}",
+                    Component::ALL.len()
+                ),
+            ));
+        }
+        let mut per_component = Vec::with_capacity(len);
+        for _ in 0..len {
+            per_component.push(ComponentLogicModel::decode(r)?);
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self { per_component })
     }
 }
 

@@ -6,11 +6,14 @@ use crate::error::AutoPowerError;
 use crate::features::ModelFeatures;
 use crate::logic::LogicPowerModel;
 use crate::power_model::{ModelKind, PowerModel};
+use crate::prediction::{ComponentBreakdown, Prediction};
+use crate::serialize::{decode_library, encode_library};
 use crate::sram::SramPowerModel;
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_perfsim::EventParams;
 use autopower_powersim::PowerGroups;
 use autopower_techlib::TechLibrary;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// The full AutoPower model: one decoupled model per power group.
 #[derive(Debug, Clone)]
@@ -123,8 +126,52 @@ impl PowerModel for AutoPower {
         ModelKind::AutoPower
     }
 
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups {
-        AutoPower::predict(self, config, events, workload)
+    /// Group-resolved: the canonical core-level prediction of the decoupled
+    /// group models.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+        Prediction::grouped(AutoPower::predict(self, config, events, workload))
+    }
+
+    /// The per-component detail view (each component fully group-resolved).
+    fn predict_components(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+    ) -> Option<ComponentBreakdown> {
+        Some(ComponentBreakdown::from_groups(|component| {
+            self.predict_component(component, config, events, workload)
+        }))
+    }
+
+    fn serialize(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for AutoPower {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("autopower");
+        self.clock.encode(w);
+        self.sram.encode(w);
+        self.logic.encode(w);
+        encode_library(w, &self.library);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("autopower")?;
+        let clock = ClockPowerModel::decode(r)?;
+        let sram = SramPowerModel::decode(r)?;
+        let logic = LogicPowerModel::decode(r)?;
+        let library = decode_library(r)?;
+        r.end()?;
+        Ok(Self {
+            clock,
+            sram,
+            logic,
+            library,
+        })
     }
 }
 

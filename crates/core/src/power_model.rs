@@ -18,14 +18,29 @@
 //!   resolves command-line names ([`FromStr`]) and trains any model into a
 //!   `Box<dyn PowerModel>` ([`ModelKind::train`]).
 //!
-//! # Group resolution
+//! # Typed resolution
 //!
-//! AutoPower and AutoPower− predict per-group power natively.  McPAT-Calib and
-//! McPAT-Calib + Component predict a single scalar; their trait predictions
-//! carry the whole total in the `combinational` slot of [`PowerGroups`] so that
-//! [`PowerGroups::total`] is bit-identical to the scalar their inherent API
-//! returns.  Check [`PowerModel::resolves_groups`] (or
-//! [`ModelKind::resolves_groups`]) before interpreting individual groups.
+//! [`PowerModel::predict`] returns a [`Prediction`]: a total plus an explicit
+//! [`Resolution`](crate::Resolution) saying how much structure the model
+//! actually resolved.  AutoPower predicts the paper's four power groups
+//! ([`Resolution::Grouped`](crate::Resolution::Grouped)); AutoPower− and
+//! McPAT-Calib + Component predict per component
+//! ([`Resolution::PerComponent`](crate::Resolution::PerComponent), with and
+//! without per-component groups respectively); plain McPAT-Calib predicts one
+//! scalar ([`Resolution::TotalOnly`](crate::Resolution::TotalOnly)).  There is
+//! no out-of-band "does this model resolve groups" flag to consult and no slot
+//! to misread: [`Prediction::groups`] is `Some` exactly when the group view is
+//! meaningful.  Models that resolve components additionally answer
+//! [`PowerModel::predict_components`] — the surface behind the Figs. 7/8
+//! detail experiments.
+//!
+//! # Persistence
+//!
+//! Trained models serialize to a registry-tagged text format and load back
+//! bit-identically — see [`save_model`](crate::save_model) /
+//! [`load_model`](crate::load_model).  [`PowerModel::serialize`] writes the
+//! model body; [`ModelKind::decode_trained`] restores the concrete type from
+//! the registry tag.
 //!
 //! # Example
 //!
@@ -41,16 +56,20 @@
 //! let kind: ModelKind = "mcpat-calib".parse().unwrap();
 //! let model = kind.train(&corpus, &train).unwrap();
 //! let run = corpus.run(ConfigId::new(1), Workload::Vvadd).unwrap();
-//! assert!(model.predict_run(run).total() > 0.0);
+//! let prediction = model.predict_run(run);
+//! assert!(prediction.total() > 0.0);
+//! // McPAT-Calib is total-only: the group view is absent, not parked.
+//! assert!(prediction.groups().is_none());
 //! ```
 
 use crate::baselines::{AutoPowerMinus, McpatCalib, McpatCalibComponent};
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::model::AutoPower;
+use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{ConfigId, CpuConfig, Workload};
 use autopower_perfsim::EventParams;
-use autopower_powersim::PowerGroups;
+use serde::codec::{Codec, Reader, Writer};
 use std::fmt;
 use std::str::FromStr;
 
@@ -65,17 +84,39 @@ pub trait PowerModel: fmt::Debug + Send + Sync {
     /// Which registry entry this model was trained as.
     fn kind(&self) -> ModelKind;
 
-    /// Predicts the per-group power of one `(configuration, workload)` point
-    /// from architecture-level information only.
+    /// Predicts the power of one `(configuration, workload)` point from
+    /// architecture-level information only.
     ///
-    /// For models that do not decompose power into groups (see
-    /// [`PowerModel::resolves_groups`]) the whole prediction is reported in
-    /// the `combinational` slot; [`PowerGroups::total`] is always meaningful.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> PowerGroups;
+    /// The returned [`Prediction`] carries the model's natural resolution:
+    /// check [`Prediction::groups`] / [`Prediction::components`] instead of
+    /// assuming structure.
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction;
 
-    /// Predicts the per-group power of a corpus run from its reported events.
-    fn predict_run(&self, run: &RunData) -> PowerGroups {
+    /// Predicts per-component power, for models that resolve components
+    /// (AutoPower, AutoPower−, McPAT-Calib + Component); `None` otherwise.
+    ///
+    /// For models whose [`PowerModel::predict`] is already per-component this
+    /// is the same breakdown; for AutoPower it is the component-level detail
+    /// view behind the Figs. 7/8 experiments (the component sums track, but
+    /// do not bit-identically equal, the canonical core-level prediction).
+    fn predict_components(
+        &self,
+        _config: &CpuConfig,
+        _events: &EventParams,
+        _workload: Workload,
+    ) -> Option<ComponentBreakdown> {
+        None
+    }
+
+    /// Predicts the power of a corpus run from its reported events.
+    fn predict_run(&self, run: &RunData) -> Prediction {
         self.predict(&run.config, &run.sim.events, run.workload)
+    }
+
+    /// Per-component prediction of a corpus run (see
+    /// [`PowerModel::predict_components`]).
+    fn predict_run_components(&self, run: &RunData) -> Option<ComponentBreakdown> {
+        self.predict_components(&run.config, &run.sim.events, run.workload)
     }
 
     /// Predicted total power in mW for one run.
@@ -83,25 +124,10 @@ pub trait PowerModel: fmt::Debug + Send + Sync {
         self.predict_run(run).total()
     }
 
-    /// Whether the individual groups of a prediction are meaningful
-    /// (as opposed to the whole total parked in one slot).
-    fn resolves_groups(&self) -> bool {
-        self.kind().resolves_groups()
-    }
-}
-
-/// Lifts a total-only prediction into [`PowerGroups`].
-///
-/// The total is parked in the `combinational` slot — not split across groups —
-/// so `PowerGroups::total()` reproduces the scalar bit for bit (an even split
-/// would re-round under summation).
-pub(crate) fn total_only_groups(total: f64) -> PowerGroups {
-    PowerGroups {
-        clock: 0.0,
-        sram: 0.0,
-        register: 0.0,
-        combinational: total,
-    }
+    /// Writes the trained model body into a codec stream (the payload of
+    /// [`save_model`](crate::save_model); the registry tag and format version
+    /// are written by the caller).
+    fn serialize(&self, w: &mut Writer);
 }
 
 /// The registry of trainable power models.
@@ -156,7 +182,8 @@ impl ModelKind {
         }
     }
 
-    /// Whether the model decomposes power into meaningful groups.
+    /// Whether predictions of this kind carry a core-level group view
+    /// ([`Prediction::groups`] is `Some`).
     pub fn resolves_groups(self) -> bool {
         match self {
             ModelKind::AutoPower | ModelKind::AutoPowerMinus => true,
@@ -164,17 +191,44 @@ impl ModelKind {
         }
     }
 
+    /// Whether this kind answers [`PowerModel::predict_components`] — the
+    /// models the per-component detail experiments (Figs. 7/8) loop over.
+    pub fn resolves_components(self) -> bool {
+        match self {
+            ModelKind::AutoPower | ModelKind::AutoPowerMinus | ModelKind::McpatCalibComponent => {
+                true
+            }
+            ModelKind::McpatCalib => false,
+        }
+    }
+
+    /// Every component-resolving registry model, in [`ModelKind::ALL`] order.
+    pub fn component_resolving() -> Vec<ModelKind> {
+        ModelKind::ALL
+            .into_iter()
+            .filter(|kind| kind.resolves_components())
+            .collect()
+    }
+
     /// Trains this kind of model on the runs of `train_configs`.
+    ///
+    /// The training set is validated up front for every kind: it must be
+    /// non-empty, duplicate-free (duplicates would silently double-weight a
+    /// configuration's runs) and fully present in the corpus (a missing
+    /// configuration would silently shrink the split).
     ///
     /// # Errors
     ///
-    /// Returns an error if the underlying trainer does (empty training set,
-    /// missing configuration, sub-model fit failure).
+    /// Returns [`AutoPowerError::NoTrainingConfigs`],
+    /// [`AutoPowerError::DuplicateTrainingConfig`] or
+    /// [`AutoPowerError::MissingConfig`] for an invalid training set, or
+    /// whatever the underlying trainer reports (sub-model fit failure).
     pub fn train(
         self,
         corpus: &Corpus,
         train_configs: &[ConfigId],
     ) -> Result<Box<dyn PowerModel>, AutoPowerError> {
+        validate_training_set(corpus, train_configs)?;
         Ok(match self {
             ModelKind::AutoPower => Box::new(AutoPower::train(corpus, train_configs)?),
             ModelKind::McpatCalib => Box::new(McpatCalib::train(corpus, train_configs)?),
@@ -184,6 +238,42 @@ impl ModelKind {
             ModelKind::AutoPowerMinus => Box::new(AutoPowerMinus::train(corpus, train_configs)?),
         })
     }
+
+    /// Decodes a trained model body of this kind from a codec stream (the
+    /// counterpart of [`PowerModel::serialize`], dispatched from the registry
+    /// tag by [`load_model`](crate::load_model)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoPowerError::ModelFormat`] if the body does not parse.
+    pub fn decode_trained(self, r: &mut Reader<'_>) -> Result<Box<dyn PowerModel>, AutoPowerError> {
+        let model: Box<dyn PowerModel> = match self {
+            ModelKind::AutoPower => Box::new(AutoPower::decode(r)?),
+            ModelKind::McpatCalib => Box::new(McpatCalib::decode(r)?),
+            ModelKind::McpatCalibComponent => Box::new(McpatCalibComponent::decode(r)?),
+            ModelKind::AutoPowerMinus => Box::new(AutoPowerMinus::decode(r)?),
+        };
+        Ok(model)
+    }
+}
+
+/// Shared up-front validation of a training set (see [`ModelKind::train`]).
+fn validate_training_set(
+    corpus: &Corpus,
+    train_configs: &[ConfigId],
+) -> Result<(), AutoPowerError> {
+    if train_configs.is_empty() {
+        return Err(AutoPowerError::NoTrainingConfigs);
+    }
+    for (i, &id) in train_configs.iter().enumerate() {
+        if train_configs[..i].contains(&id) {
+            return Err(AutoPowerError::DuplicateTrainingConfig(id));
+        }
+        if corpus.runs_for(id).is_empty() {
+            return Err(AutoPowerError::MissingConfig(id));
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for ModelKind {
@@ -196,7 +286,8 @@ impl FromStr for ModelKind {
     type Err = AutoPowerError;
 
     /// Resolves a registry name, case-insensitively.  `_` is accepted in
-    /// place of `-` so shell-friendly spellings work too.
+    /// place of `-` so shell-friendly spellings work too.  The error message
+    /// of an unknown name lists every valid registry name.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let normalized = s.to_ascii_lowercase().replace('_', "-");
         ModelKind::ALL
@@ -232,10 +323,20 @@ mod tests {
             "McPAT_Calib".parse::<ModelKind>().unwrap(),
             ModelKind::McpatCalib
         );
-        assert!(matches!(
-            "xgboost".parse::<ModelKind>(),
-            Err(AutoPowerError::UnknownModel(_))
-        ));
+    }
+
+    #[test]
+    fn unknown_model_errors_list_every_registry_name() {
+        let err = "xgboost".parse::<ModelKind>().unwrap_err();
+        assert!(matches!(err, AutoPowerError::UnknownModel(_)));
+        let message = err.to_string();
+        assert!(message.contains("xgboost"));
+        for kind in ModelKind::ALL {
+            assert!(
+                message.contains(kind.registry_name()),
+                "message {message:?} does not hint at {kind}"
+            );
+        }
     }
 
     #[test]
@@ -245,14 +346,37 @@ mod tests {
         for kind in ModelKind::ALL {
             let model = kind.train(&c, &train).unwrap();
             assert_eq!(model.kind(), kind);
-            assert_eq!(model.resolves_groups(), kind.resolves_groups());
             for run in c.runs() {
                 let p = model.predict_run(run);
                 assert!(p.is_physical(), "{kind} produced non-physical power");
                 assert!(p.total() > 0.0, "{kind} predicted zero power");
                 assert_eq!(model.predict_total(run), p.total());
+                // The typed resolution matches the registry metadata.
+                assert_eq!(p.groups().is_some(), kind.resolves_groups(), "{kind}");
+                let breakdown = model.predict_run_components(run);
+                assert_eq!(breakdown.is_some(), kind.resolves_components(), "{kind}");
+                if let Some(b) = breakdown {
+                    for (component, entry) in b.iter() {
+                        assert!(
+                            entry.total.is_finite() && entry.total >= 0.0,
+                            "{kind} {component}"
+                        );
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn component_resolving_lists_three_models_in_paper_order() {
+        assert_eq!(
+            ModelKind::component_resolving(),
+            vec![
+                ModelKind::AutoPower,
+                ModelKind::McpatCalibComponent,
+                ModelKind::AutoPowerMinus,
+            ]
+        );
     }
 
     #[test]
@@ -260,20 +384,35 @@ mod tests {
         let c = corpus();
         for kind in ModelKind::ALL {
             assert!(
-                kind.train(&c, &[]).is_err(),
+                matches!(kind.train(&c, &[]), Err(AutoPowerError::NoTrainingConfigs)),
                 "{kind} accepted empty training"
             );
         }
     }
 
     #[test]
-    fn total_only_groups_preserve_the_scalar_bit_for_bit() {
-        for total in [0.0, 1.0, 97.3, 1234.5678] {
-            let g = total_only_groups(total);
-            assert_eq!(g.total(), total);
-            assert_eq!(g.clock, 0.0);
-            assert_eq!(g.sram, 0.0);
-            assert_eq!(g.register, 0.0);
+    fn duplicate_training_configs_error_with_the_config_name() {
+        let c = corpus();
+        let dup = [ConfigId::new(1), ConfigId::new(15), ConfigId::new(1)];
+        for kind in ModelKind::ALL {
+            let err = kind.train(&c, &dup).unwrap_err();
+            assert_eq!(
+                err,
+                AutoPowerError::DuplicateTrainingConfig(ConfigId::new(1))
+            );
+            assert!(err.to_string().contains("C1"), "{kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_training_configs_error_with_the_config_name() {
+        let c = corpus();
+        // C3 is a valid seed id but absent from this corpus.
+        let missing = [ConfigId::new(1), ConfigId::new(3)];
+        for kind in ModelKind::ALL {
+            let err = kind.train(&c, &missing).unwrap_err();
+            assert_eq!(err, AutoPowerError::MissingConfig(ConfigId::new(3)));
+            assert!(err.to_string().contains("C3"), "{kind}: {err}");
         }
     }
 

@@ -8,9 +8,11 @@
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
 use crate::features::{model_features, ModelFeatures};
+use crate::serialize::{decode_position, encode_position};
 use autopower_config::{ConfigId, CpuConfig, SramPositionId, Workload};
 use autopower_ml::{GradientBoosting, Regressor};
 use autopower_perfsim::EventParams;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Read/write frequency model of one SRAM Position.
 #[derive(Debug, Clone)]
@@ -98,6 +100,32 @@ impl SramActivityModel {
             self.read_model.predict(&row).max(0.0),
             self.write_model.predict(&row).max(0.0),
         )
+    }
+}
+
+impl Codec for SramActivityModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("sram-activity");
+        encode_position(w, self.position);
+        self.feature_mode.encode(w);
+        self.read_model.encode(w);
+        self.write_model.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("sram-activity")?;
+        let position = decode_position(r)?;
+        let feature_mode = ModelFeatures::decode(r)?;
+        let read_model = GradientBoosting::decode(r)?;
+        let write_model = GradientBoosting::decode(r)?;
+        r.end()?;
+        Ok(Self {
+            position,
+            feature_mode,
+            read_model,
+            write_model,
+        })
     }
 }
 

@@ -10,7 +10,9 @@
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
+use crate::serialize::{decode_hw_param, decode_position, encode_hw_param, encode_position};
 use autopower_config::{ConfigId, CpuConfig, HwParam, SramPositionId};
+use serde::codec::{Codec, CodecError, Reader, Writer};
 use serde::Serialize;
 
 /// A fitted directly-proportional scaling rule: `target ≈ coefficient · Π params`.
@@ -105,6 +107,38 @@ impl ScalingRule {
             }
         }
         best
+    }
+}
+
+impl Codec for ScalingRule {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("scaling-rule");
+        w.begin_list("params", self.params.len());
+        for &param in &self.params {
+            encode_hw_param(w, param);
+        }
+        w.end();
+        w.f64("coefficient", self.coefficient);
+        w.f64("relative_error", self.relative_error);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("scaling-rule")?;
+        let len = r.begin_list("params")?;
+        let mut params = Vec::with_capacity(len);
+        for _ in 0..len {
+            params.push(decode_hw_param(r)?);
+        }
+        r.end()?;
+        let coefficient = r.f64("coefficient")?;
+        let relative_error = r.f64("relative_error")?;
+        r.end()?;
+        Ok(Self {
+            params,
+            coefficient,
+            relative_error,
+        })
     }
 }
 
@@ -204,6 +238,32 @@ impl PositionHardwareModel {
             depth: depth as u32,
             count: count as u32,
         }
+    }
+}
+
+impl Codec for PositionHardwareModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("position-hardware");
+        encode_position(w, self.position);
+        self.capacity.encode(w);
+        self.throughput.encode(w);
+        self.width.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("position-hardware")?;
+        let position = decode_position(r)?;
+        let capacity = ScalingRule::decode(r)?;
+        let throughput = ScalingRule::decode(r)?;
+        let width = ScalingRule::decode(r)?;
+        r.end()?;
+        Ok(Self {
+            position,
+            capacity,
+            throughput,
+            width,
+        })
     }
 }
 

@@ -27,6 +27,7 @@ use autopower_config::{
 };
 use autopower_perfsim::EventParams;
 use autopower_techlib::TechLibrary;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Sub-models of one SRAM Position.
 #[derive(Debug, Clone)]
@@ -218,6 +219,55 @@ impl SramPowerModel {
             .iter()
             .map(|&c| self.predict_component(c, config, events, workload, library))
             .sum()
+    }
+}
+
+impl Codec for PositionModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("position-model");
+        self.hardware.encode(w);
+        self.activity.encode(w);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("position-model")?;
+        let hardware = PositionHardwareModel::decode(r)?;
+        let activity = SramActivityModel::decode(r)?;
+        r.end()?;
+        Ok(Self { hardware, activity })
+    }
+}
+
+impl Codec for SramPowerModel {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("sram");
+        w.f64("pin_constant_mw", self.pin_constant_mw);
+        self.feature_mode.encode(w);
+        w.begin_list("positions", self.positions.len());
+        for position in &self.positions {
+            position.encode(w);
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("sram")?;
+        let pin_constant_mw = r.f64("pin_constant_mw")?;
+        let feature_mode = ModelFeatures::decode(r)?;
+        let len = r.begin_list("positions")?;
+        let mut positions = Vec::with_capacity(len);
+        for _ in 0..len {
+            positions.push(PositionModel::decode(r)?);
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self {
+            positions,
+            pin_constant_mw,
+            feature_mode,
+        })
     }
 }
 

@@ -17,10 +17,17 @@
 //! the job, so memory stays flat no matter how many configurations are swept.
 //! Results are collected in input order, making the sweep bit-identical for
 //! every worker-thread count.
+//!
+//! Points carry typed [`Prediction`]s: a total-only model contributes totals
+//! and nothing else, a group-resolving model contributes per-group structure,
+//! and [`summarize`] folds whatever structure is actually there —
+//! [`ConfigSummary::mean_groups`] is `Some` exactly when the model resolved
+//! groups.
 
 use crate::model::AutoPower;
 use crate::pipeline::parallel_map;
 use crate::power_model::PowerModel;
+use crate::prediction::Prediction;
 use autopower_config::{CpuConfig, Workload};
 use autopower_perfsim::{simulate, SimConfig};
 use autopower_powersim::PowerGroups;
@@ -80,14 +87,15 @@ impl Default for SweepSpec {
 }
 
 /// One scored `(configuration, workload)` point of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The scored configuration.
     pub config: CpuConfig,
     /// The simulated workload.
     pub workload: Workload,
-    /// Predicted per-group power in mW.
-    pub power: PowerGroups,
+    /// The typed power prediction (total + whatever structure the model
+    /// resolves).
+    pub power: Prediction,
     /// Simulated instructions per cycle.
     pub ipc: f64,
 }
@@ -97,8 +105,11 @@ pub struct SweepPoint {
 pub struct ConfigSummary {
     /// The scored configuration.
     pub config: CpuConfig,
-    /// Mean predicted per-group power across the workloads, in mW.
-    pub mean_power: PowerGroups,
+    /// Mean predicted total power across the workloads, in mW.
+    pub mean_total: f64,
+    /// Mean predicted per-group power across the workloads, in mW — `Some`
+    /// exactly when the model resolved groups for every point.
+    pub mean_groups: Option<PowerGroups>,
     /// Mean simulated IPC across the workloads.
     pub mean_ipc: f64,
     /// Mean energy per instruction in pJ (power / IPC at a nominal 1 GHz).
@@ -227,6 +238,10 @@ pub fn rank_by_efficiency(summaries: &[ConfigSummary]) -> Vec<&ConfigSummary> {
 
 /// Folds configuration-major sweep points into per-configuration summaries.
 ///
+/// The group mean is reported only when every point of a configuration
+/// resolves groups; for total-only models the summary carries the mean total
+/// and no group structure.
+///
 /// # Panics
 ///
 /// Panics if `points` is not a whole number of `per_config`-sized groups.
@@ -244,22 +259,43 @@ pub fn summarize(points: &[SweepPoint], per_config: usize) -> Vec<ConfigSummary>
         .chunks(per_config)
         .map(|group| {
             let n = group.len() as f64;
-            let mut mean_power = PowerGroups::default();
             let mut mean_ipc = 0.0;
             for p in group {
-                mean_power += p.power;
                 mean_ipc += p.ipc;
             }
-            mean_power.clock /= n;
-            mean_power.sram /= n;
-            mean_power.register /= n;
-            mean_power.combinational /= n;
             mean_ipc /= n;
+
+            // Group-resolving models: accumulate group-wise and derive the
+            // total from the divided groups (the historical summation order,
+            // kept so totals stay bit-identical).  Total-only models: average
+            // the totals directly.
+            let mut mean_groups = Some(PowerGroups::default());
+            for p in group {
+                mean_groups = match (mean_groups, p.power.groups()) {
+                    (Some(mut sum), Some(g)) => {
+                        sum += g;
+                        Some(sum)
+                    }
+                    _ => None,
+                };
+            }
+            let mean_groups = mean_groups.map(|mut g| {
+                g.clock /= n;
+                g.sram /= n;
+                g.register /= n;
+                g.combinational /= n;
+                g
+            });
+            let mean_total = match mean_groups {
+                Some(g) => g.total(),
+                None => group.iter().map(|p| p.power.total()).sum::<f64>() / n,
+            };
             ConfigSummary {
                 config: group[0].config,
-                mean_power,
+                mean_total,
+                mean_groups,
                 mean_ipc,
-                energy_per_instruction: mean_power.total() / mean_ipc.max(1e-9),
+                energy_per_instruction: mean_total / mean_ipc.max(1e-9),
             }
         })
         .collect()
@@ -284,6 +320,7 @@ impl AutoPower {
 mod tests {
     use super::*;
     use crate::dataset::{Corpus, CorpusSpec};
+    use crate::power_model::ModelKind;
     use autopower_config::{boom_configs, ConfigId, DesignSpace};
 
     fn trained_model() -> AutoPower {
@@ -307,6 +344,7 @@ mod tests {
             assert_eq!(p.config, configs[i / 2]);
             assert_eq!(p.workload, workloads[i % 2]);
             assert!(p.power.total() > 0.0, "non-physical power at point {i}");
+            assert!(p.power.groups().is_some(), "AutoPower resolves groups");
             assert!(p.ipc > 0.0);
         }
     }
@@ -331,7 +369,6 @@ mod tests {
 
     #[test]
     fn multi_model_sweep_matches_per_model_engines_bit_for_bit() {
-        use crate::power_model::ModelKind;
         let cfgs = boom_configs();
         let corpus = Corpus::generate(
             &[cfgs[0], cfgs[14]],
@@ -385,10 +422,38 @@ mod tests {
                 .map(|p| p.power.total())
                 .sum::<f64>()
                 / 3.0;
-            assert!((s.mean_power.total() - expected).abs() < 1e-9);
+            assert!((s.mean_total - expected).abs() < 1e-9);
+            assert!(s.mean_groups.is_some(), "AutoPower summaries carry groups");
             assert!(s.energy_per_instruction > 0.0);
         }
         assert_eq!(summaries, engine.run_summaries(&configs, &workloads));
+    }
+
+    #[test]
+    fn total_only_summaries_carry_no_group_structure() {
+        let cfgs = boom_configs();
+        let corpus = Corpus::generate(
+            &[cfgs[0], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        );
+        let train = [ConfigId::new(1), ConfigId::new(15)];
+        let model = ModelKind::McpatCalib.train(&corpus, &train).unwrap();
+        let configs = DesignSpace::boom().sample(3, 41);
+        let workloads = [Workload::Dhrystone, Workload::Vvadd];
+        let engine = SweepEngine::new(model.as_ref(), SweepSpec::fast().threads(1));
+        let points = engine.run(&configs, &workloads);
+        let summaries = summarize(&points, workloads.len());
+        for (i, s) in summaries.iter().enumerate() {
+            assert!(s.mean_groups.is_none(), "total-only model resolved groups");
+            let expected: f64 = points[i * 2..(i + 1) * 2]
+                .iter()
+                .map(|p| p.power.total())
+                .sum::<f64>()
+                / 2.0;
+            assert_eq!(s.mean_total, expected);
+            assert!(s.mean_total > 0.0);
+        }
     }
 
     #[test]

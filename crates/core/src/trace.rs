@@ -5,11 +5,77 @@
 //! time-based data is performed — exactly the setting of Table IV.  The
 //! predictor is model-agnostic: any [`PowerModel`] from the registry (AutoPower
 //! or a baseline) can drive it.
+//!
+//! Golden traces stay [`PowerTrace`]s (the golden flow always resolves
+//! groups); predicted traces are [`PredictedPowerTrace`]s whose samples carry
+//! typed [`Prediction`]s — a total-only model predicts interval totals and
+//! nothing else, with no group slot to misread.
 
 use crate::dataset::{Corpus, RunData};
 use crate::power_model::PowerModel;
-use autopower_powersim::{PowerSample, PowerTrace};
+use crate::prediction::Prediction;
+use autopower_config::{ConfigId, Workload};
+use autopower_powersim::PowerTrace;
 use serde::Serialize;
+
+/// One predicted interval: the typed prediction plus its time coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedSample {
+    /// Cycle at which the interval starts.
+    pub start_cycle: u64,
+    /// Length of the interval in cycles.
+    pub cycles: u64,
+    /// Predicted power of the interval.
+    pub power: Prediction,
+}
+
+/// A predicted time-based power trace for one `(configuration, workload)`
+/// pair — the model-side counterpart of the golden [`PowerTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedPowerTrace {
+    /// The evaluated configuration.
+    pub config: ConfigId,
+    /// The executed workload.
+    pub workload: Workload,
+    /// Nominal interval length in cycles (the paper uses 50).
+    pub interval_cycles: u32,
+    /// Samples in execution order.
+    pub samples: Vec<PredictedSample>,
+}
+
+impl PredictedPowerTrace {
+    /// Total power values of all samples, in mW.
+    pub fn totals(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.power.total()).collect()
+    }
+
+    /// Maximum sample power in mW (0 for an empty trace), mirroring
+    /// [`PowerTrace::max_power`].
+    pub fn max_power(&self) -> f64 {
+        self.totals().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Minimum sample power in mW (0 for an empty trace), mirroring
+    /// [`PowerTrace::min_power`].
+    pub fn min_power(&self) -> f64 {
+        let min = self.totals().into_iter().fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
 
 /// Predicts time-based power traces with any trained [`PowerModel`].
 #[derive(Debug, Clone)]
@@ -24,7 +90,7 @@ impl<'a> PowerTracePredictor<'a> {
     }
 
     /// Predicts the power trace of one run, one sample per simulation interval.
-    pub fn predict_trace(&self, run: &RunData) -> PowerTrace {
+    pub fn predict_trace(&self, run: &RunData) -> PredictedPowerTrace {
         let samples = run
             .sim
             .intervals
@@ -32,14 +98,14 @@ impl<'a> PowerTracePredictor<'a> {
             .map(|interval| {
                 let events = run.sim.interval_events(interval);
                 let power = self.model.predict(&run.config, &events, run.workload);
-                PowerSample {
+                PredictedSample {
                     start_cycle: interval.start_cycle,
                     cycles: interval.counters.cycles,
                     power,
                 }
             })
             .collect();
-        PowerTrace {
+        PredictedPowerTrace {
             config: run.config.id,
             workload: run.workload,
             interval_cycles: run.sim.sim_config.interval_cycles,
@@ -82,7 +148,7 @@ impl TraceErrors {
 /// # Panics
 ///
 /// Panics if the traces have different lengths or are empty.
-pub fn trace_errors(golden: &PowerTrace, predicted: &PowerTrace) -> TraceErrors {
+pub fn trace_errors(golden: &PowerTrace, predicted: &PredictedPowerTrace) -> TraceErrors {
     assert!(!golden.is_empty(), "golden trace is empty");
     assert_eq!(
         golden.samples.len(),
@@ -123,7 +189,7 @@ pub fn evaluate_trace_prediction(
     corpus: &Corpus,
     model: &dyn PowerModel,
     run: &RunData,
-) -> (PowerTrace, PowerTrace, TraceErrors) {
+) -> (PowerTrace, PredictedPowerTrace, TraceErrors) {
     let golden = corpus.golden_trace(run);
     let predicted = PowerTracePredictor::new(model).predict_trace(run);
     let errors = trace_errors(&golden, &predicted);
@@ -135,7 +201,8 @@ mod tests {
     use super::*;
     use crate::dataset::CorpusSpec;
     use crate::model::AutoPower;
-    use autopower_config::{boom_configs, ConfigId, Workload};
+    use crate::power_model::ModelKind;
+    use autopower_config::boom_configs;
 
     fn corpus() -> Corpus {
         let cfgs = boom_configs();
@@ -154,6 +221,25 @@ mod tests {
         let trace = PowerTracePredictor::new(&model).predict_trace(run);
         assert_eq!(trace.samples.len(), run.sim.intervals.len());
         assert!(trace.samples.iter().all(|s| s.power.total() > 0.0));
+        // AutoPower resolves groups per interval; the typed samples carry them.
+        assert!(trace.samples.iter().all(|s| s.power.groups().is_some()));
+    }
+
+    #[test]
+    fn total_only_models_predict_total_only_traces() {
+        let c = corpus();
+        let model = ModelKind::McpatCalib
+            .train(&c, &[ConfigId::new(1), ConfigId::new(15)])
+            .unwrap();
+        let run = c.run(ConfigId::new(2), Workload::Gemm).unwrap();
+        let trace = PowerTracePredictor::new(model.as_ref()).predict_trace(run);
+        assert!(!trace.is_empty());
+        for s in &trace.samples {
+            assert!(s.power.total() >= 0.0);
+            assert!(s.power.groups().is_none(), "no parked group slot");
+        }
+        let errors = trace_errors(&c.golden_trace(run), &trace);
+        assert!(errors.average_error.is_finite());
     }
 
     #[test]
@@ -178,7 +264,21 @@ mod tests {
         let c = corpus();
         let run = c.run(ConfigId::new(1), Workload::Dhrystone).unwrap();
         let golden = c.golden_trace(run);
-        let e = trace_errors(&golden, &golden);
+        let predicted = PredictedPowerTrace {
+            config: golden.config,
+            workload: golden.workload,
+            interval_cycles: golden.interval_cycles,
+            samples: golden
+                .samples
+                .iter()
+                .map(|s| PredictedSample {
+                    start_cycle: s.start_cycle,
+                    cycles: s.cycles,
+                    power: Prediction::grouped(s.power),
+                })
+                .collect(),
+        };
+        let e = trace_errors(&golden, &predicted);
         assert_eq!(e.max_power_error, 0.0);
         assert_eq!(e.min_power_error, 0.0);
         assert_eq!(e.average_error, 0.0);
@@ -187,8 +287,8 @@ mod tests {
 
     #[test]
     fn zero_power_intervals_do_not_bias_the_average_error() {
-        use autopower_powersim::PowerGroups;
-        let flat_trace = |totals: &[f64]| PowerTrace {
+        use autopower_powersim::{PowerGroups, PowerSample};
+        let golden_trace = |totals: &[f64]| PowerTrace {
             config: ConfigId::new(1),
             workload: Workload::Gemm,
             interval_cycles: 50,
@@ -207,17 +307,31 @@ mod tests {
                 })
                 .collect(),
         };
+        let predicted_trace = |totals: &[f64]| PredictedPowerTrace {
+            config: ConfigId::new(1),
+            workload: Workload::Gemm,
+            interval_cycles: 50,
+            samples: totals
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| PredictedSample {
+                    start_cycle: i as u64 * 50,
+                    cycles: 50,
+                    power: Prediction::total_only(t),
+                })
+                .collect(),
+        };
         // Golden [10, 0, 20] vs predicted [11, 5, 22]: 10 % relative error on
         // each of the two non-zero intervals.  The zero-power interval carries
         // no defined relative error and must not shrink the mean (the old
         // divide-by-all-intervals code reported 6.67 % here).
-        let golden = flat_trace(&[10.0, 0.0, 20.0]);
-        let predicted = flat_trace(&[11.0, 5.0, 22.0]);
+        let golden = golden_trace(&[10.0, 0.0, 20.0]);
+        let predicted = predicted_trace(&[11.0, 5.0, 22.0]);
         let e = trace_errors(&golden, &predicted);
         assert!((e.average_error - 0.1).abs() < 1e-12, "{}", e.average_error);
         // All-zero golden traces degrade to a zero average error, not NaN.
-        let zeros = flat_trace(&[0.0, 0.0]);
-        let pred = flat_trace(&[1.0, 2.0]);
+        let zeros = golden_trace(&[0.0, 0.0]);
+        let pred = predicted_trace(&[1.0, 2.0]);
         assert_eq!(trace_errors(&zeros, &pred).average_error, 0.0);
     }
 
@@ -225,8 +339,10 @@ mod tests {
     #[should_panic(expected = "same number of intervals")]
     fn mismatched_traces_panic() {
         let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
         let run_a = c.run(ConfigId::new(1), Workload::Dhrystone).unwrap();
         let run_b = c.run(ConfigId::new(1), Workload::Gemm).unwrap();
-        let _ = trace_errors(&c.golden_trace(run_a), &c.golden_trace(run_b));
+        let predicted = PowerTracePredictor::new(&model).predict_trace(run_b);
+        let _ = trace_errors(&c.golden_trace(run_a), &predicted);
     }
 }

@@ -111,29 +111,28 @@ impl ModelComparison {
             .iter()
             .zip(other)
             .map(|(r, o)| {
-                let truth = r.mean_power.total();
-                ((o.mean_power.total() - truth) / truth).abs()
+                let truth = r.mean_total;
+                ((o.mean_total - truth) / truth).abs()
             })
             .sum::<f64>()
             / n
     }
 
     /// Mean absolute per-group delta (mW) against the reference model, or
-    /// `None` for models that do not resolve groups (their group split is a
-    /// placeholder, not a prediction).
+    /// `None` when either side's summaries carry no group structure (the
+    /// typed summaries simply have no group view to compare — nothing is
+    /// parked).
     pub fn mean_group_delta(&self, kind: ModelKind) -> Option<PowerGroups> {
-        if !kind.resolves_groups() {
-            return None;
-        }
         let reference = self.summaries(self.reference());
         let other = self.summaries(kind);
         let n = reference.len() as f64;
         let mut delta = PowerGroups::default();
         for (r, o) in reference.iter().zip(other) {
-            delta.clock += (o.mean_power.clock - r.mean_power.clock).abs();
-            delta.sram += (o.mean_power.sram - r.mean_power.sram).abs();
-            delta.register += (o.mean_power.register - r.mean_power.register).abs();
-            delta.combinational += (o.mean_power.combinational - r.mean_power.combinational).abs();
+            let (rg, og) = (r.mean_groups?, o.mean_groups?);
+            delta.clock += (og.clock - rg.clock).abs();
+            delta.sram += (og.sram - rg.sram).abs();
+            delta.register += (og.register - rg.register).abs();
+            delta.combinational += (og.combinational - rg.combinational).abs();
         }
         Some(delta.scaled(1.0 / n))
     }
@@ -169,7 +168,7 @@ impl fmt::Display for ModelComparison {
             .zip(&rankings)
             .map(|((kind, summaries), (_, ranking))| {
                 let n = summaries.len() as f64;
-                let mean_total = summaries.iter().map(|s| s.mean_power.total()).sum::<f64>() / n;
+                let mean_total = summaries.iter().map(|s| s.mean_total).sum::<f64>() / n;
                 let mean_epi = summaries
                     .iter()
                     .map(|s| s.energy_per_instruction)
@@ -262,9 +261,10 @@ impl Experiments {
     pub fn model_comparison(&self, count: usize) -> Result<ModelComparison, AutoPowerError> {
         assert!(count > 0, "a comparison needs at least one configuration");
         let inputs = self.sweep_inputs(count);
+        let corpus = self.sweep_training_corpus();
         let models = ModelKind::ALL
             .into_iter()
-            .map(|kind| kind.train(&inputs.corpus, &inputs.train))
+            .map(|kind| kind.train(&corpus, &inputs.train))
             .collect::<Result<Vec<Box<dyn PowerModel>>, AutoPowerError>>()?;
         let refs: Vec<&dyn PowerModel> = models.iter().map(Box::as_ref).collect();
         let point_sets = sweep_multi(&refs, &inputs.spec, &inputs.configs, &inputs.workloads);
@@ -301,7 +301,7 @@ mod tests {
             assert_eq!(summaries.len(), 12, "{kind} swept a different count");
             let ids: Vec<ConfigId> = summaries.iter().map(|s| s.config.id).collect();
             assert_eq!(ids, reference_ids, "{kind} swept a different space");
-            assert!(summaries.iter().all(|s| s.mean_power.total() > 0.0));
+            assert!(summaries.iter().all(|s| s.mean_total > 0.0));
         }
     }
 

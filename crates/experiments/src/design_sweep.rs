@@ -12,12 +12,10 @@
 use crate::report::format_table;
 use crate::Experiments;
 use autopower::{
-    rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, Corpus, ModelKind, SweepEngine,
-    SweepSpec,
+    rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, ModelKind, SweepEngine, SweepSpec,
 };
 use autopower_config::{ConfigId, CpuConfig, DesignSpace, HwParam, Workload};
 use std::fmt;
-use std::sync::Arc;
 
 /// Seed of the design-space draw: fixed so the swept configurations (and hence
 /// the printed summary) are reproducible across runs and thread counts.
@@ -31,8 +29,10 @@ const TOP_K: usize = 10;
 pub struct DesignSweepResult {
     /// The registry model that scored the sweep.
     pub model: ModelKind,
-    /// The known configurations the model was trained on.
-    pub train_configs: Vec<ConfigId>,
+    /// The known configurations the model was trained on — `None` when the
+    /// model was loaded pre-trained: the serialized format carries no
+    /// training-set record, so the report does not invent one.
+    pub train_configs: Option<Vec<ConfigId>>,
     /// The workloads every configuration was scored on.
     pub workloads: Vec<Workload>,
     /// One summary per generated configuration, in draw order.
@@ -47,12 +47,7 @@ impl DesignSweepResult {
     ///
     /// Panics if the sweep is empty.
     pub fn total_power_quantile(&self, q: f64) -> f64 {
-        let totals = sorted(
-            self.summaries
-                .iter()
-                .map(|s| s.mean_power.total())
-                .collect(),
-        );
+        let totals = sorted(self.summaries.iter().map(|s| s.mean_total).collect());
         quantile(&totals, q)
     }
 
@@ -95,18 +90,25 @@ fn quantile_row(label: &str, values: Vec<f64>) -> Vec<String> {
 
 impl fmt::Display for DesignSweepResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let provenance = match &self.train_configs {
+            Some(train) => format!(
+                "trained on {}",
+                train
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            ),
+            None => "loaded pre-trained".to_owned(),
+        };
         writeln!(
             f,
             "Design-space sweep — {} generated configurations x {} workloads, \
-             {} trained on {}",
+             {} {}",
             self.summaries.len(),
             self.workloads.len(),
             self.model.paper_name(),
-            self.train_configs
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join("+"),
+            provenance,
         )?;
         writeln!(f)?;
         writeln!(
@@ -114,18 +116,24 @@ impl fmt::Display for DesignSweepResult {
             "predicted power across the space (mW, mean over workloads)"
         )?;
         type GroupGetter = fn(&ConfigSummary) -> f64;
-        // Total-only models park the whole prediction in one slot; printing
-        // per-group quantile rows for them would be noise.
-        let groups: &[(&str, GroupGetter)] = if self.model.resolves_groups() {
+        // Per-group quantile rows exist exactly when the summaries carry a
+        // group view; a total-only model's report has only the total row —
+        // there is no parked slot to print.
+        let resolves_groups = self.summaries.iter().all(|s| s.mean_groups.is_some());
+        let groups: &[(&str, GroupGetter)] = if resolves_groups {
             &[
-                ("clock", |s| s.mean_power.clock),
-                ("sram", |s| s.mean_power.sram),
-                ("register", |s| s.mean_power.register),
-                ("combinational", |s| s.mean_power.combinational),
-                ("total", |s| s.mean_power.total()),
+                ("clock", |s| s.mean_groups.expect("group-resolved").clock),
+                ("sram", |s| s.mean_groups.expect("group-resolved").sram),
+                ("register", |s| {
+                    s.mean_groups.expect("group-resolved").register
+                }),
+                ("combinational", |s| {
+                    s.mean_groups.expect("group-resolved").combinational
+                }),
+                ("total", |s| s.mean_total),
             ]
         } else {
-            &[("total", |s| s.mean_power.total())]
+            &[("total", |s| s.mean_total)]
         };
         let rows: Vec<Vec<String>> = groups
             .iter()
@@ -153,7 +161,7 @@ impl fmt::Display for DesignSweepResult {
                     s.config.value(HwParam::IntIssueWidth).to_string(),
                     s.config.value(HwParam::CacheWay).to_string(),
                     format!("{:.2}", s.mean_ipc),
-                    format!("{:.2}", s.mean_power.total()),
+                    format!("{:.2}", s.mean_total),
                     format!("{:.2}", s.energy_per_instruction),
                 ]
             })
@@ -179,10 +187,12 @@ impl fmt::Display for DesignSweepResult {
     }
 }
 
-/// Everything a design-space sweep needs: the training corpus, the training
-/// set, the fixed-seeded generated configurations and the sweep settings.
+/// Everything a design-space sweep needs besides a trained model: the
+/// training set, the fixed-seeded generated configurations and the sweep
+/// settings.  Deliberately *without* a corpus — a sweep under a loaded model
+/// must not pay for corpus generation at all; training paths fetch the
+/// corpus separately ([`Experiments::sweep_training_corpus`]).
 pub(crate) struct SweepInputs {
-    pub corpus: Arc<Corpus>,
     pub train: Vec<ConfigId>,
     pub configs: Vec<CpuConfig>,
     pub workloads: Vec<Workload>,
@@ -195,7 +205,6 @@ impl Experiments {
     /// exactly the settings) the `sweep` experiment does.
     pub(crate) fn sweep_inputs(&self, count: usize) -> SweepInputs {
         SweepInputs {
-            corpus: self.sweep_training_corpus(),
             train: self.settings().train_two.clone(),
             configs: DesignSpace::boom().sample(count, SAMPLE_SEED),
             workloads: self.settings().average_workloads.clone(),
@@ -242,15 +251,47 @@ impl Experiments {
     ) -> Result<DesignSweepResult, AutoPowerError> {
         assert!(count > 0, "a sweep needs at least one configuration");
         let inputs = self.sweep_inputs(count);
-        let model = kind.train(&inputs.corpus, &inputs.train)?;
-        let points =
-            SweepEngine::new(model.as_ref(), inputs.spec).run(&inputs.configs, &inputs.workloads);
-        Ok(DesignSweepResult {
-            model: kind,
-            train_configs: inputs.train,
+        let corpus = self.sweep_training_corpus();
+        let model = kind.train(&corpus, &inputs.train)?;
+        let train = Some(inputs.train.clone());
+        Ok(self.sweep_with(inputs, model.as_ref(), train))
+    }
+
+    /// Sweeps `count` generated design points through an **already trained**
+    /// model — the `--load-model` CLI path, where the model was restored with
+    /// [`autopower::load_model`] instead of retrained.  Bit-identical to
+    /// [`Experiments::design_space_sweep_model`] for a model trained on the
+    /// same corpus (pinned by the serialization parity tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn design_space_sweep_loaded(
+        &self,
+        count: usize,
+        model: &dyn autopower::PowerModel,
+    ) -> DesignSweepResult {
+        assert!(count > 0, "a sweep needs at least one configuration");
+        // The training corpus is not touched: a loaded model sweeps without
+        // regenerating any golden data, and the report states it was loaded
+        // (the file records no training set).
+        let inputs = self.sweep_inputs(count);
+        self.sweep_with(inputs, model, None)
+    }
+
+    fn sweep_with(
+        &self,
+        inputs: SweepInputs,
+        model: &dyn autopower::PowerModel,
+        train_configs: Option<Vec<ConfigId>>,
+    ) -> DesignSweepResult {
+        let points = SweepEngine::new(model, inputs.spec).run(&inputs.configs, &inputs.workloads);
+        DesignSweepResult {
+            model: model.kind(),
+            train_configs,
             summaries: summarize(&points, inputs.workloads.len()),
             workloads: inputs.workloads,
-        })
+        }
     }
 }
 
@@ -265,7 +306,8 @@ mod tests {
         assert_eq!(result.summaries.len(), 24);
         for s in &result.summaries {
             assert!(!s.config.id.is_seed(), "{} is a seed", s.config.id);
-            assert!(s.mean_power.total() > 0.0);
+            assert!(s.mean_total > 0.0);
+            assert!(s.mean_groups.is_some(), "AutoPower resolves groups");
             assert!(s.mean_ipc > 0.0);
         }
         // Quantiles are ordered and the efficiency ranking is sorted.
@@ -292,11 +334,9 @@ mod tests {
         assert_eq!(result.model, ModelKind::McpatCalib);
         assert_eq!(result.summaries.len(), 12);
         for s in &result.summaries {
-            assert!(s.mean_power.total() > 0.0);
-            // Total-only model: groups are unresolved, the total is parked in
-            // the combinational slot.
-            assert_eq!(s.mean_power.clock, 0.0);
-            assert_eq!(s.mean_power.sram, 0.0);
+            assert!(s.mean_total > 0.0);
+            // Total-only model: the typed summary simply has no group view.
+            assert!(s.mean_groups.is_none());
         }
         let text = result.to_string();
         assert!(text.contains("McPAT-Calib"));

@@ -1,10 +1,21 @@
-//! Per-group detail experiments: Fig. 7 (clock) and Fig. 8 (SRAM), AutoPower vs the
-//! AutoPower− ablation that applies a direct ML model per power group.
+//! Per-group detail experiments: Fig. 7 (clock) and Fig. 8 (SRAM).
+//!
+//! Historically these figures hardcoded AutoPower vs AutoPower− through
+//! inherent `predict_component` methods.  They now loop over **every
+//! component-resolving registry model**
+//! ([`ModelKind::component_resolving`]) through the trait-level
+//! [`predict_components`](autopower::PowerModel::predict_components) view:
+//!
+//! * the per-group tables (the paper's Figs. 7/8) compare every model that
+//!   splits components into groups (AutoPower, AutoPower−);
+//! * a per-component *total power* table covers all component-resolving
+//!   models, including McPAT-Calib + Component, whose breakdown carries
+//!   component totals but no group split — its group cells print `n/a`
+//!   instead of a parked number.
 
 use crate::report::{format_table, percent};
 use crate::Experiments;
-use autopower::baselines::AutoPowerMinus;
-use autopower::AutoPower;
+use autopower::{ClockPowerModel, ModelKind, PowerModel};
 use autopower_config::{Component, ConfigId};
 use autopower_ml::metrics;
 use std::fmt;
@@ -19,6 +30,24 @@ pub struct SubModelAccuracy {
     pub gating_rate_mape: f64,
 }
 
+/// One per-component row of a detail experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDetailRow {
+    /// The component.
+    pub component: Component,
+    /// Group-power MAPE per participating model (in [`GroupDetailResult::models`]
+    /// order); `None` when the model does not split this component into groups.
+    pub group_mape: Vec<Option<f64>>,
+    /// Component-total-power MAPE per participating model (always available —
+    /// every component-resolving model predicts component totals).
+    pub total_mape: Vec<f64>,
+    /// Mean golden group power over the test runs, in mW.
+    pub mean_golden_mw: f64,
+    /// Mean golden *total* component power over the test runs, in mW (the
+    /// reference of the component-total table).
+    pub mean_golden_total_mw: f64,
+}
+
 /// Result of one per-group detail experiment.
 #[derive(Debug, Clone)]
 pub struct GroupDetailResult {
@@ -26,23 +55,65 @@ pub struct GroupDetailResult {
     pub group: &'static str,
     /// The training configurations.
     pub train_configs: Vec<ConfigId>,
-    /// Per-component MAPE: `(component, AutoPower, AutoPower−, mean golden power in mW)`.
-    pub per_component: Vec<(Component, f64, f64, f64)>,
-    /// Core-level group power MAPE and Pearson R of AutoPower.
-    pub autopower_total: (f64, f64),
-    /// Core-level group power MAPE and Pearson R of AutoPower−.
-    pub minus_total: (f64, f64),
+    /// Every component-resolving registry model, in [`ModelKind::ALL`] order.
+    pub models: Vec<ModelKind>,
+    /// One row per evaluated component.
+    pub per_component: Vec<ComponentDetailRow>,
+    /// Core-level group power `(MAPE, Pearson R)` per model, in `models`
+    /// order; `None` for models without a group view.
+    pub core_level: Vec<Option<(f64, f64)>>,
     /// Clock sub-model accuracy (only set for the clock experiment).
     pub sub_models: Option<SubModelAccuracy>,
 }
 
 impl GroupDetailResult {
-    /// Number of components for which AutoPower is at least as accurate as AutoPower−.
-    pub fn components_won(&self) -> usize {
+    /// The column index of one model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` does not resolve components.
+    pub fn model_index(&self, kind: ModelKind) -> usize {
+        self.models
+            .iter()
+            .position(|&k| k == kind)
+            .unwrap_or_else(|| panic!("{kind} is not part of the detail experiment"))
+    }
+
+    /// Number of components for which AutoPower's group prediction is at
+    /// least as accurate as `other`'s (components where either model lacks a
+    /// group view are skipped).
+    pub fn components_won_against(&self, other: ModelKind) -> usize {
+        let ours = self.model_index(ModelKind::AutoPower);
+        let theirs = self.model_index(other);
         self.per_component
             .iter()
-            .filter(|(_, ours, minus, _)| ours <= minus)
+            .filter(|row| match (row.group_mape[ours], row.group_mape[theirs]) {
+                (Some(a), Some(b)) => a <= b,
+                _ => false,
+            })
             .count()
+    }
+
+    /// Number of components for which AutoPower beats the AutoPower− ablation
+    /// (the paper's headline reading of Figs. 7/8).
+    pub fn components_won(&self) -> usize {
+        self.components_won_against(ModelKind::AutoPowerMinus)
+    }
+
+    /// Core-level `(MAPE, Pearson R)` of one model's group prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` does not resolve components.
+    pub fn core_level_of(&self, kind: ModelKind) -> Option<(f64, f64)> {
+        self.core_level[self.model_index(kind)]
+    }
+}
+
+fn mape_cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => percent(v),
+        None => "n/a".to_owned(),
     }
 }
 
@@ -50,44 +121,66 @@ impl fmt::Display for GroupDetailResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} power detail — AutoPower vs AutoPower− ({} training configurations)",
+            "{} power detail — every component-resolving registry model \
+             ({} training configurations)",
             self.group,
             self.train_configs.len()
         )?;
+
+        // Per-component group MAPE, one column per model.
+        let mut header: Vec<String> = vec!["component".to_owned()];
+        header.extend(
+            self.models
+                .iter()
+                .map(|m| format!("{} MAPE", m.paper_name())),
+        );
+        header.push("mean golden (mW)".to_owned());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = self
             .per_component
             .iter()
-            .map(|(c, ours, minus, mean)| {
-                vec![
-                    c.to_string(),
-                    percent(*ours),
-                    percent(*minus),
-                    format!("{mean:.3}"),
-                ]
+            .map(|row| {
+                let mut cells = vec![row.component.to_string()];
+                cells.extend(row.group_mape.iter().map(|&v| mape_cell(v)));
+                cells.push(format!("{:.3}", row.mean_golden_mw));
+                cells
             })
             .collect();
-        writeln!(
-            f,
-            "{}",
-            format_table(
-                &[
-                    "component",
-                    "AutoPower MAPE",
-                    "AutoPower- MAPE",
-                    "mean golden (mW)"
-                ],
-                &rows
-            )
-        )?;
-        writeln!(
-            f,
-            "core-level {}: AutoPower MAPE {} (R {:.3}), AutoPower- MAPE {} (R {:.3})",
-            self.group,
-            percent(self.autopower_total.0),
-            self.autopower_total.1,
-            percent(self.minus_total.0),
-            self.minus_total.1
-        )?;
+        writeln!(f, "{}", format_table(&header_refs, &rows))?;
+
+        // Per-component total power MAPE — the table where every
+        // component-resolving model (incl. McPAT-Calib + Component) competes.
+        writeln!(f, "per-component total power")?;
+        let mut total_header = header.clone();
+        *total_header.last_mut().expect("header has columns") = "mean golden total (mW)".to_owned();
+        let total_header_refs: Vec<&str> = total_header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .per_component
+            .iter()
+            .map(|row| {
+                let mut cells = vec![row.component.to_string()];
+                cells.extend(row.total_mape.iter().map(|&v| percent(v)));
+                cells.push(format!("{:.3}", row.mean_golden_total_mw));
+                cells
+            })
+            .collect();
+        writeln!(f, "{}", format_table(&total_header_refs, &rows))?;
+
+        let core: Vec<String> = self
+            .models
+            .iter()
+            .zip(&self.core_level)
+            .map(|(kind, level)| match level {
+                Some((mape, pearson)) => format!(
+                    "{} MAPE {} (R {:.3})",
+                    kind.paper_name(),
+                    percent(*mape),
+                    pearson
+                ),
+                None => format!("{} n/a (no group view)", kind.paper_name()),
+            })
+            .collect();
+        writeln!(f, "core-level {}: {}", self.group, core.join(", "))?;
         if let Some(sub) = self.sub_models {
             writeln!(
                 f,
@@ -111,8 +204,14 @@ impl Experiments {
     fn group_detail(&self, group: Group) -> GroupDetailResult {
         let corpus = self.average_corpus();
         let train = self.settings().train_two.clone();
-        let model = AutoPower::train(&corpus, &train).expect("AutoPower training succeeds");
-        let minus = AutoPowerMinus::train(&corpus, &train).expect("AutoPower- training succeeds");
+        let kinds = ModelKind::component_resolving();
+        let models: Vec<Box<dyn PowerModel>> = kinds
+            .iter()
+            .map(|kind| {
+                kind.train(&corpus, &train)
+                    .expect("component-resolving model trains")
+            })
+            .collect();
         let test_runs = corpus.test_runs(&train);
 
         let components: Vec<Component> = match group {
@@ -123,71 +222,102 @@ impl Experiments {
                 .filter(|c| c.has_sram())
                 .collect(),
         };
+        let golden_group = |run: &autopower::RunData, c: Component| match group {
+            Group::Clock => run.golden.component(c).clock,
+            Group::Sram => run.golden.component(c).sram,
+        };
+
+        // One breakdown per (model, test run), computed once through the
+        // trait-level per-component view.
+        let breakdowns: Vec<Vec<autopower::ComponentBreakdown>> = models
+            .iter()
+            .map(|model| {
+                test_runs
+                    .iter()
+                    .map(|run| {
+                        model
+                            .predict_run_components(run)
+                            .expect("component-resolving model answers predict_components")
+                    })
+                    .collect()
+            })
+            .collect();
 
         let mut per_component = Vec::new();
-        let mut core_truth = Vec::new();
-        let mut core_ours = Vec::new();
-        let mut core_minus = Vec::new();
-        for run in &test_runs {
-            let mut totals = (0.0, 0.0, 0.0);
-            for &c in &Component::ALL {
-                let truth = match group {
-                    Group::Clock => run.golden.component(c).clock,
-                    Group::Sram => run.golden.component(c).sram,
-                };
-                let ours_groups =
-                    model.predict_component(c, &run.config, &run.sim.events, run.workload);
-                let minus_groups =
-                    minus.predict_component(c, &run.config, &run.sim.events, run.workload);
-                let (ours, theirs) = match group {
-                    Group::Clock => (ours_groups.clock, minus_groups.clock),
-                    Group::Sram => (ours_groups.sram, minus_groups.sram),
-                };
-                totals.0 += truth;
-                totals.1 += ours;
-                totals.2 += theirs;
+        for &component in &components {
+            let golden_groups: Vec<f64> = test_runs
+                .iter()
+                .map(|r| golden_group(r, component))
+                .collect();
+            let golden_totals: Vec<f64> = test_runs
+                .iter()
+                .map(|r| r.golden.component(component).total())
+                .collect();
+            let mut group_mape = Vec::with_capacity(models.len());
+            let mut total_mape = Vec::with_capacity(models.len());
+            for per_run in &breakdowns {
+                let entries: Vec<autopower::ComponentPower> =
+                    per_run.iter().map(|b| b.component(component)).collect();
+                group_mape.push(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            e.groups.map(|g| match group {
+                                Group::Clock => g.clock,
+                                Group::Sram => g.sram,
+                            })
+                        })
+                        .collect::<Option<Vec<f64>>>()
+                        .map(|predicted| metrics::mape(&golden_groups, &predicted)),
+                );
+                let predicted_totals: Vec<f64> = entries.iter().map(|e| e.total).collect();
+                total_mape.push(metrics::mape(&golden_totals, &predicted_totals));
             }
-            core_truth.push(totals.0);
-            core_ours.push(totals.1);
-            core_minus.push(totals.2);
+            per_component.push(ComponentDetailRow {
+                component,
+                group_mape,
+                total_mape,
+                mean_golden_mw: golden_groups.iter().sum::<f64>() / golden_groups.len() as f64,
+                mean_golden_total_mw: golden_totals.iter().sum::<f64>()
+                    / golden_totals.len() as f64,
+            });
         }
 
-        for &component in &components {
-            let mut truth = Vec::new();
-            let mut ours = Vec::new();
-            let mut theirs = Vec::new();
-            for run in &test_runs {
-                let t = match group {
-                    Group::Clock => run.golden.component(component).clock,
-                    Group::Sram => run.golden.component(component).sram,
-                };
-                let o =
-                    model.predict_component(component, &run.config, &run.sim.events, run.workload);
-                let m =
-                    minus.predict_component(component, &run.config, &run.sim.events, run.workload);
-                truth.push(t);
-                match group {
-                    Group::Clock => {
-                        ours.push(o.clock);
-                        theirs.push(m.clock);
-                    }
-                    Group::Sram => {
-                        ours.push(o.sram);
-                        theirs.push(m.sram);
-                    }
-                }
-            }
-            let mean = truth.iter().sum::<f64>() / truth.len() as f64;
-            per_component.push((
-                component,
-                metrics::mape(&truth, &ours),
-                metrics::mape(&truth, &theirs),
-                mean,
-            ));
-        }
+        // Core-level group power: the per-component group predictions summed
+        // over every component, per test run.
+        let core_truth: Vec<f64> = test_runs
+            .iter()
+            .map(|run| Component::ALL.iter().map(|&c| golden_group(run, c)).sum())
+            .collect();
+        let core_level: Vec<Option<(f64, f64)>> = breakdowns
+            .iter()
+            .map(|per_run| {
+                per_run
+                    .iter()
+                    .map(|b| {
+                        b.groups().map(|g| match group {
+                            Group::Clock => g.clock,
+                            Group::Sram => g.sram,
+                        })
+                    })
+                    .collect::<Option<Vec<f64>>>()
+                    .map(|predicted| {
+                        (
+                            metrics::mape(&core_truth, &predicted),
+                            metrics::pearson(&core_truth, &predicted),
+                        )
+                    })
+            })
+            .collect();
 
         let sub_models = match group {
             Group::Clock => {
+                // The structural sub-model figures need AutoPower's clock
+                // model internals; train it directly (same corpus, same
+                // training set, deterministic — identical to the registry
+                // model's clock part).
+                let clock = ClockPowerModel::train(&corpus, &train)
+                    .expect("clock model trains on the detail corpus");
                 let mut reg_truth = Vec::new();
                 let mut reg_pred = Vec::new();
                 let mut gate_truth = Vec::new();
@@ -201,9 +331,9 @@ impl Experiments {
                     for c in Component::ALL {
                         let netlist = run.netlist.component(c);
                         reg_truth.push(netlist.registers as f64);
-                        reg_pred.push(model.clock_model().predict_register_count(c, &run.config));
+                        reg_pred.push(clock.predict_register_count(c, &run.config));
                         gate_truth.push(netlist.gating_rate());
-                        gate_pred.push(model.clock_model().predict_gating_rate(c, &run.config));
+                        gate_pred.push(clock.predict_gating_rate(c, &run.config));
                     }
                 }
                 Some(SubModelAccuracy {
@@ -220,25 +350,19 @@ impl Experiments {
                 Group::Sram => "SRAM",
             },
             train_configs: train,
+            models: kinds,
             per_component,
-            autopower_total: (
-                metrics::mape(&core_truth, &core_ours),
-                metrics::pearson(&core_truth, &core_ours),
-            ),
-            minus_total: (
-                metrics::mape(&core_truth, &core_minus),
-                metrics::pearson(&core_truth, &core_minus),
-            ),
+            core_level,
             sub_models,
         }
     }
 
-    /// Fig. 7: clock power detail, AutoPower vs AutoPower−.
+    /// Fig. 7: clock power detail over every component-resolving registry model.
     pub fn fig7_clock_detail(&self) -> GroupDetailResult {
         self.group_detail(Group::Clock)
     }
 
-    /// Fig. 8: SRAM power detail, AutoPower vs AutoPower−.
+    /// Fig. 8: SRAM power detail over every component-resolving registry model.
     pub fn fig8_sram_detail(&self) -> GroupDetailResult {
         self.group_detail(Group::Sram)
     }
@@ -249,14 +373,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn clock_detail_shows_decoupling_helps_most_components() {
+    fn clock_detail_covers_every_component_resolving_model() {
         let exp = Experiments::fast();
         let r = exp.fig7_clock_detail();
+        assert_eq!(r.models, ModelKind::component_resolving());
         assert_eq!(r.per_component.len(), Component::ALL.len());
-        // AutoPower's structural clock model should beat the direct ML baseline for the
-        // majority of components and at the core level.
+        for row in &r.per_component {
+            assert_eq!(row.group_mape.len(), r.models.len());
+            assert_eq!(row.total_mape.len(), r.models.len());
+            for (i, kind) in r.models.iter().enumerate() {
+                // Group cells exist exactly for group-resolving models; the
+                // component-total column is populated for every model.
+                assert_eq!(
+                    row.group_mape[i].is_some(),
+                    kind.resolves_groups(),
+                    "{kind}"
+                );
+                assert!(row.total_mape[i].is_finite(), "{kind}");
+            }
+        }
+        // AutoPower's structural clock model should beat the direct ML
+        // ablation for the majority of components and at the core level.
         assert!(r.components_won() * 2 >= r.per_component.len());
-        assert!(r.autopower_total.0 <= r.minus_total.0 + 0.02);
+        let (ours, _) = r.core_level_of(ModelKind::AutoPower).unwrap();
+        let (minus, _) = r.core_level_of(ModelKind::AutoPowerMinus).unwrap();
+        assert!(ours <= minus + 0.02);
+        assert!(r.core_level_of(ModelKind::McpatCalibComponent).is_none());
         let sub = r
             .sub_models
             .expect("clock detail reports sub-model accuracy");
@@ -268,13 +410,16 @@ mod tests {
     fn sram_detail_only_covers_sram_components() {
         let exp = Experiments::fast();
         let r = exp.fig8_sram_detail();
-        assert!(r.per_component.iter().all(|(c, ..)| c.has_sram()));
+        assert!(r.per_component.iter().all(|row| row.component.has_sram()));
         assert!(r.sub_models.is_none());
-        assert!(
-            r.autopower_total.1 > 0.5,
-            "core-level SRAM Pearson R {}",
-            r.autopower_total.1
-        );
-        assert!(r.to_string().contains("SRAM power detail"));
+        let (_, pearson) = r.core_level_of(ModelKind::AutoPower).unwrap();
+        assert!(pearson > 0.5, "core-level SRAM Pearson R {pearson}");
+        let text = r.to_string();
+        assert!(text.contains("SRAM power detail"));
+        // Every component-resolving model appears, with n/a (not a parked
+        // number) for the group cells of the total-only-per-component model.
+        assert!(text.contains("McPAT-Calib + Component"));
+        assert!(text.contains("n/a"));
+        assert!(text.contains("per-component total power"));
     }
 }

@@ -12,8 +12,8 @@
 //! | Fig. 4 (accuracy, 2 training configurations) | [`Experiments::fig4_accuracy_two_configs`] | `fig4` |
 //! | Fig. 5 (accuracy, 3 training configurations) | [`Experiments::fig5_accuracy_three_configs`] | `fig5` |
 //! | Fig. 6 (sweep over #training configurations) | [`Experiments::fig6_training_sweep`] | `fig6` |
-//! | Fig. 7 (clock-model detail vs AutoPower−) | [`Experiments::fig7_clock_detail`] | `fig7` |
-//! | Fig. 8 (SRAM-model detail vs AutoPower−) | [`Experiments::fig8_sram_detail`] | `fig8` |
+//! | Fig. 7 (clock detail, all component-resolving models) | [`Experiments::fig7_clock_detail`] | `fig7` |
+//! | Fig. 8 (SRAM detail, all component-resolving models) | [`Experiments::fig8_sram_detail`] | `fig8` |
 //! | Table IV (time-based power traces) | [`Experiments::table4_power_trace`] | `table4` |
 //! | Ablations (program features, simulator inaccuracy) | [`Experiments::ablation_study`] | `ablation` |
 //! | Design-space sweep (generated configurations) | [`Experiments::design_space_sweep`] | `sweep` |
@@ -24,6 +24,12 @@
 //! under any [`ModelKind`](autopower::ModelKind) registry model; `compare`
 //! sweeps the same generated design space under *every* registry model and
 //! reports where they disagree.
+//!
+//! Trained models persist across processes: `save-model --model NAME --out
+//! FILE` trains on the sweep corpus and writes the registry-tagged model
+//! file; `sweep --load-model FILE` (and `table4 --load-model FILE`) restores
+//! it with [`autopower::load_model`] and predicts without retraining —
+//! bit-identical to the retrained run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +51,7 @@ pub use ablation::AblationResult;
 pub use accuracy::{compare_methods, AccuracyComparison, MethodAccuracy};
 pub use compare::ModelComparison;
 pub use design_sweep::DesignSweepResult;
-pub use detail::{GroupDetailResult, SubModelAccuracy};
+pub use detail::{ComponentDetailRow, GroupDetailResult, SubModelAccuracy};
 pub use obs1::BreakdownResult;
 pub use report::{format_table, percent};
 pub use settings::ExperimentSettings;
@@ -135,6 +141,23 @@ impl Experiments {
                 },
             ))
         }))
+    }
+
+    /// Trains one registry model exactly the way the `sweep` experiment
+    /// does (same corpus, same two-configuration training set) — the
+    /// `save-model` CLI path.  A model saved from here and restored with
+    /// [`autopower::load_model`] sweeps bit-identically to a
+    /// [`Experiments::design_space_sweep_model`] run that retrains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails.
+    pub fn train_sweep_model(
+        &self,
+        kind: autopower::ModelKind,
+    ) -> Result<Box<dyn autopower::PowerModel>, autopower::AutoPowerError> {
+        let corpus = self.sweep_training_corpus();
+        kind.train(&corpus, &self.settings().train_two)
     }
 
     /// Corpus backing the design-space sweep's training.

@@ -1,20 +1,28 @@
 //! Command-line entry point of the experiment harness.
 //!
 //! ```text
-//! autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] [EXPERIMENT ...]
+//! autopower-experiments [--fast] [--threads N] [--count N] [--model NAME]
+//!                       [--load-model FILE] [--out FILE] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
-//! `table4`, `ablation`, `sweep`, `xval`, `compare`, or `all` (the default).
+//! `table4`, `ablation`, `sweep`, `xval`, `compare`, `save-model`, or `all`
+//! (the default; `all` does not include `save-model`, which writes a file).
 //! `--fast` switches to the reduced settings used by tests and benches;
 //! `--threads N` sets the worker count of the corpus-generation and sweep
 //! pipelines (default: one per available core, `1` = serial); `--count N` sets
 //! how many generated configurations the `sweep` and `compare` experiments
-//! score; `--model NAME` selects the registry model the `sweep`, `table4` and
-//! `xval` experiments run under (`autopower`, `mcpat-calib`,
-//! `mcpat-calib-component`, `autopower-minus`).  Flags and experiment names may
-//! appear in any order; unknown or duplicate experiment names and unknown model
-//! names are rejected before any corpus is generated.
+//! score; `--model NAME` selects the registry model the `sweep`, `table4`,
+//! `xval` and `save-model` verbs run under (`autopower`, `mcpat-calib`,
+//! `mcpat-calib-component`, `autopower-minus`).
+//!
+//! Model persistence: `save-model` trains `--model` on the sweep corpus and
+//! writes it to `--out FILE` (default `<model>.apm`); `--load-model FILE`
+//! makes `sweep` and `table4` restore that trained model instead of
+//! retraining — the results are bit-identical to the retrained run.  Flags
+//! and experiment names may appear in any order; unknown or duplicate
+//! experiment names, unknown model names and `--load-model` on experiments
+//! that retrain by design are rejected before any corpus is generated.
 
 use autopower::{CorpusSpec, ModelKind};
 use autopower_experiments::{ExperimentSettings, Experiments};
@@ -24,6 +32,15 @@ const ALL_EXPERIMENTS: [&str; 12] = [
     "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation", "sweep",
     "xval", "compare",
 ];
+
+/// Experiments `--load-model` applies to: the ones that consume exactly one
+/// trained model (everything else retrains by design — `xval` per fold,
+/// `compare` for every registry entry).
+const LOADABLE_EXPERIMENTS: [&str; 2] = ["sweep", "table4"];
+
+/// The verb that trains and saves a model instead of running an experiment
+/// (deliberately not part of `all`: it writes a file).
+const SAVE_MODEL: &str = "save-model";
 
 /// The usage string, with the experiment and model lists derived from
 /// [`ALL_EXPERIMENTS`] and [`ModelKind::ALL`] so help text cannot drift from
@@ -35,10 +52,13 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] \
-         [{}|all ...]\nmodels: {} (default: {})",
+         [--load-model FILE] [--out FILE] [{}|{SAVE_MODEL}|all ...]\nmodels: {} (default: {})\n\
+         {SAVE_MODEL} trains --model and writes it to --out (default <model>.apm); \
+         --load-model applies to {} only",
         ALL_EXPERIMENTS.join("|"),
         models.join(", "),
         ModelKind::AutoPower,
+        LOADABLE_EXPERIMENTS.join("/"),
     )
 }
 
@@ -53,6 +73,14 @@ struct CliArgs {
     threads: usize,
     count: usize,
     model: ModelKind,
+    /// Whether `--model` was given explicitly (a loaded model of a different
+    /// kind is then a hard error instead of silently winning).
+    model_explicit: bool,
+    /// Path to a saved model to restore instead of retraining (`sweep`,
+    /// `table4`).
+    load_model: Option<String>,
+    /// Output path of the `save-model` verb.
+    out: Option<String>,
     help: bool,
     requested: Vec<String>,
 }
@@ -68,6 +96,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         threads: 0,
         count: DEFAULT_SWEEP_COUNT,
         model: ModelKind::AutoPower,
+        model_explicit: false,
+        load_model: None,
+        out: None,
         help: false,
         requested: Vec::new(),
     };
@@ -93,6 +124,19 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                     .next()
                     .ok_or_else(|| format!("--model needs a value\n{}", usage()))?;
                 parsed.model = parse_model(&value)?;
+                parsed.model_explicit = true;
+            }
+            "--load-model" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--load-model needs a file path\n{}", usage()))?;
+                parsed.load_model = Some(value);
+            }
+            "--out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--out needs a file path\n{}", usage()))?;
+                parsed.out = Some(value);
             }
             other => {
                 if let Some(value) = other.strip_prefix("--threads=") {
@@ -101,9 +145,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                     parsed.count = parse_sweep_count(value)?;
                 } else if let Some(value) = other.strip_prefix("--model=") {
                     parsed.model = parse_model(value)?;
+                    parsed.model_explicit = true;
+                } else if let Some(value) = other.strip_prefix("--load-model=") {
+                    parsed.load_model = Some(value.to_owned());
+                } else if let Some(value) = other.strip_prefix("--out=") {
+                    parsed.out = Some(value.to_owned());
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag '{other}'\n{}", usage()));
-                } else if other == "all" || ALL_EXPERIMENTS.contains(&other) {
+                } else if other == "all" || other == SAVE_MODEL || ALL_EXPERIMENTS.contains(&other)
+                {
                     if !parsed.requested.iter().any(|r| r == other) {
                         parsed.requested.push(other.to_owned());
                     }
@@ -114,7 +164,30 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         }
     }
     if parsed.requested.is_empty() || parsed.requested.iter().any(|a| a == "all") {
+        let keep_save = parsed.requested.iter().any(|a| a == SAVE_MODEL);
         parsed.requested = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+        if keep_save {
+            parsed.requested.push(SAVE_MODEL.to_owned());
+        }
+    }
+    if parsed.load_model.is_some() {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !LOADABLE_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--load-model applies to {} only; '{bad}' retrains by design\n{}",
+                LOADABLE_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
+    if parsed.out.is_some() && !parsed.requested.iter().any(|a| a == SAVE_MODEL) {
+        return Err(format!(
+            "--out only makes sense with {SAVE_MODEL}\n{}",
+            usage()
+        ));
     }
     Ok(parsed)
 }
@@ -147,8 +220,36 @@ fn parse_model(value: &str) -> Result<ModelKind, String> {
         .map_err(|e| format!("{e}\n{}", usage()))
 }
 
+/// Restores the `--load-model` file and checks it against an explicit
+/// `--model` flag (a silent kind mismatch would be a confusing foot-gun).
+fn load_cli_model(args: &CliArgs, path: &str) -> Result<Box<dyn autopower::PowerModel>, String> {
+    let model = autopower::load_model(path).map_err(|e| format!("--load-model {path}: {e}"))?;
+    if args.model_explicit && model.kind() != args.model {
+        return Err(format!(
+            "--load-model {path} holds a '{}' model but --model asked for '{}'",
+            model.kind(),
+            args.model
+        ));
+    }
+    Ok(model)
+}
+
 fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), String> {
     let err = |e: autopower::AutoPowerError| format!("{name}: {e}");
+    if name == SAVE_MODEL {
+        let model = experiments.train_sweep_model(args.model).map_err(err)?;
+        let path = args
+            .out
+            .clone()
+            .unwrap_or_else(|| format!("{}.apm", args.model));
+        autopower::save_model(model.as_ref(), &path).map_err(err)?;
+        println!(
+            "saved trained '{}' model to {path} (format v{})\n",
+            args.model,
+            autopower::MODEL_FORMAT_VERSION
+        );
+        return Ok(());
+    }
     match name {
         "obs1" => println!("{}\n", experiments.obs1_breakdown()),
         "table1" => println!("{}\n", experiments.table1_hardware_model()),
@@ -163,19 +264,37 @@ fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), 
         "fig6" => println!("{}\n", experiments.fig6_training_sweep().map_err(err)?),
         "fig7" => println!("{}\n", experiments.fig7_clock_detail()),
         "fig8" => println!("{}\n", experiments.fig8_sram_detail()),
-        "table4" => println!(
-            "{}\n",
-            experiments
-                .table4_power_trace_model(args.model)
-                .map_err(err)?
-        ),
+        "table4" => match &args.load_model {
+            Some(path) => {
+                let model = load_cli_model(args, path)?;
+                println!(
+                    "{}\n",
+                    experiments.table4_power_trace_loaded(model.as_ref())
+                );
+            }
+            None => println!(
+                "{}\n",
+                experiments
+                    .table4_power_trace_model(args.model)
+                    .map_err(err)?
+            ),
+        },
         "ablation" => println!("{}\n", experiments.ablation_study()),
-        "sweep" => println!(
-            "{}\n",
-            experiments
-                .design_space_sweep_model(args.count, args.model)
-                .map_err(err)?
-        ),
+        "sweep" => match &args.load_model {
+            Some(path) => {
+                let model = load_cli_model(args, path)?;
+                println!(
+                    "{}\n",
+                    experiments.design_space_sweep_loaded(args.count, model.as_ref())
+                );
+            }
+            None => println!(
+                "{}\n",
+                experiments
+                    .design_space_sweep_model(args.count, args.model)
+                    .map_err(err)?
+            ),
+        },
         "xval" => println!(
             "{}\n",
             experiments
@@ -341,5 +460,57 @@ mod tests {
         }
         assert!(ALL_EXPERIMENTS.contains(&"xval"));
         assert!(ALL_EXPERIMENTS.contains(&"compare"));
+    }
+
+    #[test]
+    fn save_model_verb_parses_but_is_not_part_of_all() {
+        let parsed = parse_args(args(&[
+            SAVE_MODEL,
+            "--model",
+            "mcpat-calib",
+            "--out",
+            "m.apm",
+        ]))
+        .expect("valid arguments");
+        assert_eq!(parsed.requested, vec![SAVE_MODEL.to_owned()]);
+        assert_eq!(parsed.model, ModelKind::McpatCalib);
+        assert_eq!(parsed.out.as_deref(), Some("m.apm"));
+        // `all` (and the empty default) never includes the file-writing verb.
+        let all = parse_args(args(&["all"])).expect("valid arguments");
+        assert!(!all.requested.iter().any(|r| r == SAVE_MODEL));
+        let default = parse_args(args(&[])).expect("valid arguments");
+        assert!(!default.requested.iter().any(|r| r == SAVE_MODEL));
+    }
+
+    #[test]
+    fn load_model_flag_parses_in_both_forms_and_only_for_loadable_experiments() {
+        let parsed =
+            parse_args(args(&["sweep", "--load-model", "m.apm"])).expect("valid arguments");
+        assert_eq!(parsed.load_model.as_deref(), Some("m.apm"));
+        let parsed = parse_args(args(&["--load-model=m.apm", "table4"])).expect("valid arguments");
+        assert_eq!(parsed.load_model.as_deref(), Some("m.apm"));
+        // Experiments that retrain by design reject a pre-trained model.
+        let err = parse_args(args(&["xval", "--load-model", "m.apm"])).unwrap_err();
+        assert!(err.contains("retrains by design"));
+        let err = parse_args(args(&["compare", "--load-model", "m.apm"])).unwrap_err();
+        assert!(err.contains("retrains by design"));
+        assert!(parse_args(args(&["--load-model"])).is_err());
+    }
+
+    #[test]
+    fn out_flag_requires_the_save_model_verb() {
+        let err = parse_args(args(&["sweep", "--out", "m.apm"])).unwrap_err();
+        assert!(err.contains("--out"));
+        assert!(parse_args(args(&["--out"])).is_err());
+        let parsed = parse_args(args(&[SAVE_MODEL, "--out=x.apm"])).expect("valid arguments");
+        assert_eq!(parsed.out.as_deref(), Some("x.apm"));
+    }
+
+    #[test]
+    fn explicit_model_flag_is_tracked_for_load_mismatch_detection() {
+        let parsed = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert!(!parsed.model_explicit);
+        let parsed = parse_args(args(&["sweep", "--model", "autopower"])).expect("valid arguments");
+        assert!(parsed.model_explicit);
     }
 }

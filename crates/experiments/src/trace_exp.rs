@@ -24,8 +24,10 @@ pub struct TraceCase {
 pub struct TraceResult {
     /// The registry model that predicted the traces.
     pub model: ModelKind,
-    /// The training configurations (average-power corpus, no trace data).
-    pub train_configs: Vec<ConfigId>,
+    /// The training configurations (average-power corpus, no trace data) —
+    /// `None` when the model was loaded pre-trained: the serialized format
+    /// carries no training-set record, so the report does not invent one.
+    pub train_configs: Option<Vec<ConfigId>>,
     /// One case per `(workload, configuration)` pair.
     pub cases: Vec<TraceCase>,
 }
@@ -46,11 +48,15 @@ impl TraceResult {
 
 impl fmt::Display for TraceResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let provenance = match &self.train_configs {
+            Some(train) => format!("trained on {} configurations", train.len()),
+            None => "loaded pre-trained".to_owned(),
+        };
         writeln!(
             f,
-            "Table IV — time-based power-trace prediction (50-cycle steps, {} trained on {} configurations)",
+            "Table IV — time-based power-trace prediction (50-cycle steps, {} {})",
             self.model.paper_name(),
-            self.train_configs.len()
+            provenance
         )?;
         let rows: Vec<Vec<String>> = self
             .cases
@@ -109,8 +115,23 @@ impl Experiments {
         let average = self.average_corpus();
         let train = self.settings().train_two.clone();
         let model = kind.train(&average, &train)?;
-        let predictor = PowerTracePredictor::new(model.as_ref());
+        Ok(self.trace_cases(model.as_ref(), Some(train)))
+    }
 
+    /// Table IV under an **already trained** model — the `--load-model` CLI
+    /// path.  Only the trace corpus is generated; the average-power training
+    /// corpus is not touched, and the report states the model was loaded
+    /// instead of claiming a training set the file does not record.
+    pub fn table4_power_trace_loaded(&self, model: &dyn autopower::PowerModel) -> TraceResult {
+        self.trace_cases(model, None)
+    }
+
+    fn trace_cases(
+        &self,
+        model: &dyn autopower::PowerModel,
+        train_configs: Option<Vec<ConfigId>>,
+    ) -> TraceResult {
+        let predictor = PowerTracePredictor::new(model);
         let trace_corpus = self.trace_corpus();
         let mut cases = Vec::new();
         for workload in Workload::TRACE_WORKLOADS {
@@ -128,11 +149,11 @@ impl Experiments {
                 });
             }
         }
-        Ok(TraceResult {
-            model: kind,
-            train_configs: train,
+        TraceResult {
+            model: model.kind(),
+            train_configs,
             cases,
-        })
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::error::FitError;
 use crate::validate_training_set;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// A named feature matrix plus targets, built incrementally.
 ///
@@ -143,6 +144,33 @@ impl Standardizer {
     /// Number of features this standardiser was fitted on.
     pub fn width(&self) -> usize {
         self.means.len()
+    }
+}
+
+impl Codec for Standardizer {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("standardizer");
+        w.f64_seq("means", &self.means);
+        w.f64_seq("stds", &self.stds);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("standardizer")?;
+        let means = r.f64_seq("means")?;
+        let stds = r.f64_seq("stds")?;
+        r.end()?;
+        if means.len() != stds.len() {
+            return Err(CodecError::new(
+                r.line(),
+                format!(
+                    "standardizer has {} means but {} stds",
+                    means.len(),
+                    stds.len()
+                ),
+            ));
+        }
+        Ok(Self { means, stds })
     }
 }
 

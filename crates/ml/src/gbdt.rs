@@ -6,6 +6,7 @@ use crate::{validate_training_set, Regressor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Hyper-parameters of the gradient-boosting model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,6 +117,82 @@ impl GradientBoosting {
 impl Default for GradientBoosting {
     fn default() -> Self {
         Self::new(GbdtParams::default())
+    }
+}
+
+impl Codec for GbdtParams {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("gbdt-params");
+        w.u64("n_estimators", self.n_estimators as u64);
+        w.f64("learning_rate", self.learning_rate);
+        w.u64("max_depth", self.max_depth as u64);
+        w.f64("min_child_weight", self.min_child_weight);
+        w.f64("lambda", self.lambda);
+        w.f64("gamma", self.gamma);
+        w.f64("subsample", self.subsample);
+        w.f64("colsample", self.colsample);
+        w.u64("seed", self.seed);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("gbdt-params")?;
+        let params = Self {
+            n_estimators: r.u64("n_estimators")? as usize,
+            learning_rate: r.f64("learning_rate")?,
+            max_depth: r.u64("max_depth")? as usize,
+            min_child_weight: r.f64("min_child_weight")?,
+            lambda: r.f64("lambda")?,
+            gamma: r.f64("gamma")?,
+            subsample: r.f64("subsample")?,
+            colsample: r.f64("colsample")?,
+            seed: r.u64("seed")?,
+        };
+        r.end()?;
+        if params.n_estimators == 0
+            || !(params.learning_rate > 0.0 && params.learning_rate <= 1.0)
+            || !(params.subsample > 0.0 && params.subsample <= 1.0)
+            || !(params.colsample > 0.0 && params.colsample <= 1.0)
+            || !(params.lambda >= 0.0 && params.gamma >= 0.0)
+        {
+            return Err(CodecError::new(
+                r.line(),
+                "gbdt-params fail hyper-parameter validation",
+            ));
+        }
+        Ok(params)
+    }
+}
+
+impl Codec for GradientBoosting {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("gbdt");
+        self.params.encode(w);
+        w.f64("base_score", self.base_score);
+        w.begin_list("trees", self.trees.len());
+        for tree in &self.trees {
+            tree.encode(w);
+        }
+        w.end();
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("gbdt")?;
+        let params = GbdtParams::decode(r)?;
+        let base_score = r.f64("base_score")?;
+        let len = r.begin_list("trees")?;
+        let mut trees = Vec::with_capacity(len);
+        for _ in 0..len {
+            trees.push(crate::tree::RegressionTree::decode(r)?);
+        }
+        r.end()?;
+        r.end()?;
+        Ok(Self {
+            params,
+            base_score,
+            trees,
+        })
     }
 }
 

@@ -4,6 +4,7 @@ use crate::dataset::Standardizer;
 use crate::error::FitError;
 use crate::matrix::Matrix;
 use crate::{validate_training_set, Regressor};
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Linear regression with an L2 penalty on the coefficients, solved in closed form.
 ///
@@ -66,6 +67,39 @@ impl Default for RidgeRegression {
     /// A lightly-regularised model suitable for the few-shot setting (`alpha = 1e-2`).
     fn default() -> Self {
         Self::new(1e-2)
+    }
+}
+
+impl Codec for RidgeRegression {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("ridge");
+        w.f64("alpha", self.alpha);
+        w.f64("intercept", self.intercept);
+        w.f64_seq("coefficients", &self.coefficients);
+        w.bool("fitted", self.standardizer.is_some());
+        if let Some(s) = &self.standardizer {
+            s.encode(w);
+        }
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("ridge")?;
+        let alpha = r.f64("alpha")?;
+        let intercept = r.f64("intercept")?;
+        let coefficients = r.f64_seq("coefficients")?;
+        let standardizer = if r.bool("fitted")? {
+            Some(Standardizer::decode(r)?)
+        } else {
+            None
+        };
+        r.end()?;
+        Ok(Self {
+            alpha,
+            standardizer,
+            coefficients,
+            intercept,
+        })
     }
 }
 

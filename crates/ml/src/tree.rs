@@ -2,6 +2,7 @@
 
 use crate::error::FitError;
 use crate::validate_training_set;
+use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Hyper-parameters of a single regression tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,6 +232,124 @@ impl RegressionTree {
             }
         }
         self.root.as_ref().map_or(0, count)
+    }
+}
+
+impl Codec for Node {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Node::Leaf { weight } => {
+                w.begin("leaf");
+                w.f64("weight", *weight);
+                w.end();
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.begin("split");
+                w.u64("feature", *feature as u64);
+                w.f64("threshold", *threshold);
+                left.encode(w);
+                right.encode(w);
+                w.end();
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Node::decode_bounded(r, 0)
+    }
+}
+
+/// Deepest split nesting a decoded tree may carry.  Fitted trees are
+/// single-digit deep ([`TreeParams::max_depth`]); the bound only exists so a
+/// corrupted or crafted file fails with a [`CodecError`] instead of
+/// overflowing the stack through unbounded recursion.
+const MAX_DECODE_DEPTH: usize = 64;
+
+impl Node {
+    fn decode_bounded(r: &mut Reader<'_>, depth: usize) -> Result<Self, CodecError> {
+        if depth > MAX_DECODE_DEPTH {
+            return Err(CodecError::new(
+                r.line(),
+                format!("tree nests deeper than {MAX_DECODE_DEPTH} splits"),
+            ));
+        }
+        // Peek for the leaf shape first; trees are shallow (max_depth is
+        // single-digit), so a two-way branch on the tag keeps this simple.
+        if r.try_begin("leaf")? {
+            let weight = r.f64("weight")?;
+            r.end()?;
+            return Ok(Node::Leaf { weight });
+        }
+        r.begin("split")?;
+        let feature = r.u64("feature")? as usize;
+        let threshold = r.f64("threshold")?;
+        let left = Box::new(Node::decode_bounded(r, depth + 1)?);
+        let right = Box::new(Node::decode_bounded(r, depth + 1)?);
+        r.end()?;
+        Ok(Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        })
+    }
+}
+
+impl Codec for TreeParams {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("tree-params");
+        w.u64("max_depth", self.max_depth as u64);
+        w.f64("min_child_weight", self.min_child_weight);
+        w.f64("lambda", self.lambda);
+        w.f64("gamma", self.gamma);
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("tree-params")?;
+        let params = Self {
+            max_depth: r.u64("max_depth")? as usize,
+            min_child_weight: r.f64("min_child_weight")?,
+            lambda: r.f64("lambda")?,
+            gamma: r.f64("gamma")?,
+        };
+        r.end()?;
+        Ok(params)
+    }
+}
+
+impl Codec for RegressionTree {
+    fn encode(&self, w: &mut Writer) {
+        w.begin("tree");
+        self.params.encode(w);
+        w.u64("n_features", self.n_features as u64);
+        w.bool("fitted", self.root.is_some());
+        if let Some(root) = &self.root {
+            root.encode(w);
+        }
+        w.end();
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.begin("tree")?;
+        let params = TreeParams::decode(r)?;
+        let n_features = r.u64("n_features")? as usize;
+        let root = if r.bool("fitted")? {
+            Some(Node::decode(r)?)
+        } else {
+            None
+        };
+        r.end()?;
+        Ok(Self {
+            params,
+            root,
+            n_features,
+        })
     }
 }
 

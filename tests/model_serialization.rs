@@ -1,0 +1,147 @@
+//! Save/load acceptance: every registry model round-trips through the
+//! registry-tagged text format with **bit-identical** predictions, the
+//! encoded text itself is a stable golden form (re-encoding a loaded model
+//! reproduces it byte for byte), and a loaded model's sweep output equals the
+//! freshly-trained model's — so a sweep service can skip retraining entirely.
+
+use autopower_repro::config::{boom_configs, ConfigId, DesignSpace, Workload};
+use autopower_repro::model::{
+    decode_model, encode_model, Corpus, CorpusSpec, ModelKind, SweepEngine, SweepSpec,
+    MODEL_FORMAT_VERSION,
+};
+use std::sync::OnceLock;
+
+fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let cfgs = boom_configs();
+        Corpus::generate(
+            &[cfgs[0], cfgs[7], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Qsort, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        )
+    })
+}
+
+fn train_ids() -> [ConfigId; 2] {
+    [ConfigId::new(1), ConfigId::new(15)]
+}
+
+#[test]
+fn every_registry_model_round_trips_with_bit_identical_predictions() {
+    let c = corpus();
+    for kind in ModelKind::ALL {
+        let trained = kind.train(c, &train_ids()).unwrap();
+        let text = encode_model(trained.as_ref());
+        let loaded = decode_model(&text).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(loaded.kind(), kind);
+        for run in c.runs() {
+            // The full typed prediction — total AND resolved structure — is
+            // equal, not just close.
+            assert_eq!(
+                loaded.predict_run(run),
+                trained.predict_run(run),
+                "{kind} prediction drifted through serialization"
+            );
+            assert_eq!(
+                loaded.predict_total(run).to_bits(),
+                trained.predict_total(run).to_bits(),
+                "{kind} total drifted through serialization"
+            );
+            assert_eq!(
+                loaded.predict_run_components(run),
+                trained.predict_run_components(run),
+                "{kind} component view drifted through serialization"
+            );
+        }
+    }
+}
+
+#[test]
+fn encoded_form_is_a_stable_golden_format() {
+    // decode(encode(m)) re-encodes to the *same bytes*: the format is
+    // canonical, so golden files and drift detection are byte comparisons.
+    let c = corpus();
+    for kind in ModelKind::ALL {
+        let trained = kind.train(c, &train_ids()).unwrap();
+        let text = encode_model(trained.as_ref());
+        let loaded = decode_model(&text).unwrap();
+        assert_eq!(
+            encode_model(loaded.as_ref()),
+            text,
+            "{kind} re-encoding is not canonical"
+        );
+        // Header golden: first lines carry the version and the registry tag.
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("autopower-model {"));
+        assert_eq!(
+            lines.next().map(str::trim),
+            Some(format!("version {MODEL_FORMAT_VERSION}").as_str())
+        );
+        assert_eq!(
+            lines.next().map(str::trim),
+            Some(format!("kind {}", kind.registry_name()).as_str())
+        );
+        assert_eq!(text.lines().last(), Some("}"));
+    }
+}
+
+#[test]
+fn loaded_model_sweeps_bit_identically_to_the_trained_model() {
+    let c = corpus();
+    let configs = DesignSpace::boom().sample(5, 17);
+    let workloads = [Workload::Dhrystone, Workload::Vvadd];
+    let spec = SweepSpec::fast().threads(2);
+    for kind in [ModelKind::AutoPower, ModelKind::McpatCalib] {
+        let trained = kind.train(c, &train_ids()).unwrap();
+        let loaded = decode_model(&encode_model(trained.as_ref())).unwrap();
+        let fresh = SweepEngine::new(trained.as_ref(), spec).run(&configs, &workloads);
+        let restored = SweepEngine::new(loaded.as_ref(), spec).run(&configs, &workloads);
+        assert_eq!(
+            fresh, restored,
+            "{kind} sweep drifted through serialization"
+        );
+    }
+}
+
+#[test]
+fn tampered_files_fail_loudly() {
+    let c = corpus();
+    let trained = ModelKind::McpatCalib.train(c, &train_ids()).unwrap();
+    let text = encode_model(trained.as_ref());
+
+    // Wrong registry tag.
+    let wrong_kind = text.replacen("kind mcpat-calib", "kind autopower", 1);
+    assert!(
+        decode_model(&wrong_kind).is_err(),
+        "kind/body mismatch must fail"
+    );
+
+    // Wrong version.
+    let wrong_version = text.replacen(
+        &format!("version {MODEL_FORMAT_VERSION}"),
+        "version 9999",
+        1,
+    );
+    let err = decode_model(&wrong_version).unwrap_err();
+    assert!(err.to_string().contains("9999"));
+
+    // Truncation.
+    let truncated = &text[..text.len() / 2];
+    assert!(decode_model(truncated).is_err());
+
+    // Trailing garbage after the closing brace.
+    let trailing = format!("{text}\nextra 1\n");
+    assert!(decode_model(&trailing).is_err());
+}
+
+#[test]
+fn serialization_also_pins_the_trained_model_against_behavioural_drift() {
+    // A PowerModel is deterministic: training twice and loading a saved copy
+    // all agree.  This is the property that lets CI gate the format — any
+    // change to training or to the codec shows up as a diff here.
+    let c = corpus();
+    let a = ModelKind::AutoPowerMinus.train(c, &train_ids()).unwrap();
+    let b = ModelKind::AutoPowerMinus.train(c, &train_ids()).unwrap();
+    assert_eq!(encode_model(a.as_ref()), encode_model(b.as_ref()));
+}

@@ -67,12 +67,19 @@ fn figure_6_gap_narrows_with_more_training_configurations() {
 
 #[test]
 fn figures_7_and_8_decoupling_beats_direct_ml_at_the_core_level() {
+    use autopower_experiments::Experiments;
+    use autopower_repro::model::ModelKind;
+
     let exp = Experiments::fast();
     let clock = exp.fig7_clock_detail();
-    assert!(clock.autopower_total.0 < clock.minus_total.0 + 0.02);
+    let (ours, _) = clock.core_level_of(ModelKind::AutoPower).unwrap();
+    let (minus, _) = clock.core_level_of(ModelKind::AutoPowerMinus).unwrap();
+    assert!(ours < minus + 0.02);
     assert!(clock.sub_models.unwrap().register_count_mape < 0.2);
     let sram = exp.fig8_sram_detail();
-    assert!(sram.autopower_total.0 < sram.minus_total.0);
+    let (ours, _) = sram.core_level_of(ModelKind::AutoPower).unwrap();
+    let (minus, _) = sram.core_level_of(ModelKind::AutoPowerMinus).unwrap();
+    assert!(ours < minus);
 }
 
 #[test]
