@@ -1,19 +1,66 @@
-//! Train + predict throughput of every `ModelKind` registry model.
+//! Train + predict throughput of every `ModelKind` registry model, plus the
+//! raw GBDT fit cost at paper-scale settings.
 //!
 //! Trains each of the four registry models on the same fast corpus and
 //! measures (a) time to train and (b) single-run prediction throughput through
 //! the `dyn PowerModel` trait path — the cost the sweep, trace and
-//! cross-validation engines actually pay per point.
+//! cross-validation engines actually pay per point.  The `gbdt_fit_*` benches
+//! isolate the boosting trainer itself (120 trees, the paper's setting) on a
+//! synthetic 128 × 32 design so the pre-sorted tree builder is measured
+//! without any substrate cost.
 //!
-//! Run with `cargo bench --bench models [filter]`.
+//! Run with `cargo bench --bench models [filter] [--json FILE]`.
 
 use autopower::{Corpus, CorpusSpec, ModelKind, PowerModel};
 use autopower_bench::harness::Bench;
 use autopower_config::{boom_configs, ConfigId, Workload};
+use autopower_ml::{GbdtParams, GradientBoosting, Matrix};
 use std::hint::black_box;
+
+/// Synthetic paper-scale regression design: 128 samples × 32 features.
+fn synthetic() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..128)
+        .map(|i| {
+            (0..32)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 * 0.13 + (i % 7) as f64)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r[0] * 2.0 + (r[1] * 0.3).sin() * 5.0 + r[2] * r[3] * 0.01)
+        .collect();
+    (x, y)
+}
 
 fn main() {
     let bench = Bench::from_args();
+
+    let (x, y) = synthetic();
+    let matrix = Matrix::from_rows(&x);
+    bench.bench("gbdt_fit_128x32_120trees", || {
+        let mut m = GradientBoosting::new(GbdtParams::default());
+        m.fit_matrix(&matrix, &y).expect("fit succeeds");
+        black_box(m)
+    });
+    bench.bench("gbdt_fit_128x32_120trees_subsampled", || {
+        let mut m = GradientBoosting::new(GbdtParams {
+            subsample: 0.8,
+            colsample: 0.8,
+            ..GbdtParams::default()
+        });
+        m.fit_matrix(&matrix, &y).expect("fit succeeds");
+        black_box(m)
+    });
+    {
+        let mut m = GradientBoosting::new(GbdtParams::default());
+        m.fit_matrix(&matrix, &y).expect("fit succeeds");
+        let mut out = Vec::new();
+        bench.bench("gbdt_predict_batch_128x32_120trees", || {
+            m.forest().predict_into(&matrix, &mut out);
+            black_box(out.last().copied())
+        });
+    }
 
     let cfgs = boom_configs();
     let corpus = Corpus::generate(
@@ -24,7 +71,7 @@ fn main() {
     let train = [ConfigId::new(1), ConfigId::new(15)];
     let runs = corpus.runs();
     println!(
-        "registry model train + predict throughput ({} training runs, {} predict runs)\n",
+        "\nregistry model train + predict throughput ({} training runs, {} predict runs)\n",
         corpus.training_runs(&train).len(),
         runs.len()
     );
@@ -49,4 +96,6 @@ fn main() {
             runs.iter().map(|run| model.predict_total(run)).sum::<f64>()
         });
     }
+
+    bench.finish();
 }

@@ -8,7 +8,7 @@
 //! is embarrassingly parallel, so on an N-core machine the parallel rate
 //! should approach N× serial.
 //!
-//! Run with `cargo bench --bench sweep`.
+//! Run with `cargo bench --bench sweep [-- --json FILE]`.
 
 use autopower::{AutoPower, Corpus, CorpusSpec, SweepEngine, SweepSpec};
 use autopower_bench::harness::{format_duration, Bench};
@@ -37,7 +37,8 @@ fn sweep(model: &AutoPower, configs: &[autopower_config::CpuConfig], threads: us
 }
 
 fn main() {
-    if !Bench::from_args().should_run("sweep") {
+    let bench = Bench::from_args();
+    if !bench.should_run("sweep") {
         return;
     }
     let cfgs = boom_configs();
@@ -65,6 +66,12 @@ fn main() {
         format_duration(serial),
         serial_rate
     );
+    // Recorded per configuration, so `ns_per_iter` inverts to configs/sec.
+    bench.record(
+        "sweep_serial_threads1",
+        serial / SWEEP_CONFIGS as u32,
+        SWEEP_CONFIGS as u64,
+    );
 
     let mut thread_counts = vec![2, 4, cores];
     thread_counts.sort_unstable();
@@ -73,12 +80,14 @@ fn main() {
     for threads in thread_counts {
         let parallel = sweep(&model, &configs, threads);
         let rate = SWEEP_CONFIGS as f64 / parallel.as_secs_f64();
+        let name = format!("sweep_parallel_threads{threads}");
         println!(
-            "{:<28} {:>10}   {:>8.1} configs/sec   {:.2}x",
-            format!("sweep_parallel_threads{threads}"),
+            "{name:<28} {:>10}   {rate:>8.1} configs/sec   {:.2}x",
             format_duration(parallel),
-            rate,
             serial.as_secs_f64() / parallel.as_secs_f64()
         );
+        bench.record(&name, parallel / SWEEP_CONFIGS as u32, SWEEP_CONFIGS as u64);
     }
+
+    bench.finish();
 }

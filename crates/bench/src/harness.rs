@@ -5,7 +5,17 @@
 //! reports the best per-iteration time (the best batch is the least noisy
 //! estimate on a busy machine).  No statistics beyond that — the goal is
 //! stable, comparable numbers with zero external dependencies.
+//!
+//! # Machine-readable output
+//!
+//! Passing `--json FILE` on the bench command line (e.g.
+//! `cargo bench --bench models -- --json bench.json`) makes
+//! [`Bench::finish`] additionally write every measurement as a JSON document
+//! of `{"name", "ns_per_iter", "iters"}` records — the format the repo's
+//! committed `BENCH_models.json` baseline and the CI bench artifact use.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock length of one measured batch.
@@ -13,24 +23,57 @@ const TARGET_BATCH: Duration = Duration::from_millis(200);
 /// Batches per measurement (fewer when a single iteration is already slow).
 const BATCHES: u32 = 3;
 
-/// A bench runner: owns the name filter passed on the command line.
+/// One recorded measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The bench name as printed.
+    pub name: String,
+    /// Best per-iteration time, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations per measured batch.
+    pub iters: u64,
+}
+
+/// A bench runner: owns the name filter and the optional `--json FILE` sink
+/// passed on the command line.
 ///
 /// `cargo bench <filter>` measures only benches whose name contains `filter`;
 /// the `--bench` flag cargo forwards is ignored.
 pub struct Bench {
     filter: Option<String>,
+    json_path: Option<PathBuf>,
+    results: RefCell<Vec<BenchResult>>,
 }
 
 impl Bench {
     /// Creates a runner from `std::env::args`.
     pub fn from_args() -> Self {
-        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
-        Self { filter }
+        let mut filter = None;
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                json_path = args.next().map(PathBuf::from);
+            } else if let Some(path) = arg.strip_prefix("--json=") {
+                json_path = Some(PathBuf::from(path));
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self {
+            filter,
+            json_path,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     /// Creates a runner that measures everything (tests / direct calls).
     pub fn unfiltered() -> Self {
-        Self { filter: None }
+        Self {
+            filter: None,
+            json_path: None,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     /// Whether a bench with this name passes the command-line filter.
@@ -68,8 +111,71 @@ impl Bench {
             "{name:<44} {:>12}/iter   ({batches} x {iters} iters)",
             format_duration(best)
         );
+        self.record(name, best, u64::from(iters));
         Some(best)
     }
+
+    /// Records an externally timed measurement (for benches with bespoke
+    /// timing loops, e.g. the sweep throughput bench) so it lands in the
+    /// `--json` output alongside [`Bench::bench`] measurements.
+    pub fn record(&self, name: &str, per_iter: Duration, iters: u64) {
+        self.results.borrow_mut().push(BenchResult {
+            name: name.to_owned(),
+            ns_per_iter: per_iter.as_nanos() as f64,
+            iters,
+        });
+    }
+
+    /// The measurements recorded so far, in run order.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.borrow().clone()
+    }
+
+    /// Writes the `--json FILE` report, if one was requested.
+    ///
+    /// Call once at the end of a bench `main`.  Without `--json` this is a
+    /// no-op, so every bench can call it unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (a bench has no better way to
+    /// surface the failure).
+    pub fn finish(&self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        std::fs::write(path, results_to_json(&self.results.borrow()))
+            .unwrap_or_else(|e| panic!("cannot write bench JSON to {}: {e}", path.display()));
+        println!(
+            "\nwrote {} result(s) to {}",
+            self.results.borrow().len(),
+            path.display()
+        );
+    }
+}
+
+/// Renders measurements as the bench JSON document.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        // Bench names are plain ASCII identifiers; escape the JSON
+        // specials anyway so a stray quote cannot corrupt the document.
+        let name: String = r
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.ns_per_iter, r.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Formats a duration with a unit that keeps 3–4 significant digits.
@@ -97,15 +203,23 @@ mod tests {
             .bench("harness_selftest_noop", || std::hint::black_box(1 + 1))
             .expect("unfiltered bench always measures");
         assert!(time < Duration::from_millis(1));
+        let results = bench.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "harness_selftest_noop");
+        assert!(results[0].ns_per_iter >= 0.0 && results[0].iters >= 1);
     }
 
     #[test]
     fn filter_skips_non_matching_names() {
         let bench = Bench {
             filter: Some("match-me".to_owned()),
+            json_path: None,
+            results: RefCell::new(Vec::new()),
         };
         assert!(bench.bench("other", || 0).is_none());
         assert!(bench.bench("does match-me indeed", || 0).is_some());
+        // Filtered-out benches are not recorded.
+        assert_eq!(bench.results().len(), 1);
     }
 
     #[test]
@@ -114,5 +228,32 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(123)), "123.00 us");
         assert_eq!(format_duration(Duration::from_millis(45)), "45.00 ms");
         assert_eq!(format_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn json_document_shape_is_stable() {
+        let json = results_to_json(&[
+            BenchResult {
+                name: "a".into(),
+                ns_per_iter: 1234.5,
+                iters: 7,
+            },
+            BenchResult {
+                name: "b\"q".into(),
+                ns_per_iter: 2.0,
+                iters: 1,
+            },
+        ]);
+        assert!(json.starts_with("{\n  \"results\": [\n"));
+        assert!(json.contains("{\"name\": \"a\", \"ns_per_iter\": 1234.5, \"iters\": 7},"));
+        assert!(json.contains("\\\"q"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn finish_without_json_flag_is_a_noop() {
+        let bench = Bench::unfiltered();
+        bench.record("x", Duration::from_nanos(10), 1);
+        bench.finish();
     }
 }

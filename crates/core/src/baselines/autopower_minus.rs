@@ -7,7 +7,7 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use crate::features::{model_features, ModelFeatures};
+use crate::features::{model_feature_matrix, model_features_into, FeatureScratch, ModelFeatures};
 use crate::power_model::{ModelKind, PowerModel};
 use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
@@ -39,18 +39,13 @@ impl AutoPowerMinus {
         let runs = corpus.training_runs(train_configs);
         let mut models = Vec::with_capacity(Component::ALL.len());
         for &component in &Component::ALL {
-            let rows: Vec<Vec<f64>> = runs
-                .iter()
-                .map(|r| {
-                    model_features(
-                        ModelFeatures::HW_EVENTS,
-                        component,
-                        &r.config,
-                        &r.sim.events,
-                        r.workload,
+            // One flat feature matrix per component feeds all four group fits.
+            let matrix = model_feature_matrix(ModelFeatures::HW_EVENTS, component, &runs)
+                .ok_or_else(|| {
+                    AutoPowerError::fit(component, "direct group power")(
+                        autopower_ml::FitError::EmptyTrainingSet,
                     )
-                })
-                .collect();
+                })?;
             let group_targets: [Vec<f64>; GROUPS] = [
                 runs.iter()
                     .map(|r| r.golden.component(component).clock)
@@ -69,7 +64,7 @@ impl AutoPowerMinus {
             for targets in &group_targets {
                 let mut model = GradientBoosting::default();
                 model
-                    .fit(&rows, targets)
+                    .fit_matrix(&matrix, targets)
                     .map_err(AutoPowerError::fit(component, "direct group power"))?;
                 fitted.push(model);
             }
@@ -90,19 +85,40 @@ impl AutoPowerMinus {
         events: &EventParams,
         workload: Workload,
     ) -> PowerGroups {
-        let row = model_features(
+        self.predict_component_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`AutoPowerMinus::predict_component`] with a reusable feature scratch:
+    /// one row feeds all four group models.
+    pub fn predict_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> PowerGroups {
+        let row = scratch.row_mut();
+        model_features_into(
             ModelFeatures::HW_EVENTS,
             component,
             config,
             events,
             workload,
+            row,
         );
         let m = &self.models[component.index()];
         PowerGroups {
-            clock: m[0].predict(&row).max(0.0),
-            sram: m[1].predict(&row).max(0.0),
-            register: m[2].predict(&row).max(0.0),
-            combinational: m[3].predict(&row).max(0.0),
+            clock: m[0].predict(row).max(0.0),
+            sram: m[1].predict(row).max(0.0),
+            register: m[2].predict(row).max(0.0),
+            combinational: m[3].predict(row).max(0.0),
         }
     }
 
@@ -135,9 +151,15 @@ impl PowerModel for AutoPowerMinus {
     /// group split per component, and the core-level groups/total are their
     /// [`Component::ALL`]-ordered sum — the exact accumulation the inherent
     /// API performs.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+    fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> Prediction {
         Prediction::per_component(ComponentBreakdown::from_groups(|component| {
-            self.predict_component(component, config, events, workload)
+            self.predict_component_with(component, config, events, workload, scratch)
         }))
     }
 

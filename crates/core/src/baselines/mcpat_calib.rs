@@ -2,10 +2,11 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
+use crate::features::FeatureScratch;
 use crate::power_model::{ModelKind, PowerModel};
 use crate::prediction::Prediction;
 use autopower_config::{ConfigId, CpuConfig, HwParam, Workload};
-use autopower_ml::{GradientBoosting, Regressor};
+use autopower_ml::{GradientBoosting, Matrix, Regressor};
 use autopower_perfsim::EventParams;
 use serde::codec::{Codec, CodecError, Reader, Writer};
 
@@ -22,12 +23,16 @@ pub struct McpatCalib {
 impl McpatCalib {
     /// Feature row of one `(configuration, events)` point.
     pub fn features(config: &CpuConfig, events: &EventParams) -> Vec<f64> {
-        let mut row: Vec<f64> = HwParam::ALL
-            .iter()
-            .map(|&p| config.params.value(p) as f64)
-            .collect();
-        row.extend_from_slice(events.values());
+        let mut row = Vec::new();
+        Self::features_into(config, events, &mut row);
         row
+    }
+
+    /// Appends the feature row of one point to `out` (the allocation-free
+    /// twin of [`McpatCalib::features`]).
+    pub fn features_into(config: &CpuConfig, events: &EventParams, out: &mut Vec<f64>) {
+        out.extend(HwParam::ALL.iter().map(|&p| config.params.value(p) as f64));
+        out.extend_from_slice(events.values());
     }
 
     /// Trains the baseline on the runs of `train_configs`.
@@ -39,23 +44,40 @@ impl McpatCalib {
         if train_configs.is_empty() {
             return Err(AutoPowerError::NoTrainingConfigs);
         }
-        let runs = corpus.training_runs(train_configs);
-        let rows: Vec<Vec<f64>> = runs
-            .iter()
-            .map(|r| Self::features(&r.config, &r.sim.events))
-            .collect();
-        let targets: Vec<f64> = runs.iter().map(|r| r.golden.total_mw()).collect();
-        let mut model = GradientBoosting::default();
-        model.fit(&rows, &targets).map_err(AutoPowerError::fit(
+        let fit_error = AutoPowerError::fit(
             autopower_config::Component::OtherLogic,
             "McPAT-Calib total power",
-        ))?;
+        );
+        let runs = corpus.training_runs(train_configs);
+        if runs.is_empty() {
+            return Err(fit_error(autopower_ml::FitError::EmptyTrainingSet));
+        }
+        let mut data = Vec::new();
+        for r in &runs {
+            Self::features_into(&r.config, &r.sim.events, &mut data);
+        }
+        let matrix = Matrix::from_flat(runs.len(), data.len() / runs.len(), data);
+        let targets: Vec<f64> = runs.iter().map(|r| r.golden.total_mw()).collect();
+        let mut model = GradientBoosting::default();
+        model.fit_matrix(&matrix, &targets).map_err(fit_error)?;
         Ok(Self { model })
     }
 
     /// Predicted total power in mW.
     pub fn predict(&self, config: &CpuConfig, events: &EventParams) -> f64 {
-        self.model.predict(&Self::features(config, events)).max(0.0)
+        self.predict_scratch(config, events, &mut FeatureScratch::new())
+    }
+
+    /// [`McpatCalib::predict`] with a reusable feature scratch.
+    pub fn predict_scratch(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let row = scratch.row_mut();
+        Self::features_into(config, events, row);
+        self.model.predict(row).max(0.0)
     }
 
     /// Convenience: predicts the total power of a corpus run.
@@ -71,8 +93,14 @@ impl PowerModel for McpatCalib {
 
     /// Total-only: the typed prediction carries the scalar and nothing else —
     /// no group slot to misread.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, _workload: Workload) -> Prediction {
-        Prediction::total_only(McpatCalib::predict(self, config, events))
+    fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        _workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> Prediction {
+        Prediction::total_only(self.predict_scratch(config, events, scratch))
     }
 
     fn serialize(&self, w: &mut Writer) {

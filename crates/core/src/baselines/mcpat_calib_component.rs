@@ -3,7 +3,7 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use crate::features::{model_features, ModelFeatures};
+use crate::features::{model_feature_matrix, model_features_into, FeatureScratch, ModelFeatures};
 use crate::power_model::{ModelKind, PowerModel};
 use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
@@ -31,25 +31,19 @@ impl McpatCalibComponent {
         let per_component = Component::ALL
             .iter()
             .map(|&component| {
-                let rows: Vec<Vec<f64>> = runs
-                    .iter()
-                    .map(|r| {
-                        model_features(
-                            ModelFeatures::HW_EVENTS,
-                            component,
-                            &r.config,
-                            &r.sim.events,
-                            r.workload,
+                let matrix = model_feature_matrix(ModelFeatures::HW_EVENTS, component, &runs)
+                    .ok_or_else(|| {
+                        AutoPowerError::fit(component, "per-component total power")(
+                            autopower_ml::FitError::EmptyTrainingSet,
                         )
-                    })
-                    .collect();
+                    })?;
                 let targets: Vec<f64> = runs
                     .iter()
                     .map(|r| r.golden.component(component).total())
                     .collect();
                 let mut model = GradientBoosting::default();
                 model
-                    .fit(&rows, &targets)
+                    .fit_matrix(&matrix, &targets)
                     .map_err(AutoPowerError::fit(component, "per-component total power"))?;
                 Ok(model)
             })
@@ -65,15 +59,35 @@ impl McpatCalibComponent {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
-        self.per_component[component.index()]
-            .predict(&model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                config,
-                events,
-                workload,
-            ))
-            .max(0.0)
+        self.predict_component_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`McpatCalibComponent::predict_component`] with a reusable feature
+    /// scratch.
+    pub fn predict_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let row = scratch.row_mut();
+        model_features_into(
+            ModelFeatures::HW_EVENTS,
+            component,
+            config,
+            events,
+            workload,
+            row,
+        );
+        self.per_component[component.index()].predict(row).max(0.0)
     }
 
     /// Predicted total core power in mW (sum of the component models).
@@ -98,9 +112,15 @@ impl PowerModel for McpatCalibComponent {
     /// Component-resolved, but without per-component groups: each component
     /// carries its predicted scalar, and the core-level total is their sum —
     /// exactly the summation the inherent API performs.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+    fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> Prediction {
         Prediction::per_component(ComponentBreakdown::from_totals(|component| {
-            self.predict_component(component, config, events, workload)
+            self.predict_component_with(component, config, events, workload, scratch)
         }))
     }
 

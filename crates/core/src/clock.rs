@@ -9,7 +9,10 @@
 
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use crate::features::{hw_features, model_features, ModelFeatures};
+use crate::features::{
+    hw_features, hw_features_into, model_feature_matrix, model_features_into, FeatureScratch,
+    ModelFeatures,
+};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
@@ -97,8 +100,7 @@ impl ClockPowerModel {
             .map_err(AutoPowerError::fit(component, "gating rate"))?;
 
         // One activity sample per training (configuration, workload) run.
-        let mut he_rows = Vec::new();
-        let mut alpha_targets = Vec::new();
+        let mut alpha_targets = Vec::with_capacity(runs.len());
         for run in runs {
             let netlist = run.netlist.component(component);
             let r = netlist.registers as f64;
@@ -111,18 +113,17 @@ impl ClockPowerModel {
             } else {
                 0.0
             };
-            he_rows.push(model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                &run.config,
-                &run.sim.events,
-                run.workload,
-            ));
             alpha_targets.push(alpha_eff);
         }
+        let he_matrix = model_feature_matrix(ModelFeatures::HW_EVENTS, component, runs)
+            .ok_or_else(|| {
+                AutoPowerError::fit(component, "effective active rate")(
+                    autopower_ml::FitError::EmptyTrainingSet,
+                )
+            })?;
         let mut falpha = GradientBoosting::default();
         falpha
-            .fit(&he_rows, &alpha_targets)
+            .fit_matrix(&he_matrix, &alpha_targets)
             .map_err(AutoPowerError::fit(component, "effective active rate"))?;
 
         Ok(ComponentClockModel {
@@ -134,17 +135,41 @@ impl ClockPowerModel {
 
     /// Predicted register count of one component.
     pub fn predict_register_count(&self, component: Component, config: &CpuConfig) -> f64 {
+        self.predict_register_count_with(component, config, &mut FeatureScratch::new())
+    }
+
+    /// [`ClockPowerModel::predict_register_count`] with a reusable scratch.
+    pub fn predict_register_count_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let row = scratch.row_mut();
+        hw_features_into(component, config, row);
         self.per_component[component.index()]
             .freg
-            .predict(&hw_features(component, config))
+            .predict(row)
             .max(1.0)
     }
 
     /// Predicted gating rate of one component.
     pub fn predict_gating_rate(&self, component: Component, config: &CpuConfig) -> f64 {
+        self.predict_gating_rate_with(component, config, &mut FeatureScratch::new())
+    }
+
+    /// [`ClockPowerModel::predict_gating_rate`] with a reusable scratch.
+    pub fn predict_gating_rate_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let row = scratch.row_mut();
+        hw_features_into(component, config, row);
         self.per_component[component.index()]
             .fgate
-            .predict(&hw_features(component, config))
+            .predict(row)
             .clamp(0.0, 0.99)
     }
 
@@ -156,15 +181,37 @@ impl ClockPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
+        self.predict_effective_active_rate_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`ClockPowerModel::predict_effective_active_rate`] with a reusable
+    /// scratch.
+    pub fn predict_effective_active_rate_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let row = scratch.row_mut();
+        model_features_into(
+            ModelFeatures::HW_EVENTS,
+            component,
+            config,
+            events,
+            workload,
+            row,
+        );
         self.per_component[component.index()]
             .falpha
-            .predict(&model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                config,
-                events,
-                workload,
-            ))
+            .predict(row)
             .max(0.0)
     }
 
@@ -176,17 +223,48 @@ impl ClockPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
-        let r = self.predict_register_count(component, config);
-        let g = self.predict_gating_rate(component, config);
-        let alpha_eff = self.predict_effective_active_rate(component, config, events, workload);
+        self.predict_component_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`ClockPowerModel::predict_component`] with feature rows assembled in a
+    /// reusable scratch (the allocation-free batch-inference path).
+    pub fn predict_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let r = self.predict_register_count_with(component, config, scratch);
+        let g = self.predict_gating_rate_with(component, config, scratch);
+        let alpha_eff =
+            self.predict_effective_active_rate_with(component, config, events, workload, scratch);
         r * (1.0 - g) * self.preg_mw + alpha_eff * r * g
     }
 
     /// Predicted clock power of the whole core in mW.
     pub fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> f64 {
+        self.predict_with(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`ClockPowerModel::predict`] with a reusable feature scratch.
+    pub fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         Component::ALL
             .iter()
-            .map(|&c| self.predict_component(c, config, events, workload))
+            .map(|&c| self.predict_component_with(c, config, events, workload, scratch))
             .sum()
     }
 

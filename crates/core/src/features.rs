@@ -1,6 +1,8 @@
 //! Feature assembly: the `H`, `E` and program-level feature vectors of the sub-models.
 
+use crate::dataset::RunData;
 use autopower_config::{Component, CpuConfig, Workload};
+use autopower_ml::Matrix;
 use autopower_perfsim::EventParams;
 use autopower_workloads::ProgramFeatures;
 use serde::codec::{Codec, CodecError, Reader, Writer};
@@ -8,11 +10,20 @@ use serde::codec::{Codec, CodecError, Reader, Writer};
 /// Hardware-parameter (`H`) features of one component: the values of the Table III
 /// parameters the component is sensitive to.
 pub fn hw_features(component: Component, config: &CpuConfig) -> Vec<f64> {
-    component
-        .hw_params()
-        .iter()
-        .map(|&p| config.params.value(p) as f64)
-        .collect()
+    let mut out = Vec::new();
+    hw_features_into(component, config, &mut out);
+    out
+}
+
+/// Appends the component's `H` features to `out` (the allocation-free twin of
+/// [`hw_features`]).
+pub fn hw_features_into(component: Component, config: &CpuConfig, out: &mut Vec<f64>) {
+    out.extend(
+        component
+            .hw_params()
+            .iter()
+            .map(|&p| config.params.value(p) as f64),
+    );
 }
 
 /// Names of the features returned by [`hw_features`], in the same order.
@@ -28,6 +39,38 @@ pub fn hw_feature_names(component: Component) -> Vec<String> {
 /// component's activity depends on.
 pub fn event_features(component: Component, events: &EventParams) -> Vec<f64> {
     events.component_features(component)
+}
+
+/// Appends the component's `E` features to `out` (the allocation-free twin of
+/// [`event_features`]).
+pub fn event_features_into(component: Component, events: &EventParams, out: &mut Vec<f64>) {
+    events.component_features_into(component, out);
+}
+
+/// A reusable feature-row buffer for the allocation-free prediction path.
+///
+/// Every prediction assembles many short-lived feature rows (one per
+/// sub-model per component).  The engines that score thousands of points —
+/// [`SweepEngine`](crate::SweepEngine), [`sweep_multi`](crate::sweep_multi) —
+/// hand each worker one `FeatureScratch` and thread it through
+/// [`PowerModel::predict_with`](crate::PowerModel::predict_with), so the row
+/// storage is allocated once per worker instead of once per row.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureScratch {
+    row: Vec<f64>,
+}
+
+impl FeatureScratch {
+    /// Creates an empty scratch (the first row fill sizes the buffer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and hands out the reusable row buffer.
+    pub(crate) fn row_mut(&mut self) -> &mut Vec<f64> {
+        self.row.clear();
+        &mut self.row
+    }
 }
 
 /// Which feature blocks to include when assembling a sub-model's input row.
@@ -96,16 +139,55 @@ pub fn model_features(
     workload: Workload,
 ) -> Vec<f64> {
     let mut row = Vec::new();
+    model_features_into(which, component, config, events, workload, &mut row);
+    row
+}
+
+/// Appends one feature row to `out` (the allocation-free twin of
+/// [`model_features`]; block order is identical).
+pub fn model_features_into(
+    which: ModelFeatures,
+    component: Component,
+    config: &CpuConfig,
+    events: &EventParams,
+    workload: Workload,
+    out: &mut Vec<f64>,
+) {
     if which.hardware {
-        row.extend(hw_features(component, config));
+        hw_features_into(component, config, out);
     }
     if which.events {
-        row.extend(event_features(component, events));
+        event_features_into(component, events, out);
     }
     if which.program {
-        row.extend(ProgramFeatures::of(workload).to_vec());
+        ProgramFeatures::of(workload).push_into(out);
     }
-    row
+}
+
+/// Assembles the flat row-major training matrix of one sub-model: one
+/// [`model_features`] row per run, written back to back into a single buffer
+/// (no per-row allocation).  Returns `None` when there are no runs.
+pub(crate) fn model_feature_matrix(
+    which: ModelFeatures,
+    component: Component,
+    runs: &[&RunData],
+) -> Option<Matrix> {
+    if runs.is_empty() {
+        return None;
+    }
+    let mut data = Vec::new();
+    for run in runs {
+        model_features_into(
+            which,
+            component,
+            &run.config,
+            &run.sim.events,
+            run.workload,
+            &mut data,
+        );
+    }
+    let width = data.len() / runs.len();
+    Some(Matrix::from_flat(runs.len(), width, data))
 }
 
 /// Names of the features assembled by [`model_features`], in the same order.

@@ -71,8 +71,8 @@ pub use dataset::{Corpus, CorpusSpec, RunData};
 pub use error::AutoPowerError;
 pub use evaluation::{evaluate_totals, try_evaluate_totals, AccuracySummary, PredictionPair};
 pub use features::{
-    event_features, hw_feature_names, hw_features, model_feature_names, model_features,
-    ModelFeatures,
+    event_features, event_features_into, hw_feature_names, hw_features, hw_features_into,
+    model_feature_names, model_features, model_features_into, FeatureScratch, ModelFeatures,
 };
 pub use logic::LogicPowerModel;
 pub use model::AutoPower;

@@ -11,7 +11,10 @@
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
-use crate::features::{hw_features, model_features, ModelFeatures};
+use crate::features::{
+    hw_features, hw_features_into, model_feature_matrix, model_features_into, FeatureScratch,
+    ModelFeatures,
+};
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
@@ -79,23 +82,23 @@ impl LogicPowerModel {
             .map_err(AutoPowerError::fit(component, "logic register count"))?;
 
         // --- Register power: activity model (one sample per run). ---
-        let mut he_rows = Vec::new();
-        let mut act_targets = Vec::new();
+        // The activity and variation models consume the identical HW_EVENTS
+        // row per run, so one flat matrix feeds both fits.
+        let he_matrix = model_feature_matrix(ModelFeatures::HW_EVENTS, component, &runs)
+            .ok_or_else(|| {
+                AutoPowerError::fit(component, "register activity")(
+                    autopower_ml::FitError::EmptyTrainingSet,
+                )
+            })?;
+        let mut act_targets = Vec::with_capacity(runs.len());
         for run in &runs {
             let r = run.netlist.component(component).registers as f64;
             let p_reg = run.golden.component(component).register;
-            he_rows.push(model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                &run.config,
-                &run.sim.events,
-                run.workload,
-            ));
             act_targets.push(if r > 0.0 { p_reg / r } else { 0.0 });
         }
         let mut reg_activity = GradientBoosting::default();
         reg_activity
-            .fit(&he_rows, &act_targets)
+            .fit_matrix(&he_matrix, &act_targets)
             .map_err(AutoPowerError::fit(component, "register activity"))?;
 
         // --- Combinational power: stable model (workload-average per configuration). ---
@@ -122,23 +125,15 @@ impl LogicPowerModel {
             .map_err(AutoPowerError::fit(component, "combinational stable power"))?;
 
         // --- Combinational power: variation model (per run, label power / stable). ---
-        let mut var_rows = Vec::new();
-        let mut var_targets = Vec::new();
+        let mut var_targets = Vec::with_capacity(runs.len());
         for run in &runs {
             let stable = stable_by_config[&run.config.id];
             let p = run.golden.component(component).combinational;
-            var_rows.push(model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                &run.config,
-                &run.sim.events,
-                run.workload,
-            ));
             var_targets.push(if stable > 0.0 { p / stable } else { 1.0 });
         }
         let mut comb_variation = GradientBoosting::default();
         comb_variation
-            .fit(&var_rows, &var_targets)
+            .fit_matrix(&he_matrix, &var_targets)
             .map_err(AutoPowerError::fit(component, "combinational variation"))?;
 
         Ok(ComponentLogicModel {
@@ -157,21 +152,39 @@ impl LogicPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
+        self.predict_register_component_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`LogicPowerModel::predict_register_component`] with a reusable feature
+    /// scratch (the allocation-free batch-inference path).
+    pub fn predict_register_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         let m = &self.per_component[component.index()];
-        let r = m
-            .reg_hardware
-            .predict(&hw_features(component, config))
-            .max(1.0);
-        let per_reg = m
-            .reg_activity
-            .predict(&model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                config,
-                events,
-                workload,
-            ))
-            .max(0.0);
+        let row = scratch.row_mut();
+        hw_features_into(component, config, row);
+        let r = m.reg_hardware.predict(row).max(1.0);
+        let row = scratch.row_mut();
+        model_features_into(
+            ModelFeatures::HW_EVENTS,
+            component,
+            config,
+            events,
+            workload,
+            row,
+        );
+        let per_reg = m.reg_activity.predict(row).max(0.0);
         r * per_reg
     }
 
@@ -183,21 +196,39 @@ impl LogicPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
+        self.predict_comb_component_with(
+            component,
+            config,
+            events,
+            workload,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`LogicPowerModel::predict_comb_component`] with a reusable feature
+    /// scratch.
+    pub fn predict_comb_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         let m = &self.per_component[component.index()];
-        let stable = m
-            .comb_stable
-            .predict(&hw_features(component, config))
-            .max(0.0);
-        let variation = m
-            .comb_variation
-            .predict(&model_features(
-                ModelFeatures::HW_EVENTS,
-                component,
-                config,
-                events,
-                workload,
-            ))
-            .max(0.0);
+        let row = scratch.row_mut();
+        hw_features_into(component, config, row);
+        let stable = m.comb_stable.predict(row).max(0.0);
+        let row = scratch.row_mut();
+        model_features_into(
+            ModelFeatures::HW_EVENTS,
+            component,
+            config,
+            events,
+            workload,
+            row,
+        );
+        let variation = m.comb_variation.predict(row).max(0.0);
         stable * variation
     }
 
@@ -208,9 +239,20 @@ impl LogicPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
+        self.predict_register_with(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`LogicPowerModel::predict_register`] with a reusable feature scratch.
+    pub fn predict_register_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         Component::ALL
             .iter()
-            .map(|&c| self.predict_register_component(c, config, events, workload))
+            .map(|&c| self.predict_register_component_with(c, config, events, workload, scratch))
             .sum()
     }
 
@@ -221,9 +263,20 @@ impl LogicPowerModel {
         events: &EventParams,
         workload: Workload,
     ) -> f64 {
+        self.predict_comb_with(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`LogicPowerModel::predict_comb`] with a reusable feature scratch.
+    pub fn predict_comb_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         Component::ALL
             .iter()
-            .map(|&c| self.predict_comb_component(c, config, events, workload))
+            .map(|&c| self.predict_comb_component_with(c, config, events, workload, scratch))
             .sum()
     }
 }

@@ -3,7 +3,7 @@
 use crate::clock::ClockPowerModel;
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
-use crate::features::ModelFeatures;
+use crate::features::{FeatureScratch, ModelFeatures};
 use crate::logic::LogicPowerModel;
 use crate::power_model::{ModelKind, PowerModel};
 use crate::prediction::{ComponentBreakdown, Prediction};
@@ -78,11 +78,29 @@ impl AutoPower {
         events: &EventParams,
         workload: Workload,
     ) -> PowerGroups {
+        self.predict_scratch(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`AutoPower::predict`] with feature rows assembled in a reusable
+    /// scratch — the allocation-free path the batch-inference engines drive.
+    pub fn predict_scratch(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> PowerGroups {
         PowerGroups {
-            clock: self.clock.predict(config, events, workload),
-            sram: self.sram.predict(config, events, workload, &self.library),
-            register: self.logic.predict_register(config, events, workload),
-            combinational: self.logic.predict_comb(config, events, workload),
+            clock: self.clock.predict_with(config, events, workload, scratch),
+            sram: self
+                .sram
+                .predict_with(config, events, workload, &self.library, scratch),
+            register: self
+                .logic
+                .predict_register_with(config, events, workload, scratch),
+            combinational: self
+                .logic
+                .predict_comb_with(config, events, workload, scratch),
         }
     }
 
@@ -128,8 +146,14 @@ impl PowerModel for AutoPower {
 
     /// Group-resolved: the canonical core-level prediction of the decoupled
     /// group models.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
-        Prediction::grouped(AutoPower::predict(self, config, events, workload))
+    fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> Prediction {
+        Prediction::grouped(self.predict_scratch(config, events, workload, scratch))
     }
 
     /// The per-component detail view (each component fully group-resolved).

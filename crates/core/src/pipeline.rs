@@ -153,22 +153,49 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(threads, n, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker mutable state: `init` builds one state
+/// value per worker and `f` receives it alongside the index.
+///
+/// This is how the batch-inference engines hand each worker a reusable
+/// [`FeatureScratch`](crate::features::FeatureScratch): the state lives as
+/// long as the worker, so `f` can reuse buffers across every job the worker
+/// claims without any sharing or locking.
+///
+/// When the effective worker count is 1, the closure runs **inline** on the
+/// calling thread over one state value — no `thread::scope`, no per-slot
+/// mutexes, no atomics (PR 1 measured that pure pool overhead costs ~8 % at
+/// one core).  The output is bit-identical either way for any pure `f`,
+/// pinned by the thread-invariance tests.
+pub(crate) fn parallel_map_with<T, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = threads.min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        // Serial fast path: inline, allocation-free aside from the output.
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
             });
         }
     });

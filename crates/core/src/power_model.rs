@@ -65,6 +65,7 @@
 use crate::baselines::{AutoPowerMinus, McpatCalib, McpatCalibComponent};
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
+use crate::features::FeatureScratch;
 use crate::model::AutoPower;
 use crate::prediction::{ComponentBreakdown, Prediction};
 use autopower_config::{ConfigId, CpuConfig, Workload};
@@ -90,7 +91,25 @@ pub trait PowerModel: fmt::Debug + Send + Sync {
     /// The returned [`Prediction`] carries the model's natural resolution:
     /// check [`Prediction::groups`] / [`Prediction::components`] instead of
     /// assuming structure.
-    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction;
+    fn predict(&self, config: &CpuConfig, events: &EventParams, workload: Workload) -> Prediction {
+        self.predict_with(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`PowerModel::predict`] with feature rows assembled in a caller-owned
+    /// [`FeatureScratch`].
+    ///
+    /// This is the method implementations provide and the batch engines call:
+    /// [`SweepEngine`](crate::SweepEngine) / [`sweep_multi`](crate::sweep_multi)
+    /// hand each worker thread one scratch, so scoring a point allocates
+    /// nothing.  The scratch never changes a prediction — it only re-uses row
+    /// storage.
+    fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> Prediction;
 
     /// Predicts per-component power, for models that resolve components
     /// (AutoPower, AutoPower−, McPAT-Calib + Component); `None` otherwise.

@@ -7,10 +7,10 @@
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
-use crate::features::{model_features, ModelFeatures};
+use crate::features::{model_features_into, FeatureScratch, ModelFeatures};
 use crate::serialize::{decode_position, encode_position};
 use autopower_config::{ConfigId, CpuConfig, SramPositionId, Workload};
-use autopower_ml::{GradientBoosting, Regressor};
+use autopower_ml::{GradientBoosting, Matrix, Regressor};
 use autopower_perfsim::EventParams;
 use serde::codec::{Codec, CodecError, Reader, Writer};
 
@@ -40,7 +40,9 @@ impl SramActivityModel {
         feature_mode: ModelFeatures,
     ) -> Result<Self, AutoPowerError> {
         let component = position.component;
-        let mut rows = Vec::new();
+        // One flat row-major matrix feeds both the read and the write fit.
+        let mut data = Vec::new();
+        let mut samples = 0usize;
         let mut read_targets = Vec::new();
         let mut write_targets = Vec::new();
         for run in corpus.training_runs(train_configs) {
@@ -51,23 +53,31 @@ impl SramActivityModel {
                 continue;
             };
             let count = block.count as f64;
-            rows.push(model_features(
+            model_features_into(
                 feature_mode,
                 component,
                 &run.config,
                 &run.sim.events,
                 run.workload,
-            ));
+                &mut data,
+            );
+            samples += 1;
             read_targets.push(activity.reads_per_cycle / count);
             write_targets.push(activity.writes_per_cycle / count);
         }
+        if samples == 0 {
+            return Err(AutoPowerError::fit(component, "SRAM read frequency")(
+                autopower_ml::FitError::EmptyTrainingSet,
+            ));
+        }
+        let matrix = Matrix::from_flat(samples, data.len() / samples, data);
         let mut read_model = GradientBoosting::default();
         read_model
-            .fit(&rows, &read_targets)
+            .fit_matrix(&matrix, &read_targets)
             .map_err(AutoPowerError::fit(component, "SRAM read frequency"))?;
         let mut write_model = GradientBoosting::default();
         write_model
-            .fit(&rows, &write_targets)
+            .fit_matrix(&matrix, &write_targets)
             .map_err(AutoPowerError::fit(component, "SRAM write frequency"))?;
         Ok(Self {
             position,
@@ -89,16 +99,30 @@ impl SramActivityModel {
         events: &EventParams,
         workload: Workload,
     ) -> (f64, f64) {
-        let row = model_features(
+        self.predict_with(config, events, workload, &mut FeatureScratch::new())
+    }
+
+    /// [`SramActivityModel::predict`] with a reusable feature scratch (the
+    /// allocation-free batch-inference path).
+    pub fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        scratch: &mut FeatureScratch,
+    ) -> (f64, f64) {
+        let row = scratch.row_mut();
+        model_features_into(
             self.feature_mode,
             self.position.component,
             config,
             events,
             workload,
+            row,
         );
         (
-            self.read_model.predict(&row).max(0.0),
-            self.write_model.predict(&row).max(0.0),
+            self.read_model.predict(row).max(0.0),
+            self.write_model.predict(row).max(0.0),
         )
     }
 }

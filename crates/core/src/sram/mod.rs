@@ -21,7 +21,7 @@ pub use mapping::predicted_block_power_mw;
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
-use crate::features::ModelFeatures;
+use crate::features::{FeatureScratch, ModelFeatures};
 use autopower_config::{
     sram_positions_for, Component, ConfigId, CpuConfig, SramPositionId, Workload,
 };
@@ -180,9 +180,32 @@ impl SramPowerModel {
         workload: Workload,
         library: &TechLibrary,
     ) -> Option<f64> {
+        self.predict_position_with(
+            position,
+            config,
+            events,
+            workload,
+            library,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`SramPowerModel::predict_position`] with a reusable feature scratch
+    /// (the allocation-free batch-inference path).
+    pub fn predict_position_with(
+        &self,
+        position: SramPositionId,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+        scratch: &mut FeatureScratch,
+    ) -> Option<f64> {
         let model = self.position_model(position)?;
         let block = model.hardware.predict_block(config);
-        let (reads, writes) = model.activity.predict(config, events, workload);
+        let (reads, writes) = model
+            .activity
+            .predict_with(config, events, workload, scratch);
         Some(mapping::predicted_block_power_mw(
             &block,
             reads,
@@ -201,9 +224,31 @@ impl SramPowerModel {
         workload: Workload,
         library: &TechLibrary,
     ) -> f64 {
+        self.predict_component_with(
+            component,
+            config,
+            events,
+            workload,
+            library,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`SramPowerModel::predict_component`] with a reusable feature scratch.
+    pub fn predict_component_with(
+        &self,
+        component: Component,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         sram_positions_for(component)
             .into_iter()
-            .filter_map(|p| self.predict_position(p.id, config, events, workload, library))
+            .filter_map(|p| {
+                self.predict_position_with(p.id, config, events, workload, library, scratch)
+            })
             .sum()
     }
 
@@ -215,9 +260,27 @@ impl SramPowerModel {
         workload: Workload,
         library: &TechLibrary,
     ) -> f64 {
+        self.predict_with(
+            config,
+            events,
+            workload,
+            library,
+            &mut FeatureScratch::new(),
+        )
+    }
+
+    /// [`SramPowerModel::predict`] with a reusable feature scratch.
+    pub fn predict_with(
+        &self,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
         Component::ALL
             .iter()
-            .map(|&c| self.predict_component(c, config, events, workload, library))
+            .map(|&c| self.predict_component_with(c, config, events, workload, library, scratch))
             .sum()
     }
 }

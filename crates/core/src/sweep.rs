@@ -24,8 +24,9 @@
 //! [`ConfigSummary::mean_groups`] is `Some` exactly when the model resolved
 //! groups.
 
+use crate::features::FeatureScratch;
 use crate::model::AutoPower;
-use crate::pipeline::parallel_map;
+use crate::pipeline::parallel_map_with;
 use crate::power_model::PowerModel;
 use crate::prediction::Prediction;
 use autopower_config::{CpuConfig, Workload};
@@ -146,17 +147,27 @@ impl<'a> SweepEngine<'a> {
         let chunk = self.spec.chunk_configs.max(1);
         let mut points = Vec::with_capacity(configs.len() * per_config);
         for shard in configs.chunks(chunk) {
-            points.extend(parallel_map(threads, shard.len() * per_config, |i| {
-                let config = shard[i / per_config];
-                let workload = workloads[i % per_config];
-                let sim = simulate(&config, workload, &self.spec.sim);
-                SweepPoint {
-                    config,
-                    workload,
-                    power: self.model.predict(&config, &sim.events, workload),
-                    ipc: sim.ipc(),
-                }
-            }));
+            // Each worker owns one FeatureScratch for its whole lifetime, so
+            // scoring a point assembles every feature row into reused storage
+            // instead of allocating per sub-model.
+            points.extend(parallel_map_with(
+                threads,
+                shard.len() * per_config,
+                FeatureScratch::new,
+                |scratch, i| {
+                    let config = shard[i / per_config];
+                    let workload = workloads[i % per_config];
+                    let sim = simulate(&config, workload, &self.spec.sim);
+                    SweepPoint {
+                        config,
+                        workload,
+                        power: self
+                            .model
+                            .predict_with(&config, &sim.events, workload, scratch),
+                        ipc: sim.ipc(),
+                    }
+                },
+            ));
         }
         points
     }
@@ -194,21 +205,26 @@ pub fn sweep_multi(
         .map(|_| Vec::with_capacity(configs.len() * per_config))
         .collect();
     for shard in configs.chunks(chunk) {
-        let shard_points = parallel_map(threads, shard.len() * per_config, |i| {
-            let config = shard[i / per_config];
-            let workload = workloads[i % per_config];
-            let sim = simulate(&config, workload, &spec.sim);
-            let ipc = sim.ipc();
-            models
-                .iter()
-                .map(|model| SweepPoint {
-                    config,
-                    workload,
-                    power: model.predict(&config, &sim.events, workload),
-                    ipc,
-                })
-                .collect::<Vec<_>>()
-        });
+        let shard_points = parallel_map_with(
+            threads,
+            shard.len() * per_config,
+            FeatureScratch::new,
+            |scratch, i| {
+                let config = shard[i / per_config];
+                let workload = workloads[i % per_config];
+                let sim = simulate(&config, workload, &spec.sim);
+                let ipc = sim.ipc();
+                models
+                    .iter()
+                    .map(|model| SweepPoint {
+                        config,
+                        workload,
+                        power: model.predict_with(&config, &sim.events, workload, scratch),
+                        ipc,
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
         for per_model in shard_points {
             for (slot, point) in results.iter_mut().zip(per_model) {
                 slot.push(point);
@@ -223,16 +239,23 @@ pub fn sweep_multi(
 /// The single ranking rule behind the sweep report's top-k table and the
 /// model-comparison rank-divergence figures.
 ///
-/// # Panics
-///
-/// Panics if any efficiency is NaN.
+/// The sort is a total order (`f64::total_cmp` over sign-canonicalised keys),
+/// so it never panics: every NaN efficiency ranks **last** — after every
+/// finite value and `+∞` — instead of aborting the whole report.  Ties keep
+/// input order (the sort is stable), so the ranking stays deterministic.
 pub fn rank_by_efficiency(summaries: &[ConfigSummary]) -> Vec<&ConfigSummary> {
+    // IEEE-754 totally orders negative-sign NaNs *below* -inf; canonicalise
+    // to the positive quiet NaN so "NaN ranks last" holds regardless of the
+    // sign bit the producing arithmetic happened to leave behind.
+    fn key(v: f64) -> f64 {
+        if v.is_nan() {
+            f64::from_bits(0x7ff8_0000_0000_0000)
+        } else {
+            v
+        }
+    }
     let mut ranked: Vec<&ConfigSummary> = summaries.iter().collect();
-    ranked.sort_by(|a, b| {
-        a.energy_per_instruction
-            .partial_cmp(&b.energy_per_instruction)
-            .expect("finite efficiency")
-    });
+    ranked.sort_by(|a, b| key(a.energy_per_instruction).total_cmp(&key(b.energy_per_instruction)));
     ranked
 }
 
@@ -454,6 +477,36 @@ mod tests {
             assert_eq!(s.mean_total, expected);
             assert!(s.mean_total > 0.0);
         }
+    }
+
+    #[test]
+    fn nan_efficiencies_rank_last_without_panicking() {
+        let config = boom_configs()[0];
+        let summary = |epi: f64| ConfigSummary {
+            config,
+            mean_total: 1.0,
+            mean_groups: None,
+            mean_ipc: 1.0,
+            energy_per_instruction: epi,
+        };
+        // Both NaN sign bits, mixed with finite values and +inf.
+        let negative_nan = f64::from_bits(0xfff8_0000_0000_0001);
+        let summaries = vec![
+            summary(f64::NAN),
+            summary(2.0),
+            summary(negative_nan),
+            summary(f64::INFINITY),
+            summary(1.0),
+        ];
+        let ranked = rank_by_efficiency(&summaries);
+        let order: Vec<f64> = ranked.iter().map(|s| s.energy_per_instruction).collect();
+        assert_eq!(order[0], 1.0);
+        assert_eq!(order[1], 2.0);
+        assert_eq!(order[2], f64::INFINITY);
+        // Every NaN ranks after every non-NaN, in stable input order.
+        assert!(order[3].is_nan() && order[4].is_nan());
+        assert_eq!(order[3].to_bits(), f64::NAN.to_bits());
+        assert_eq!(order[4].to_bits(), negative_nan.to_bits());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Gradient-boosted regression trees (a small, faithful XGBoost stand-in).
 
 use crate::error::FitError;
+use crate::flat::FlatForest;
+use crate::matrix::Matrix;
 use crate::tree::{RegressionTree, TreeParams};
-use crate::{validate_training_set, Regressor};
+use crate::{validate_matrix_training_set, validate_training_set, Regressor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -84,7 +86,11 @@ impl GbdtParams {
 pub struct GradientBoosting {
     params: GbdtParams,
     base_score: f64,
+    /// The fit/serde representation: one boxed-node tree per boosting round.
     trees: Vec<RegressionTree>,
+    /// The inference representation, compiled from `trees` at fit and decode
+    /// time (empty while unfitted).  Never serialized — `trees` is canonical.
+    flat: FlatForest,
 }
 
 impl GradientBoosting {
@@ -95,6 +101,7 @@ impl GradientBoosting {
             params,
             base_score: 0.0,
             trees: Vec::new(),
+            flat: FlatForest::default(),
         }
     }
 
@@ -111,6 +118,133 @@ impl GradientBoosting {
     /// Whether the model has been fitted.
     pub fn is_fitted(&self) -> bool {
         !self.trees.is_empty() || self.base_score != 0.0
+    }
+
+    /// The compiled flat forest serving this model's predictions.
+    ///
+    /// Use [`FlatForest::predict_into`] for batched scoring of a whole
+    /// feature matrix.
+    pub fn forest(&self) -> &FlatForest {
+        &self.flat
+    }
+
+    /// Fits on a flat row-major feature matrix (the allocation-friendly twin
+    /// of [`Regressor::fit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the data is empty, non-finite, or the target
+    /// length does not match.
+    pub fn fit_matrix(&mut self, x: &Matrix, y: &[f64]) -> Result<(), FitError> {
+        let width = validate_matrix_training_set(x, y)?;
+        let n = x.rows();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        self.base_score = y.iter().sum::<f64>() / n as f64;
+        self.trees.clear();
+        self.flat = FlatForest::default();
+        let mut predictions = vec![self.base_score; n];
+
+        let tree_params = TreeParams {
+            max_depth: self.params.max_depth,
+            min_child_weight: self.params.min_child_weight,
+            lambda: self.params.lambda,
+            gamma: self.params.gamma,
+        };
+
+        let all_rows: Vec<usize> = (0..n).collect();
+        let all_cols: Vec<usize> = (0..width).collect();
+        let row_sample = ((n as f64 * self.params.subsample).ceil() as usize).clamp(1, n);
+        let col_sample = ((width as f64 * self.params.colsample).ceil() as usize).clamp(1, width);
+
+        // Hoisted per-round buffers: gradients are overwritten in place,
+        // hessians are the constant 1 of squared loss, and the subsample
+        // scratch vectors are reshuffled instead of recloned.
+        let mut gradients = vec![0.0; n];
+        let hessians = vec![1.0; n];
+        let mut row_scratch = all_rows.clone();
+        let mut col_scratch = all_cols.clone();
+        let mut tree_scratch = crate::tree::FitScratch::new();
+
+        // Without row subsampling every round trains on the same rows in the
+        // same order, so the per-feature pre-sort can be hoisted out of the
+        // boosting loop entirely: sort once, hand every tree a copy.  (Row
+        // subsampling changes the row set *and* the stable-tie order, so those
+        // runs keep the per-tree sort.)
+        let master_sorted: Option<Vec<usize>> = (row_sample == n).then(|| {
+            let mut master = vec![0usize; width * n];
+            for feature in 0..width {
+                let seg = &mut master[feature * n..(feature + 1) * n];
+                seg.copy_from_slice(&all_rows);
+                seg.sort_by(|&a, &b| {
+                    x.at(a, feature)
+                        .partial_cmp(&x.at(b, feature))
+                        .expect("finite features")
+                });
+            }
+            master
+        });
+
+        for _ in 0..self.params.n_estimators {
+            // Squared loss: gradient = prediction - target, hessian = 1.
+            for (g, (p, t)) in gradients.iter_mut().zip(predictions.iter().zip(y)) {
+                *g = p - t;
+            }
+
+            let rows: &[usize] = if row_sample == n {
+                &all_rows
+            } else {
+                row_scratch.copy_from_slice(&all_rows);
+                row_scratch.shuffle(&mut rng);
+                &row_scratch[..row_sample]
+            };
+            let cols: &[usize] = if col_sample == width {
+                &all_cols
+            } else {
+                col_scratch.copy_from_slice(&all_cols);
+                col_scratch.shuffle(&mut rng);
+                &col_scratch[..col_sample]
+            };
+
+            let mut tree = RegressionTree::new(tree_params);
+            tree.fit_gradients_scratch(
+                x,
+                &gradients,
+                &hessians,
+                rows,
+                cols,
+                master_sorted.as_deref(),
+                &mut tree_scratch,
+            )?;
+            for (i, prediction) in predictions.iter_mut().enumerate() {
+                *prediction += self.params.learning_rate * tree.predict(x.row(i));
+            }
+            self.trees.push(tree);
+        }
+        self.flat = FlatForest::compile(self.base_score, self.params.learning_rate, &self.trees);
+        Ok(())
+    }
+
+    /// The recursive reference prediction over the boxed-node trees.
+    ///
+    /// [`Regressor::predict`] serves from the compiled [`FlatForest`]; this
+    /// path is retained as the bit-parity oracle the flat traversal is tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful fit.
+    pub fn predict_recursive(&self, x: &[f64]) -> f64 {
+        assert!(
+            self.is_fitted(),
+            "predict called before fit on the boosting model"
+        );
+        self.base_score
+            + self
+                .trees
+                .iter()
+                .map(|t| self.params.learning_rate * t.predict(x))
+                .sum::<f64>()
     }
 }
 
@@ -188,66 +322,23 @@ impl Codec for GradientBoosting {
         }
         r.end()?;
         r.end()?;
+        // Loaded models serve predictions from the same compiled flat path as
+        // freshly trained ones: cold-starting from a file inherits the batched
+        // inference layout for free.
+        let flat = FlatForest::compile(base_score, params.learning_rate, &trees);
         Ok(Self {
             params,
             base_score,
             trees,
+            flat,
         })
     }
 }
 
 impl Regressor for GradientBoosting {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
-        let width = validate_training_set(x, y)?;
-        let n = x.len();
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
-
-        self.base_score = y.iter().sum::<f64>() / n as f64;
-        self.trees.clear();
-        let mut predictions = vec![self.base_score; n];
-
-        let tree_params = TreeParams {
-            max_depth: self.params.max_depth,
-            min_child_weight: self.params.min_child_weight,
-            lambda: self.params.lambda,
-            gamma: self.params.gamma,
-        };
-
-        let all_rows: Vec<usize> = (0..n).collect();
-        let all_cols: Vec<usize> = (0..width).collect();
-        let row_sample = ((n as f64 * self.params.subsample).ceil() as usize).clamp(1, n);
-        let col_sample = ((width as f64 * self.params.colsample).ceil() as usize).clamp(1, width);
-
-        for _ in 0..self.params.n_estimators {
-            // Squared loss: gradient = prediction - target, hessian = 1.
-            let gradients: Vec<f64> = predictions.iter().zip(y).map(|(p, t)| p - t).collect();
-            let hessians = vec![1.0; n];
-
-            let rows: Vec<usize> = if row_sample == n {
-                all_rows.clone()
-            } else {
-                let mut shuffled = all_rows.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.truncate(row_sample);
-                shuffled
-            };
-            let cols: Vec<usize> = if col_sample == width {
-                all_cols.clone()
-            } else {
-                let mut shuffled = all_cols.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.truncate(col_sample);
-                shuffled
-            };
-
-            let mut tree = RegressionTree::new(tree_params);
-            tree.fit_gradients(x, &gradients, &hessians, &rows, &cols)?;
-            for (i, row) in x.iter().enumerate() {
-                predictions[i] += self.params.learning_rate * tree.predict(row);
-            }
-            self.trees.push(tree);
-        }
-        Ok(())
+        validate_training_set(x, y)?;
+        self.fit_matrix(&Matrix::from_rows(x), y)
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
@@ -255,12 +346,7 @@ impl Regressor for GradientBoosting {
             self.is_fitted(),
             "predict called before fit on the boosting model"
         );
-        self.base_score
-            + self
-                .trees
-                .iter()
-                .map(|t| self.params.learning_rate * t.predict(x))
-                .sum::<f64>()
+        self.flat.predict_row(x)
     }
 }
 

@@ -40,6 +40,7 @@
 
 mod dataset;
 mod error;
+mod flat;
 mod gbdt;
 mod linear;
 mod matrix;
@@ -48,6 +49,7 @@ mod tree;
 
 pub use dataset::{Dataset, Standardizer};
 pub use error::FitError;
+pub use flat::FlatForest;
 pub use gbdt::{GbdtParams, GradientBoosting};
 pub use linear::RidgeRegression;
 pub use matrix::Matrix;
@@ -106,6 +108,27 @@ pub(crate) fn validate_training_set(x: &[Vec<f64>], y: &[f64]) -> Result<usize, 
         return Err(FitError::NonFiniteValue);
     }
     Ok(width)
+}
+
+/// Validates a flat-matrix training set: `x.rows() == y.len()` and every
+/// value finite.  Rectangularity and non-emptiness are structural [`Matrix`]
+/// invariants, so only the data itself needs checking.
+pub(crate) fn validate_matrix_training_set(x: &Matrix, y: &[f64]) -> Result<usize, FitError> {
+    if x.rows() != y.len() {
+        return Err(FitError::LengthMismatch {
+            rows: x.rows(),
+            targets: y.len(),
+        });
+    }
+    for i in 0..x.rows() {
+        if x.row(i).iter().any(|v| !v.is_finite()) {
+            return Err(FitError::NonFiniteValue);
+        }
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteValue);
+    }
+    Ok(x.cols())
 }
 
 #[cfg(test)]

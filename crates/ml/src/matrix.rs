@@ -57,6 +57,26 @@ impl Matrix {
         }
     }
 
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// This is the allocation-friendly constructor the training paths use: the
+    /// caller assembles every feature row back to back into one `Vec` (e.g.
+    /// via the `*_into` feature builders) and hands the buffer over without a
+    /// per-row allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat buffer length must equal rows * cols"
+        );
+        Self { rows, cols, data }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -65,6 +85,19 @@ impl Matrix {
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// One row as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The element at `(row, col)` without the tuple-index sugar (handy in
+    /// tight loops where the optimiser benefits from the explicit form).
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
     }
 
     /// The transpose.

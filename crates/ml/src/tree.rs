@@ -1,7 +1,16 @@
 //! CART regression trees with XGBoost-style second-order leaf weights.
+//!
+//! Training uses the classic pre-sorted layout: the row indices are sorted
+//! once per feature per `fit_gradients` call, then *stably partitioned* down
+//! the tree, so each node's split scan is a linear walk instead of a fresh
+//! `O(n log n)` sort per node per feature.  Stability is what keeps the result
+//! bit-identical to the historical per-node sort: a stable sort by feature
+//! value (ties keeping caller row order) followed by stable partitions yields
+//! exactly the per-node visiting order the old code produced, so every split
+//! gain, threshold and leaf weight comes out with the same bits.
 
 use crate::error::FitError;
-use crate::validate_training_set;
+use crate::matrix::Matrix;
 use serde::codec::{Codec, CodecError, Reader, Writer};
 
 /// Hyper-parameters of a single regression tree.
@@ -29,7 +38,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         weight: f64,
     },
@@ -53,6 +62,157 @@ pub struct RegressionTree {
     n_features: usize,
 }
 
+/// Reusable buffers of the pre-sorted tree builder.
+///
+/// A boosting loop fits hundreds of trees back to back; handing the same
+/// scratch to every [`RegressionTree::fit_gradients_scratch`] call means tree
+/// construction allocates nothing after the first round.
+#[derive(Debug, Default)]
+pub(crate) struct FitScratch {
+    /// The node's rows in caller order; segment `[lo, hi)` per node.
+    rows: Vec<usize>,
+    /// `features.len()` stacked row lists of length `rows.len()` each:
+    /// `sorted[fi * n + k]` walks feature `features[fi]` ascending (ties keep
+    /// caller order — the stability that pins bit-identical splits).
+    sorted: Vec<usize>,
+    /// Reused right-half buffer for the stable in-place partition.
+    partition: Vec<usize>,
+}
+
+impl FitScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The pre-sorted training state: row lists partitioned down the tree.
+///
+/// `rows` keeps the node's rows in caller order (the order gradient/hessian
+/// sums accumulate in); `sorted` stacks one pre-sorted copy per candidate
+/// feature.  Both are partitioned *in place* per split, so building a tree
+/// allocates nothing beyond the (reusable) scratch buffers.
+struct Builder<'a> {
+    params: TreeParams,
+    x: &'a Matrix,
+    gradients: &'a [f64],
+    hessians: &'a [f64],
+    features: &'a [usize],
+    /// See [`FitScratch::rows`].
+    rows: &'a mut [usize],
+    /// See [`FitScratch::sorted`].
+    sorted: &'a mut [usize],
+    /// See [`FitScratch::partition`].
+    scratch: &'a mut Vec<usize>,
+}
+
+/// Stably partitions `seg` by `x[row][feature] <= threshold` (matching rows
+/// first, caller order preserved on both sides) and returns the match count.
+fn stable_partition(
+    seg: &mut [usize],
+    scratch: &mut Vec<usize>,
+    x: &Matrix,
+    feature: usize,
+    threshold: f64,
+) -> usize {
+    scratch.clear();
+    let mut nl = 0;
+    for k in 0..seg.len() {
+        let i = seg[k];
+        if x.at(i, feature) <= threshold {
+            seg[nl] = i;
+            nl += 1;
+        } else {
+            scratch.push(i);
+        }
+    }
+    seg[nl..].copy_from_slice(scratch);
+    nl
+}
+
+impl Builder<'_> {
+    fn leaf_weight(&self, grad_sum: f64, hess_sum: f64) -> f64 {
+        -grad_sum / (hess_sum + self.params.lambda)
+    }
+
+    fn gain(&self, gl: f64, hl: f64, gr: f64, hr: f64) -> f64 {
+        let lambda = self.params.lambda;
+        let score = |g: f64, h: f64| g * g / (h + lambda);
+        0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr)) - self.params.gamma
+    }
+
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> Node {
+        let mut grad_sum = 0.0;
+        let mut hess_sum = 0.0;
+        for &i in &self.rows[lo..hi] {
+            grad_sum += self.gradients[i];
+            hess_sum += self.hessians[i];
+        }
+        if depth >= self.params.max_depth || hi - lo < 2 {
+            return Node::Leaf {
+                weight: self.leaf_weight(grad_sum, hess_sum),
+            };
+        }
+
+        let n = self.rows.len();
+        let x = self.x;
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for (fi, &feature) in self.features.iter().enumerate() {
+            // Walk this node's rows in ascending feature order — the
+            // pre-sorted list, no per-node sort.
+            let order = &self.sorted[fi * n + lo..fi * n + hi];
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for w in 0..order.len() - 1 {
+                let i = order[w];
+                gl += self.gradients[i];
+                hl += self.hessians[i];
+                let gr = grad_sum - gl;
+                let hr = hess_sum - hl;
+                // Do not split between identical feature values.
+                if x.at(order[w], feature) == x.at(order[w + 1], feature) {
+                    continue;
+                }
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gain = self.gain(gl, hl, gr, hr);
+                if gain > best.map_or(0.0, |b| b.0) + 1e-12 {
+                    let threshold = 0.5 * (x.at(order[w], feature) + x.at(order[w + 1], feature));
+                    best = Some((gain, feature, threshold));
+                }
+            }
+        }
+
+        match best {
+            None => Node::Leaf {
+                weight: self.leaf_weight(grad_sum, hess_sum),
+            },
+            Some((_, feature, threshold)) => {
+                let nl = self.partition(lo, hi, feature, threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(lo, lo + nl, depth + 1)),
+                    right: Box::new(self.build(lo + nl, hi, depth + 1)),
+                }
+            }
+        }
+    }
+
+    /// Partitions every row list of segment `[lo, hi)` by the chosen split.
+    fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let n = self.rows.len();
+        let x = self.x;
+        let nl = stable_partition(&mut self.rows[lo..hi], self.scratch, x, feature, threshold);
+        for fi in 0..self.features.len() {
+            let seg = &mut self.sorted[fi * n + lo..fi * n + hi];
+            let nl_sorted = stable_partition(seg, self.scratch, x, feature, threshold);
+            debug_assert_eq!(nl, nl_sorted, "partitions must agree across row lists");
+        }
+        nl
+    }
+}
+
 impl RegressionTree {
     /// Creates an unfitted tree.
     pub fn new(params: TreeParams) -> Self {
@@ -72,13 +232,56 @@ impl RegressionTree {
     /// Returns an error if the data is malformed.
     pub fn fit_gradients(
         &mut self,
-        x: &[Vec<f64>],
+        x: &Matrix,
         gradients: &[f64],
         hessians: &[f64],
         rows: &[usize],
         features: &[usize],
     ) -> Result<(), FitError> {
-        let width = validate_training_set(x, gradients)?;
+        crate::validate_matrix_training_set(x, gradients)?;
+        self.fit_gradients_unchecked(x, gradients, hessians, rows, features)
+    }
+
+    /// The validated fit path: skips the `O(rows × cols)` finiteness scan so a
+    /// boosting loop can validate its inputs once and fit many trees.
+    pub(crate) fn fit_gradients_unchecked(
+        &mut self,
+        x: &Matrix,
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: &[usize],
+        features: &[usize],
+    ) -> Result<(), FitError> {
+        self.fit_gradients_scratch(
+            x,
+            gradients,
+            hessians,
+            rows,
+            features,
+            None,
+            &mut FitScratch::new(),
+        )
+    }
+
+    /// The fully hoisted fit path a boosting loop drives: reuses `scratch`
+    /// across trees, and — when `presorted` is given — skips the per-tree sort
+    /// entirely.
+    ///
+    /// `presorted` stacks one stably pre-sorted copy of `rows` per feature
+    /// *index* (`presorted[f * rows.len()..]` for feature `f`, ties in `rows`
+    /// order).  It is only valid when every tree of the loop trains on the
+    /// same `rows` in the same order (no row subsampling).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fit_gradients_scratch(
+        &mut self,
+        x: &Matrix,
+        gradients: &[f64],
+        hessians: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        presorted: Option<&[usize]>,
+        scratch: &mut FitScratch,
+    ) -> Result<(), FitError> {
         if gradients.len() != hessians.len() {
             return Err(FitError::LengthMismatch {
                 rows: gradients.len(),
@@ -88,8 +291,47 @@ impl RegressionTree {
         if rows.is_empty() || features.is_empty() {
             return Err(FitError::EmptyTrainingSet);
         }
-        self.n_features = width;
-        self.root = Some(self.build(x, gradients, hessians, rows, features, 0));
+        let n = rows.len();
+        scratch.rows.clear();
+        scratch.rows.extend_from_slice(rows);
+        scratch.sorted.clear();
+        scratch.sorted.resize(features.len() * n, 0);
+        match presorted {
+            // One copy per feature from the master order (sorted once by the
+            // caller for the whole boosting run).
+            Some(master) => {
+                for (fi, &feature) in features.iter().enumerate() {
+                    scratch.sorted[fi * n..(fi + 1) * n]
+                        .copy_from_slice(&master[feature * n..(feature + 1) * n]);
+                }
+            }
+            // Pre-sort once per feature (stable: ties keep caller row order);
+            // the builder partitions these lists down the tree instead of
+            // re-sorting per node.
+            None => {
+                for (fi, &feature) in features.iter().enumerate() {
+                    let seg = &mut scratch.sorted[fi * n..(fi + 1) * n];
+                    seg.copy_from_slice(rows);
+                    seg.sort_by(|&a, &b| {
+                        x.at(a, feature)
+                            .partial_cmp(&x.at(b, feature))
+                            .expect("finite features")
+                    });
+                }
+            }
+        }
+        let mut builder = Builder {
+            params: self.params,
+            x,
+            gradients,
+            hessians,
+            features,
+            rows: &mut scratch.rows,
+            sorted: &mut scratch.sorted,
+            scratch: &mut scratch.partition,
+        };
+        self.n_features = x.cols();
+        self.root = Some(builder.build(0, n, 0));
         Ok(())
     }
 
@@ -100,101 +342,13 @@ impl RegressionTree {
     ///
     /// Returns an error if the data is malformed.
     pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), FitError> {
+        crate::validate_training_set(x, y)?;
+        let matrix = Matrix::from_rows(x);
         let gradients: Vec<f64> = y.iter().map(|v| -v).collect();
         let hessians = vec![1.0; y.len()];
-        let rows: Vec<usize> = (0..x.len()).collect();
-        let features: Vec<usize> = (0..x.first().map_or(0, |r| r.len())).collect();
-        self.fit_gradients(x, &gradients, &hessians, &rows, &features)
-    }
-
-    fn leaf_weight(&self, grad_sum: f64, hess_sum: f64) -> f64 {
-        -grad_sum / (hess_sum + self.params.lambda)
-    }
-
-    fn gain(&self, gl: f64, hl: f64, gr: f64, hr: f64) -> f64 {
-        let lambda = self.params.lambda;
-        let score = |g: f64, h: f64| g * g / (h + lambda);
-        0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr)) - self.params.gamma
-    }
-
-    fn build(
-        &self,
-        x: &[Vec<f64>],
-        gradients: &[f64],
-        hessians: &[f64],
-        rows: &[usize],
-        features: &[usize],
-        depth: usize,
-    ) -> Node {
-        let grad_sum: f64 = rows.iter().map(|&i| gradients[i]).sum();
-        let hess_sum: f64 = rows.iter().map(|&i| hessians[i]).sum();
-        if depth >= self.params.max_depth || rows.len() < 2 {
-            return Node::Leaf {
-                weight: self.leaf_weight(grad_sum, hess_sum),
-            };
-        }
-
-        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-        for &feature in features {
-            // Sort the rows of this node by the candidate feature.
-            let mut order: Vec<usize> = rows.to_vec();
-            order.sort_by(|&a, &b| {
-                x[a][feature]
-                    .partial_cmp(&x[b][feature])
-                    .expect("finite features")
-            });
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for w in 0..order.len() - 1 {
-                let i = order[w];
-                gl += gradients[i];
-                hl += hessians[i];
-                let gr = grad_sum - gl;
-                let hr = hess_sum - hl;
-                // Do not split between identical feature values.
-                if x[order[w]][feature] == x[order[w + 1]][feature] {
-                    continue;
-                }
-                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
-                    continue;
-                }
-                let gain = self.gain(gl, hl, gr, hr);
-                if gain > best.map_or(0.0, |b| b.0) + 1e-12 {
-                    let threshold = 0.5 * (x[order[w]][feature] + x[order[w + 1]][feature]);
-                    best = Some((gain, feature, threshold));
-                }
-            }
-        }
-
-        match best {
-            None => Node::Leaf {
-                weight: self.leaf_weight(grad_sum, hess_sum),
-            },
-            Some((_, feature, threshold)) => {
-                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-                    rows.iter().partition(|&&i| x[i][feature] <= threshold);
-                Node::Split {
-                    feature,
-                    threshold,
-                    left: Box::new(self.build(
-                        x,
-                        gradients,
-                        hessians,
-                        &left_rows,
-                        features,
-                        depth + 1,
-                    )),
-                    right: Box::new(self.build(
-                        x,
-                        gradients,
-                        hessians,
-                        &right_rows,
-                        features,
-                        depth + 1,
-                    )),
-                }
-            }
-        }
+        let rows: Vec<usize> = (0..matrix.rows()).collect();
+        let features: Vec<usize> = (0..matrix.cols()).collect();
+        self.fit_gradients_unchecked(&matrix, &gradients, &hessians, &rows, &features)
     }
 
     /// Predicts the leaf weight for one row.
@@ -232,6 +386,11 @@ impl RegressionTree {
             }
         }
         self.root.as_ref().map_or(0, count)
+    }
+
+    /// The fitted root node, for the flat-forest compiler.
+    pub(crate) fn root_node(&self) -> Option<&Node> {
+        self.root.as_ref()
     }
 }
 
@@ -431,10 +590,31 @@ mod tests {
 
     #[test]
     fn empty_row_selection_is_an_error() {
-        let x = vec![vec![1.0]];
+        let x = Matrix::from_rows(&[vec![1.0]]);
         let g = vec![1.0];
         let h = vec![1.0];
         let mut t = RegressionTree::new(TreeParams::default());
         assert!(t.fit_gradients(&x, &g, &h, &[], &[0]).is_err());
+    }
+
+    #[test]
+    fn subset_rows_and_features_fit_only_the_selection() {
+        // Rows 0..4 carry the signal on feature 1; rows 4..8 would flip it.
+        let x = Matrix::from_rows(
+            &(0..8)
+                .map(|i| vec![99.0, i as f64])
+                .collect::<Vec<Vec<f64>>>(),
+        );
+        let g: Vec<f64> = (0..8).map(|i| if i < 2 { 1.0 } else { -1.0 }).collect();
+        let h = vec![1.0; 8];
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 2,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        t.fit_gradients(&x, &g, &h, &[0, 1, 2, 3], &[1]).unwrap();
+        // Only rows 0..4 were seen: the split separates {0,1} from {2,3}.
+        assert!(t.predict(&[99.0, 0.0]) < 0.0);
+        assert!(t.predict(&[99.0, 3.0]) > 0.0);
     }
 }

@@ -244,10 +244,43 @@ impl EventParams {
 
     /// The subset of event parameters relevant to one component (its `E` features).
     pub fn component_features(&self, component: Component) -> Vec<f64> {
-        Self::component_feature_names(component)
-            .iter()
-            .map(|n| self.value(n))
-            .collect()
+        let mut out = Vec::new();
+        self.component_features_into(component, &mut out);
+        out
+    }
+
+    /// Appends the component's `E` features to `out` (the allocation-free
+    /// twin of [`EventParams::component_features`], used by the batch
+    /// inference hot path).
+    pub fn component_features_into(&self, component: Component, out: &mut Vec<f64>) {
+        out.extend(
+            Self::component_feature_indices(component)
+                .iter()
+                .map(|&i| self.values[i]),
+        );
+    }
+
+    /// Positions of the component's feature names within [`EventParams::names`],
+    /// resolved once instead of by per-call linear name search.
+    fn component_feature_indices(component: Component) -> &'static [usize] {
+        static INDICES: std::sync::OnceLock<Vec<Vec<usize>>> = std::sync::OnceLock::new();
+        let per_component = INDICES.get_or_init(|| {
+            Component::ALL
+                .iter()
+                .map(|&c| {
+                    Self::component_feature_names(c)
+                        .iter()
+                        .map(|name| {
+                            EVENT_NAMES
+                                .iter()
+                                .position(|n| n == name)
+                                .unwrap_or_else(|| panic!("unknown event parameter {name}"))
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        &per_component[component.index()]
     }
 
     /// Names of the event parameters used as features for one component.

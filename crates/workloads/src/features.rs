@@ -61,7 +61,15 @@ impl ProgramFeatures {
 
     /// The features as a fixed-order vector, for use in ML feature matrices.
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![
+        let mut out = Vec::with_capacity(Self::names().len());
+        self.push_into(&mut out);
+        out
+    }
+
+    /// Appends the features to `out` in [`ProgramFeatures::to_vec`] order
+    /// (the allocation-free twin used by the batch inference hot path).
+    pub fn push_into(&self, out: &mut Vec<f64>) {
+        out.extend([
             self.instruction_count,
             self.branch_count,
             self.load_count,
@@ -71,7 +79,7 @@ impl ProgramFeatures {
             self.branch_irregularity,
             self.ilp,
             self.footprint_pages,
-        ]
+        ]);
     }
 
     /// Names of the features returned by [`ProgramFeatures::to_vec`], in the same order.
