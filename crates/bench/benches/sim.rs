@@ -1,0 +1,141 @@
+//! Performance-simulation throughput: the raw hot loop and the sweep-level
+//! simulation cache.
+//!
+//! Two families of measurements:
+//!
+//! 1. **Raw simulation** — `simulate_with` into a reused [`SimScratch`] per
+//!    workload (the sweep hot path), plus one allocating `simulate` point of
+//!    comparison.  `ns_per_iter` is one whole fast-budget simulation.
+//! 2. **Cached vs uncached sweeps** — the same sweep run with the simulation
+//!    cache on and off, over (a) a sampled design space where every
+//!    configuration is simulation-distinct (honest ~0 % hit rate) and (b) a
+//!    `BranchCount`-folded space where four configurations per workload share
+//!    one simulation (75 % hit rate).  Output is bit-identical either way;
+//!    only the time changes.
+//!
+//! Run with `cargo bench --bench sim [-- --json FILE]`.
+
+use autopower::{AutoPower, Corpus, CorpusSpec, SweepEngine, SweepSpec};
+use autopower_bench::harness::{format_duration, Bench};
+use autopower_config::{boom_configs, ConfigId, CpuConfig, DesignSpace, HwParam, Workload};
+use autopower_perfsim::{simulate, simulate_with, SimConfig, SimScratch};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Workloads of the raw-simulation measurements and the sweeps.
+const WORKLOADS: [Workload; 3] = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+
+/// Configurations of the sampled (simulation-distinct) sweep space.
+const SAMPLED_CONFIGS: usize = 48;
+
+/// A design space whose configurations differ only along `BranchCount`
+/// values that fold to one predictor table size: simulation-identical,
+/// power-distinct.  One simulation serves all four configurations.
+fn folded_space() -> Vec<CpuConfig> {
+    let configs: Vec<CpuConfig> = DesignSpace::boom()
+        .with_axis(HwParam::FetchWidth, vec![4])
+        .with_axis(HwParam::DecodeWidth, vec![2])
+        .with_axis(HwParam::RobEntry, vec![64])
+        .with_axis(HwParam::IntIssueWidth, vec![2])
+        .with_axis(HwParam::MemFpIssueWidth, vec![1])
+        .with_axis(HwParam::CacheWay, vec![4])
+        .with_axis(HwParam::DtlbEntry, vec![16])
+        .with_axis(HwParam::MshrEntry, vec![4])
+        .with_axis(HwParam::BranchCount, vec![10, 12, 14, 16])
+        .enumerate()
+        .collect();
+    assert_eq!(configs.len(), 4, "one free axis with four values");
+    configs
+}
+
+/// Best-of-three sweep wall time over `configs` x [`WORKLOADS`], serial, with
+/// the cache on or off.  A fresh engine per repetition so the cached variant
+/// measures a cold cache, not a second pass over a warm one.
+fn sweep(model: &AutoPower, configs: &[CpuConfig], cached: bool) -> Duration {
+    let spec = SweepSpec::fast().threads(1).sim_cache(cached);
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let points = SweepEngine::new(model, spec).run(configs, &WORKLOADS);
+        best = best.min(start.elapsed());
+        assert_eq!(points.len(), configs.len() * WORKLOADS.len());
+        black_box(points);
+    }
+    best
+}
+
+/// Runs one cached-vs-uncached pair, prints the comparison and the hit-rate
+/// line, and records both measurements per configuration.
+fn sweep_pair(bench: &Bench, model: &AutoPower, label: &str, configs: &[CpuConfig]) {
+    let uncached = sweep(model, configs, false);
+    let cached = sweep(model, configs, true);
+    let n = configs.len() as u32;
+
+    // One extra run purely to read the hit statistics of a full pass.
+    let spec = SweepSpec::fast().threads(1).sim_cache(true);
+    let engine = SweepEngine::new(model, spec);
+    black_box(engine.run(configs, &WORKLOADS));
+    let stats = engine.cache_stats();
+
+    println!(
+        "sweep_{label}: {} configs x {} workloads, cache {:.0}% hits ({} of {} simulations deduplicated)",
+        configs.len(),
+        WORKLOADS.len(),
+        100.0 * stats.hit_rate(),
+        stats.hits,
+        stats.hits + stats.misses,
+    );
+    for (name, time) in [
+        (format!("sweep_{label}_uncached"), uncached),
+        (format!("sweep_{label}_cached"), cached),
+    ] {
+        println!(
+            "  {name:<30} {:>10}   {:>8.1} configs/sec",
+            format_duration(time),
+            configs.len() as f64 / time.as_secs_f64()
+        );
+        bench.record(&name, time / n, u64::from(n));
+    }
+    println!(
+        "  cached is {:.2}x the uncached rate\n",
+        uncached.as_secs_f64() / cached.as_secs_f64()
+    );
+}
+
+fn main() {
+    let bench = Bench::from_args();
+
+    // Raw simulation throughput: one fast-budget run per iteration, scratch
+    // reused across iterations exactly as a sweep worker reuses it.
+    let config = boom_configs()[7];
+    let sim = SimConfig::fast();
+    for workload in WORKLOADS {
+        let mut scratch = SimScratch::new();
+        bench.bench(&format!("sim_scratch_{workload}"), || {
+            black_box(simulate_with(&config, workload, &sim, &mut scratch))
+        });
+    }
+    // The allocating wrapper, for the before/after of scratch reuse.
+    bench.bench("sim_fresh_dhrystone", || {
+        black_box(simulate(&config, Workload::Dhrystone, &sim))
+    });
+    println!();
+
+    // Sweep-level cache: only meaningful unfiltered or under a `sweep` filter.
+    if bench.should_run("sweep") {
+        let cfgs = boom_configs();
+        let corpus = Corpus::generate(
+            &[cfgs[0], cfgs[14]],
+            &[Workload::Dhrystone, Workload::Vvadd],
+            &CorpusSpec::fast(),
+        );
+        let model = AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)])
+            .expect("training succeeds");
+
+        let sampled = DesignSpace::boom().sample(SAMPLED_CONFIGS, 2025);
+        sweep_pair(&bench, &model, "sampled", &sampled);
+        sweep_pair(&bench, &model, "folded", &folded_space());
+    }
+
+    bench.finish();
+}

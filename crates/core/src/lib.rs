@@ -85,7 +85,8 @@ pub use sram::{
     SramActivityModel, SramPowerModel,
 };
 pub use sweep::{
-    rank_by_efficiency, summarize, sweep_multi, ConfigSummary, SweepEngine, SweepPoint, SweepSpec,
+    rank_by_efficiency, summarize, sweep_multi, sweep_multi_with_stats, ConfigSummary, SweepEngine,
+    SweepPoint, SweepSpec,
 };
 pub use trace::{
     evaluate_trace_prediction, trace_errors, PowerTracePredictor, PredictedPowerTrace,

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use autopower_config::{CpuConfig, Workload};
 use autopower_netlist::{synthesize, Netlist};
-use autopower_perfsim::{simulate, SimResult};
+use autopower_perfsim::{simulate_with, SimResult, SimScratch};
 use autopower_powersim::{evaluate_run, PowerReport};
 use autopower_techlib::TechLibrary;
 
@@ -88,8 +88,16 @@ impl<'a> SubstratePipeline<'a> {
         let configs = self.configs;
         let workloads = self.workloads;
         let sim = &self.spec.sim;
-        parallel_map(threads, self.run_count(), |i| {
-            simulate(&configs[i / per_config], workloads[i % per_config], sim)
+        // Each worker reuses one simulation scratch (machine + materialized
+        // instruction streams) across every run it claims; results are
+        // bit-identical to fresh per-run simulation.
+        parallel_map_with(threads, self.run_count(), SimScratch::new, |scratch, i| {
+            simulate_with(
+                &configs[i / per_config],
+                workloads[i % per_config],
+                sim,
+                scratch,
+            )
         })
     }
 

@@ -22,9 +22,7 @@ pub use mapping::predicted_block_power_mw;
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
 use crate::features::{FeatureScratch, ModelFeatures};
-use autopower_config::{
-    sram_positions_for, Component, ConfigId, CpuConfig, SramPositionId, Workload,
-};
+use autopower_config::{Component, ConfigId, CpuConfig, SramPositionId, Workload};
 use autopower_perfsim::EventParams;
 use autopower_techlib::TechLibrary;
 use serde::codec::{Codec, CodecError, Reader, Writer};
@@ -202,16 +200,14 @@ impl SramPowerModel {
         scratch: &mut FeatureScratch,
     ) -> Option<f64> {
         let model = self.position_model(position)?;
-        let block = model.hardware.predict_block(config);
-        let (reads, writes) = model
-            .activity
-            .predict_with(config, events, workload, scratch);
-        Some(mapping::predicted_block_power_mw(
-            &block,
-            reads,
-            writes,
+        Some(Self::predict_model_with(
+            model,
             self.pin_constant_mw,
+            config,
+            events,
+            workload,
             library,
+            scratch,
         ))
     }
 
@@ -235,6 +231,10 @@ impl SramPowerModel {
     }
 
     /// [`SramPowerModel::predict_component`] with a reusable feature scratch.
+    ///
+    /// Iterates the fitted position models directly (they are stored in
+    /// catalogue order, the same order [`sram_positions_for`](autopower_config::sram_positions_for) yields), so the
+    /// hot sweep path does no per-call catalogue filtering or allocation.
     pub fn predict_component_with(
         &self,
         component: Component,
@@ -244,12 +244,38 @@ impl SramPowerModel {
         library: &TechLibrary,
         scratch: &mut FeatureScratch,
     ) -> f64 {
-        sram_positions_for(component)
-            .into_iter()
-            .filter_map(|p| {
-                self.predict_position_with(p.id, config, events, workload, library, scratch)
+        self.positions
+            .iter()
+            .filter(|m| m.hardware.position().component == component)
+            .map(|m| {
+                Self::predict_model_with(
+                    m,
+                    self.pin_constant_mw,
+                    config,
+                    events,
+                    workload,
+                    library,
+                    scratch,
+                )
             })
             .sum()
+    }
+
+    /// Predicted power of one fitted position model in mW.
+    fn predict_model_with(
+        model: &PositionModel,
+        pin_constant_mw: f64,
+        config: &CpuConfig,
+        events: &EventParams,
+        workload: Workload,
+        library: &TechLibrary,
+        scratch: &mut FeatureScratch,
+    ) -> f64 {
+        let block = model.hardware.predict_block(config);
+        let (reads, writes) = model
+            .activity
+            .predict_with(config, events, workload, scratch);
+        mapping::predicted_block_power_mw(&block, reads, writes, pin_constant_mw, library)
     }
 
     /// Predicted SRAM power of the whole core in mW.
@@ -338,7 +364,7 @@ impl Codec for SramPowerModel {
 mod tests {
     use super::*;
     use crate::dataset::CorpusSpec;
-    use autopower_config::{boom_configs, Workload};
+    use autopower_config::{boom_configs, sram_positions_for, Workload};
     use autopower_ml::metrics;
 
     fn corpus() -> Corpus {

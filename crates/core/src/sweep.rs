@@ -13,10 +13,28 @@
 //! The engine shards the `configs × workloads` cross product into bounded
 //! chunks and runs each chunk through the same `parallel_map` substrate the
 //! corpus pipeline uses.  Each job simulates one pair, predicts its power, and
-//! keeps only a compact [`SweepPoint`] — the heavyweight `SimResult` dies with
-//! the job, so memory stays flat no matter how many configurations are swept.
-//! Results are collected in input order, making the sweep bit-identical for
-//! every worker-thread count.
+//! keeps only a compact [`SweepPoint`] — the heavyweight simulation state dies
+//! with the job, so memory stays flat no matter how many configurations are
+//! swept.  Results are collected in input order, making the sweep bit-identical
+//! for every worker-thread count.
+//!
+//! Two optimizations make sweep-side simulation run at prediction-like cost,
+//! both provably exact:
+//!
+//! * **Allocation-free hot loop** — every worker owns one
+//!   [`SimScratch`] (reused pipeline machine +
+//!   materialized instruction streams), one [`FeatureScratch`] and one reusable
+//!   [`EventParams`], and runs the counters-only
+//!   [`simulate_counters_with`] path: interval recording is pure observation,
+//!   so skipping it cannot change the whole-run counters.
+//! * **Exact memoization** — the engine keys each simulation by
+//!   [`SimKey`], the projection of the configuration
+//!   onto the parameters the simulator actually reads.  Configurations that
+//!   differ only along simulation-invisible (power-only) axes share one
+//!   simulation; predictions still differ because the hardware features `H`
+//!   and the per-configuration event distortion are applied downstream of the
+//!   cached counters.  [`SweepSpec::use_sim_cache`] disables the cache for
+//!   audits; output is bit-identical either way.
 //!
 //! Points carry typed [`Prediction`]s: a total-only model contributes totals
 //! and nothing else, a group-resolving model contributes per-group structure,
@@ -30,7 +48,10 @@ use crate::pipeline::parallel_map_with;
 use crate::power_model::PowerModel;
 use crate::prediction::Prediction;
 use autopower_config::{CpuConfig, Workload};
-use autopower_perfsim::{simulate, SimConfig};
+use autopower_perfsim::{
+    simulate_counters_with, EventCounters, EventParams, SimCache, SimCacheStats, SimConfig, SimKey,
+    SimScratch,
+};
 use autopower_powersim::PowerGroups;
 
 /// Knobs of a design-space sweep.
@@ -45,6 +66,11 @@ pub struct SweepSpec {
     pub threads: usize,
     /// Configurations per shard; bounds peak memory and work-queue length.
     pub chunk_configs: usize,
+    /// Whether to memoize simulation results across the sweep.  Two
+    /// configurations differing only along simulation-invisible axes then
+    /// share one simulation — an exact deduplication, bit-identical output
+    /// either way.  On by default; disable for audits.
+    pub use_sim_cache: bool,
 }
 
 impl SweepSpec {
@@ -54,6 +80,7 @@ impl SweepSpec {
             sim: SimConfig::paper(),
             threads: 0,
             chunk_configs: 64,
+            use_sim_cache: true,
         }
     }
 
@@ -68,6 +95,12 @@ impl SweepSpec {
     /// Same settings with an explicit worker-thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same settings with the simulation cache switched on or off.
+    pub fn sim_cache(mut self, enabled: bool) -> Self {
+        self.use_sim_cache = enabled;
         self
     }
 
@@ -117,21 +150,62 @@ pub struct ConfigSummary {
     pub energy_per_instruction: f64,
 }
 
+/// Per-worker reusable state of a sweep: simulation scratch, feature-row
+/// scratch and one event-parameter set absorbing every derivation.
+struct SweepScratch {
+    sim: SimScratch,
+    features: FeatureScratch,
+    events: EventParams,
+}
+
+impl SweepScratch {
+    fn new() -> Self {
+        Self {
+            sim: SimScratch::new(),
+            features: FeatureScratch::new(),
+            events: EventParams::empty(),
+        }
+    }
+}
+
+/// Whole-run counters for one pair, answered from `cache` when enabled.
+fn simulated_counters(
+    cache: Option<&SimCache>,
+    config: &CpuConfig,
+    workload: Workload,
+    sim: &SimConfig,
+    scratch: &mut SimScratch,
+) -> EventCounters {
+    match cache {
+        Some(cache) => cache.counters_for(SimKey::new(config, workload, sim), || {
+            simulate_counters_with(config, workload, sim, scratch)
+        }),
+        None => simulate_counters_with(config, workload, sim, scratch),
+    }
+}
+
 /// Sweeps a set of configurations through a trained model.
 ///
 /// Model-agnostic: the engine holds a [`&dyn PowerModel`](PowerModel), so any
 /// registry model ([`ModelKind`](crate::ModelKind)) — AutoPower or a baseline —
-/// drives the same batch-inference path.
-#[derive(Debug, Clone, Copy)]
+/// drives the same batch-inference path.  The engine owns the [`SimCache`]
+/// that deduplicates simulations across everything it runs; its
+/// [`SweepEngine::cache_stats`] feed the sweep report.
+#[derive(Debug)]
 pub struct SweepEngine<'a> {
     model: &'a dyn PowerModel,
     spec: SweepSpec,
+    cache: SimCache,
 }
 
 impl<'a> SweepEngine<'a> {
     /// Creates an engine around any trained [`PowerModel`].
     pub fn new(model: &'a dyn PowerModel, spec: SweepSpec) -> Self {
-        Self { model, spec }
+        Self {
+            model,
+            spec,
+            cache: SimCache::new(),
+        }
     }
 
     /// The sweep settings.
@@ -139,33 +213,76 @@ impl<'a> SweepEngine<'a> {
         &self.spec
     }
 
+    /// Hit/miss statistics of the simulation cache across every sweep this
+    /// engine has run (all zero when the cache is disabled or unused).
+    pub fn cache_stats(&self) -> SimCacheStats {
+        self.cache.stats()
+    }
+
+    /// Scores one `(configuration, workload)` pair into a [`SweepPoint`],
+    /// reusing `scratch` for simulation, event derivation and feature rows.
+    fn score_point(
+        &self,
+        cache: Option<&SimCache>,
+        config: &CpuConfig,
+        workload: Workload,
+        scratch: &mut SweepScratch,
+    ) -> SweepPoint {
+        let counters =
+            simulated_counters(cache, config, workload, &self.spec.sim, &mut scratch.sim);
+        EventParams::from_counters_into(
+            &counters,
+            config.id,
+            workload,
+            self.spec.sim.event_distortion,
+            &mut scratch.events,
+        );
+        SweepPoint {
+            config: *config,
+            workload,
+            power: self.model.predict_with(
+                config,
+                &scratch.events,
+                workload,
+                &mut scratch.features,
+            ),
+            ipc: counters.ipc(),
+        }
+    }
+
     /// Scores every `(configuration, workload)` pair, configuration-major, in
     /// deterministic input order.
     pub fn run(&self, configs: &[CpuConfig], workloads: &[Workload]) -> Vec<SweepPoint> {
         let threads = self.spec.effective_threads();
         let per_config = workloads.len();
+        let cache = self.spec.use_sim_cache.then_some(&self.cache);
+        if threads <= 1 {
+            // Serial fast path: one scratch for the whole sweep, so replay
+            // streams and pipeline state are materialized once instead of
+            // once per shard.  Scoring order — and therefore output — is
+            // identical to the sharded path.
+            let mut scratch = SweepScratch::new();
+            return configs
+                .iter()
+                .flat_map(|config| workloads.iter().map(move |&w| (*config, w)))
+                .map(|(config, workload)| self.score_point(cache, &config, workload, &mut scratch))
+                .collect();
+        }
         let chunk = self.spec.chunk_configs.max(1);
         let mut points = Vec::with_capacity(configs.len() * per_config);
         for shard in configs.chunks(chunk) {
-            // Each worker owns one FeatureScratch for its whole lifetime, so
-            // scoring a point assembles every feature row into reused storage
-            // instead of allocating per sub-model.
+            // Each worker owns one SweepScratch for its whole lifetime, so
+            // scoring a point simulates into a reused machine, derives events
+            // into reused storage and assembles every feature row without
+            // allocating per sub-model.
             points.extend(parallel_map_with(
                 threads,
                 shard.len() * per_config,
-                FeatureScratch::new,
+                SweepScratch::new,
                 |scratch, i| {
                     let config = shard[i / per_config];
                     let workload = workloads[i % per_config];
-                    let sim = simulate(&config, workload, &self.spec.sim);
-                    SweepPoint {
-                        config,
-                        workload,
-                        power: self
-                            .model
-                            .predict_with(&config, &sim.events, workload, scratch),
-                        ipc: sim.ipc(),
-                    }
+                    self.score_point(cache, &config, workload, scratch)
                 },
             ));
         }
@@ -197,29 +314,89 @@ pub fn sweep_multi(
     configs: &[CpuConfig],
     workloads: &[Workload],
 ) -> Vec<Vec<SweepPoint>> {
+    sweep_multi_with_stats(models, spec, configs, workloads).0
+}
+
+/// [`sweep_multi`] returning the simulation-cache statistics alongside the
+/// per-model points (for comparison reports).
+pub fn sweep_multi_with_stats(
+    models: &[&dyn PowerModel],
+    spec: &SweepSpec,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+) -> (Vec<Vec<SweepPoint>>, SimCacheStats) {
     let threads = spec.effective_threads();
     let per_config = workloads.len();
     let chunk = spec.chunk_configs.max(1);
+    let cache = SimCache::new();
+    let cache_ref = spec.use_sim_cache.then_some(&cache);
     let mut results: Vec<Vec<SweepPoint>> = models
         .iter()
         .map(|_| Vec::with_capacity(configs.len() * per_config))
         .collect();
+    if threads <= 1 {
+        // Serial fast path mirroring SweepEngine::run: one scratch for the
+        // whole sweep, identical scoring order.
+        let mut scratch = SweepScratch::new();
+        for config in configs {
+            for &workload in workloads {
+                let counters =
+                    simulated_counters(cache_ref, config, workload, &spec.sim, &mut scratch.sim);
+                EventParams::from_counters_into(
+                    &counters,
+                    config.id,
+                    workload,
+                    spec.sim.event_distortion,
+                    &mut scratch.events,
+                );
+                let ipc = counters.ipc();
+                for (model, slot) in models.iter().zip(results.iter_mut()) {
+                    slot.push(SweepPoint {
+                        config: *config,
+                        workload,
+                        power: model.predict_with(
+                            config,
+                            &scratch.events,
+                            workload,
+                            &mut scratch.features,
+                        ),
+                        ipc,
+                    });
+                }
+            }
+        }
+        let stats = cache.stats();
+        return (results, stats);
+    }
     for shard in configs.chunks(chunk) {
         let shard_points = parallel_map_with(
             threads,
             shard.len() * per_config,
-            FeatureScratch::new,
+            SweepScratch::new,
             |scratch, i| {
                 let config = shard[i / per_config];
                 let workload = workloads[i % per_config];
-                let sim = simulate(&config, workload, &spec.sim);
-                let ipc = sim.ipc();
+                let counters =
+                    simulated_counters(cache_ref, &config, workload, &spec.sim, &mut scratch.sim);
+                EventParams::from_counters_into(
+                    &counters,
+                    config.id,
+                    workload,
+                    spec.sim.event_distortion,
+                    &mut scratch.events,
+                );
+                let ipc = counters.ipc();
                 models
                     .iter()
                     .map(|model| SweepPoint {
                         config,
                         workload,
-                        power: model.predict_with(&config, &sim.events, workload, scratch),
+                        power: model.predict_with(
+                            &config,
+                            &scratch.events,
+                            workload,
+                            &mut scratch.features,
+                        ),
                         ipc,
                     })
                     .collect::<Vec<_>>()
@@ -231,7 +408,8 @@ pub fn sweep_multi(
             }
         }
     }
-    results
+    let stats = cache.stats();
+    (results, stats)
 }
 
 /// Sorts summaries by predicted energy per instruction, best (lowest) first.
@@ -388,6 +566,49 @@ mod tests {
         let parallel =
             SweepEngine::new(&model, SweepSpec::fast().threads(8)).run(&configs, &workloads);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_deduplicates_invisible_axes() {
+        use autopower_config::HwParam;
+        let model = trained_model();
+        // Two configurations differing only in BranchCount within one
+        // predictor bucket (10 and 16 both round to 4096 entries): the
+        // simulation cannot tell them apart, the power model can.
+        let space = DesignSpace::boom()
+            .with_axis(HwParam::FetchWidth, vec![4])
+            .with_axis(HwParam::DecodeWidth, vec![2])
+            .with_axis(HwParam::RobEntry, vec![64])
+            .with_axis(HwParam::IntIssueWidth, vec![2])
+            .with_axis(HwParam::MemFpIssueWidth, vec![1])
+            .with_axis(HwParam::CacheWay, vec![4])
+            .with_axis(HwParam::DtlbEntry, vec![16])
+            .with_axis(HwParam::BranchCount, vec![10, 16])
+            .with_axis(HwParam::MshrEntry, vec![4]);
+        let configs: Vec<_> = space.enumerate().collect();
+        assert_eq!(configs.len(), 2);
+        let workloads = [Workload::Dhrystone, Workload::Qsort];
+
+        let cached_engine = SweepEngine::new(&model, SweepSpec::fast().threads(1));
+        let cached = cached_engine.run(&configs, &workloads);
+        let uncached_engine =
+            SweepEngine::new(&model, SweepSpec::fast().threads(1).sim_cache(false));
+        let uncached = uncached_engine.run(&configs, &workloads);
+        assert_eq!(cached, uncached, "cache changed sweep output");
+
+        // The second configuration's simulations were answered from the cache.
+        let stats = cached_engine.cache_stats();
+        assert_eq!(stats.misses, workloads.len() as u64);
+        assert_eq!(stats.hits, workloads.len() as u64);
+        assert_eq!(stats.hit_rate(), 0.5);
+        let off = uncached_engine.cache_stats();
+        assert_eq!((off.hits, off.misses), (0, 0));
+
+        // Shared simulation, distinct predictions: IPC (a counter projection)
+        // matches across the pair, power (H features + per-config distortion)
+        // does not.
+        assert_eq!(cached[0].ipc, cached[2].ipc);
+        assert_ne!(cached[0].power, cached[2].power);
     }
 
     #[test]

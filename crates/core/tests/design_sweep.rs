@@ -1,0 +1,48 @@
+//! End-to-end invariance of the design-space sweep: the simulation cache and
+//! the worker count are pure performance knobs — every combination scores the
+//! exact same points, bit for bit.
+
+use autopower::{AutoPower, Corpus, CorpusSpec, SweepEngine, SweepPoint, SweepSpec};
+use autopower_config::{boom_configs, ConfigId, DesignSpace, Workload};
+
+fn trained_model() -> AutoPower {
+    let cfgs = boom_configs();
+    let corpus = Corpus::generate(
+        &[cfgs[0], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Vvadd],
+        &CorpusSpec::fast(),
+    );
+    AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)]).unwrap()
+}
+
+fn run_sweep(model: &AutoPower, spec: SweepSpec) -> Vec<SweepPoint> {
+    // A generated space plus the paper's named configurations, so the sweep
+    // crosses both sampled and hand-picked parameter combinations.
+    let mut configs = DesignSpace::boom().sample(8, 2025);
+    configs.extend_from_slice(&boom_configs()[..4]);
+    let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+    SweepEngine::new(model, spec).run(&configs, &workloads)
+}
+
+#[test]
+fn sweep_is_bit_identical_with_and_without_cache_at_any_thread_count() {
+    let model = trained_model();
+    // Cache off, serial, single-configuration shards: the historical
+    // reference behaviour every other combination must reproduce exactly.
+    let reference = run_sweep(
+        &model,
+        SweepSpec {
+            chunk_configs: 1,
+            ..SweepSpec::fast().threads(1).sim_cache(false)
+        },
+    );
+    for threads in [1, 2, 8] {
+        for cached in [false, true] {
+            let points = run_sweep(&model, SweepSpec::fast().threads(threads).sim_cache(cached));
+            assert_eq!(
+                reference, points,
+                "sweep diverged at threads={threads}, cache={cached}"
+            );
+        }
+    }
+}

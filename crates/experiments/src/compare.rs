@@ -9,13 +9,15 @@
 //! unanswerable.  Now every model drives the identical batch-inference path,
 //! so disagreement is a one-loop experiment.
 
+use crate::design_sweep::describe_cache;
 use crate::report::format_table;
 use crate::Experiments;
 use autopower::{
-    rank_by_efficiency, summarize, sweep_multi, AutoPowerError, ConfigSummary, ModelKind,
-    PowerGroups, PowerModel,
+    rank_by_efficiency, summarize, sweep_multi_with_stats, AutoPowerError, ConfigSummary,
+    ModelKind, PowerGroups, PowerModel,
 };
 use autopower_config::{ConfigId, Workload};
+use autopower_perfsim::SimCacheStats;
 use std::fmt;
 
 /// How many best-by-efficiency configurations the rank-divergence report uses.
@@ -34,6 +36,10 @@ pub struct ModelComparison {
     /// in [`ModelKind::ALL`] order; all entries cover the same configurations
     /// in the same draw order.
     pub per_model: Vec<(ModelKind, Vec<ConfigSummary>)>,
+    /// Simulation-cache statistics of the shared sweep (`None` when the cache
+    /// was disabled).  The simulations are shared by all models, so these
+    /// numbers describe the whole comparison, not one model.
+    pub cache_stats: Option<SimCacheStats>,
 }
 
 impl ModelComparison {
@@ -154,6 +160,7 @@ impl fmt::Display for ModelComparison {
                 .collect::<Vec<_>>()
                 .join("+"),
         )?;
+        writeln!(f, "{}", describe_cache(self.cache_stats))?;
         writeln!(f)?;
 
         // Headline disagreement per model, AutoPower as the reference.  Every
@@ -248,8 +255,8 @@ impl Experiments {
     /// same training set, same sweep settings), so the compared space is
     /// exactly the space the `sweep` experiment scores.  The performance
     /// simulation of each `(configuration, workload)` pair runs once and is
-    /// shared by all models ([`sweep_multi`]) — simulation output does not
-    /// depend on the model.
+    /// shared by all models ([`sweep_multi_with_stats`]) — simulation output
+    /// does not depend on the model.
     ///
     /// # Errors
     ///
@@ -267,7 +274,8 @@ impl Experiments {
             .map(|kind| kind.train(&corpus, &inputs.train))
             .collect::<Result<Vec<Box<dyn PowerModel>>, AutoPowerError>>()?;
         let refs: Vec<&dyn PowerModel> = models.iter().map(Box::as_ref).collect();
-        let point_sets = sweep_multi(&refs, &inputs.spec, &inputs.configs, &inputs.workloads);
+        let (point_sets, cache_stats) =
+            sweep_multi_with_stats(&refs, &inputs.spec, &inputs.configs, &inputs.workloads);
         let per_model = ModelKind::ALL
             .into_iter()
             .zip(point_sets)
@@ -278,6 +286,7 @@ impl Experiments {
             workloads: inputs.workloads,
             top_k: TOP_K,
             per_model,
+            cache_stats: inputs.spec.use_sim_cache.then_some(cache_stats),
         })
     }
 }

@@ -15,6 +15,7 @@ use autopower::{
     rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, ModelKind, SweepEngine, SweepSpec,
 };
 use autopower_config::{ConfigId, CpuConfig, DesignSpace, HwParam, Workload};
+use autopower_perfsim::SimCacheStats;
 use std::fmt;
 
 /// Seed of the design-space draw: fixed so the swept configurations (and hence
@@ -37,6 +38,9 @@ pub struct DesignSweepResult {
     pub workloads: Vec<Workload>,
     /// One summary per generated configuration, in draw order.
     pub summaries: Vec<ConfigSummary>,
+    /// Simulation-cache statistics of the sweep — `None` when the cache was
+    /// disabled (`--no-sim-cache`).
+    pub cache_stats: Option<SimCacheStats>,
 }
 
 impl DesignSweepResult {
@@ -110,6 +114,7 @@ impl fmt::Display for DesignSweepResult {
             self.model.paper_name(),
             provenance,
         )?;
+        writeln!(f, "{}", describe_cache(self.cache_stats))?;
         writeln!(f)?;
         writeln!(
             f,
@@ -187,6 +192,26 @@ impl fmt::Display for DesignSweepResult {
     }
 }
 
+/// One report line describing what the simulation cache did for a sweep.
+///
+/// Shared by the `sweep` and `compare` reports so the wording (and the
+/// "disabled" spelling the `--no-sim-cache` runs grep for) stays in one place.
+pub(crate) fn describe_cache(stats: Option<SimCacheStats>) -> String {
+    match stats {
+        Some(s) if s.hits > 0 => format!(
+            "simulation cache: {} of {} simulations deduplicated ({:.1}% hit rate)",
+            s.hits,
+            s.hits + s.misses,
+            100.0 * s.hit_rate(),
+        ),
+        Some(s) => format!(
+            "simulation cache: no duplicates among {} simulations",
+            s.misses
+        ),
+        None => "simulation cache: disabled".to_owned(),
+    }
+}
+
 /// Everything a design-space sweep needs besides a trained model: the
 /// training set, the fixed-seeded generated configurations and the sweep
 /// settings.  Deliberately *without* a corpus — a sweep under a loaded model
@@ -211,6 +236,7 @@ impl Experiments {
             spec: SweepSpec {
                 sim: self.settings().average_sim,
                 threads: self.settings().threads,
+                use_sim_cache: self.settings().sim_cache,
                 ..SweepSpec::paper()
             },
         }
@@ -285,12 +311,14 @@ impl Experiments {
         model: &dyn autopower::PowerModel,
         train_configs: Option<Vec<ConfigId>>,
     ) -> DesignSweepResult {
-        let points = SweepEngine::new(model, inputs.spec).run(&inputs.configs, &inputs.workloads);
+        let engine = SweepEngine::new(model, inputs.spec);
+        let points = engine.run(&inputs.configs, &inputs.workloads);
         DesignSweepResult {
             model: model.kind(),
             train_configs,
             summaries: summarize(&points, inputs.workloads.len()),
             workloads: inputs.workloads,
+            cache_stats: inputs.spec.use_sim_cache.then(|| engine.cache_stats()),
         }
     }
 }

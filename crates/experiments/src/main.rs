@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! autopower-experiments [--fast] [--threads N] [--count N] [--model NAME]
-//!                       [--load-model FILE] [--out FILE] [EXPERIMENT ...]
+//!                       [--load-model FILE] [--out FILE] [--no-sim-cache]
+//!                       [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
@@ -21,8 +22,13 @@
 //! makes `sweep` and `table4` restore that trained model instead of
 //! retraining — the results are bit-identical to the retrained run.  Flags
 //! and experiment names may appear in any order; unknown or duplicate
-//! experiment names, unknown model names and `--load-model` on experiments
-//! that retrain by design are rejected before any corpus is generated.
+//! experiment names, unknown model names, `--load-model` on experiments
+//! that retrain by design and `--no-sim-cache` on experiments that never
+//! cache simulations are rejected before any corpus is generated.
+//!
+//! `--no-sim-cache` disables the sweep engine's exact simulation memoization
+//! (`sweep` and `compare` only) — an audit knob; the scored points are
+//! bit-identical either way.
 
 use autopower::{CorpusSpec, ModelKind};
 use autopower_experiments::{ExperimentSettings, Experiments};
@@ -38,6 +44,11 @@ const ALL_EXPERIMENTS: [&str; 12] = [
 /// `compare` for every registry entry).
 const LOADABLE_EXPERIMENTS: [&str; 2] = ["sweep", "table4"];
 
+/// Experiments `--no-sim-cache` applies to: the ones that run the batch sweep
+/// engine and therefore memoize simulations across configurations.  The flag
+/// is an audit knob — the scored points are bit-identical either way.
+const SIM_CACHE_EXPERIMENTS: [&str; 2] = ["sweep", "compare"];
+
 /// The verb that trains and saves a model instead of running an experiment
 /// (deliberately not part of `all`: it writes a file).
 const SAVE_MODEL: &str = "save-model";
@@ -52,13 +63,16 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] \
-         [--load-model FILE] [--out FILE] [{}|{SAVE_MODEL}|all ...]\nmodels: {} (default: {})\n\
+         [--load-model FILE] [--out FILE] [--no-sim-cache] [{}|{SAVE_MODEL}|all ...]\n\
+         models: {} (default: {})\n\
          {SAVE_MODEL} trains --model and writes it to --out (default <model>.apm); \
-         --load-model applies to {} only",
+         --load-model applies to {} only; --no-sim-cache disables sweep simulation \
+         memoization ({} only, bit-identical output)",
         ALL_EXPERIMENTS.join("|"),
         models.join(", "),
         ModelKind::AutoPower,
         LOADABLE_EXPERIMENTS.join("/"),
+        SIM_CACHE_EXPERIMENTS.join("/"),
     )
 }
 
@@ -81,6 +95,9 @@ struct CliArgs {
     load_model: Option<String>,
     /// Output path of the `save-model` verb.
     out: Option<String>,
+    /// Whether the sweep experiments memoize simulations across
+    /// configurations (`--no-sim-cache` clears it; `sweep`/`compare` only).
+    sim_cache: bool,
     help: bool,
     requested: Vec<String>,
 }
@@ -99,6 +116,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         model_explicit: false,
         load_model: None,
         out: None,
+        sim_cache: true,
         help: false,
         requested: Vec::new(),
     };
@@ -106,6 +124,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fast" => parsed.fast = true,
+            "--no-sim-cache" => parsed.sim_cache = false,
             "--help" | "-h" => parsed.help = true,
             "--threads" => {
                 let value = iter
@@ -179,6 +198,19 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
             return Err(format!(
                 "--load-model applies to {} only; '{bad}' retrains by design\n{}",
                 LOADABLE_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
+    if !parsed.sim_cache {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !SIM_CACHE_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--no-sim-cache applies to {} only; '{bad}' never caches simulations\n{}",
+                SIM_CACHE_EXPERIMENTS.join("/"),
                 usage()
             ));
         }
@@ -328,7 +360,8 @@ fn main() -> ExitCode {
     } else {
         ExperimentSettings::paper()
     }
-    .with_threads(args.threads);
+    .with_threads(args.threads)
+    .with_sim_cache(args.sim_cache);
     let experiments = Experiments::new(settings);
     // Resolve through CorpusSpec so the banner always matches the worker count
     // generation will actually use.
@@ -495,6 +528,33 @@ mod tests {
         let err = parse_args(args(&["compare", "--load-model", "m.apm"])).unwrap_err();
         assert!(err.contains("retrains by design"));
         assert!(parse_args(args(&["--load-model"])).is_err());
+    }
+
+    #[test]
+    fn no_sim_cache_flag_applies_to_sweeping_experiments_only() {
+        // Default: the cache is on.
+        let parsed = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert!(parsed.sim_cache);
+        // Accepted on the sweeping verbs, alone or together.
+        for list in [
+            &["sweep", "--no-sim-cache"][..],
+            &["--no-sim-cache", "compare"][..],
+        ] {
+            let parsed = parse_args(args(list)).expect("valid arguments");
+            assert!(!parsed.sim_cache);
+        }
+        let parsed =
+            parse_args(args(&["--no-sim-cache", "sweep", "compare"])).expect("valid arguments");
+        assert!(!parsed.sim_cache);
+        // Rejected at parse time on experiments that never cache simulations
+        // (including the implicit `all` expansion).
+        let err = parse_args(args(&["fig4", "--no-sim-cache"])).unwrap_err();
+        assert!(err.contains("never caches simulations"));
+        assert!(parse_args(args(&["--no-sim-cache"])).is_err());
+        assert!(parse_args(args(&["all", "--no-sim-cache"])).is_err());
+        // `--no-sim-cache=x` is not a form the flag takes.
+        let err = parse_args(args(&["sweep", "--no-sim-cache=1"])).unwrap_err();
+        assert!(err.contains("unknown flag"));
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct ExperimentSettings {
     /// available core, `1` = serial); forwarded to the `threads` knob of
     /// [`CorpusSpec`](autopower::CorpusSpec).
     pub threads: usize,
+    /// Whether the sweep experiments memoize simulations across configurations
+    /// (forwarded to [`SweepSpec::use_sim_cache`](autopower::SweepSpec)); the
+    /// scored points are bit-identical either way.
+    pub sim_cache: bool,
 }
 
 fn ids(indices: &[u8]) -> Vec<ConfigId> {
@@ -57,6 +61,7 @@ impl ExperimentSettings {
                 ids(&[1, 4, 7, 10, 13, 15]),
             ],
             threads: 0,
+            sim_cache: true,
         }
     }
 
@@ -78,12 +83,19 @@ impl ExperimentSettings {
             train_three: ids(&[1, 7, 15]),
             sweep_training_sets: vec![ids(&[1, 15]), ids(&[1, 7, 15]), ids(&[1, 7, 13, 15])],
             threads: 0,
+            sim_cache: true,
         }
     }
 
     /// Same settings with an explicit corpus-generation worker count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same settings with the sweep simulation cache switched on or off.
+    pub fn with_sim_cache(mut self, enabled: bool) -> Self {
+        self.sim_cache = enabled;
         self
     }
 

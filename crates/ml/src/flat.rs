@@ -16,6 +16,14 @@
 use crate::matrix::Matrix;
 use crate::tree::{Node, RegressionTree};
 
+/// Depth of a tree rooted at `node` (a bare leaf has depth 0).
+fn node_depth(node: &Node) -> u32 {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Split { left, right, .. } => 1 + node_depth(left).max(node_depth(right)),
+    }
+}
+
 /// Sentinel in [`FlatNode::feature`] marking a leaf node (the `threshold`
 /// slot then holds the leaf weight).
 const LEAF: u32 = u32::MAX;
@@ -44,6 +52,9 @@ pub struct FlatForest {
     nodes: Vec<FlatNode>,
     /// Root node index of each tree, in boosting order.
     roots: Vec<u32>,
+    /// Depth of the deepest tree (0 = every tree is a bare leaf); bounds the
+    /// fixed-step level-synchronous walk of [`FlatForest::predict_row`].
+    max_depth: u32,
 }
 
 impl FlatForest {
@@ -57,18 +68,44 @@ impl FlatForest {
             learning_rate,
             ..Self::default()
         };
+        forest.max_depth = trees
+            .iter()
+            .filter_map(RegressionTree::root_node)
+            .map(node_depth)
+            .max()
+            .unwrap_or(0);
         for tree in trees {
             if let Some(root) = tree.root_node() {
-                let idx = forest.push_node(root);
+                let idx = forest.push_node(root, forest.max_depth);
                 forest.roots.push(idx);
             }
         }
         forest
     }
 
-    fn push_node(&mut self, node: &Node) -> u32 {
+    /// Flattens `node` with `levels` walk steps left to spend, padding early
+    /// leaves so every root-to-leaf path consumes exactly
+    /// `max_depth` steps.
+    ///
+    /// A leaf reached with steps to spare gets a chain of pass-through splits
+    /// above it — `x[0] <= +∞` always descends left, and the stored right
+    /// child aliases the left so even a NaN probe converges — which lets
+    /// [`FlatForest::predict_row`] walk a fixed step count with no
+    /// leaf-reached check (an unpredictable branch) in its hot loop.  The
+    /// padded tree reaches the same leaf as the original for every input, so
+    /// predictions are unchanged.
+    fn push_node(&mut self, node: &Node, levels: u32) -> u32 {
         let idx = u32::try_from(self.nodes.len()).expect("forest exceeds u32 node indices");
         match node {
+            Node::Leaf { .. } if levels > 0 => {
+                self.nodes.push(FlatNode {
+                    feature: 0,
+                    right: idx + 1,
+                    threshold: f64::INFINITY,
+                });
+                let below = self.push_node(node, levels - 1);
+                debug_assert_eq!(below, idx + 1, "padded child is the next node");
+            }
             Node::Leaf { weight } => {
                 self.nodes.push(FlatNode {
                     feature: LEAF,
@@ -89,9 +126,9 @@ impl FlatForest {
                 });
                 // Preorder: the left subtree directly follows its parent, so
                 // only the right-child index needs storing.
-                let left_idx = self.push_node(left);
+                let left_idx = self.push_node(left, levels - 1);
                 debug_assert_eq!(left_idx, idx + 1, "left child is the next node");
-                let right_idx = self.push_node(right);
+                let right_idx = self.push_node(right, levels - 1);
                 self.nodes[idx as usize].right = right_idx;
             }
         }
@@ -127,10 +164,95 @@ impl FlatForest {
 
     /// Predicts one row: `base_score + Σ learning_rate · leaf`, trees in
     /// boosting order (bit-identical to the recursive ensemble).
+    ///
+    /// The walk is level-synchronous: a block of trees descends one level per
+    /// pass, so the (data-dependent) node loads of independent trees overlap
+    /// instead of serialising behind each other.  Compile-time padding makes
+    /// every path exactly `max_depth` steps long, so the
+    /// descend is a single conditional move per level with no
+    /// leaf-reached check (an unpredictable branch) in the hot loop.  Leaf
+    /// values are still accumulated in boosting order, so the result is
+    /// bit-identical to the sequential walk.
     pub fn predict_row(&self, x: &[f64]) -> f64 {
+        if x.is_empty() || self.max_depth == 0 {
+            return self.predict_row_sequential(x);
+        }
+        // Monomorphised fixed-depth walks for the depths the models use: a
+        // compile-time step count unrolls the descend loop completely.
+        match self.max_depth {
+            1 => self.predict_row_fixed::<1>(x),
+            2 => self.predict_row_fixed::<2>(x),
+            3 => self.predict_row_fixed::<3>(x),
+            4 => self.predict_row_fixed::<4>(x),
+            _ => self.predict_row_blocked(x),
+        }
+    }
+
+    /// The plain one-tree-at-a-time walk (also the bare-leaf/empty-row path).
+    fn predict_row_sequential(&self, x: &[f64]) -> f64 {
         let mut acc = 0.0;
         for &root in &self.roots {
             acc += self.learning_rate * self.tree_leaf(root, x);
+        }
+        self.base_score + acc
+    }
+
+    /// Fixed-depth walk, four trees at a time in locals: `D` is the padded
+    /// uniform depth, so the descend is `D` unrolled conditional-move steps
+    /// per tree and the four chains keep their node loads in flight together.
+    fn predict_row_fixed<const D: u32>(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(self.max_depth, D);
+        let mut acc = 0.0;
+        let mut quads = self.roots.chunks_exact(8);
+        for quad in quads.by_ref() {
+            let mut idx = [0usize; 8];
+            for (slot, &root) in idx.iter_mut().zip(quad) {
+                *slot = root as usize;
+            }
+            for _ in 0..D {
+                for slot in &mut idx {
+                    let node = self.nodes[*slot];
+                    *slot = if x[node.feature as usize] <= node.threshold {
+                        *slot + 1
+                    } else {
+                        node.right as usize
+                    };
+                }
+            }
+            // Leaf sums stay in boosting order: the strips partition the roots
+            // sequentially, so the result is bit-identical to the plain walk.
+            for &slot in &idx {
+                acc += self.learning_rate * self.nodes[slot].threshold;
+            }
+        }
+        for &root in quads.remainder() {
+            acc += self.learning_rate * self.tree_leaf(root, x);
+        }
+        self.base_score + acc
+    }
+
+    /// Level-synchronous walk for unusually deep forests: a block of trees
+    /// descends one level per pass so independent node loads overlap.
+    fn predict_row_blocked(&self, x: &[f64]) -> f64 {
+        const BLOCK: usize = 64;
+        let mut idx = [0u32; BLOCK];
+        let mut acc = 0.0;
+        for roots in self.roots.chunks(BLOCK) {
+            let n = roots.len();
+            idx[..n].copy_from_slice(roots);
+            for _ in 0..self.max_depth {
+                for slot in idx[..n].iter_mut() {
+                    let node = self.nodes[*slot as usize];
+                    *slot = if x[node.feature as usize] <= node.threshold {
+                        *slot + 1
+                    } else {
+                        node.right
+                    };
+                }
+            }
+            for &slot in &idx[..n] {
+                acc += self.learning_rate * self.nodes[slot as usize].threshold;
+            }
         }
         self.base_score + acc
     }

@@ -35,6 +35,22 @@ impl BranchPredictor {
         }
     }
 
+    /// Restores the construction state for `branch_count`, reusing the counter
+    /// table allocation whenever it is large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch_count` is zero.
+    pub fn reset(&mut self, branch_count: u32) {
+        assert!(branch_count > 0, "branch count must be positive");
+        let entries = (256 * branch_count as usize).next_power_of_two();
+        self.counters.clear();
+        self.counters.resize(entries, 2);
+        self.history = 0;
+        self.history_bits = 0;
+    }
+
+    #[inline]
     fn index(&self, site: u16) -> usize {
         let mask = (self.counters.len() - 1) as u64;
         ((site as u64).wrapping_mul(0x9E37_79B9) ^ self.history) as usize & mask as usize
@@ -42,15 +58,18 @@ impl BranchPredictor {
 
     /// Predicts the direction of the branch at `site` and updates the predictor with the
     /// actual outcome; returns `true` if the prediction was correct.
+    #[inline]
     pub fn predict_and_update(&mut self, site: u16, taken: bool) -> bool {
         let idx = self.index(site);
-        let predicted_taken = self.counters[idx] >= 2;
-        // Update the 2-bit counter.
-        if taken {
-            self.counters[idx] = (self.counters[idx] + 1).min(3);
-        } else {
-            self.counters[idx] = self.counters[idx].saturating_sub(1);
-        }
+        let counter = self.counters[idx];
+        let predicted_taken = counter >= 2;
+        // Update the 2-bit counter. Both saturating directions are computed
+        // unconditionally so the select compiles to a conditional move — the
+        // outcome is data-dependent, exactly what branch prediction (the
+        // host's!) is worst at.
+        let up = (counter + 1).min(3);
+        let down = counter.saturating_sub(1);
+        self.counters[idx] = if taken { up } else { down };
         // Update the global history.
         self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
         predicted_taken == taken
@@ -118,5 +137,23 @@ mod tests {
     #[test]
     fn table_size_scales_with_branch_count() {
         assert!(BranchPredictor::new(20).table_size() > BranchPredictor::new(6).table_size());
+    }
+
+    #[test]
+    fn reset_matches_fresh_predictor() {
+        let mut used = BranchPredictor::new(20);
+        for i in 0..500u16 {
+            used.predict_and_update(i % 64, i % 3 == 0);
+        }
+        used.reset(6);
+        let mut fresh = BranchPredictor::new(6);
+        assert_eq!(used.table_size(), fresh.table_size());
+        for i in 0..2000u16 {
+            let taken = i % 7 < 3;
+            assert_eq!(
+                used.predict_and_update(i % 61, taken),
+                fresh.predict_and_update(i % 61, taken)
+            );
+        }
     }
 }

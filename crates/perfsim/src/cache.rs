@@ -9,20 +9,41 @@ pub enum AccessOutcome {
     Miss,
 }
 
+/// Sentinel tag marking an invalid (never filled) way.
+///
+/// Real addresses stay far below `2^58` (the simulator's working sets live
+/// around `0x8000_0000`), so after removing the set/offset bits no valid tag
+/// can collide with the sentinel.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// A set-associative, write-allocate cache with true-LRU replacement.
 ///
 /// Only the presence of lines is modelled (no data); this is all the performance and
 /// activity models need.
+///
+/// The implementation is tuned for the simulation hot loop: geometry is
+/// power-of-two so indexing is shift/mask instead of division, invalid ways
+/// are a sentinel tag (one comparison instead of an `Option` unpack), the most
+/// recently touched line short-circuits the set scan, and [`Cache::reset`]
+/// recycles the tag/stamp arrays across simulations instead of reallocating.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: usize,
     ways: usize,
-    line_bytes: u64,
-    /// `tags[set * ways + way]`; `None` means invalid.
-    tags: Vec<Option<u64>>,
-    /// LRU stamps parallel to `tags` (larger is more recent).
+    /// `log2(line_bytes)`: address-to-line shift.
+    line_shift: u32,
+    /// `log2(sets)`: line-to-tag shift.
+    set_shift: u32,
+    /// `sets - 1`: line-to-set mask.
+    set_mask: u64,
+    /// `tags[set * ways + way]`; [`INVALID_TAG`] means invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (larger is more recent; 0 is never a
+    /// valid way's stamp, the first access happens at tick 1).
     stamps: Vec<u64>,
     tick: u64,
+    /// Line of the most recent access (hit or fill) and the slot holding it.
+    last_line: u64,
+    last_slot: usize,
 }
 
 impl Cache {
@@ -30,54 +51,138 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero or `line_bytes` is not a power of two.
+    /// Panics if any dimension is zero or `sets` / `line_bytes` is not a
+    /// power of two.
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one line");
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
-            sets,
             ways,
-            line_bytes,
-            tags: vec![None; sets * ways],
+            line_shift: line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tags: vec![INVALID_TAG; sets * ways],
             stamps: vec![0; sets * ways],
             tick: 0,
+            last_line: INVALID_TAG,
+            last_slot: 0,
         }
     }
 
     /// Total capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.sets as u64 * self.ways as u64 * self.line_bytes
+        (self.sets() as u64 * self.ways as u64) << self.line_shift
+    }
+
+    /// Number of sets.
+    fn sets(&self) -> usize {
+        (self.set_mask + 1) as usize
+    }
+
+    /// Invalidates every line and restores the construction state, reusing the
+    /// allocations (the geometry arguments mirror [`Cache::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Cache::new`].
+    pub fn reset(&mut self, sets: usize, ways: usize, line_bytes: u64) {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        self.ways = ways;
+        self.line_shift = line_bytes.trailing_zeros();
+        self.set_shift = sets.trailing_zeros();
+        self.set_mask = sets as u64 - 1;
+        let lines = sets * ways;
+        self.tags.clear();
+        self.tags.resize(lines, INVALID_TAG);
+        self.stamps.clear();
+        self.stamps.resize(lines, 0);
+        self.tick = 0;
+        self.last_line = INVALID_TAG;
+        self.last_slot = 0;
     }
 
     /// Accesses `addr`, filling the line on a miss, and returns whether it hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         self.tick += 1;
-        let line = addr / self.line_bytes;
-        let set = (line % self.sets as u64) as usize;
-        let tag = line / self.sets as u64;
+        let line = addr >> self.line_shift;
+        if line == self.last_line {
+            // The previous access touched the same line; its slot is still
+            // valid because only this access sequence mutates the arrays.
+            self.stamps[self.last_slot] = self.tick;
+            return AccessOutcome::Hit;
+        }
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let base = set * self.ways;
-        // Hit path.
-        for way in 0..self.ways {
-            if self.tags[base + way] == Some(tag) {
-                self.stamps[base + way] = self.tick;
-                return AccessOutcome::Hit;
+        // Monomorphised scans for the associativities the design space uses:
+        // a known trip count lets the compiler unroll the tag compare loop.
+        match self.ways {
+            1 => self.access_set::<1>(base, line, tag),
+            2 => self.access_set::<2>(base, line, tag),
+            4 => self.access_set::<4>(base, line, tag),
+            8 => self.access_set::<8>(base, line, tag),
+            _ => self.access_set_generic(base, line, tag, self.ways),
+        }
+    }
+
+    #[inline]
+    fn access_set<const WAYS: usize>(&mut self, base: usize, line: u64, tag: u64) -> AccessOutcome {
+        self.access_set_generic(base, line, tag, WAYS)
+    }
+
+    /// Scans one set for `tag`, filling the LRU way on a miss.
+    ///
+    /// The hit scan and the victim scan are separate passes: a valid tag
+    /// appears at most once per set (and no real tag equals the sentinel), so
+    /// the lookup is a branch-free any-match reduction over the ways, and the
+    /// victim argmin runs only on the miss path.  Victim choice is the way
+    /// with the minimum raw stamp (first index wins ties): invalid ways keep
+    /// stamp 0 and valid ways have stamps ≥ 1, so this is order-isomorphic to
+    /// the historical `min_by_key(invalid → 0, valid → stamp + 1)` rule.
+    #[inline]
+    fn access_set_generic(
+        &mut self,
+        base: usize,
+        line: u64,
+        tag: u64,
+        ways: usize,
+    ) -> AccessOutcome {
+        let set_tags = &mut self.tags[base..base + ways];
+        let mut found = usize::MAX;
+        for (way, &t) in set_tags.iter().enumerate() {
+            if t == tag {
+                found = way;
             }
         }
-        // Miss: fill into the invalid or least recently used way.
-        let victim = (0..self.ways)
-            .min_by_key(|&way| {
-                if self.tags[base + way].is_none() {
-                    0
-                } else {
-                    self.stamps[base + way] + 1
-                }
-            })
-            .expect("ways > 0");
-        self.tags[base + victim] = Some(tag);
+        if found != usize::MAX {
+            self.stamps[base + found] = self.tick;
+            self.last_line = line;
+            self.last_slot = base + found;
+            return AccessOutcome::Hit;
+        }
+        let set_stamps = &self.stamps[base..base + ways];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (way, &s) in set_stamps.iter().enumerate() {
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.tick;
+        self.last_line = line;
+        self.last_slot = base + victim;
         AccessOutcome::Miss
     }
 }
@@ -135,5 +240,100 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_line_size_rejected() {
         let _ = Cache::new(4, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_set_count_rejected() {
+        let _ = Cache::new(6, 2, 64);
+    }
+
+    #[test]
+    fn reset_matches_fresh_cache() {
+        let mut used = Cache::new(64, 4, 64);
+        for a in (0..5000u64).step_by(24) {
+            used.access(a);
+        }
+        used.reset(16, 2, 64);
+        let mut fresh = Cache::new(16, 2, 64);
+        for a in (0..4000u64).step_by(40) {
+            assert_eq!(used.access(a), fresh.access(a));
+        }
+    }
+
+    #[test]
+    fn capacity_is_geometry_product() {
+        assert_eq!(Cache::new(64, 4, 64).capacity_bytes(), 64 * 4 * 64);
+    }
+
+    /// The hot-path rewrite (sentinel tags, MRU short-circuit, fused
+    /// victim scan) preserves the original LRU semantics on an adversarial
+    /// trace mixing repeats, conflicts and cold misses.
+    #[test]
+    fn access_sequence_matches_reference_lru() {
+        // Reference model: the original Option<tag> + min_by_key formulation.
+        struct Reference {
+            sets: usize,
+            ways: usize,
+            tags: Vec<Option<u64>>,
+            stamps: Vec<u64>,
+            tick: u64,
+        }
+        impl Reference {
+            fn access(&mut self, addr: u64) -> AccessOutcome {
+                self.tick += 1;
+                let line = addr / 64;
+                let set = (line % self.sets as u64) as usize;
+                let tag = line / self.sets as u64;
+                let base = set * self.ways;
+                for way in 0..self.ways {
+                    if self.tags[base + way] == Some(tag) {
+                        self.stamps[base + way] = self.tick;
+                        return AccessOutcome::Hit;
+                    }
+                }
+                let victim = (0..self.ways)
+                    .min_by_key(|&way| {
+                        if self.tags[base + way].is_none() {
+                            0
+                        } else {
+                            self.stamps[base + way] + 1
+                        }
+                    })
+                    .expect("ways > 0");
+                self.tags[base + victim] = Some(tag);
+                self.stamps[base + victim] = self.tick;
+                AccessOutcome::Miss
+            }
+        }
+
+        for ways in [1usize, 2, 3, 4, 8] {
+            let sets = 8usize;
+            let mut fast = Cache::new(sets, ways, 64);
+            let mut reference = Reference {
+                sets,
+                ways,
+                tags: vec![None; sets * ways],
+                stamps: vec![0; sets * ways],
+                tick: 0,
+            };
+            // Deterministic pseudo-random trace with heavy set conflicts.
+            let mut x = 0x1234_5678_u64;
+            for i in 0..20_000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = if i % 3 == 0 {
+                    (x >> 33) % 4096 // hot 4 KiB region: hits and repeats
+                } else {
+                    (x >> 21) % (1 << 20) // cold 1 MiB region: conflicts
+                };
+                assert_eq!(
+                    fast.access(addr),
+                    reference.access(addr),
+                    "ways {ways} i {i}"
+                );
+            }
+        }
     }
 }

@@ -172,6 +172,24 @@ impl EventParams {
         workload: Workload,
         distortion: f64,
     ) -> Self {
+        let mut out = Self {
+            values: Vec::with_capacity(EVENT_NAMES.len()),
+        };
+        Self::from_counters_into(counters, config, workload, distortion, &mut out);
+        out
+    }
+
+    /// Derives event parameters from raw counters into an existing parameter
+    /// set, reusing its allocation (the allocation-free twin of
+    /// [`EventParams::from_counters`], used by the sweep hot path where one
+    /// reusable `EventParams` per worker absorbs thousands of derivations).
+    pub fn from_counters_into(
+        counters: &EventCounters,
+        config: ConfigId,
+        workload: Workload,
+        distortion: f64,
+        out: &mut Self,
+    ) {
         let c = counters;
         let cyc = c.cycles.max(1) as f64;
         let raw = [
@@ -201,10 +219,9 @@ impl EventParams {
             c.frontend_stall_cycles as f64 / cyc,
             c.backend_stall_cycles as f64 / cyc,
         ];
-        let values = raw
-            .iter()
-            .zip(EVENT_NAMES.iter())
-            .map(|(&v, name)| {
+        out.values.clear();
+        out.values
+            .extend(raw.iter().zip(EVENT_NAMES.iter()).map(|(&v, name)| {
                 if distortion <= 0.0 {
                     v
                 } else {
@@ -214,9 +231,17 @@ impl EventParams {
                     );
                     v * seed::lognormal_factor(s, distortion)
                 }
-            })
-            .collect();
-        Self { values }
+            }));
+    }
+
+    /// Creates a parameter set with no values yet, to be filled by
+    /// [`EventParams::from_counters_into`].
+    ///
+    /// Only useful as the initial value of a reused scratch parameter set (it
+    /// holds no parameters until the first refill); sweep workers seed their
+    /// per-worker scratch with it.
+    pub fn empty() -> Self {
+        Self { values: Vec::new() }
     }
 
     /// Names of all event parameters in canonical order.
@@ -385,6 +410,17 @@ mod tests {
         assert_eq!(p.values().len(), EventParams::names().len());
         assert!((p.value("ipc") - 0.8).abs() < 1e-12);
         assert!((p.value("rob_occupancy") - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_twin_overwrites_reused_parameter_set() {
+        let c = sample_counters();
+        let fresh = EventParams::from_counters(&c, ConfigId::new(3), Workload::Qsort, 0.08);
+        // Seed the reused set with different values (another config, workload
+        // and distortion); the refill must fully overwrite them.
+        let mut reused = EventParams::from_counters(&c, ConfigId::new(9), Workload::Spmv, 0.3);
+        EventParams::from_counters_into(&c, ConfigId::new(3), Workload::Qsort, 0.08, &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The allocation-free core of the pipeline model.
+//!
+//! [`Machine`] holds every mutable structure of one simulation — caches, TLBs,
+//! predictor, fetch buffer, ROB and free-queues — with all capacities resolved
+//! once from the configuration. It is the engine behind [`crate::Pipeline`]
+//! and [`crate::simulate_with`]: [`Machine::reset`] restores the
+//! construction state while recycling every allocation, so a sweep worker
+//! simulates thousands of `(configuration, workload)` pairs without touching
+//! the allocator.
+//!
+//! Instructions enter as [`RInstr`] — a 12-byte projection of
+//! [`autopower_workloads::Instruction`] that halves the traffic through the
+//! fetch buffer and replay streams. The projection is lossless for every
+//! stream the generator produces (asserted in [`compact`]), so the machine is
+//! bit-identical to the historical `VecDeque`-based pipeline; the test module
+//! pins that against a reference transcription.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{AccessOutcome, Cache};
+use crate::events::EventCounters;
+use crate::ring::Ring;
+use crate::tlb::Tlb;
+use autopower_config::{CpuConfig, HwParam};
+use autopower_workloads::{InstrKind, Instruction};
+
+/// Latency of an instruction-cache miss (cycles).
+const ICACHE_MISS_LATENCY: u32 = 10;
+/// Latency of a data-cache miss (cycles).
+const DCACHE_MISS_LATENCY: u32 = 32;
+/// Latency of a TLB miss (page-table walk, cycles).
+const TLB_MISS_LATENCY: u32 = 14;
+/// Front-end refill penalty after a branch misprediction (cycles).
+const MISPREDICT_PENALTY: u32 = 9;
+
+/// Compact replay instruction: 12 bytes against 40 for `Instruction`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RInstr {
+    /// Program counter (fits 32 bits: code working sets sit near `0x1000_0000`).
+    pub pc: u32,
+    /// Data address for loads/stores, 0 otherwise (the full-width model also
+    /// reads `unwrap_or(0)`).
+    pub addr: u32,
+    /// Instruction class.
+    pub kind: InstrKind,
+    /// Dependency distance (the generator emits `1 ..= 2 * ilp + 1`).
+    pub dep: u8,
+    /// Branch site id (< 64 static sites), 0 for non-branches.
+    pub site: u8,
+    /// Bit 0: branch taken; bits 1..: workload phase index.
+    pub flags: u8,
+}
+
+impl RInstr {
+    /// Inert filler value for pre-sized ring buffers (never observed).
+    pub(crate) const DUMMY: RInstr = RInstr {
+        pc: 0,
+        addr: 0,
+        kind: InstrKind::IntAlu,
+        dep: 1,
+        site: 0,
+        flags: 0,
+    };
+}
+
+/// Projects a full instruction onto the compact replay form.
+///
+/// # Panics
+///
+/// Panics if a field exceeds the compact ranges. The built-in workload
+/// profiles stay far inside them (addresses below 4 GiB, dependency distances
+/// ≤ 33, 64 branch sites, single-digit phase counts); the assertions turn a
+/// hypothetical future violation into a loud failure instead of a silent
+/// behaviour change.
+pub(crate) fn compact(i: &Instruction) -> RInstr {
+    assert!(i.pc <= u32::MAX as u64, "pc exceeds compact range");
+    let addr = i.addr.unwrap_or(0);
+    assert!(addr <= u32::MAX as u64, "address exceeds compact range");
+    assert!(
+        i.dep_distance <= u8::MAX as u32,
+        "dep distance exceeds compact range"
+    );
+    let site = i.branch_site.unwrap_or(0);
+    assert!(site <= u8::MAX as u16, "branch site exceeds compact range");
+    assert!(i.phase < 128, "phase index exceeds compact range");
+    RInstr {
+        pc: i.pc as u32,
+        addr: addr as u32,
+        kind: i.kind,
+        dep: i.dep_distance as u8,
+        site: site as u8,
+        flags: u8::from(i.taken) | (i.phase << 1),
+    }
+}
+
+/// One in-flight instruction in the reorder buffer.
+#[derive(Debug, Clone, Copy, Default)]
+struct RobSlot {
+    complete_cycle: u64,
+    store_addr: u32,
+    is_store: bool,
+}
+
+/// All mutable state of one pipeline simulation, reusable across runs.
+#[derive(Debug)]
+pub(crate) struct Machine {
+    icache: Cache,
+    dcache: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    predictor: BranchPredictor,
+    fetch_buffer: Ring<RInstr>,
+    rob: Ring<RobSlot>,
+    lsq_occupancy: u32,
+    lsq_free_queue: Ring<u64>,
+    outstanding_misses: Ring<u64>,
+    frontend_stall: u32,
+    cycle: u64,
+    counters: EventCounters,
+    interval_phase: u8,
+    // Hardware widths resolved once per reset instead of per stage call.
+    fetch_width: usize,
+    fb_capacity: usize,
+    decode_width: usize,
+    rob_capacity: usize,
+    lsq_capacity: u32,
+    int_width: usize,
+    mem_width: usize,
+    fp_width: usize,
+    mshr_entries: usize,
+}
+
+impl Machine {
+    /// Creates a machine sized for `config`.
+    pub fn new(config: &CpuConfig) -> Self {
+        let mut machine = Self {
+            icache: Cache::new(1, 1, 64),
+            dcache: Cache::new(1, 1, 64),
+            itlb: Tlb::new(1),
+            dtlb: Tlb::new(1),
+            predictor: BranchPredictor::new(1),
+            fetch_buffer: Ring::with_capacity(1, RInstr::DUMMY),
+            rob: Ring::with_capacity(1, RobSlot::default()),
+            lsq_occupancy: 0,
+            lsq_free_queue: Ring::with_capacity(1, 0),
+            outstanding_misses: Ring::with_capacity(1, 0),
+            frontend_stall: 0,
+            cycle: 0,
+            counters: EventCounters::default(),
+            interval_phase: 0,
+            fetch_width: 0,
+            fb_capacity: 0,
+            decode_width: 0,
+            rob_capacity: 0,
+            lsq_capacity: 0,
+            int_width: 0,
+            mem_width: 0,
+            fp_width: 0,
+            mshr_entries: 0,
+        };
+        machine.reset(config);
+        machine
+    }
+
+    /// Restores the construction state for `config`, recycling every
+    /// allocation (the reset-and-reuse twin of [`Machine::new`]).
+    pub fn reset(&mut self, config: &CpuConfig) {
+        let p = &config.params;
+        self.icache.reset(64, p.icache_ways() as usize, 64);
+        self.dcache.reset(64, p.dcache_ways() as usize, 64);
+        self.itlb.reset(p.itlb_entries() as usize);
+        self.dtlb.reset(p.value(HwParam::DtlbEntry) as usize);
+        self.predictor.reset(p.value(HwParam::BranchCount));
+        self.fetch_width = p.value(HwParam::FetchWidth) as usize;
+        self.fb_capacity = p.value(HwParam::FetchBufferEntry) as usize;
+        self.decode_width = p.value(HwParam::DecodeWidth) as usize;
+        self.rob_capacity = p.value(HwParam::RobEntry) as usize;
+        self.lsq_capacity = 2 * p.value(HwParam::LdqStqEntry);
+        self.int_width = p.value(HwParam::IntIssueWidth) as usize;
+        self.mem_width = p.mem_issue_width() as usize;
+        self.fp_width = p.fp_issue_width() as usize;
+        self.mshr_entries = p.value(HwParam::MshrEntry) as usize;
+        self.fetch_buffer.reset(self.fb_capacity);
+        self.rob.reset(self.rob_capacity);
+        self.lsq_free_queue.reset(self.lsq_capacity as usize);
+        self.outstanding_misses.reset(4 * self.mshr_entries);
+        self.lsq_occupancy = 0;
+        self.frontend_stall = 0;
+        self.cycle = 0;
+        self.counters = EventCounters::default();
+        self.interval_phase = 0;
+    }
+
+    /// Raw counters accumulated so far.
+    #[inline]
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Current cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Phase index of the most recently fetched instruction.
+    #[inline]
+    pub fn current_phase(&self) -> u8 {
+        self.interval_phase
+    }
+
+    fn fetch_stage(&mut self, stream: &mut impl Iterator<Item = RInstr>) {
+        if self.frontend_stall > 0 {
+            self.frontend_stall -= 1;
+            self.counters.frontend_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_buffer.len() + self.fetch_width > self.fb_capacity {
+            // The fetch buffer cannot hold another full group.
+            self.counters.frontend_stall_cycles += 1;
+            return;
+        }
+
+        self.counters.fetch_groups += 1;
+        self.counters.icache_accesses += 1;
+        self.counters.itlb_accesses += 1;
+
+        // Group head peeled out of the loop: one cache/TLB lookup per group,
+        // so the loop body carries no first-iteration flag. Miss outcomes are
+        // data-dependent, so their accounting is arithmetic, not branches.
+        let Some(instr) = stream.next() else { return };
+        let imiss = self.icache.access(instr.pc as u64) == AccessOutcome::Miss;
+        self.counters.icache_misses += u64::from(imiss);
+        self.frontend_stall += ICACHE_MISS_LATENCY * u32::from(imiss);
+        let tmiss = !self.itlb.access(instr.pc as u64);
+        self.counters.itlb_misses += u64::from(tmiss);
+        self.frontend_stall += TLB_MISS_LATENCY * u32::from(tmiss);
+        if self.fetch_instr(instr) {
+            return;
+        }
+        for _ in 1..self.fetch_width {
+            let Some(instr) = stream.next() else { break };
+            if self.fetch_instr(instr) {
+                break;
+            }
+        }
+    }
+
+    /// Books one fetched instruction into the buffer; returns `true` when it
+    /// ends the fetch group (any mispredict, or a correctly-predicted taken
+    /// branch).
+    #[inline]
+    fn fetch_instr(&mut self, instr: RInstr) -> bool {
+        self.interval_phase = instr.flags >> 1;
+        self.counters.fetched += 1;
+        let mut end_group = false;
+        if instr.kind == InstrKind::Branch {
+            self.counters.branches += 1;
+            let taken = instr.flags & 1 != 0;
+            let correct = self.predictor.predict_and_update(instr.site as u16, taken);
+            // Mispredict accounting is arithmetic rather than a branch: the
+            // outcome is data-dependent and would mispredict on the host too.
+            self.counters.branch_mispredicts += u64::from(!correct);
+            self.frontend_stall += MISPREDICT_PENALTY * u32::from(!correct);
+            // Any mispredict — or a correctly-predicted taken branch — ends
+            // the fetch group.
+            end_group = !correct | taken;
+        }
+        self.fetch_buffer.push_back(instr);
+        end_group
+    }
+
+    fn dispatch_stage(&mut self) {
+        // Issue lane per instruction class (INT/FP/MEM) and base latency per
+        // class, as lookup tables: the class mix is data-dependent, so a
+        // per-instruction `match` over all six kinds costs an indirect-jump
+        // misprediction on most iterations. Tables plus one mem/non-mem
+        // branch keep the common (non-memory) path branch-free.
+        const INT: usize = 0;
+        const FP: usize = 1;
+        const MEM: usize = 2;
+        const LANE: [usize; 6] = [INT, INT, FP, MEM, MEM, INT];
+        const BASE_LATENCY: [u64; 6] = [1, 6, 4, 0, 0, 1];
+        let widths = [self.int_width, self.fp_width, self.mem_width];
+        let mut issued = [0usize; 3];
+        let mut dispatched = 0usize;
+
+        while dispatched < self.decode_width {
+            let Some(&instr) = self.fetch_buffer.front() else {
+                break;
+            };
+            if self.rob.len() >= self.rob_capacity {
+                self.counters.backend_stall_cycles += 1;
+                break;
+            }
+
+            // Dependency-induced wait: instructions with very short dependency
+            // distances wait for their producers; long distances issue
+            // back-to-back. Computed branch-free — the distance is
+            // data-dependent, so a conditional here would mispredict.
+            let dep = instr.dep as u64;
+            let width = self.decode_width as u64;
+            let dep_wait = u64::from(dep < width) * (1 + width.wrapping_sub(dep) / 2);
+
+            let lane = LANE[instr.kind as usize];
+            if issued[lane] >= widths[lane]
+                || (lane == MEM && self.lsq_occupancy >= self.lsq_capacity)
+            {
+                self.counters.backend_stall_cycles += 1;
+                break;
+            }
+            issued[lane] += 1;
+
+            let slot = if lane != MEM {
+                RobSlot {
+                    complete_cycle: self.cycle + BASE_LATENCY[instr.kind as usize] + dep_wait,
+                    is_store: false,
+                    store_addr: 0,
+                }
+            } else {
+                self.lsq_occupancy += 1;
+                if instr.kind == InstrKind::Load {
+                    // The LSQ slot frees after the *base* latency; miss
+                    // penalties below extend completion, not the queue slot.
+                    self.lsq_free_queue.push_back(self.cycle + 3 + dep_wait);
+                    let addr = instr.addr as u64;
+                    self.counters.dcache_reads += 1;
+                    self.counters.dtlb_accesses += 1;
+                    let mut latency: u64 = 3;
+                    if !self.dtlb.access(addr) {
+                        self.counters.dtlb_misses += 1;
+                        latency += TLB_MISS_LATENCY as u64;
+                    }
+                    if self.dcache.access(addr) == AccessOutcome::Miss {
+                        self.counters.dcache_misses += 1;
+                        self.counters.mshr_allocations += 1;
+                        latency += DCACHE_MISS_LATENCY as u64;
+                        // MSHR pressure: if all MSHRs are busy the miss waits for one.
+                        if self.outstanding_misses.len() >= self.mshr_entries {
+                            if let Some(&oldest) = self.outstanding_misses.front() {
+                                latency += oldest.saturating_sub(self.cycle);
+                            }
+                        }
+                        self.outstanding_misses.push_back(self.cycle + latency);
+                    }
+                    RobSlot {
+                        complete_cycle: self.cycle + latency + dep_wait,
+                        is_store: false,
+                        store_addr: 0,
+                    }
+                } else {
+                    self.lsq_free_queue.push_back(self.cycle + 1 + dep_wait + 2);
+                    RobSlot {
+                        complete_cycle: self.cycle + 1 + dep_wait,
+                        is_store: true,
+                        store_addr: instr.addr,
+                    }
+                }
+            };
+
+            self.fetch_buffer.pop_front();
+            dispatched += 1;
+            self.rob.push_back(slot);
+        }
+
+        // Counter traffic hoisted out of the loop: one read-modify-write per
+        // counter per cycle instead of per instruction (break paths land here
+        // too, so partially-filled cycles are counted identically).
+        self.counters.decoded += dispatched as u64;
+        self.counters.dispatched += dispatched as u64;
+        self.counters.int_issued += issued[INT] as u64;
+        self.counters.fp_issued += issued[FP] as u64;
+        self.counters.mem_issued += issued[MEM] as u64;
+    }
+
+    fn commit_stage(&mut self) {
+        let mut committed = 0usize;
+        while committed < self.decode_width {
+            let Some(front) = self.rob.front() else { break };
+            if front.complete_cycle > self.cycle {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("peeked above");
+            committed += 1;
+            self.counters.committed += 1;
+            if slot.is_store {
+                // Stores access the data cache at commit time.
+                self.counters.dcache_writes += 1;
+                self.counters.dtlb_accesses += 1;
+                if !self.dtlb.access(slot.store_addr as u64) {
+                    self.counters.dtlb_misses += 1;
+                }
+                if self.dcache.access(slot.store_addr as u64) == AccessOutcome::Miss {
+                    self.counters.dcache_misses += 1;
+                    self.counters.mshr_allocations += 1;
+                    if self.outstanding_misses.len() < 4 * self.mshr_entries {
+                        self.outstanding_misses
+                            .push_back(self.cycle + DCACHE_MISS_LATENCY as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire_bookkeeping(&mut self) {
+        while matches!(self.lsq_free_queue.front(), Some(&t) if t <= self.cycle) {
+            self.lsq_free_queue.pop_front();
+            self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
+        }
+        while matches!(self.outstanding_misses.front(), Some(&t) if t <= self.cycle) {
+            self.outstanding_misses.pop_front();
+        }
+        self.counters.rob_occupancy_sum += self.rob.len() as u64;
+        self.counters.fetch_buffer_occupancy_sum += self.fetch_buffer.len() as u64;
+        self.counters.lsq_occupancy_sum += self.lsq_occupancy as u64;
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self, stream: &mut impl Iterator<Item = RInstr>) {
+        self.cycle += 1;
+        self.counters.cycles += 1;
+        if self.frontend_stall > 0 && self.fetch_buffer.is_empty() && self.rob.is_empty() {
+            // Fully-drained front-end stall: commit and dispatch are no-ops
+            // (empty ROB / fetch buffer) and fetch only counts the stall, so
+            // the cycle reduces to its bookkeeping. Exactly equivalent to the
+            // general path below, just without the stage scaffolding.
+            self.frontend_stall -= 1;
+            self.counters.frontend_stall_cycles += 1;
+            self.retire_bookkeeping();
+            return;
+        }
+        self.commit_stage();
+        self.dispatch_stage();
+        self.fetch_stage(stream);
+        self.retire_bookkeeping();
+    }
+
+    /// Runs until `instructions` have committed (or a generous cycle cap is
+    /// hit, to guarantee termination even for pathological configurations).
+    ///
+    /// Unlike repeated [`Machine::step`] calls, `run` fast-forwards through
+    /// stretches of front-end stall where the fetch buffer is empty: until the
+    /// stall ends or the ROB head completes, every cycle is pure bookkeeping,
+    /// so [`Machine::skip_stall_cycles`] advances them in closed form. The end
+    /// state is bit-identical to stepping (pinned against the cycle-stepped
+    /// reference pipeline in the test module); only callers that observe the
+    /// machine *between* cycles — interval recording — need `step`.
+    pub fn run(&mut self, stream: &mut impl Iterator<Item = RInstr>, instructions: u64) {
+        let cycle_cap = self.cycle + instructions * 40 + 10_000;
+        while self.counters.committed < instructions && self.cycle < cycle_cap {
+            if self.frontend_stall > 1 && self.fetch_buffer.is_empty() {
+                // Commit pops once the ROB head's completion cycle is
+                // reached, so the skip must stop one cycle short of it.
+                let next_commit = self.rob.front().map_or(u64::MAX, |s| s.complete_cycle);
+                let skip = u64::from(self.frontend_stall)
+                    .min(next_commit.saturating_sub(self.cycle + 1))
+                    .min(cycle_cap - self.cycle);
+                if skip > 1 {
+                    self.skip_stall_cycles(skip);
+                    continue;
+                }
+            } else if self.rob.len() >= self.rob_capacity
+                && self.fetch_buffer.len() + self.fetch_width > self.fb_capacity
+                && !self.fetch_buffer.is_empty()
+            {
+                // Back-pressure wait: the ROB is full (dispatch only counts a
+                // backend stall) and the fetch buffer cannot take another
+                // group (fetch only counts a frontend stall), so nothing
+                // moves until the ROB head completes.
+                let next_commit = self.rob.front().expect("ROB is full").complete_cycle;
+                let skip = next_commit
+                    .saturating_sub(self.cycle + 1)
+                    .min(cycle_cap - self.cycle);
+                if skip > 1 {
+                    self.skip_backend_cycles(skip);
+                    continue;
+                }
+            }
+            self.step(stream);
+        }
+    }
+
+    /// Advances `skip` cycles of pure front-end stall in closed form.
+    ///
+    /// Caller guarantees: the fetch buffer is empty, `frontend_stall >= skip`,
+    /// and no ROB head completes inside the window. Each skipped cycle would
+    /// therefore only decrement the stall, count a stall cycle and run
+    /// [`Machine::retire_bookkeeping`]; the queue pops and occupancy sums
+    /// below reproduce those `skip` bookkeeping passes exactly.
+    fn skip_stall_cycles(&mut self, skip: u64) {
+        let start = self.cycle;
+        let end = start + skip;
+        self.cycle = end;
+        self.counters.cycles += skip;
+        self.frontend_stall -= skip as u32;
+        self.counters.frontend_stall_cycles += skip;
+        self.counters.rob_occupancy_sum += skip * self.rob.len() as u64;
+        // The fetch buffer is empty throughout: its occupancy sum gains 0.
+        // The free-queue is FIFO but its times are not sorted (they mix
+        // dependency waits), and bookkeeping only ever pops the front: a slot
+        // is really freed at the prefix-maximum of the free times up to it,
+        // because a later-freeing slot ahead of it blocks the pop. A slot
+        // popped at cycle `e` counts towards the occupancy of cycles
+        // `start+1 ..= e-1` (the pop precedes the sums within a cycle, and
+        // every pending slot has `e > start`: the previous pass already
+        // popped anything due).
+        let mut freed_sum = 0u64;
+        let mut effective = 0u64;
+        while matches!(self.lsq_free_queue.front(), Some(&t) if t.max(effective) <= end) {
+            let t = self.lsq_free_queue.pop_front().expect("peeked above");
+            self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
+            effective = effective.max(t);
+            freed_sum += effective - 1 - start;
+        }
+        self.counters.lsq_occupancy_sum += freed_sum + skip * u64::from(self.lsq_occupancy);
+        while matches!(self.outstanding_misses.front(), Some(&t) if t <= end) {
+            self.outstanding_misses.pop_front();
+        }
+    }
+
+    /// Advances `skip` cycles of pure back-pressure wait in closed form.
+    ///
+    /// Caller guarantees: the ROB is full, the fetch buffer is non-empty but
+    /// cannot accept another fetch group, and no ROB head completes inside the
+    /// window. Each such cycle commits nothing, counts one backend stall in
+    /// dispatch (the ROB-full break), counts one frontend stall in fetch
+    /// (either decrementing a pending stall or hitting the buffer-full check)
+    /// and runs [`Machine::retire_bookkeeping`]; the updates below reproduce
+    /// those `skip` passes exactly.
+    fn skip_backend_cycles(&mut self, skip: u64) {
+        let start = self.cycle;
+        let end = start + skip;
+        self.cycle = end;
+        self.counters.cycles += skip;
+        self.counters.backend_stall_cycles += skip;
+        self.counters.frontend_stall_cycles += skip;
+        // One decrement per cycle while a front-end stall is pending; once it
+        // reaches zero the buffer-full path counts the stall instead.
+        self.frontend_stall -= self
+            .frontend_stall
+            .min(skip.min(u64::from(u32::MAX)) as u32);
+        self.counters.rob_occupancy_sum += skip * self.rob.len() as u64;
+        self.counters.fetch_buffer_occupancy_sum += skip * self.fetch_buffer.len() as u64;
+        // Same prefix-maximum pop rule as [`Machine::skip_stall_cycles`].
+        let mut freed_sum = 0u64;
+        let mut effective = 0u64;
+        while matches!(self.lsq_free_queue.front(), Some(&t) if t.max(effective) <= end) {
+            let t = self.lsq_free_queue.pop_front().expect("peeked above");
+            self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
+            effective = effective.max(t);
+            freed_sum += effective - 1 - start;
+        }
+        self.counters.lsq_occupancy_sum += freed_sum + skip * u64::from(self.lsq_occupancy);
+        while matches!(self.outstanding_misses.front(), Some(&t) if t <= end) {
+            self.outstanding_misses.pop_front();
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Exact simulation memoization for design-space sweeps.
+//!
+//! The simulator reads only a projection of the hardware configuration:
+//! power-only parameters (physical register counts, SRAM banking, …) never
+//! reach the pipeline, associativities are folded (`ICacheWay`/`DCacheWay`
+//! share one value, as do the TLBs), and the branch predictor sees
+//! `BranchCount` only through its power-of-two table size. [`SimKey`] is that
+//! projection made hashable: two configurations with equal keys execute the
+//! exact same simulation, instruction for instruction, so a sweep can reuse
+//! the whole-run [`EventCounters`] — a provably bit-identical collapse of the
+//! design space along simulation-invisible axes.
+//!
+//! [`SimCache`] is the sharded concurrent map the sweep engine consults, with
+//! hit/miss statistics for the sweep report.
+
+use crate::events::EventCounters;
+use crate::SimConfig;
+use autopower_config::{CpuConfig, HwParam, Workload};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The simulation-visible projection of one `(configuration, workload, knobs)`
+/// triple.
+///
+/// Equal keys are a proof of equal simulations: every value the pipeline,
+/// caches, TLBs, predictor and stream generator read is part of the key.
+/// `interval_cycles` and `event_distortion` are deliberately absent — interval
+/// recording is pure observation and distortion is applied downstream of the
+/// counters, so neither changes the counters this key caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    fetch_width: u32,
+    fetch_buffer_entries: u32,
+    decode_width: u32,
+    rob_entries: u32,
+    int_issue_width: u32,
+    mem_fp_issue_width: u32,
+    cache_ways: u32,
+    tlb_entries: u32,
+    ldq_stq_entries: u32,
+    mshr_entries: u32,
+    /// `BranchCount` folded to the predictor's power-of-two table size: the
+    /// only way the parameter reaches the simulation.
+    predictor_entries: u32,
+    max_instructions: u64,
+    stream_seed: u64,
+    workload: Workload,
+}
+
+impl SimKey {
+    /// Projects `(config, workload, sim)` onto the simulation-visible key.
+    pub fn new(config: &CpuConfig, workload: Workload, sim: &SimConfig) -> Self {
+        let p = &config.params;
+        Self {
+            fetch_width: p.value(HwParam::FetchWidth),
+            fetch_buffer_entries: p.value(HwParam::FetchBufferEntry),
+            decode_width: p.value(HwParam::DecodeWidth),
+            rob_entries: p.value(HwParam::RobEntry),
+            int_issue_width: p.value(HwParam::IntIssueWidth),
+            mem_fp_issue_width: p.value(HwParam::MemFpIssueWidth),
+            cache_ways: p.value(HwParam::CacheWay),
+            tlb_entries: p.value(HwParam::DtlbEntry),
+            ldq_stq_entries: p.value(HwParam::LdqStqEntry),
+            mshr_entries: p.value(HwParam::MshrEntry),
+            predictor_entries: (256 * p.value(HwParam::BranchCount)).next_power_of_two(),
+            max_instructions: sim.max_instructions,
+            stream_seed: sim.stream_seed,
+            workload,
+        }
+    }
+}
+
+/// Number of independent shards; bounds lock contention under parallel sweeps.
+const SHARDS: usize = 16;
+
+/// Hit/miss statistics of a [`SimCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimCacheStats {
+    /// Lookups answered from the cache (simulations deduplicated away).
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl SimCacheStats {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded map from [`SimKey`] to whole-run [`EventCounters`].
+///
+/// Thread-safe: workers race at most into computing the same key twice, and
+/// both computations produce identical counters (the simulation is
+/// deterministic in the key), so sweep output never depends on thread count
+/// or interleaving.
+#[derive(Debug)]
+pub struct SimCache {
+    shards: Vec<Mutex<HashMap<SimKey, EventCounters>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, EventCounters>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Returns the counters for `key`, running `simulate` on a miss.
+    ///
+    /// The computation runs outside the shard lock, so concurrent workers are
+    /// never serialized behind a simulation.
+    pub fn counters_for(
+        &self,
+        key: SimKey,
+        simulate: impl FnOnce() -> EventCounters,
+    ) -> EventCounters {
+        let shard = self.shard(&key);
+        if let Some(counters) = shard.lock().expect("sim cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *counters;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let counters = simulate();
+        shard
+            .lock()
+            .expect("sim cache lock poisoned")
+            .insert(key, counters);
+        counters
+    }
+
+    /// Hit/miss statistics accumulated so far.
+    pub fn stats(&self) -> SimCacheStats {
+        SimCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct simulations stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sim cache lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SimCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use autopower_config::{boom_configs, DesignSpace};
+
+    #[test]
+    fn equal_keys_for_power_only_differences() {
+        // BranchCount 10 and 16 both round to a 4096-entry predictor table;
+        // every other simulation-visible parameter matches.
+        use autopower_config::HwParam;
+        let space = DesignSpace::boom()
+            .with_axis(HwParam::FetchWidth, vec![4])
+            .with_axis(HwParam::DecodeWidth, vec![2])
+            .with_axis(HwParam::RobEntry, vec![64])
+            .with_axis(HwParam::IntIssueWidth, vec![2])
+            .with_axis(HwParam::MemFpIssueWidth, vec![1])
+            .with_axis(HwParam::CacheWay, vec![4])
+            .with_axis(HwParam::DtlbEntry, vec![16])
+            .with_axis(HwParam::BranchCount, vec![10, 16])
+            .with_axis(HwParam::MshrEntry, vec![4]);
+        let configs: Vec<_> = space.enumerate().collect();
+        assert_eq!(configs.len(), 2);
+        let (a, b) = (configs[0], configs[1]);
+        let sim = SimConfig::fast();
+        assert_eq!(
+            SimKey::new(&a, Workload::Qsort, &sim),
+            SimKey::new(&b, Workload::Qsort, &sim)
+        );
+        // The proof obligation behind the cache: equal keys, equal counters.
+        let ca = simulate(&a, Workload::Qsort, &sim).counters;
+        let cb = simulate(&b, Workload::Qsort, &sim).counters;
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn distinct_keys_for_simulation_visible_differences() {
+        let cfgs = boom_configs();
+        let sim = SimConfig::fast();
+        let a = SimKey::new(&cfgs[0], Workload::Qsort, &sim);
+        let b = SimKey::new(&cfgs[14], Workload::Qsort, &sim);
+        assert_ne!(a, b);
+        // Workload and stream seed are part of the key.
+        assert_ne!(a, SimKey::new(&cfgs[0], Workload::Vvadd, &sim));
+        let reseeded = SimConfig {
+            stream_seed: sim.stream_seed + 1,
+            ..sim
+        };
+        assert_ne!(a, SimKey::new(&cfgs[0], Workload::Qsort, &reseeded));
+    }
+
+    #[test]
+    fn interval_and_distortion_knobs_do_not_split_keys() {
+        let cfg = boom_configs()[3];
+        let a = SimConfig::fast();
+        let b = SimConfig {
+            interval_cycles: 200,
+            event_distortion: 0.5,
+            ..a
+        };
+        assert_eq!(
+            SimKey::new(&cfg, Workload::Towers, &a),
+            SimKey::new(&cfg, Workload::Towers, &b)
+        );
+    }
+
+    #[test]
+    fn cache_returns_memoized_counters_and_counts_stats() {
+        let cache = SimCache::new();
+        let cfg = boom_configs()[5];
+        let sim = SimConfig::fast();
+        let key = SimKey::new(&cfg, Workload::Median, &sim);
+        let first = cache.counters_for(key, || simulate(&cfg, Workload::Median, &sim).counters);
+        let second = cache.counters_for(key, || panic!("hit must not simulate"));
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), SimCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_when_idle() {
+        assert_eq!(SimCache::new().stats().hit_rate(), 0.0);
+    }
+}

@@ -6,331 +6,70 @@
 //! approximated by per-class bandwidth limits and dependency-derived latencies — but it
 //! reacts to every hardware parameter of Table II in the qualitatively right direction,
 //! which is what the power-model evaluation needs.
+//!
+//! [`Pipeline`] couples one [`Machine`] (the reusable, allocation-free core in
+//! `machine.rs`) to one [`StreamGenerator`].  The sweep hot path bypasses this
+//! type via [`crate::simulate_with`], which recycles the machine and replays
+//! pre-generated instruction streams.
 
-use crate::branch::BranchPredictor;
-use crate::cache::{AccessOutcome, Cache};
 use crate::events::EventCounters;
-use crate::tlb::Tlb;
-use autopower_config::{CpuConfig, HwParam};
-use autopower_workloads::{InstrKind, Instruction, StreamGenerator};
-use std::collections::VecDeque;
-
-/// Latency of an instruction-cache miss (cycles).
-const ICACHE_MISS_LATENCY: u32 = 10;
-/// Latency of a data-cache miss (cycles).
-const DCACHE_MISS_LATENCY: u32 = 32;
-/// Latency of a TLB miss (page-table walk, cycles).
-const TLB_MISS_LATENCY: u32 = 14;
-/// Front-end refill penalty after a branch misprediction (cycles).
-const MISPREDICT_PENALTY: u32 = 9;
-
-#[derive(Debug, Clone, Copy)]
-struct RobSlot {
-    complete_cycle: u64,
-    is_store: bool,
-    store_addr: u64,
-}
+use crate::machine::{compact, Machine, RInstr};
+use autopower_config::CpuConfig;
+use autopower_workloads::StreamGenerator;
 
 /// The pipeline simulator for one (configuration, workload) pair.
 #[derive(Debug)]
 pub struct Pipeline {
-    config: CpuConfig,
     stream: StreamGenerator,
-    icache: Cache,
-    dcache: Cache,
-    itlb: Tlb,
-    dtlb: Tlb,
-    predictor: BranchPredictor,
-    fetch_buffer: VecDeque<Instruction>,
-    rob: VecDeque<RobSlot>,
-    lsq_occupancy: u32,
-    lsq_free_queue: VecDeque<u64>,
-    outstanding_misses: VecDeque<u64>,
-    frontend_stall: u32,
-    cycle: u64,
-    counters: EventCounters,
-    interval_phase: u8,
+    machine: Machine,
+}
+
+/// Adapts the stream generator to the machine's compact instruction form.
+struct CompactStream<'a>(&'a mut StreamGenerator);
+
+impl Iterator for CompactStream<'_> {
+    type Item = RInstr;
+
+    #[inline]
+    fn next(&mut self) -> Option<RInstr> {
+        self.0.next().map(|i| compact(&i))
+    }
 }
 
 impl Pipeline {
     /// Creates a pipeline for `config` executing the given instruction stream.
     pub fn new(config: CpuConfig, stream: StreamGenerator) -> Self {
-        let icache_sets = 64;
-        let dcache_sets = 64;
         Self {
-            icache: Cache::new(icache_sets, config.params.icache_ways() as usize, 64),
-            dcache: Cache::new(dcache_sets, config.params.dcache_ways() as usize, 64),
-            itlb: Tlb::new(config.params.itlb_entries() as usize),
-            dtlb: Tlb::new(config.params.value(HwParam::DtlbEntry) as usize),
-            predictor: BranchPredictor::new(config.params.value(HwParam::BranchCount)),
-            fetch_buffer: VecDeque::new(),
-            rob: VecDeque::new(),
-            lsq_occupancy: 0,
-            lsq_free_queue: VecDeque::new(),
-            outstanding_misses: VecDeque::new(),
-            frontend_stall: 0,
-            cycle: 0,
-            counters: EventCounters::default(),
-            interval_phase: 0,
-            config,
             stream,
+            machine: Machine::new(&config),
         }
     }
 
     /// Raw counters accumulated so far.
     pub fn counters(&self) -> &EventCounters {
-        &self.counters
+        self.machine.counters()
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.machine.cycle()
     }
 
     /// Phase index of the most recently fetched instruction (used to label intervals).
     pub fn current_phase(&self) -> u8 {
-        self.interval_phase
-    }
-
-    fn fetch_stage(&mut self) {
-        let p = &self.config.params;
-        let fetch_width = p.value(HwParam::FetchWidth) as usize;
-        let fb_capacity = p.value(HwParam::FetchBufferEntry) as usize;
-
-        if self.frontend_stall > 0 {
-            self.frontend_stall -= 1;
-            self.counters.frontend_stall_cycles += 1;
-            return;
-        }
-        if self.fetch_buffer.len() + fetch_width > fb_capacity {
-            // The fetch buffer cannot hold another full group.
-            self.counters.frontend_stall_cycles += 1;
-            return;
-        }
-
-        self.counters.fetch_groups += 1;
-        self.counters.icache_accesses += 1;
-        self.counters.itlb_accesses += 1;
-
-        let mut group_pc: Option<u64> = None;
-        for _ in 0..fetch_width {
-            let instr = match self.stream.next() {
-                Some(i) => i,
-                None => break,
-            };
-            self.interval_phase = instr.phase;
-            if group_pc.is_none() {
-                group_pc = Some(instr.pc);
-                // One cache/TLB lookup per fetch group.
-                if self.icache.access(instr.pc) == AccessOutcome::Miss {
-                    self.counters.icache_misses += 1;
-                    self.frontend_stall += ICACHE_MISS_LATENCY;
-                }
-                if !self.itlb.access(instr.pc) {
-                    self.counters.itlb_misses += 1;
-                    self.frontend_stall += TLB_MISS_LATENCY;
-                }
-            }
-            self.counters.fetched += 1;
-            let mut end_group = false;
-            if instr.kind == InstrKind::Branch {
-                self.counters.branches += 1;
-                let site = instr.branch_site.unwrap_or(0);
-                let correct = self.predictor.predict_and_update(site, instr.taken);
-                if !correct {
-                    self.counters.branch_mispredicts += 1;
-                    self.frontend_stall += MISPREDICT_PENALTY;
-                    end_group = true;
-                } else if instr.taken {
-                    // A correctly-predicted taken branch still ends the fetch group.
-                    end_group = true;
-                }
-            }
-            self.fetch_buffer.push_back(instr);
-            if end_group {
-                break;
-            }
-        }
-    }
-
-    fn dispatch_stage(&mut self) {
-        let p = &self.config.params;
-        let decode_width = p.value(HwParam::DecodeWidth) as usize;
-        let rob_capacity = p.value(HwParam::RobEntry) as usize;
-        let lsq_capacity = 2 * p.value(HwParam::LdqStqEntry);
-        let int_width = p.value(HwParam::IntIssueWidth) as usize;
-        let mem_width = p.mem_issue_width() as usize;
-        let fp_width = p.fp_issue_width() as usize;
-        let mshr_entries = p.value(HwParam::MshrEntry) as usize;
-
-        let mut int_issued = 0usize;
-        let mut fp_issued = 0usize;
-        let mut mem_issued = 0usize;
-        let mut dispatched = 0usize;
-
-        while dispatched < decode_width {
-            let Some(&instr) = self.fetch_buffer.front() else {
-                break;
-            };
-            if self.rob.len() >= rob_capacity {
-                self.counters.backend_stall_cycles += 1;
-                break;
-            }
-            // Per-class issue bandwidth.
-            let class_ok = match instr.kind {
-                InstrKind::IntAlu | InstrKind::MulDiv | InstrKind::Branch => int_issued < int_width,
-                InstrKind::Fp => fp_issued < fp_width,
-                InstrKind::Load | InstrKind::Store => {
-                    mem_issued < mem_width && self.lsq_occupancy < lsq_capacity
-                }
-            };
-            if !class_ok {
-                self.counters.backend_stall_cycles += 1;
-                break;
-            }
-            let instr = self.fetch_buffer.pop_front().expect("peeked above");
-            dispatched += 1;
-            self.counters.decoded += 1;
-            self.counters.dispatched += 1;
-
-            // Dependency-induced wait: instructions with very short dependency distances
-            // wait for their producers; long distances issue back-to-back.
-            let dep_wait = if (instr.dep_distance as usize) < decode_width {
-                1 + (decode_width - instr.dep_distance as usize) as u64 / 2
-            } else {
-                0
-            };
-
-            let mut latency: u64 = match instr.kind {
-                InstrKind::IntAlu => 1,
-                InstrKind::Branch => 1,
-                InstrKind::MulDiv => 6,
-                InstrKind::Fp => 4,
-                InstrKind::Load => 3,
-                InstrKind::Store => 1,
-            };
-
-            let mut is_store = false;
-            let mut store_addr = 0;
-            match instr.kind {
-                InstrKind::IntAlu | InstrKind::MulDiv => {
-                    int_issued += 1;
-                    self.counters.int_issued += 1;
-                }
-                InstrKind::Branch => {
-                    int_issued += 1;
-                    self.counters.int_issued += 1;
-                }
-                InstrKind::Fp => {
-                    fp_issued += 1;
-                    self.counters.fp_issued += 1;
-                }
-                InstrKind::Load => {
-                    mem_issued += 1;
-                    self.counters.mem_issued += 1;
-                    self.lsq_occupancy += 1;
-                    self.lsq_free_queue
-                        .push_back(self.cycle + latency + dep_wait);
-                    let addr = instr.addr.unwrap_or(0);
-                    self.counters.dcache_reads += 1;
-                    self.counters.dtlb_accesses += 1;
-                    if !self.dtlb.access(addr) {
-                        self.counters.dtlb_misses += 1;
-                        latency += TLB_MISS_LATENCY as u64;
-                    }
-                    if self.dcache.access(addr) == AccessOutcome::Miss {
-                        self.counters.dcache_misses += 1;
-                        self.counters.mshr_allocations += 1;
-                        latency += DCACHE_MISS_LATENCY as u64;
-                        // MSHR pressure: if all MSHRs are busy the miss waits for one.
-                        if self.outstanding_misses.len() >= mshr_entries {
-                            if let Some(&oldest) = self.outstanding_misses.front() {
-                                latency += oldest.saturating_sub(self.cycle);
-                            }
-                        }
-                        self.outstanding_misses.push_back(self.cycle + latency);
-                    }
-                }
-                InstrKind::Store => {
-                    mem_issued += 1;
-                    self.counters.mem_issued += 1;
-                    self.lsq_occupancy += 1;
-                    self.lsq_free_queue
-                        .push_back(self.cycle + latency + dep_wait + 2);
-                    is_store = true;
-                    store_addr = instr.addr.unwrap_or(0);
-                }
-            }
-
-            self.rob.push_back(RobSlot {
-                complete_cycle: self.cycle + latency + dep_wait,
-                is_store,
-                store_addr,
-            });
-        }
-    }
-
-    fn commit_stage(&mut self) {
-        let decode_width = self.config.params.value(HwParam::DecodeWidth) as usize;
-        let mshr_entries = self.config.params.value(HwParam::MshrEntry) as usize;
-        let mut committed = 0usize;
-        while committed < decode_width {
-            let Some(front) = self.rob.front() else { break };
-            if front.complete_cycle > self.cycle {
-                break;
-            }
-            let slot = self.rob.pop_front().expect("peeked above");
-            committed += 1;
-            self.counters.committed += 1;
-            if slot.is_store {
-                // Stores access the data cache at commit time.
-                self.counters.dcache_writes += 1;
-                self.counters.dtlb_accesses += 1;
-                if !self.dtlb.access(slot.store_addr) {
-                    self.counters.dtlb_misses += 1;
-                }
-                if self.dcache.access(slot.store_addr) == AccessOutcome::Miss {
-                    self.counters.dcache_misses += 1;
-                    self.counters.mshr_allocations += 1;
-                    if self.outstanding_misses.len() < 4 * mshr_entries {
-                        self.outstanding_misses
-                            .push_back(self.cycle + DCACHE_MISS_LATENCY as u64);
-                    }
-                }
-            }
-        }
-    }
-
-    fn retire_bookkeeping(&mut self) {
-        while matches!(self.lsq_free_queue.front(), Some(&t) if t <= self.cycle) {
-            self.lsq_free_queue.pop_front();
-            self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
-        }
-        while matches!(self.outstanding_misses.front(), Some(&t) if t <= self.cycle) {
-            self.outstanding_misses.pop_front();
-        }
-        self.counters.rob_occupancy_sum += self.rob.len() as u64;
-        self.counters.fetch_buffer_occupancy_sum += self.fetch_buffer.len() as u64;
-        self.counters.lsq_occupancy_sum += self.lsq_occupancy as u64;
+        self.machine.current_phase()
     }
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
-        self.cycle += 1;
-        self.counters.cycles += 1;
-        self.commit_stage();
-        self.dispatch_stage();
-        self.fetch_stage();
-        self.retire_bookkeeping();
+        self.machine.step(&mut CompactStream(&mut self.stream));
     }
 
     /// Runs until `instructions` have been committed (or a generous cycle cap is hit,
     /// to guarantee termination even for pathological configurations).
     pub fn run(&mut self, instructions: u64) {
-        let cycle_cap = self.cycle + instructions * 40 + 10_000;
-        while self.counters.committed < instructions && self.cycle < cycle_cap {
-            self.step();
-        }
+        self.machine
+            .run(&mut CompactStream(&mut self.stream), instructions);
     }
 }
 
@@ -412,5 +151,401 @@ mod tests {
         let a = run(4, Workload::Median, 4_000);
         let b = run(4, Workload::Median, 4_000);
         assert_eq!(a, b);
+    }
+
+    /// Reference transcription of the pre-optimization pipeline: `VecDeque`
+    /// queues, `Option<u64>` cache tags, per-stage width lookups — the exact
+    /// code this module replaced.  The optimized machine must match it
+    /// counter-for-counter, cycle-for-cycle on every workload.
+    mod reference {
+        use crate::events::EventCounters;
+        use autopower_config::{CpuConfig, HwParam};
+        use autopower_workloads::{InstrKind, Instruction, StreamGenerator};
+        use std::collections::VecDeque;
+
+        const ICACHE_MISS_LATENCY: u32 = 10;
+        const DCACHE_MISS_LATENCY: u32 = 32;
+        const TLB_MISS_LATENCY: u32 = 14;
+        const MISPREDICT_PENALTY: u32 = 9;
+
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum AccessOutcome {
+            Hit,
+            Miss,
+        }
+
+        struct Cache {
+            sets: usize,
+            ways: usize,
+            line_bytes: u64,
+            tags: Vec<Option<u64>>,
+            stamps: Vec<u64>,
+            tick: u64,
+        }
+
+        impl Cache {
+            fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
+                Self {
+                    sets,
+                    ways,
+                    line_bytes,
+                    tags: vec![None; sets * ways],
+                    stamps: vec![0; sets * ways],
+                    tick: 0,
+                }
+            }
+
+            fn access(&mut self, addr: u64) -> AccessOutcome {
+                self.tick += 1;
+                let line = addr / self.line_bytes;
+                let set = (line % self.sets as u64) as usize;
+                let tag = line / self.sets as u64;
+                let base = set * self.ways;
+                for way in 0..self.ways {
+                    if self.tags[base + way] == Some(tag) {
+                        self.stamps[base + way] = self.tick;
+                        return AccessOutcome::Hit;
+                    }
+                }
+                let victim = (0..self.ways)
+                    .min_by_key(|&way| {
+                        if self.tags[base + way].is_none() {
+                            0
+                        } else {
+                            self.stamps[base + way] + 1
+                        }
+                    })
+                    .expect("ways > 0");
+                self.tags[base + victim] = Some(tag);
+                self.stamps[base + victim] = self.tick;
+                AccessOutcome::Miss
+            }
+        }
+
+        struct Tlb {
+            entries: usize,
+            pages: Vec<u64>,
+            stamps: Vec<u64>,
+            tick: u64,
+        }
+
+        impl Tlb {
+            fn new(entries: usize) -> Self {
+                Self {
+                    entries,
+                    pages: Vec::new(),
+                    stamps: Vec::new(),
+                    tick: 0,
+                }
+            }
+
+            fn access(&mut self, addr: u64) -> bool {
+                self.tick += 1;
+                let page = addr / 4096;
+                if let Some(idx) = self.pages.iter().position(|&p| p == page) {
+                    self.stamps[idx] = self.tick;
+                    return true;
+                }
+                if self.pages.len() < self.entries {
+                    self.pages.push(page);
+                    self.stamps.push(self.tick);
+                } else {
+                    let victim = self
+                        .stamps
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &s)| s)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    self.pages[victim] = page;
+                    self.stamps[victim] = self.tick;
+                }
+                false
+            }
+        }
+
+        #[derive(Clone, Copy)]
+        struct RobSlot {
+            complete_cycle: u64,
+            is_store: bool,
+            store_addr: u64,
+        }
+
+        pub struct ReferencePipeline {
+            config: CpuConfig,
+            stream: StreamGenerator,
+            icache: Cache,
+            dcache: Cache,
+            itlb: Tlb,
+            dtlb: Tlb,
+            predictor: crate::BranchPredictor,
+            fetch_buffer: VecDeque<Instruction>,
+            rob: VecDeque<RobSlot>,
+            lsq_occupancy: u32,
+            lsq_free_queue: VecDeque<u64>,
+            outstanding_misses: VecDeque<u64>,
+            frontend_stall: u32,
+            cycle: u64,
+            pub counters: EventCounters,
+        }
+
+        impl ReferencePipeline {
+            pub fn new(config: CpuConfig, stream: StreamGenerator) -> Self {
+                Self {
+                    icache: Cache::new(64, config.params.icache_ways() as usize, 64),
+                    dcache: Cache::new(64, config.params.dcache_ways() as usize, 64),
+                    itlb: Tlb::new(config.params.itlb_entries() as usize),
+                    dtlb: Tlb::new(config.params.value(HwParam::DtlbEntry) as usize),
+                    predictor: crate::BranchPredictor::new(
+                        config.params.value(HwParam::BranchCount),
+                    ),
+                    fetch_buffer: VecDeque::new(),
+                    rob: VecDeque::new(),
+                    lsq_occupancy: 0,
+                    lsq_free_queue: VecDeque::new(),
+                    outstanding_misses: VecDeque::new(),
+                    frontend_stall: 0,
+                    cycle: 0,
+                    counters: EventCounters::default(),
+                    config,
+                    stream,
+                }
+            }
+
+            fn fetch_stage(&mut self) {
+                let p = &self.config.params;
+                let fetch_width = p.value(HwParam::FetchWidth) as usize;
+                let fb_capacity = p.value(HwParam::FetchBufferEntry) as usize;
+                if self.frontend_stall > 0 {
+                    self.frontend_stall -= 1;
+                    self.counters.frontend_stall_cycles += 1;
+                    return;
+                }
+                if self.fetch_buffer.len() + fetch_width > fb_capacity {
+                    self.counters.frontend_stall_cycles += 1;
+                    return;
+                }
+                self.counters.fetch_groups += 1;
+                self.counters.icache_accesses += 1;
+                self.counters.itlb_accesses += 1;
+                let mut group_pc: Option<u64> = None;
+                for _ in 0..fetch_width {
+                    let instr = match self.stream.next() {
+                        Some(i) => i,
+                        None => break,
+                    };
+                    if group_pc.is_none() {
+                        group_pc = Some(instr.pc);
+                        if self.icache.access(instr.pc) == AccessOutcome::Miss {
+                            self.counters.icache_misses += 1;
+                            self.frontend_stall += ICACHE_MISS_LATENCY;
+                        }
+                        if !self.itlb.access(instr.pc) {
+                            self.counters.itlb_misses += 1;
+                            self.frontend_stall += TLB_MISS_LATENCY;
+                        }
+                    }
+                    self.counters.fetched += 1;
+                    let mut end_group = false;
+                    if instr.kind == InstrKind::Branch {
+                        self.counters.branches += 1;
+                        let site = instr.branch_site.unwrap_or(0);
+                        let correct = self.predictor.predict_and_update(site, instr.taken);
+                        if !correct {
+                            self.counters.branch_mispredicts += 1;
+                            self.frontend_stall += MISPREDICT_PENALTY;
+                            end_group = true;
+                        } else if instr.taken {
+                            end_group = true;
+                        }
+                    }
+                    self.fetch_buffer.push_back(instr);
+                    if end_group {
+                        break;
+                    }
+                }
+            }
+
+            fn dispatch_stage(&mut self) {
+                let p = &self.config.params;
+                let decode_width = p.value(HwParam::DecodeWidth) as usize;
+                let rob_capacity = p.value(HwParam::RobEntry) as usize;
+                let lsq_capacity = 2 * p.value(HwParam::LdqStqEntry);
+                let int_width = p.value(HwParam::IntIssueWidth) as usize;
+                let mem_width = p.mem_issue_width() as usize;
+                let fp_width = p.fp_issue_width() as usize;
+                let mshr_entries = p.value(HwParam::MshrEntry) as usize;
+                let mut int_issued = 0usize;
+                let mut fp_issued = 0usize;
+                let mut mem_issued = 0usize;
+                let mut dispatched = 0usize;
+                while dispatched < decode_width {
+                    let Some(&instr) = self.fetch_buffer.front() else {
+                        break;
+                    };
+                    if self.rob.len() >= rob_capacity {
+                        self.counters.backend_stall_cycles += 1;
+                        break;
+                    }
+                    let class_ok = match instr.kind {
+                        InstrKind::IntAlu | InstrKind::MulDiv | InstrKind::Branch => {
+                            int_issued < int_width
+                        }
+                        InstrKind::Fp => fp_issued < fp_width,
+                        InstrKind::Load | InstrKind::Store => {
+                            mem_issued < mem_width && self.lsq_occupancy < lsq_capacity
+                        }
+                    };
+                    if !class_ok {
+                        self.counters.backend_stall_cycles += 1;
+                        break;
+                    }
+                    let instr = self.fetch_buffer.pop_front().expect("peeked above");
+                    dispatched += 1;
+                    self.counters.decoded += 1;
+                    self.counters.dispatched += 1;
+                    let dep_wait = if (instr.dep_distance as usize) < decode_width {
+                        1 + (decode_width - instr.dep_distance as usize) as u64 / 2
+                    } else {
+                        0
+                    };
+                    let mut latency: u64 = match instr.kind {
+                        InstrKind::IntAlu => 1,
+                        InstrKind::Branch => 1,
+                        InstrKind::MulDiv => 6,
+                        InstrKind::Fp => 4,
+                        InstrKind::Load => 3,
+                        InstrKind::Store => 1,
+                    };
+                    let mut is_store = false;
+                    let mut store_addr = 0;
+                    match instr.kind {
+                        InstrKind::IntAlu | InstrKind::MulDiv | InstrKind::Branch => {
+                            int_issued += 1;
+                            self.counters.int_issued += 1;
+                        }
+                        InstrKind::Fp => {
+                            fp_issued += 1;
+                            self.counters.fp_issued += 1;
+                        }
+                        InstrKind::Load => {
+                            mem_issued += 1;
+                            self.counters.mem_issued += 1;
+                            self.lsq_occupancy += 1;
+                            self.lsq_free_queue
+                                .push_back(self.cycle + latency + dep_wait);
+                            let addr = instr.addr.unwrap_or(0);
+                            self.counters.dcache_reads += 1;
+                            self.counters.dtlb_accesses += 1;
+                            if !self.dtlb.access(addr) {
+                                self.counters.dtlb_misses += 1;
+                                latency += TLB_MISS_LATENCY as u64;
+                            }
+                            if self.dcache.access(addr) == AccessOutcome::Miss {
+                                self.counters.dcache_misses += 1;
+                                self.counters.mshr_allocations += 1;
+                                latency += DCACHE_MISS_LATENCY as u64;
+                                if self.outstanding_misses.len() >= mshr_entries {
+                                    if let Some(&oldest) = self.outstanding_misses.front() {
+                                        latency += oldest.saturating_sub(self.cycle);
+                                    }
+                                }
+                                self.outstanding_misses.push_back(self.cycle + latency);
+                            }
+                        }
+                        InstrKind::Store => {
+                            mem_issued += 1;
+                            self.counters.mem_issued += 1;
+                            self.lsq_occupancy += 1;
+                            self.lsq_free_queue
+                                .push_back(self.cycle + latency + dep_wait + 2);
+                            is_store = true;
+                            store_addr = instr.addr.unwrap_or(0);
+                        }
+                    }
+                    self.rob.push_back(RobSlot {
+                        complete_cycle: self.cycle + latency + dep_wait,
+                        is_store,
+                        store_addr,
+                    });
+                }
+            }
+
+            fn commit_stage(&mut self) {
+                let decode_width = self.config.params.value(HwParam::DecodeWidth) as usize;
+                let mshr_entries = self.config.params.value(HwParam::MshrEntry) as usize;
+                let mut committed = 0usize;
+                while committed < decode_width {
+                    let Some(front) = self.rob.front() else { break };
+                    if front.complete_cycle > self.cycle {
+                        break;
+                    }
+                    let slot = self.rob.pop_front().expect("peeked above");
+                    committed += 1;
+                    self.counters.committed += 1;
+                    if slot.is_store {
+                        self.counters.dcache_writes += 1;
+                        self.counters.dtlb_accesses += 1;
+                        if !self.dtlb.access(slot.store_addr) {
+                            self.counters.dtlb_misses += 1;
+                        }
+                        if self.dcache.access(slot.store_addr) == AccessOutcome::Miss {
+                            self.counters.dcache_misses += 1;
+                            self.counters.mshr_allocations += 1;
+                            if self.outstanding_misses.len() < 4 * mshr_entries {
+                                self.outstanding_misses
+                                    .push_back(self.cycle + DCACHE_MISS_LATENCY as u64);
+                            }
+                        }
+                    }
+                }
+            }
+
+            fn retire_bookkeeping(&mut self) {
+                while matches!(self.lsq_free_queue.front(), Some(&t) if t <= self.cycle) {
+                    self.lsq_free_queue.pop_front();
+                    self.lsq_occupancy = self.lsq_occupancy.saturating_sub(1);
+                }
+                while matches!(self.outstanding_misses.front(), Some(&t) if t <= self.cycle) {
+                    self.outstanding_misses.pop_front();
+                }
+                self.counters.rob_occupancy_sum += self.rob.len() as u64;
+                self.counters.fetch_buffer_occupancy_sum += self.fetch_buffer.len() as u64;
+                self.counters.lsq_occupancy_sum += self.lsq_occupancy as u64;
+            }
+
+            pub fn run(&mut self, instructions: u64) {
+                let cycle_cap = self.cycle + instructions * 40 + 10_000;
+                while self.counters.committed < instructions && self.cycle < cycle_cap {
+                    self.cycle += 1;
+                    self.counters.cycles += 1;
+                    self.commit_stage();
+                    self.dispatch_stage();
+                    self.fetch_stage();
+                    self.retire_bookkeeping();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_matches_reference_pipeline_bit_for_bit() {
+        use autopower_config::DesignSpace;
+        let mut configs = boom_configs().to_vec();
+        configs.extend(DesignSpace::boom().sample(6, 99));
+        for (i, cfg) in configs.iter().enumerate().step_by(3) {
+            for workload in [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd] {
+                let mut reference =
+                    reference::ReferencePipeline::new(*cfg, StreamGenerator::new(workload, 7));
+                reference.run(3_000);
+                let mut pipe = Pipeline::new(*cfg, StreamGenerator::new(workload, 7));
+                pipe.run(3_000);
+                assert_eq!(
+                    reference.counters,
+                    *pipe.counters(),
+                    "config {i} workload {workload:?}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,195 @@
+//! Fixed-capacity ring buffer for the pipeline hot loop.
+//!
+//! The pipeline's fetch buffer, ROB and free-queues are bounded by hardware
+//! parameters known at construction time, so a power-of-two ring over a plain
+//! `Vec` replaces `VecDeque` on the hot path: no per-simulation allocation
+//! (the buffer is recycled across `(configuration, workload)` pairs via
+//! [`Ring::reset`]) and no reallocation or branchy wrap-around logic per
+//! push/pop — indices are masked.
+
+/// A FIFO queue over a fixed, power-of-two capacity buffer.
+///
+/// The buffer grows (doubling) only in the cold case where a queue outruns the
+/// capacity hint, so pushes on the hot path are a masked store. Elements must
+/// be `Copy`: slots are pre-filled and overwritten, never dropped.
+#[derive(Debug, Clone)]
+pub struct Ring<T: Copy> {
+    buf: Vec<T>,
+    mask: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// Creates a ring able to hold at least `capacity` elements, with all
+    /// slots pre-filled by `fill` (the value is never observed; it only keeps
+    /// the buffer initialised without a `Default` bound).
+    pub fn with_capacity(capacity: usize, fill: T) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        Self {
+            buf: vec![fill; cap],
+            mask: cap - 1,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Drops all queued elements, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.tail = 0;
+    }
+
+    /// Clears the ring and grows it to hold at least `capacity` elements,
+    /// reusing the existing allocation whenever it is large enough.
+    pub fn reset(&mut self, capacity: usize) {
+        self.head = 0;
+        self.tail = 0;
+        let cap = capacity.max(1).next_power_of_two();
+        if cap > self.buf.len() {
+            let fill = self.buf[0];
+            self.buf.resize(cap, fill);
+            self.mask = cap - 1;
+        }
+    }
+
+    /// Appends `value` at the back.
+    #[inline]
+    pub fn push_back(&mut self, value: T) {
+        if self.len() == self.buf.len() {
+            self.grow();
+        }
+        let idx = self.tail & self.mask;
+        self.buf[idx] = value;
+        self.tail += 1;
+    }
+
+    /// Removes and returns the front element.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = self.head & self.mask;
+        self.head += 1;
+        Some(self.buf[idx])
+    }
+
+    /// The front element, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self.buf[self.head & self.mask])
+        }
+    }
+
+    /// Doubles the capacity, relocating the queued elements to the front of
+    /// the new buffer.
+    #[cold]
+    fn grow(&mut self) {
+        let old_cap = self.buf.len();
+        let mut new_buf = vec![self.buf[0]; old_cap * 2];
+        for (i, slot) in new_buf.iter_mut().take(self.len()).enumerate() {
+            *slot = self.buf[(self.head + i) & self.mask];
+        }
+        let len = self.len();
+        self.buf = new_buf;
+        self.mask = self.buf.len() - 1;
+        self.head = 0;
+        self.tail = len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = Ring::with_capacity(4, 0u64);
+        for v in 0..4 {
+            r.push_back(v);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.front(), Some(&0));
+        for v in 0..4 {
+            assert_eq!(r.pop_front(), Some(v));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.pop_front(), None);
+    }
+
+    #[test]
+    fn wraps_around_without_growing() {
+        let mut r = Ring::with_capacity(4, 0u32);
+        for round in 0..100u32 {
+            r.push_back(round);
+            r.push_back(round + 1000);
+            assert_eq!(r.pop_front(), Some(round));
+            assert_eq!(r.pop_front(), Some(round + 1000));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn grows_when_capacity_exceeded() {
+        let mut r = Ring::with_capacity(2, 0usize);
+        for v in 0..100 {
+            r.push_back(v);
+        }
+        assert_eq!(r.len(), 100);
+        for v in 0..100 {
+            assert_eq!(r.pop_front(), Some(v));
+        }
+    }
+
+    #[test]
+    fn grow_preserves_order_mid_wrap() {
+        let mut r = Ring::with_capacity(4, 0i32);
+        // Advance head so the live region wraps around the buffer end.
+        for v in 0..3 {
+            r.push_back(v);
+        }
+        r.pop_front();
+        r.pop_front();
+        for v in 3..10 {
+            r.push_back(v);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| r.pop_front()).collect();
+        assert_eq!(drained, vec![2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut r = Ring::with_capacity(8, 0u8);
+        for v in 0..8 {
+            r.push_back(v);
+        }
+        r.reset(4);
+        assert!(r.is_empty());
+        r.push_back(42);
+        assert_eq!(r.pop_front(), Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_hint_is_usable() {
+        let mut r = Ring::with_capacity(0, 0u8);
+        r.push_back(1);
+        assert_eq!(r.pop_front(), Some(1));
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests pinning the allocation-free simulation entry points to the
+//! allocating reference: `simulate_with` over a dirty, reused [`SimScratch`]
+//! and the counters-only `simulate_counters_with` must be bit-identical to a
+//! fresh `simulate` for every configuration, workload and knob setting.
+
+use autopower_config::{DesignSpace, Workload};
+use autopower_perfsim::{simulate, simulate_counters_with, simulate_with, SimConfig, SimScratch};
+use proptest::prelude::*;
+
+/// The benchmark workloads exercised by the sweep and corpus flows.
+const WORKLOADS: [Workload; 5] = [
+    Workload::Dhrystone,
+    Workload::Qsort,
+    Workload::Vvadd,
+    Workload::Spmv,
+    Workload::Towers,
+];
+
+proptest! {
+    /// A scratch dirtied by one run produces bit-identical results on the
+    /// next, across random configurations, workloads, seeds and budgets.
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_simulation(
+        space_seed in 0u64..10_000,
+        wl_a in 0usize..WORKLOADS.len(),
+        wl_b in 0usize..WORKLOADS.len(),
+        stream_seed in 0u64..1_000,
+        budget in 300u64..3_000,
+    ) {
+        let configs = DesignSpace::boom().sample(2, space_seed);
+        let sim = SimConfig {
+            max_instructions: budget,
+            stream_seed,
+            ..SimConfig::fast()
+        };
+        let mut scratch = SimScratch::new();
+        // First run dirties the machine and warms the replay stream.
+        let _ = simulate_with(&configs[0], WORKLOADS[wl_a], &sim, &mut scratch);
+        let reused = simulate_with(&configs[1], WORKLOADS[wl_b], &sim, &mut scratch);
+        let fresh = simulate(&configs[1], WORKLOADS[wl_b], &sim);
+        prop_assert_eq!(reused.counters, fresh.counters);
+        prop_assert_eq!(&reused.events, &fresh.events);
+        prop_assert_eq!(&reused.activity, &fresh.activity);
+        prop_assert_eq!(&reused.intervals, &fresh.intervals);
+    }
+
+    /// The counters-only hot path (no interval recording) returns exactly the
+    /// counters of the full-fidelity run.
+    #[test]
+    fn counters_only_path_matches_full_fidelity(
+        space_seed in 0u64..10_000,
+        wl in 0usize..WORKLOADS.len(),
+        budget in 300u64..3_000,
+        interval_cycles in 10u32..200,
+    ) {
+        let configs = DesignSpace::boom().sample(1, space_seed);
+        let sim = SimConfig {
+            max_instructions: budget,
+            interval_cycles,
+            ..SimConfig::fast()
+        };
+        let mut scratch = SimScratch::new();
+        let counters = simulate_counters_with(&configs[0], WORKLOADS[wl], &sim, &mut scratch);
+        let full = simulate(&configs[0], WORKLOADS[wl], &sim);
+        prop_assert_eq!(counters, full.counters);
+    }
+}
