@@ -10,7 +10,9 @@
 //!
 //! Run with `cargo bench --bench sweep [-- --json FILE]`.
 
-use autopower::{AutoPower, Corpus, CorpusSpec, SweepEngine, SweepSpec};
+use autopower::{
+    AutoPower, Corpus, CorpusSpec, StreamSpec, SweepAggregator, SweepEngine, SweepSpec,
+};
 use autopower_bench::harness::{format_duration, Bench};
 use autopower_config::{boom_configs, ConfigId, DesignSpace, Workload};
 use std::hint::black_box;
@@ -21,6 +23,10 @@ const SWEEP_CONFIGS: usize = 96;
 
 /// Workloads each configuration is scored on.
 const WORKLOADS: [Workload; 3] = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+
+/// Configurations per chunk of the streaming measurement (bounds its point
+/// memory to `STREAM_CHUNK * WORKLOADS.len()` live points).
+const STREAM_CHUNK: usize = 32;
 
 fn sweep(model: &AutoPower, configs: &[autopower_config::CpuConfig], threads: usize) -> Duration {
     let spec = SweepSpec::fast().threads(threads);
@@ -34,6 +40,41 @@ fn sweep(model: &AutoPower, configs: &[autopower_config::CpuConfig], threads: us
         black_box(points);
     }
     best
+}
+
+/// One streaming sweep (same scoring path as [`sweep`], bounded-memory
+/// aggregation instead of point retention); returns the best-of-three time
+/// and the point-memory high-water mark.
+fn stream_sweep(
+    model: &AutoPower,
+    configs: &[autopower_config::CpuConfig],
+) -> (Duration, usize, usize) {
+    let spec = SweepSpec {
+        chunk_configs: STREAM_CHUNK,
+        ..SweepSpec::fast().threads(1)
+    };
+    let mut best = Duration::MAX;
+    let mut peak_points = 0;
+    let mut retained_state = 0;
+    for _ in 0..3 {
+        let mut aggregator = SweepAggregator::new(WORKLOADS.len(), &StreamSpec::default());
+        let start = Instant::now();
+        let progress = SweepEngine::new(model, spec)
+            .stream(
+                configs.iter().copied(),
+                &WORKLOADS,
+                &mut aggregator,
+                |_, _| Ok(true),
+            )
+            .expect("no checkpoint callback, no error");
+        best = best.min(start.elapsed());
+        assert!(progress.complete);
+        assert_eq!(progress.configs_streamed, configs.len() as u64);
+        peak_points = progress.peak_retained_points;
+        retained_state = aggregator.retained_state();
+        black_box(aggregator);
+    }
+    (best, peak_points, retained_state)
 }
 
 fn main() {
@@ -71,6 +112,43 @@ fn main() {
         "sweep_serial_threads1",
         serial / SWEEP_CONFIGS as u32,
         SWEEP_CONFIGS as u64,
+    );
+
+    // Streaming vs materialized, same serial scoring path: the time should
+    // match sweep_serial_threads1 (aggregation folds are cheap against the
+    // simulations) while point memory drops from configs x workloads to one
+    // chunk's worth.
+    let (stream, peak_points, retained_state) = stream_sweep(&model, &configs);
+    let stream_rate = SWEEP_CONFIGS as f64 / stream.as_secs_f64();
+    println!(
+        "{:<28} {:>10}   {:>8.1} configs/sec   {:.2}x",
+        "sweep_stream_serial_threads1",
+        format_duration(stream),
+        stream_rate,
+        serial.as_secs_f64() / stream.as_secs_f64(),
+    );
+    let materialized_points = SWEEP_CONFIGS * WORKLOADS.len();
+    println!(
+        "{:<28} peak {peak_points} points (chunk {STREAM_CHUNK}) vs {materialized_points} \
+         materialized; aggregator holds {retained_state} values",
+        "sweep_stream_memory",
+    );
+    bench.record(
+        "sweep_stream_serial_threads1",
+        stream / SWEEP_CONFIGS as u32,
+        SWEEP_CONFIGS as u64,
+    );
+    // Memory numbers ride the ns_per_iter field as plain counts, so the JSON
+    // baseline records the retention story next to the throughput story.
+    bench.record(
+        "sweep_stream_peak_points",
+        Duration::from_nanos(peak_points as u64),
+        1,
+    );
+    bench.record(
+        "sweep_materialized_points",
+        Duration::from_nanos(materialized_points as u64),
+        1,
     );
 
     let mut thread_counts = vec![2, 4, cores];

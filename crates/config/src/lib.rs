@@ -44,6 +44,6 @@ mod workload;
 pub use component::Component;
 pub use configs::{boom_configs, config_by_id, ConfigId, CpuConfig, SEED_CONFIG_COUNT};
 pub use params::{HardwareParams, HwParam};
-pub use space::{Axis, DesignSpace};
+pub use space::{Axis, DesignSpace, Enumerate};
 pub use sram::{sram_positions, sram_positions_for, SramPosition, SramPositionId};
 pub use workload::Workload;

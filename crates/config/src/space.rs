@@ -192,16 +192,48 @@ impl DesignSpace {
         ])
     }
 
+    /// Exact number of configurations [`DesignSpace::enumerate`] yields: the
+    /// valid, non-seed grid points.
+    ///
+    /// Counted by walking the raw grid (validity does not factorize cleanly
+    /// across axes once seed exclusion enters), so this costs one pass over
+    /// `raw_size()` cheap parameter derivations — milliseconds for the default
+    /// BOOM space — and is guaranteed to agree with the enumerator by
+    /// construction.
+    pub fn total(&self) -> u64 {
+        let seeds = seed_params();
+        (0..self.raw_size())
+            .filter(|&k| {
+                let p = self.params_at(k);
+                self.is_valid(&p) && !seeds.contains(&p)
+            })
+            .count() as u64
+    }
+
     /// Enumerates every valid, non-seed grid point in deterministic
     /// lexicographic axis order, assigning generated identifiers (`G1`, `G2`,
     /// …) in emission order.
-    pub fn enumerate(&self) -> impl Iterator<Item = CpuConfig> + '_ {
-        let seeds = seed_params();
-        (0..self.raw_size())
-            .map(|k| self.params_at(k))
-            .filter(move |p| self.is_valid(p) && !seeds.contains(p))
-            .enumerate()
-            .map(|(i, params)| CpuConfig::new(ConfigId::generated(i as u32 + 1), params))
+    pub fn enumerate(&self) -> Enumerate<'_> {
+        Enumerate {
+            space: self,
+            seeds: seed_params(),
+            next_raw: 0,
+            emitted: 0,
+        }
+    }
+
+    /// One deterministic chunk of the enumeration: the `len` configurations
+    /// starting at enumeration offset `offset` (identifiers `G(offset+1)`
+    /// onward), exactly as a full [`DesignSpace::enumerate`] would emit them.
+    /// Returns fewer than `len` configurations when the space runs out.
+    ///
+    /// Chunks are independent of one another — `enumerate_chunk(0, n)` followed
+    /// by `enumerate_chunk(n, m)` concatenates to `enumerate().take(n + m)` —
+    /// which is what lets a streaming sweep resume mid-space from a persisted
+    /// offset cursor.  Seeking costs a scan of the raw grid up to the offset.
+    pub fn enumerate_chunk(&self, offset: u64, len: usize) -> Vec<CpuConfig> {
+        let offset = usize::try_from(offset).expect("enumeration offset exceeds address space");
+        self.enumerate().skip(offset).take(len).collect()
     }
 
     /// Draws `count` distinct valid, non-seed configurations from a seeded,
@@ -246,6 +278,43 @@ impl DesignSpace {
     }
 }
 
+/// Lazy enumerator over the valid, non-seed points of a [`DesignSpace`], in
+/// deterministic lexicographic axis order (see [`DesignSpace::enumerate`]).
+#[derive(Debug, Clone)]
+pub struct Enumerate<'a> {
+    space: &'a DesignSpace,
+    seeds: Vec<HardwareParams>,
+    next_raw: u64,
+    emitted: u32,
+}
+
+impl Iterator for Enumerate<'_> {
+    type Item = CpuConfig;
+
+    fn next(&mut self) -> Option<CpuConfig> {
+        while self.next_raw < self.space.raw_size() {
+            let params = self.space.params_at(self.next_raw);
+            self.next_raw += 1;
+            if self.space.is_valid(&params) && !self.seeds.contains(&params) {
+                self.emitted += 1;
+                return Some(CpuConfig::new(ConfigId::generated(self.emitted), params));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Every remaining raw grid point is at most one emitted configuration;
+        // validity filtering can only shrink that, so the cheap exact upper
+        // bound is the unvisited raw-grid remainder and the lower bound is 0.
+        let remaining_raw = self.space.raw_size() - self.next_raw;
+        (
+            0,
+            Some(usize::try_from(remaining_raw).unwrap_or(usize::MAX)),
+        )
+    }
+}
+
 /// Parameter assignments of the 15 seeded configurations (for duplicate
 /// exclusion).
 fn seed_params() -> Vec<HardwareParams> {
@@ -285,6 +354,58 @@ mod tests {
         params.sort_unstable();
         params.dedup();
         assert_eq!(params.len(), 500, "enumeration emitted a duplicate point");
+    }
+
+    #[test]
+    fn total_counts_exactly_what_enumerate_yields() {
+        let space = DesignSpace::boom();
+        let total = space.total();
+        assert!(total > 0);
+        assert_eq!(total, space.enumerate().count() as u64);
+    }
+
+    #[test]
+    fn size_hint_brackets_the_true_remaining_count() {
+        let space = DesignSpace::boom().with_axis(HwParam::CacheWay, vec![4]);
+        let mut it = space.enumerate();
+        let truth = it.clone().count();
+        for step in 0..200 {
+            let remaining = truth - step;
+            let (lo, hi) = it.size_hint();
+            assert!(lo <= remaining, "lower bound overshot at step {step}");
+            assert!(
+                hi.expect("finite grid has a finite upper bound") >= remaining,
+                "upper bound undershot at step {step}"
+            );
+            assert!(it.next().is_some());
+        }
+    }
+
+    #[test]
+    fn chunked_enumeration_concatenates_to_the_full_walk() {
+        let space = DesignSpace::boom()
+            .with_axis(HwParam::CacheWay, vec![2])
+            .with_axis(HwParam::DtlbEntry, vec![8])
+            .with_axis(HwParam::MshrEntry, vec![2]);
+        let full: Vec<CpuConfig> = space.enumerate().collect();
+        assert_eq!(full.len() as u64, space.total());
+        let mut stitched = Vec::new();
+        let mut offset = 0u64;
+        loop {
+            let chunk = space.enumerate_chunk(offset, 97);
+            if chunk.is_empty() {
+                break;
+            }
+            offset += chunk.len() as u64;
+            stitched.extend(chunk);
+        }
+        assert_eq!(stitched, full);
+        // Chunks carry the identifiers of their global enumeration position.
+        let tail = space.enumerate_chunk(5, 3);
+        assert_eq!(tail[0].id, ConfigId::generated(6));
+        assert_eq!(tail[2].id, ConfigId::generated(8));
+        // Seeking past the end yields nothing.
+        assert!(space.enumerate_chunk(space.total(), 4).is_empty());
     }
 
     #[test]

@@ -78,6 +78,54 @@ proptest! {
         prop_assert_eq!(&configs[..take / 2], &shorter[..]);
     }
 
+    /// `total()` is exactly `enumerate().count()` on folded/constrained
+    /// spaces, `size_hint` brackets the true count throughout the walk, and
+    /// chunked enumeration stitches back into the full walk bit-for-bit.
+    #[test]
+    fn total_size_hint_and_chunks_agree_with_enumeration(
+        rob_len in 1usize..5,
+        decode_len in 1usize..4,
+        branch_len in 1usize..4,
+        chunk_len in 1usize..50,
+        offset in 0u64..400,
+    ) {
+        // Fold three axes to random prefixes so the constraint interactions
+        // (rob >= 16*decode, branch >= 2*decode) actually bite.
+        let boom = DesignSpace::boom();
+        let prefix = |param: HwParam, len: usize| {
+            let axis = boom.axes().iter().find(|a| a.param == param).unwrap();
+            axis.values[..len.min(axis.values.len())].to_vec()
+        };
+        let space = DesignSpace::boom()
+            .with_axis(HwParam::RobEntry, prefix(HwParam::RobEntry, rob_len))
+            .with_axis(HwParam::DecodeWidth, prefix(HwParam::DecodeWidth, decode_len))
+            .with_axis(HwParam::BranchCount, prefix(HwParam::BranchCount, branch_len));
+
+        let full: Vec<_> = space.enumerate().collect();
+        prop_assert_eq!(space.total(), full.len() as u64);
+
+        // size_hint stays a valid bracket at the start, middle and end.
+        let mut it = space.enumerate();
+        let mut remaining = full.len();
+        loop {
+            let (lo, hi) = it.size_hint();
+            prop_assert!(lo <= remaining);
+            prop_assert!(hi.unwrap() >= remaining);
+            if it.next().is_none() {
+                prop_assert_eq!(remaining, 0);
+                break;
+            }
+            remaining -= 1;
+        }
+
+        // An arbitrary chunk is the matching slice of the full walk,
+        // identifiers included.
+        let chunk = space.enumerate_chunk(offset, chunk_len);
+        let start = (offset as usize).min(full.len());
+        let end = (start + chunk_len).min(full.len());
+        prop_assert_eq!(&chunk[..], &full[start..end]);
+    }
+
     /// Different sample seeds explore different corners of the space (no seed
     /// aliasing): two draws of the same size share at most half their points.
     #[test]

@@ -36,6 +36,9 @@ pub enum AutoPowerError {
     ModelFormat(String),
     /// A model file could not be read or written.
     ModelIo(String),
+    /// A sweep checkpoint could not be read, written, parsed, or does not
+    /// belong to the sweep being resumed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for AutoPowerError {
@@ -87,6 +90,9 @@ impl fmt::Display for AutoPowerError {
             }
             AutoPowerError::ModelIo(message) => {
                 write!(f, "model file I/O failed: {message}")
+            }
+            AutoPowerError::Checkpoint(message) => {
+                write!(f, "sweep checkpoint error: {message}")
             }
         }
     }

@@ -62,6 +62,7 @@ mod power_model;
 mod prediction;
 mod serialize;
 mod sram;
+pub mod stream;
 pub mod sweep;
 mod trace;
 mod xval;
@@ -84,9 +85,14 @@ pub use sram::{
     predicted_block_power_mw, PositionHardwareModel, PredictedBlock, ScalingRule,
     SramActivityModel, SramPowerModel,
 };
+pub use stream::{
+    area_proxy, decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint,
+    ChunkCursor, ParetoEntry, ParetoFrontier, PowerSeries, QuantileSketch, SeriesSketch,
+    StreamProgress, StreamSpec, SweepAggregator, SweepCheckpoint, CHECKPOINT_FORMAT_VERSION,
+};
 pub use sweep::{
-    rank_by_efficiency, summarize, sweep_multi, sweep_multi_with_stats, ConfigSummary, SweepEngine,
-    SweepPoint, SweepSpec,
+    config_summary, rank_by_efficiency, summarize, sweep_multi, sweep_multi_with_stats,
+    ConfigSummary, SweepEngine, SweepPoint, SweepSpec,
 };
 pub use trace::{
     evaluate_trace_prediction, trace_errors, PowerTracePredictor, PredictedPowerTrace,

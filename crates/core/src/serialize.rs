@@ -26,7 +26,10 @@
 
 use crate::error::AutoPowerError;
 use crate::power_model::{ModelKind, PowerModel};
-use autopower_config::{sram_positions, Component, HwParam, SramPositionId};
+use autopower_config::{
+    sram_positions, Component, ConfigId, CpuConfig, HardwareParams, HwParam, SramPositionId,
+    SEED_CONFIG_COUNT,
+};
 use autopower_techlib::{SramCompiler, SramMacro, TechLibrary};
 use serde::codec::{CodecError, Reader, Writer};
 use std::path::Path;
@@ -138,6 +141,82 @@ pub(crate) fn decode_hw_param(r: &mut Reader<'_>) -> Result<HwParam, CodecError>
         .into_iter()
         .find(|p| p.name() == name)
         .ok_or_else(|| CodecError::new(r.line(), format!("unknown hardware parameter '{name}'")))
+}
+
+/// Writes a full configuration: identifier kind + index and all 14 parameter
+/// values (used by the streaming-sweep checkpoint format).
+pub(crate) fn encode_config(w: &mut Writer, config: &CpuConfig) {
+    w.begin("config");
+    match config.id.generated_index() {
+        Some(n) => {
+            w.str("id_kind", "generated");
+            w.u64("id", u64::from(n));
+        }
+        None => {
+            w.str("id_kind", "seed");
+            w.u64("id", u64::from(config.id.index()));
+        }
+    }
+    w.begin_list("params", config.params.values().len());
+    for &v in config.params.values() {
+        w.u64("v", u64::from(v));
+    }
+    w.end();
+    w.end();
+}
+
+/// Reads a configuration written by [`encode_config`].
+pub(crate) fn decode_config(r: &mut Reader<'_>) -> Result<CpuConfig, CodecError> {
+    r.begin("config")?;
+    let kind = r.str("id_kind")?.to_owned();
+    let id_line = r.line();
+    let index = r.u64("id")?;
+    let id = match kind.as_str() {
+        "generated" => {
+            let n = u32::try_from(index)
+                .ok()
+                .filter(|&n| n > 0 && n < u32::MAX - SEED_CONFIG_COUNT)
+                .ok_or_else(|| {
+                    CodecError::new(
+                        id_line,
+                        format!("generated config index {index} out of range"),
+                    )
+                })?;
+            ConfigId::generated(n)
+        }
+        "seed" => {
+            let n = u8::try_from(index)
+                .ok()
+                .filter(|&n| (1..=SEED_CONFIG_COUNT as u8).contains(&n))
+                .ok_or_else(|| {
+                    CodecError::new(id_line, format!("seed config index {index} out of range"))
+                })?;
+            ConfigId::new(n)
+        }
+        other => {
+            return Err(CodecError::new(
+                id_line,
+                format!("unknown config id kind '{other}'"),
+            ))
+        }
+    };
+    let count = r.begin_list("params")?;
+    let mut values = [0u32; 14];
+    if count != values.len() {
+        return Err(CodecError::new(
+            r.line(),
+            format!("expected {} parameter values, found {count}", values.len()),
+        ));
+    }
+    for slot in &mut values {
+        let line = r.line();
+        let v = r.u64("v")?;
+        *slot = u32::try_from(v)
+            .map_err(|_| CodecError::new(line, format!("parameter value {v} exceeds u32")))?;
+    }
+    r.end()?;
+    r.end()?;
+    Ok(CpuConfig::new(id, HardwareParams::new(values)))
 }
 
 /// Writes an SRAM position as its owning component plus short name.

@@ -250,9 +250,23 @@ impl<'a> SweepEngine<'a> {
         }
     }
 
-    /// Scores every `(configuration, workload)` pair, configuration-major, in
-    /// deterministic input order.
-    pub fn run(&self, configs: &[CpuConfig], workloads: &[Workload]) -> Vec<SweepPoint> {
+    /// Streams every `(configuration, workload)` pair through `sink`,
+    /// configuration-major, in deterministic input order — without retaining
+    /// any point itself.
+    ///
+    /// This is the primitive under both the materializing [`SweepEngine::run`]
+    /// (whose sink is `Vec::push`) and the bounded-memory streaming sweep
+    /// ([`SweepEngine::stream`](crate::stream)): the scoring work, the worker
+    /// scratch reuse and the emission order are byte-for-byte the same, so the
+    /// two paths cannot drift apart.  Parallel scoring still shards `configs`
+    /// into [`SweepSpec::chunk_configs`]-sized chunks; only one chunk of
+    /// points is ever in flight.
+    pub fn for_each_point(
+        &self,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+        mut sink: impl FnMut(SweepPoint),
+    ) {
         let threads = self.spec.effective_threads();
         let per_config = workloads.len();
         let cache = self.spec.use_sim_cache.then_some(&self.cache);
@@ -262,20 +276,20 @@ impl<'a> SweepEngine<'a> {
             // once per shard.  Scoring order — and therefore output — is
             // identical to the sharded path.
             let mut scratch = SweepScratch::new();
-            return configs
-                .iter()
-                .flat_map(|config| workloads.iter().map(move |&w| (*config, w)))
-                .map(|(config, workload)| self.score_point(cache, &config, workload, &mut scratch))
-                .collect();
+            for config in configs {
+                for &workload in workloads {
+                    sink(self.score_point(cache, config, workload, &mut scratch));
+                }
+            }
+            return;
         }
         let chunk = self.spec.chunk_configs.max(1);
-        let mut points = Vec::with_capacity(configs.len() * per_config);
         for shard in configs.chunks(chunk) {
             // Each worker owns one SweepScratch for its whole lifetime, so
             // scoring a point simulates into a reused machine, derives events
             // into reused storage and assembles every feature row without
             // allocating per sub-model.
-            points.extend(parallel_map_with(
+            for point in parallel_map_with(
                 threads,
                 shard.len() * per_config,
                 SweepScratch::new,
@@ -284,8 +298,19 @@ impl<'a> SweepEngine<'a> {
                     let workload = workloads[i % per_config];
                     self.score_point(cache, &config, workload, scratch)
                 },
-            ));
+            ) {
+                sink(point);
+            }
         }
+    }
+
+    /// Scores every `(configuration, workload)` pair, configuration-major, in
+    /// deterministic input order.
+    ///
+    /// Thin materializing wrapper over [`SweepEngine::for_each_point`].
+    pub fn run(&self, configs: &[CpuConfig], workloads: &[Workload]) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(configs.len() * workloads.len());
+        self.for_each_point(configs, workloads, |p| points.push(p));
         points
     }
 
@@ -422,19 +447,26 @@ pub fn sweep_multi_with_stats(
 /// finite value and `+∞` — instead of aborting the whole report.  Ties keep
 /// input order (the sort is stable), so the ranking stays deterministic.
 pub fn rank_by_efficiency(summaries: &[ConfigSummary]) -> Vec<&ConfigSummary> {
-    // IEEE-754 totally orders negative-sign NaNs *below* -inf; canonicalise
-    // to the positive quiet NaN so "NaN ranks last" holds regardless of the
-    // sign bit the producing arithmetic happened to leave behind.
-    fn key(v: f64) -> f64 {
-        if v.is_nan() {
-            f64::from_bits(0x7ff8_0000_0000_0000)
-        } else {
-            v
-        }
-    }
     let mut ranked: Vec<&ConfigSummary> = summaries.iter().collect();
-    ranked.sort_by(|a, b| key(a.energy_per_instruction).total_cmp(&key(b.energy_per_instruction)));
+    ranked.sort_by(|a, b| {
+        efficiency_sort_key(a.energy_per_instruction)
+            .total_cmp(&efficiency_sort_key(b.energy_per_instruction))
+    });
     ranked
+}
+
+/// The canonicalised sort key behind [`rank_by_efficiency`] — shared with the
+/// streaming top-k retainer so both rankings are one total order.
+///
+/// IEEE-754 totally orders negative-sign NaNs *below* -inf; canonicalise to
+/// the positive quiet NaN so "NaN ranks last" holds regardless of the sign
+/// bit the producing arithmetic happened to leave behind.
+pub(crate) fn efficiency_sort_key(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::from_bits(0x7ff8_0000_0000_0000)
+    } else {
+        v
+    }
 }
 
 /// Folds configuration-major sweep points into per-configuration summaries.
@@ -456,50 +488,63 @@ pub fn summarize(points: &[SweepPoint], per_config: usize) -> Vec<ConfigSummary>
         0,
         "points must cover every workload of every configuration"
     );
-    points
-        .chunks(per_config)
-        .map(|group| {
-            let n = group.len() as f64;
-            let mut mean_ipc = 0.0;
-            for p in group {
-                mean_ipc += p.ipc;
-            }
-            mean_ipc /= n;
+    points.chunks(per_config).map(config_summary).collect()
+}
 
-            // Group-resolving models: accumulate group-wise and derive the
-            // total from the divided groups (the historical summation order,
-            // kept so totals stay bit-identical).  Total-only models: average
-            // the totals directly.
-            let mut mean_groups = Some(PowerGroups::default());
-            for p in group {
-                mean_groups = match (mean_groups, p.power.groups()) {
-                    (Some(mut sum), Some(g)) => {
-                        sum += g;
-                        Some(sum)
-                    }
-                    _ => None,
-                };
+/// Folds the points of **one** configuration (all its workloads, in workload
+/// order) into its [`ConfigSummary`].
+///
+/// This is the single fold behind both the materialized [`summarize`] and the
+/// streaming [`SweepAggregator`](crate::SweepAggregator), so the two paths
+/// produce bit-identical summaries by construction: same accumulation order,
+/// same division points.
+///
+/// # Panics
+///
+/// Panics if `group` is empty.
+pub fn config_summary(group: &[SweepPoint]) -> ConfigSummary {
+    assert!(
+        !group.is_empty(),
+        "a configuration needs at least one point"
+    );
+    let n = group.len() as f64;
+    let mut mean_ipc = 0.0;
+    for p in group {
+        mean_ipc += p.ipc;
+    }
+    mean_ipc /= n;
+
+    // Group-resolving models: accumulate group-wise and derive the total from
+    // the divided groups (the historical summation order, kept so totals stay
+    // bit-identical).  Total-only models: average the totals directly.
+    let mut mean_groups = Some(PowerGroups::default());
+    for p in group {
+        mean_groups = match (mean_groups, p.power.groups()) {
+            (Some(mut sum), Some(g)) => {
+                sum += g;
+                Some(sum)
             }
-            let mean_groups = mean_groups.map(|mut g| {
-                g.clock /= n;
-                g.sram /= n;
-                g.register /= n;
-                g.combinational /= n;
-                g
-            });
-            let mean_total = match mean_groups {
-                Some(g) => g.total(),
-                None => group.iter().map(|p| p.power.total()).sum::<f64>() / n,
-            };
-            ConfigSummary {
-                config: group[0].config,
-                mean_total,
-                mean_groups,
-                mean_ipc,
-                energy_per_instruction: mean_total / mean_ipc.max(1e-9),
-            }
-        })
-        .collect()
+            _ => None,
+        };
+    }
+    let mean_groups = mean_groups.map(|mut g| {
+        g.clock /= n;
+        g.sram /= n;
+        g.register /= n;
+        g.combinational /= n;
+        g
+    });
+    let mean_total = match mean_groups {
+        Some(g) => g.total(),
+        None => group.iter().map(|p| p.power.total()).sum::<f64>() / n,
+    };
+    ConfigSummary {
+        config: group[0].config,
+        mean_total,
+        mean_groups,
+        mean_ipc,
+        energy_per_instruction: mean_total / mean_ipc.max(1e-9),
+    }
 }
 
 impl AutoPower {

@@ -14,16 +14,17 @@ use crate::Experiments;
 use autopower::{
     rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, ModelKind, SweepEngine, SweepSpec,
 };
-use autopower_config::{ConfigId, CpuConfig, DesignSpace, HwParam, Workload};
+use autopower_config::{ConfigId, CpuConfig, HwParam, Workload};
 use autopower_perfsim::SimCacheStats;
 use std::fmt;
 
 /// Seed of the design-space draw: fixed so the swept configurations (and hence
 /// the printed summary) are reproducible across runs and thread counts.
-const SAMPLE_SEED: u64 = 0xA070_90E5;
+pub(crate) const SAMPLE_SEED: u64 = 0xA070_90E5;
 
-/// How many best configurations the ranked summary prints.
-const TOP_K: usize = 10;
+/// How many best configurations the ranked summary prints (shared with the
+/// streaming report so both top tables cover the same k).
+pub(crate) const TOP_K: usize = 10;
 
 /// Result of the design-space sweep experiment.
 #[derive(Debug, Clone)]
@@ -201,9 +202,15 @@ pub(crate) fn describe_cache(stats: Option<SimCacheStats>) -> String {
         Some(s) if s.hits > 0 => format!(
             "simulation cache: {} of {} simulations deduplicated ({:.1}% hit rate)",
             s.hits,
-            s.hits + s.misses,
+            s.lookups(),
             100.0 * s.hit_rate(),
         ),
+        // An enabled cache that was never consulted (e.g. a resumed sweep
+        // with nothing left to stream) has no hit rate to report — saying
+        // "no duplicates among 0 simulations" would be misleading.
+        Some(s) if s.lookups() == 0 => {
+            "simulation cache: enabled, idle (no simulations ran)".to_owned()
+        }
         Some(s) => format!(
             "simulation cache: no duplicates among {} simulations",
             s.misses
@@ -231,13 +238,22 @@ impl Experiments {
     pub(crate) fn sweep_inputs(&self, count: usize) -> SweepInputs {
         SweepInputs {
             train: self.settings().train_two.clone(),
-            configs: DesignSpace::boom().sample(count, SAMPLE_SEED),
+            configs: self.settings().sweep_space.sample(count, SAMPLE_SEED),
             workloads: self.settings().average_workloads.clone(),
-            spec: SweepSpec {
-                sim: self.settings().average_sim,
-                threads: self.settings().threads,
-                use_sim_cache: self.settings().sim_cache,
-                ..SweepSpec::paper()
+            spec: self.sweep_spec(),
+        }
+    }
+
+    /// The engine settings every sweeping experiment (`sweep`, `compare`,
+    /// `pareto`) derives from the experiment settings.
+    pub(crate) fn sweep_spec(&self) -> SweepSpec {
+        SweepSpec {
+            sim: self.settings().average_sim,
+            threads: self.settings().threads,
+            use_sim_cache: self.settings().sim_cache,
+            chunk_configs: match self.settings().chunk_configs {
+                0 => SweepSpec::paper().chunk_configs,
+                n => n,
             },
         }
     }

@@ -17,6 +17,8 @@
 //! | Table IV (time-based power traces) | [`Experiments::table4_power_trace`] | `table4` |
 //! | Ablations (program features, simulator inaccuracy) | [`Experiments::ablation_study`] | `ablation` |
 //! | Design-space sweep (generated configurations) | [`Experiments::design_space_sweep`] | `sweep` |
+//! | Streaming sweep (bounded memory, checkpoint/resume) | [`Experiments::streaming_sweep`] | `sweep --stream` / `--full` |
+//! | Pareto frontier (power vs IPC vs area proxy) | [`Experiments::pareto_frontier`] | `pareto` |
 //! | Leave-one-out cross-validation | [`Experiments::cross_validation_model`] | `xval` |
 //! | Model-disagreement sweep (all registry models) | [`Experiments::model_comparison`] | `compare` |
 //!
@@ -42,6 +44,7 @@ mod detail;
 mod obs1;
 mod report;
 mod settings;
+mod stream_sweep;
 mod sweep;
 mod table1;
 mod trace_exp;
@@ -55,6 +58,7 @@ pub use detail::{ComponentDetailRow, GroupDetailResult, SubModelAccuracy};
 pub use obs1::BreakdownResult;
 pub use report::{format_table, percent};
 pub use settings::ExperimentSettings;
+pub use stream_sweep::{ParetoResult, StreamOptions, StreamScope, StreamSweepResult};
 pub use sweep::{SweepPoint, SweepResult};
 pub use table1::{BlockShape, Table1Result};
 pub use trace_exp::{TraceCase, TraceResult};

@@ -3,12 +3,13 @@
 //! ```text
 //! autopower-experiments [--fast] [--threads N] [--count N] [--model NAME]
 //!                       [--load-model FILE] [--out FILE] [--no-sim-cache]
-//!                       [EXPERIMENT ...]
+//!                       [--stream] [--full] [--chunk N] [--checkpoint FILE]
+//!                       [--resume] [--max-chunks N] [EXPERIMENT ...]
 //! ```
 //!
 //! `EXPERIMENT` is one of `obs1`, `table1`, `fig4`, `fig5`, `fig6`, `fig7`, `fig8`,
-//! `table4`, `ablation`, `sweep`, `xval`, `compare`, `save-model`, or `all`
-//! (the default; `all` does not include `save-model`, which writes a file).
+//! `table4`, `ablation`, `sweep`, `pareto`, `xval`, `compare`, `save-model`, or
+//! `all` (the default; `all` does not include `save-model`, which writes a file).
 //! `--fast` switches to the reduced settings used by tests and benches;
 //! `--threads N` sets the worker count of the corpus-generation and sweep
 //! pipelines (default: one per available core, `1` = serial); `--count N` sets
@@ -27,27 +28,52 @@
 //! cache simulations are rejected before any corpus is generated.
 //!
 //! `--no-sim-cache` disables the sweep engine's exact simulation memoization
-//! (`sweep` and `compare` only) — an audit knob; the scored points are
-//! bit-identical either way.
+//! (`sweep`, `compare` and `pareto` only) — an audit knob; the scored points
+//! are bit-identical either way.
+//!
+//! Streaming sweeps: `sweep --stream` folds the sampled configurations through
+//! the bounded-memory aggregator (same report, O(top-k + sketches + one chunk)
+//! memory) and `sweep --full` streams the **entire** enumerable design space
+//! instead of `--count` samples.  `--chunk N` sets the configurations per
+//! chunk, `--checkpoint FILE` snapshots the aggregate after every chunk,
+//! `--resume` continues from that snapshot (byte-identical final report), and
+//! `--max-chunks N` stops after N chunks — the deterministic stand-in for an
+//! interrupt, used by the CI resume smoke.  `pareto` streams the space and
+//! prints the power-vs-IPC-vs-area-proxy non-dominated frontier.  Process-local
+//! diagnostics (cache hit rates, peak retained points) go to stderr so
+//! one-shot and resumed stdout compare equal.
 
 use autopower::{CorpusSpec, ModelKind};
-use autopower_experiments::{ExperimentSettings, Experiments};
+use autopower_experiments::{
+    ExperimentSettings, Experiments, StreamOptions, StreamScope, StreamSweepResult,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-const ALL_EXPERIMENTS: [&str; 12] = [
+const ALL_EXPERIMENTS: [&str; 13] = [
     "obs1", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "table4", "ablation", "sweep",
-    "xval", "compare",
+    "pareto", "xval", "compare",
 ];
 
 /// Experiments `--load-model` applies to: the ones that consume exactly one
 /// trained model (everything else retrains by design — `xval` per fold,
 /// `compare` for every registry entry).
-const LOADABLE_EXPERIMENTS: [&str; 2] = ["sweep", "table4"];
+const LOADABLE_EXPERIMENTS: [&str; 3] = ["sweep", "table4", "pareto"];
 
 /// Experiments `--no-sim-cache` applies to: the ones that run the batch sweep
 /// engine and therefore memoize simulations across configurations.  The flag
 /// is an audit knob — the scored points are bit-identical either way.
-const SIM_CACHE_EXPERIMENTS: [&str; 2] = ["sweep", "compare"];
+const SIM_CACHE_EXPERIMENTS: [&str; 3] = ["sweep", "compare", "pareto"];
+
+/// Experiments that can walk the full design space (`--full`) or stream
+/// (`--stream`); `--chunk` is accepted for these plus `compare` (any user of
+/// the sweep engine).
+const STREAM_EXPERIMENTS: [&str; 2] = ["sweep", "pareto"];
+
+/// Experiments `--checkpoint`/`--resume`/`--max-chunks` apply to: only the
+/// streaming sweep persists its aggregate (`pareto` re-streams cheaply and
+/// keeps no checkpoint file).
+const CHECKPOINT_EXPERIMENTS: [&str; 1] = ["sweep"];
 
 /// The verb that trains and saves a model instead of running an experiment
 /// (deliberately not part of `all`: it writes a file).
@@ -63,16 +89,23 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] \
-         [--load-model FILE] [--out FILE] [--no-sim-cache] [{}|{SAVE_MODEL}|all ...]\n\
+         [--load-model FILE] [--out FILE] [--no-sim-cache] [--stream] [--full] [--chunk N] \
+         [--checkpoint FILE] [--resume] [--max-chunks N] [{}|{SAVE_MODEL}|all ...]\n\
          models: {} (default: {})\n\
          {SAVE_MODEL} trains --model and writes it to --out (default <model>.apm); \
          --load-model applies to {} only; --no-sim-cache disables sweep simulation \
-         memoization ({} only, bit-identical output)",
+         memoization ({} only, bit-identical output)\n\
+         streaming ({} only): --stream folds with bounded memory, --full streams the whole \
+         enumerable space (instead of --count samples), --chunk sets configurations per \
+         chunk; --checkpoint writes a snapshot after every chunk, --resume continues from \
+         it (byte-identical report), --max-chunks stops after N chunks ({} only)",
         ALL_EXPERIMENTS.join("|"),
         models.join(", "),
         ModelKind::AutoPower,
         LOADABLE_EXPERIMENTS.join("/"),
         SIM_CACHE_EXPERIMENTS.join("/"),
+        STREAM_EXPERIMENTS.join("/"),
+        CHECKPOINT_EXPERIMENTS.join("/"),
     )
 }
 
@@ -98,8 +131,49 @@ struct CliArgs {
     /// Whether the sweep experiments memoize simulations across
     /// configurations (`--no-sim-cache` clears it; `sweep`/`compare` only).
     sim_cache: bool,
+    /// Whether `--count` was given explicitly (conflicts with `--full`, which
+    /// makes the count meaningless).
+    count_explicit: bool,
+    /// `--stream`: fold the sweep through the bounded-memory aggregator.
+    stream: bool,
+    /// `--full`: stream the whole enumerable design space.
+    full: bool,
+    /// `--chunk N`: configurations per streamed chunk (`0` = engine default).
+    chunk: usize,
+    /// `--checkpoint FILE`: snapshot the aggregate after every chunk.
+    checkpoint: Option<String>,
+    /// `--resume`: continue from the `--checkpoint` file.
+    resume: bool,
+    /// `--max-chunks N`: stop (checkpointed) after N chunks (`0` = no limit).
+    max_chunks: u64,
     help: bool,
     requested: Vec<String>,
+}
+
+impl CliArgs {
+    /// Whether the `sweep` verb should stream instead of materializing: any
+    /// streaming-only capability being asked for implies it.
+    fn wants_streaming_sweep(&self) -> bool {
+        self.stream || self.full || self.checkpoint.is_some() || self.resume
+    }
+
+    /// The scope streaming verbs walk.
+    fn stream_scope(&self) -> StreamScope {
+        if self.full {
+            StreamScope::Full
+        } else {
+            StreamScope::Sampled(self.count)
+        }
+    }
+
+    /// The checkpoint/interrupt options of a streaming sweep.
+    fn stream_options(&self) -> StreamOptions {
+        StreamOptions {
+            checkpoint: self.checkpoint.as_ref().map(PathBuf::from),
+            resume: self.resume,
+            max_chunks: self.max_chunks,
+        }
+    }
 }
 
 /// Parses the argument list; flags and experiment names may be interleaved freely.
@@ -117,6 +191,13 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         load_model: None,
         out: None,
         sim_cache: true,
+        count_explicit: false,
+        stream: false,
+        full: false,
+        chunk: 0,
+        checkpoint: None,
+        resume: false,
+        max_chunks: 0,
         help: false,
         requested: Vec::new(),
     };
@@ -137,6 +218,31 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                     .next()
                     .ok_or_else(|| format!("--count needs a value\n{}", usage()))?;
                 parsed.count = parse_sweep_count(&value)?;
+                parsed.count_explicit = true;
+            }
+            "--stream" => parsed.stream = true,
+            "--full" => parsed.full = true,
+            "--resume" => parsed.resume = true,
+            "--chunk" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--chunk needs a value\n{}", usage()))?;
+                parsed.chunk =
+                    parse_sweep_count(&value).map_err(|e| e.replace("--count", "--chunk"))?;
+            }
+            "--checkpoint" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--checkpoint needs a file path\n{}", usage()))?;
+                parsed.checkpoint = Some(value);
+            }
+            "--max-chunks" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--max-chunks needs a value\n{}", usage()))?;
+                parsed.max_chunks = parse_sweep_count(&value)
+                    .map_err(|e| e.replace("--count", "--max-chunks"))?
+                    as u64;
             }
             "--model" => {
                 let value = iter
@@ -162,6 +268,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                     parsed.threads = parse_count(value, "--threads")?;
                 } else if let Some(value) = other.strip_prefix("--count=") {
                     parsed.count = parse_sweep_count(value)?;
+                    parsed.count_explicit = true;
+                } else if let Some(value) = other.strip_prefix("--chunk=") {
+                    parsed.chunk =
+                        parse_sweep_count(value).map_err(|e| e.replace("--count", "--chunk"))?;
+                } else if let Some(value) = other.strip_prefix("--checkpoint=") {
+                    parsed.checkpoint = Some(value.to_owned());
+                } else if let Some(value) = other.strip_prefix("--max-chunks=") {
+                    parsed.max_chunks = parse_sweep_count(value)
+                        .map_err(|e| e.replace("--count", "--max-chunks"))?
+                        as u64;
                 } else if let Some(value) = other.strip_prefix("--model=") {
                     parsed.model = parse_model(value)?;
                     parsed.model_explicit = true;
@@ -221,6 +337,62 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
             usage()
         ));
     }
+    if parsed.full && parsed.count_explicit {
+        return Err(format!(
+            "--full streams the whole design space; --count does not apply\n{}",
+            usage()
+        ));
+    }
+    if parsed.stream || parsed.full {
+        let flag = if parsed.full { "--full" } else { "--stream" };
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !STREAM_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "{flag} applies to {} only; '{bad}' does not stream\n{}",
+                STREAM_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
+    if parsed.resume && parsed.checkpoint.is_none() {
+        return Err(format!("--resume requires --checkpoint FILE\n{}", usage()));
+    }
+    if parsed.max_chunks > 0 && parsed.checkpoint.is_none() {
+        return Err(format!(
+            "--max-chunks stops a checkpointed run; it requires --checkpoint FILE\n{}",
+            usage()
+        ));
+    }
+    if parsed.checkpoint.is_some() {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !CHECKPOINT_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--checkpoint/--resume/--max-chunks apply to {} only; '{bad}' keeps no \
+                 checkpoint\n{}",
+                CHECKPOINT_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
+    if parsed.chunk > 0 {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !SIM_CACHE_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--chunk applies to {} only; '{bad}' does not run the sweep engine\n{}",
+                SIM_CACHE_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
     Ok(parsed)
 }
 
@@ -264,6 +436,14 @@ fn load_cli_model(args: &CliArgs, path: &str) -> Result<Box<dyn autopower::Power
         ));
     }
     Ok(model)
+}
+
+/// Prints a streaming-sweep result: the resume-invariant report to stdout,
+/// the process-local diagnostics (cache hit rate, peak retained points) to
+/// stderr — so a resumed run's stdout is byte-identical to a one-shot run's.
+fn print_streaming(result: &StreamSweepResult) {
+    println!("{result}\n");
+    eprintln!("{}", result.diagnostics());
 }
 
 fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), String> {
@@ -312,6 +492,22 @@ fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), 
             ),
         },
         "ablation" => println!("{}\n", experiments.ablation_study()),
+        "sweep" if args.wants_streaming_sweep() => {
+            let scope = args.stream_scope();
+            let options = args.stream_options();
+            let result = match &args.load_model {
+                Some(path) => {
+                    let model = load_cli_model(args, path)?;
+                    experiments
+                        .streaming_sweep_loaded(scope, model.as_ref(), &options)
+                        .map_err(err)?
+                }
+                None => experiments
+                    .streaming_sweep(scope, args.model, &options)
+                    .map_err(err)?,
+            };
+            print_streaming(&result);
+        }
         "sweep" => match &args.load_model {
             Some(path) => {
                 let model = load_cli_model(args, path)?;
@@ -327,6 +523,22 @@ fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), 
                     .map_err(err)?
             ),
         },
+        "pareto" => {
+            let scope = args.stream_scope();
+            let result = match &args.load_model {
+                Some(path) => {
+                    let model = load_cli_model(args, path)?;
+                    experiments
+                        .pareto_frontier_loaded(scope, model.as_ref())
+                        .map_err(err)?
+                }
+                None => experiments
+                    .pareto_frontier(scope, args.model)
+                    .map_err(err)?,
+            };
+            println!("{result}\n");
+            eprintln!("{}", result.diagnostics());
+        }
         "xval" => println!(
             "{}\n",
             experiments
@@ -361,7 +573,8 @@ fn main() -> ExitCode {
         ExperimentSettings::paper()
     }
     .with_threads(args.threads)
-    .with_sim_cache(args.sim_cache);
+    .with_sim_cache(args.sim_cache)
+    .with_chunk(args.chunk);
     let experiments = Experiments::new(settings);
     // Resolve through CorpusSpec so the banner always matches the worker count
     // generation will actually use.
@@ -555,6 +768,97 @@ mod tests {
         // `--no-sim-cache=x` is not a form the flag takes.
         let err = parse_args(args(&["sweep", "--no-sim-cache=1"])).unwrap_err();
         assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn streaming_flags_parse_in_both_forms() {
+        let parsed = parse_args(args(&[
+            "sweep",
+            "--stream",
+            "--chunk",
+            "32",
+            "--checkpoint",
+            "/tmp/s.ckpt",
+            "--max-chunks",
+            "2",
+        ]))
+        .expect("valid arguments");
+        assert!(parsed.stream);
+        assert!(!parsed.full);
+        assert_eq!(parsed.chunk, 32);
+        assert_eq!(parsed.checkpoint.as_deref(), Some("/tmp/s.ckpt"));
+        assert_eq!(parsed.max_chunks, 2);
+        assert!(parsed.wants_streaming_sweep());
+        assert_eq!(parsed.stream_scope(), StreamScope::Sampled(parsed.count));
+
+        let parsed = parse_args(args(&[
+            "sweep",
+            "--chunk=16",
+            "--checkpoint=/tmp/s.ckpt",
+            "--resume",
+        ]))
+        .expect("valid arguments");
+        assert_eq!(parsed.chunk, 16);
+        assert!(parsed.resume);
+        assert!(parsed.wants_streaming_sweep());
+        let options = parsed.stream_options();
+        assert!(options.resume);
+        assert_eq!(options.checkpoint.as_deref(), Some("/tmp/s.ckpt".as_ref()));
+
+        // A plain sweep still materializes.
+        let plain = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert!(!plain.wants_streaming_sweep());
+
+        // Bad values fail with the right flag named.
+        assert!(parse_args(args(&["sweep", "--chunk"])).is_err());
+        let e = parse_args(args(&["sweep", "--chunk", "0"])).unwrap_err();
+        assert!(e.contains("--chunk"));
+        let e = parse_args(args(&["sweep", "--checkpoint=c", "--max-chunks=0"])).unwrap_err();
+        assert!(e.contains("--max-chunks"));
+    }
+
+    #[test]
+    fn full_flag_selects_the_whole_space_and_conflicts_with_count() {
+        let parsed = parse_args(args(&["sweep", "--full"])).expect("valid arguments");
+        assert!(parsed.full);
+        assert_eq!(parsed.stream_scope(), StreamScope::Full);
+        assert!(parsed.wants_streaming_sweep());
+        let parsed = parse_args(args(&["pareto", "--full"])).expect("valid arguments");
+        assert_eq!(parsed.stream_scope(), StreamScope::Full);
+        let err = parse_args(args(&["sweep", "--full", "--count", "64"])).unwrap_err();
+        assert!(err.contains("--count does not apply"));
+        // Non-streaming verbs (and the implicit `all` expansion) reject it.
+        let err = parse_args(args(&["fig4", "--full"])).unwrap_err();
+        assert!(err.contains("does not stream"));
+        assert!(parse_args(args(&["--full"])).is_err());
+        let err = parse_args(args(&["xval", "--stream"])).unwrap_err();
+        assert!(err.contains("does not stream"));
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        // --resume and --max-chunks need --checkpoint.
+        let err = parse_args(args(&["sweep", "--resume"])).unwrap_err();
+        assert!(err.contains("--resume requires --checkpoint"));
+        let err = parse_args(args(&["sweep", "--max-chunks", "2"])).unwrap_err();
+        assert!(err.contains("requires --checkpoint"));
+        // Checkpointing is a sweep-only capability.
+        let err = parse_args(args(&["pareto", "--checkpoint", "c.ckpt"])).unwrap_err();
+        assert!(err.contains("keeps no checkpoint"));
+        assert!(parse_args(args(&["--checkpoint"])).is_err());
+        // --chunk rides along on any sweep-engine verb, but nothing else.
+        assert!(parse_args(args(&["compare", "--chunk", "8"])).is_ok());
+        let err = parse_args(args(&["fig4", "--chunk", "8"])).unwrap_err();
+        assert!(err.contains("sweep engine"));
+    }
+
+    #[test]
+    fn pareto_verb_is_registered_and_loadable() {
+        let parsed = parse_args(args(&["pareto"])).expect("valid arguments");
+        assert_eq!(parsed.requested, vec!["pareto".to_owned()]);
+        assert!(ALL_EXPERIMENTS.contains(&"pareto"));
+        assert!(parse_args(args(&["pareto", "--load-model", "m.apm"])).is_ok());
+        assert!(parse_args(args(&["pareto", "--no-sim-cache"])).is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Experiment settings: which configurations, workloads and simulation budgets to use.
 
-use autopower_config::{boom_configs, ConfigId, CpuConfig, Workload};
+use autopower_config::{boom_configs, ConfigId, CpuConfig, DesignSpace, Workload};
 use autopower_perfsim::SimConfig;
 
 /// Settings shared by all experiments.
@@ -31,6 +31,15 @@ pub struct ExperimentSettings {
     /// (forwarded to [`SweepSpec::use_sim_cache`](autopower::SweepSpec)); the
     /// scored points are bit-identical either way.
     pub sim_cache: bool,
+    /// Configurations per sweep chunk (forwarded to
+    /// [`SweepSpec::chunk_configs`](autopower::SweepSpec)); `0` keeps the
+    /// engine default.  Bounds streaming-sweep point memory and sets how often
+    /// checkpoints land; the folded results are bit-identical for every value.
+    pub chunk_configs: usize,
+    /// The design space swept by the `sweep`/`pareto` experiments.  The
+    /// default BOOM space everywhere; tests fold it smaller so full-space
+    /// streaming stays cheap.
+    pub sweep_space: DesignSpace,
 }
 
 fn ids(indices: &[u8]) -> Vec<ConfigId> {
@@ -62,6 +71,8 @@ impl ExperimentSettings {
             ],
             threads: 0,
             sim_cache: true,
+            chunk_configs: 0,
+            sweep_space: DesignSpace::boom(),
         }
     }
 
@@ -84,6 +95,8 @@ impl ExperimentSettings {
             sweep_training_sets: vec![ids(&[1, 15]), ids(&[1, 7, 15]), ids(&[1, 7, 13, 15])],
             threads: 0,
             sim_cache: true,
+            chunk_configs: 0,
+            sweep_space: DesignSpace::boom(),
         }
     }
 
@@ -96,6 +109,18 @@ impl ExperimentSettings {
     /// Same settings with the sweep simulation cache switched on or off.
     pub fn with_sim_cache(mut self, enabled: bool) -> Self {
         self.sim_cache = enabled;
+        self
+    }
+
+    /// Same settings with an explicit sweep chunk size (`0` = engine default).
+    pub fn with_chunk(mut self, chunk_configs: usize) -> Self {
+        self.chunk_configs = chunk_configs;
+        self
+    }
+
+    /// Same settings sweeping a different design space.
+    pub fn with_sweep_space(mut self, space: DesignSpace) -> Self {
+        self.sweep_space = space;
         self
     }
 

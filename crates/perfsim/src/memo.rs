@@ -85,13 +85,20 @@ pub struct SimCacheStats {
 }
 
 impl SimCacheStats {
-    /// Fraction of lookups answered from the cache (0 when idle).
+    /// Total lookups the cache has answered (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache — never NaN: a cache with
+    /// zero lookups (empty sweep, fully-resumed sweep) reports `0.0`, and
+    /// reports should prefer [`SimCacheStats::lookups`] to distinguish "idle"
+    /// from "no duplicates".
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups() == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups() as f64
         }
     }
 }
@@ -258,6 +265,10 @@ mod tests {
 
     #[test]
     fn hit_rate_is_zero_when_idle() {
-        assert_eq!(SimCache::new().stats().hit_rate(), 0.0);
+        let stats = SimCache::new().stats();
+        assert_eq!(stats.lookups(), 0);
+        let rate = stats.hit_rate();
+        assert_eq!(rate, 0.0);
+        assert!(!rate.is_nan(), "idle hit rate must never be NaN");
     }
 }

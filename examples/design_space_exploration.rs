@@ -1,79 +1,112 @@
 //! Design-space exploration: the use case the paper's introduction motivates.
 //!
-//! An architect has golden data for only two known configurations and wants to rank a
-//! set of *candidate* configurations (never synthesized, never power-simulated) by
-//! energy efficiency.  AutoPower predicts each candidate's power from its hardware
-//! parameters and a fast performance simulation; together with the simulated IPC this
-//! gives an early-stage performance/power Pareto view.
+//! An architect has golden data for only two known configurations and wants to
+//! explore *candidate* configurations (never synthesized, never
+//! power-simulated).  This example walks the full pipeline the `sweep --full
+//! --stream` and `pareto` experiment verbs expose:
+//!
+//! 1. size the enumerable design space exactly with [`DesignSpace::total`],
+//! 2. stream every valid configuration through the trained model with
+//!    **bounded memory** ([`SweepEngine::stream`] + [`SweepAggregator`]):
+//!    only the top-k table, the quantile sketches and the Pareto frontier are
+//!    retained, never the full point set,
+//! 3. read off the most energy-efficient designs and the
+//!    power-vs-IPC-vs-area-proxy Pareto frontier.
 //!
 //! Run with `cargo run --release --example design_space_exploration`.
 
-use autopower::{AutoPower, Corpus, CorpusSpec};
-use autopower_config::{boom_configs, ConfigId, CpuConfig, HardwareParams, HwParam, Workload};
-use autopower_perfsim::{simulate, SimConfig};
-
-/// Builds a candidate configuration around the mid-range C8 baseline.
-fn candidate(id: u8, decode: u32, rob: u32, issue: u32, ways: u32) -> CpuConfig {
-    let params = HardwareParams::from_pairs([
-        (HwParam::FetchWidth, 8),
-        (HwParam::DecodeWidth, decode),
-        (HwParam::FetchBufferEntry, 8 * decode),
-        (HwParam::RobEntry, rob),
-        (HwParam::IntPhyRegister, rob),
-        (HwParam::FpPhyRegister, rob),
-        (HwParam::LdqStqEntry, rob / 4),
-        (HwParam::BranchCount, 12 + 2 * decode),
-        (HwParam::MemFpIssueWidth, issue.div_ceil(2)),
-        (HwParam::IntIssueWidth, issue),
-        (HwParam::CacheWay, ways),
-        (HwParam::DtlbEntry, 16),
-        (HwParam::MshrEntry, 4),
-        (HwParam::ICacheFetchBytes, 4),
-    ]);
-    // Candidate identifiers reuse the C1..C15 numbering space for display purposes only.
-    CpuConfig::new(ConfigId::new(id), params)
-}
+use autopower::{
+    area_proxy, AutoPower, Corpus, CorpusSpec, PowerSeries, StreamSpec, SweepAggregator,
+    SweepEngine, SweepSpec,
+};
+use autopower_config::{boom_configs, ConfigId, DesignSpace, HwParam, Workload};
 
 fn main() {
     // Train from the two known configurations, exactly as in the quickstart.
     let known_configs = [boom_configs()[0], boom_configs()[14]];
     let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
-    let corpus = Corpus::generate(&known_configs, &workloads, &CorpusSpec::paper());
+    let corpus = Corpus::generate(&known_configs, &workloads, &CorpusSpec::fast());
     let model = AutoPower::train(&corpus, &[ConfigId::new(1), ConfigId::new(15)])
         .expect("training succeeds");
 
-    // Candidate design points the architect wants to compare (never synthesized).
-    let candidates = [
-        ("narrow-deep", candidate(2, 2, 96, 2, 8)),
-        ("balanced", candidate(3, 3, 96, 3, 8)),
-        ("wide-shallow", candidate(4, 4, 64, 4, 4)),
-        ("wide-deep", candidate(5, 4, 128, 4, 8)),
-        ("very-wide", candidate(6, 5, 140, 5, 8)),
-    ];
-
-    let workload = Workload::Qsort;
-    println!("early design-space exploration on workload '{workload}'\n");
-    println!("candidate      IPC    predicted power (mW)  energy per instr (pJ)");
-    println!("----------------------------------------------------------------");
-    let mut rows = Vec::new();
-    for (name, cfg) in &candidates {
-        let sim = simulate(cfg, workload, &SimConfig::paper());
-        let power = model.predict(cfg, &sim.events, workload).total();
-        let ipc = sim.ipc();
-        // At 1 GHz: energy per instruction [pJ] = power [mW] / (IPC * 1 GHz) * 1e3.
-        let epi = power / ipc.max(1e-9);
-        rows.push((name, ipc, power, epi));
-    }
-    for (name, ipc, power, epi) in &rows {
-        println!("{name:<13} {ipc:>5.2} {power:>21.2} {epi:>21.2}");
-    }
-
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
-        .expect("non-empty candidate list");
+    // The space the architect wants to explore.  The default BOOM space has
+    // tens of thousands of valid points; this example folds a few axes so it
+    // finishes in seconds — drop the `with_axis` calls to walk all of it.
+    let space = DesignSpace::boom()
+        .with_axis(HwParam::RobEntry, vec![32, 64, 96, 128])
+        .with_axis(HwParam::DtlbEntry, vec![8, 16])
+        .with_axis(HwParam::BranchCount, vec![8, 16])
+        .with_axis(HwParam::MshrEntry, vec![4]);
+    let total = space.total();
     println!(
-        "\nmost energy-efficient candidate: {} ({:.2} pJ per instruction)",
-        best.0, best.3
+        "design space: {total} valid configurations (of {} raw grid points)\n",
+        space.raw_size()
     );
+
+    // Stream the WHOLE space with bounded memory: configurations arrive in
+    // chunks, each chunk's points are folded into the aggregator and dropped.
+    let engine = SweepEngine::new(
+        &model,
+        SweepSpec {
+            chunk_configs: 64,
+            ..SweepSpec::fast()
+        },
+    );
+    let mut aggregator = SweepAggregator::new(workloads.len(), &StreamSpec::default());
+    let progress = engine
+        .stream(space.enumerate(), &workloads, &mut aggregator, |_, _| {
+            Ok(true)
+        })
+        .expect("no checkpoint callback, no error");
+    assert!(progress.complete);
+    println!(
+        "streamed {} configurations in {} chunks; peak {} points in memory \
+         (materializing would have retained {})",
+        progress.configs_streamed,
+        progress.chunks,
+        progress.peak_retained_points,
+        total * workloads.len() as u64,
+    );
+
+    // The aggregate: power distribution, best designs, Pareto frontier.
+    let totals = aggregator.series(PowerSeries::Total);
+    println!(
+        "\npredicted total power across the space: {:.1} .. {:.1} mW (median {:.1})",
+        totals.min().expect("non-empty sweep"),
+        totals.max().expect("non-empty sweep"),
+        totals.quantile(0.5).expect("non-empty sweep"),
+    );
+
+    println!("\nmost energy-efficient designs (predicted pJ per instruction):");
+    for summary in aggregator.top().iter().take(5) {
+        println!(
+            "  {:<5} decode={} rob={:>3} ways={}  IPC {:.2}  {:>6.2} mW  {:>6.2} pJ/instr",
+            summary.config.id.to_string(),
+            summary.config.value(HwParam::DecodeWidth),
+            summary.config.value(HwParam::RobEntry),
+            summary.config.value(HwParam::CacheWay),
+            summary.mean_ipc,
+            summary.mean_total,
+            summary.energy_per_instruction,
+        );
+    }
+
+    let frontier = aggregator.pareto();
+    println!(
+        "\nPareto frontier (min power, max IPC, min area proxy): {} designs",
+        frontier.len()
+    );
+    for entry in frontier.sorted_by_power().iter().take(8) {
+        let s = &entry.summary;
+        println!(
+            "  {:<5} {:>6.2} mW  IPC {:.2}  area {:>5.1} kFBE",
+            s.config.id.to_string(),
+            s.mean_total,
+            s.mean_ipc,
+            entry.area,
+        );
+    }
+    // The frontier's area column is a frozen pure function of the parameters.
+    let first = frontier.entries().first().expect("non-empty frontier");
+    assert_eq!(first.area, area_proxy(&first.summary.config));
 }
