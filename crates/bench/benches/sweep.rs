@@ -11,7 +11,8 @@
 //! Run with `cargo bench --bench sweep [-- --json FILE]`.
 
 use autopower::{
-    AutoPower, Corpus, CorpusSpec, StreamSpec, SweepAggregator, SweepEngine, SweepSpec,
+    surrogate_gbdt_params, ActivitySurrogate, AuditReport, AutoPower, Corpus, CorpusSpec,
+    SimBackend, StreamSpec, SweepAggregator, SweepEngine, SweepSpec, SURROGATE_TRAIN_SEED,
 };
 use autopower_bench::harness::{format_duration, Bench};
 use autopower_config::{boom_configs, ConfigId, DesignSpace, Workload};
@@ -27,6 +28,14 @@ const WORKLOADS: [Workload; 3] = [Workload::Dhrystone, Workload::Qsort, Workload
 /// Configurations per chunk of the streaming measurement (bounds its point
 /// memory to `STREAM_CHUNK * WORKLOADS.len()` live points).
 const STREAM_CHUNK: usize = 32;
+
+/// Oracle-simulated configurations the bench surrogate trains on (untimed).
+const SURROGATE_TRAIN: usize = 24;
+
+/// Audit fraction for the surrogate measurement: deterministically re-checks
+/// a couple of the 96 configurations exactly, so the timed region still pays
+/// a representative (small) oracle cost and the run reports an error bound.
+const SURROGATE_AUDIT_RATE: f64 = 0.02;
 
 fn sweep(model: &AutoPower, configs: &[autopower_config::CpuConfig], threads: usize) -> Duration {
     let spec = SweepSpec::fast().threads(threads);
@@ -77,6 +86,41 @@ fn stream_sweep(
     (best, peak_points, retained_state)
 }
 
+/// One surrogate-backed sweep over the same configurations and scoring path
+/// as [`sweep`]; returns the best-of-three time and the audit error report.
+/// The surrogate itself is trained by the caller, outside the timed region —
+/// training is a one-off oracle cost amortized over every sweep that reuses
+/// the surrogate.
+fn surrogate_sweep(
+    model: &AutoPower,
+    surrogate: &ActivitySurrogate,
+    configs: &[autopower_config::CpuConfig],
+) -> (Duration, AuditReport) {
+    let spec = SweepSpec::fast().threads(1);
+    let mut best = Duration::MAX;
+    let mut report = None;
+    for _ in 0..3 {
+        let engine = SweepEngine::new(model, spec)
+            .with_backend(SimBackend::Surrogate {
+                surrogate,
+                audit_rate: SURROGATE_AUDIT_RATE,
+            })
+            .expect("valid audit rate and compatible surrogate");
+        let start = Instant::now();
+        let points = engine.run(configs, &WORKLOADS);
+        best = best.min(start.elapsed());
+        assert_eq!(points.len(), configs.len() * WORKLOADS.len());
+        report = engine.audit_report();
+        black_box(points);
+    }
+    let report = report.expect("surrogate backend always reports");
+    assert!(
+        report.audited_points > 0,
+        "audit rate {SURROGATE_AUDIT_RATE} selected none of the {SWEEP_CONFIGS} configs"
+    );
+    (best, report)
+}
+
 fn main() {
     let bench = Bench::from_args();
     if !bench.should_run("sweep") {
@@ -113,6 +157,64 @@ fn main() {
         serial / SWEEP_CONFIGS as u32,
         SWEEP_CONFIGS as u64,
     );
+
+    // Surrogate backend, same configurations and power model: the sweep runs
+    // at prediction speed, with the simulator demoted to the audit oracle.
+    let surrogate = ActivitySurrogate::train(
+        &DesignSpace::boom(),
+        &WORKLOADS,
+        &SweepSpec::fast().sim,
+        SURROGATE_TRAIN,
+        SURROGATE_TRAIN_SEED,
+        &surrogate_gbdt_params(),
+    )
+    .expect("surrogate training succeeds");
+    let (surro, audit) = surrogate_sweep(&model, &surrogate, &configs);
+    let surro_rate = SWEEP_CONFIGS as f64 / surro.as_secs_f64();
+    println!(
+        "{:<28} {:>10}   {:>8.1} configs/sec   {:.2}x",
+        "sweep_surrogate_serial_threads1",
+        format_duration(surro),
+        surro_rate,
+        serial.as_secs_f64() / surro.as_secs_f64(),
+    );
+    let total_mape = audit.total_mape.expect("audited points have a total error");
+    println!(
+        "{:<28} {} of {SWEEP_CONFIGS} configs audited exactly; total-power MAPE {:.3}%",
+        "sweep_surrogate_audit",
+        audit.audited_points / WORKLOADS.len() as u64,
+        100.0 * total_mape,
+    );
+    bench.record(
+        "sweep_surrogate_serial_threads1",
+        surro / SWEEP_CONFIGS as u32,
+        SWEEP_CONFIGS as u64,
+    );
+    // The audit error rides the ns_per_iter field as parts-per-million, like
+    // the memory counts below: the JSON baseline pins the accuracy story next
+    // to the throughput story.
+    bench.record(
+        "sweep_surrogate_total_mape_ppm",
+        Duration::from_nanos((1e6 * total_mape).round() as u64),
+        1,
+    );
+    // The full audit error table: one row per predicted event feature, so the
+    // committed baseline carries the error bound with the same granularity the
+    // CLI audit table reports.
+    for event in &audit.per_event {
+        let mape = event.mape.expect("audited points have per-event errors");
+        println!(
+            "{:<28}   {:>7.3}% MAPE over {} audited points",
+            format!("sweep_surrogate_audit[{}]", event.name),
+            100.0 * mape,
+            event.samples,
+        );
+        bench.record(
+            &format!("sweep_surrogate_audit_mape_ppm_{}", event.name),
+            Duration::from_nanos((1e6 * mape).round() as u64),
+            event.samples,
+        );
+    }
 
     // Streaming vs materialized, same serial scoring path: the time should
     // match sweep_serial_threads1 (aggregation folds are cheap against the

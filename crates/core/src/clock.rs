@@ -10,9 +10,10 @@
 use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{
-    hw_features, hw_features_into, model_feature_matrix, model_features_into, FeatureScratch,
-    ModelFeatures,
+    batch_feature_matrix, hw_features, hw_features_into, model_feature_matrix, model_features_into,
+    FeatureScratch, ModelFeatures,
 };
+use crate::power_model::PredictInput;
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
@@ -266,6 +267,39 @@ impl ClockPowerModel {
             .iter()
             .map(|&c| self.predict_component_with(c, config, events, workload, scratch))
             .sum()
+    }
+
+    /// Accumulates the whole-core clock power of every point into `acc`
+    /// (`acc[i] += P_clk(points[i])`), scoring forest-major: each component's
+    /// α′ ensemble walks the entire batch before the next component's, so an
+    /// ensemble's nodes stay cache-resident across the batch instead of being
+    /// evicted between points.  Bit-identical to calling
+    /// [`ClockPowerModel::predict_with`] per point — same feature rows, same
+    /// per-component evaluation order, same left-to-right summation.
+    pub(crate) fn predict_batch_into(
+        &self,
+        points: &[PredictInput<'_>],
+        scratch: &mut FeatureScratch,
+        acc: &mut [f64],
+    ) {
+        debug_assert_eq!(points.len(), acc.len());
+        if points.is_empty() {
+            return;
+        }
+        let mut alphas = Vec::with_capacity(points.len());
+        for &component in Component::ALL.iter() {
+            let matrix = batch_feature_matrix(ModelFeatures::HW_EVENTS, component, points);
+            self.per_component[component.index()]
+                .falpha
+                .forest()
+                .predict_into(&matrix, &mut alphas);
+            for (i, p) in points.iter().enumerate() {
+                let r = self.predict_register_count_with(component, p.config, scratch);
+                let g = self.predict_gating_rate_with(component, p.config, scratch);
+                let alpha_eff = alphas[i].max(0.0);
+                acc[i] += r * (1.0 - g) * self.preg_mw + alpha_eff * r * g;
+            }
+        }
     }
 
     /// The register clock-pin power used by the model (from the technology library).

@@ -39,6 +39,10 @@ pub enum AutoPowerError {
     /// A sweep checkpoint could not be read, written, parsed, or does not
     /// belong to the sweep being resumed.
     Checkpoint(String),
+    /// An activity surrogate could not be trained, loaded, or safely used
+    /// (e.g. it does not cover the sweep's workloads, or a sweep finished
+    /// with zero audited configurations).
+    Surrogate(String),
 }
 
 impl fmt::Display for AutoPowerError {
@@ -93,6 +97,9 @@ impl fmt::Display for AutoPowerError {
             }
             AutoPowerError::Checkpoint(message) => {
                 write!(f, "sweep checkpoint error: {message}")
+            }
+            AutoPowerError::Surrogate(message) => {
+                write!(f, "surrogate error: {message}")
             }
         }
     }

@@ -47,6 +47,26 @@ pub fn event_features_into(component: Component, events: &EventParams, out: &mut
     events.component_features_into(component, out);
 }
 
+/// Assembles one sub-model's feature matrix over a batch of points: one
+/// [`model_features`] row per point, in point order.
+///
+/// The rows are assembled by the same [`model_features_into`] the per-point
+/// path uses, so scoring the matrix through
+/// [`FlatForest::predict_into`](autopower_ml::FlatForest::predict_into) is
+/// bit-identical to predicting each row on its own — the invariant the
+/// forest-major batch path ([`PowerModel::predict_batch_with`](crate::PowerModel::predict_batch_with)) relies on.
+pub(crate) fn batch_feature_matrix(
+    which: ModelFeatures,
+    component: Component,
+    points: &[crate::power_model::PredictInput<'_>],
+) -> Matrix {
+    let mut data = Vec::new();
+    for p in points {
+        model_features_into(which, component, p.config, p.events, p.workload, &mut data);
+    }
+    Matrix::from_flat(points.len(), data.len() / points.len(), data)
+}
+
 /// A reusable feature-row buffer for the allocation-free prediction path.
 ///
 /// Every prediction assembles many short-lived feature rows (one per

@@ -63,6 +63,7 @@ mod prediction;
 mod serialize;
 mod sram;
 pub mod stream;
+pub mod surrogate;
 pub mod sweep;
 mod trace;
 mod xval;
@@ -78,7 +79,7 @@ pub use features::{
 pub use logic::LogicPowerModel;
 pub use model::AutoPower;
 pub use pipeline::SubstratePipeline;
-pub use power_model::{ModelKind, PowerModel};
+pub use power_model::{ModelKind, PowerModel, PredictInput};
 pub use prediction::{ComponentBreakdown, ComponentPower, Prediction, Resolution};
 pub use serialize::{decode_model, encode_model, load_model, save_model, MODEL_FORMAT_VERSION};
 pub use sram::{
@@ -87,12 +88,18 @@ pub use sram::{
 };
 pub use stream::{
     area_proxy, decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint,
-    ChunkCursor, ParetoEntry, ParetoFrontier, PowerSeries, QuantileSketch, SeriesSketch,
-    StreamProgress, StreamSpec, SweepAggregator, SweepCheckpoint, CHECKPOINT_FORMAT_VERSION,
+    ChunkCursor, ParetoConstraints, ParetoEntry, ParetoFrontier, PowerSeries, QuantileSketch,
+    SeriesSketch, StreamProgress, StreamSpec, SweepAggregator, SweepCheckpoint,
+    CHECKPOINT_FORMAT_VERSION,
+};
+pub use surrogate::{
+    audit_selected, decode_surrogate, encode_surrogate, load_surrogate, save_surrogate,
+    surrogate_gbdt_params, ActivitySurrogate, AuditAccumulator, AuditEventError, AuditReport,
+    SURROGATE_FORMAT_VERSION, SURROGATE_TRAIN_SEED,
 };
 pub use sweep::{
     config_summary, rank_by_efficiency, summarize, sweep_multi, sweep_multi_with_stats,
-    ConfigSummary, SweepEngine, SweepPoint, SweepSpec,
+    ConfigSummary, SimBackend, SweepEngine, SweepPoint, SweepSpec,
 };
 pub use trace::{
     evaluate_trace_prediction, trace_errors, PowerTracePredictor, PredictedPowerTrace,

@@ -12,9 +12,10 @@
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
 use crate::features::{
-    hw_features, hw_features_into, model_feature_matrix, model_features_into, FeatureScratch,
-    ModelFeatures,
+    batch_feature_matrix, hw_features, hw_features_into, model_feature_matrix, model_features_into,
+    FeatureScratch, ModelFeatures,
 };
+use crate::power_model::PredictInput;
 use autopower_config::{Component, ConfigId, CpuConfig, Workload};
 use autopower_ml::{GradientBoosting, Regressor, RidgeRegression};
 use autopower_perfsim::EventParams;
@@ -278,6 +279,48 @@ impl LogicPowerModel {
             .iter()
             .map(|&c| self.predict_comb_component_with(c, config, events, workload, scratch))
             .sum()
+    }
+
+    /// Accumulates whole-core register power into `reg_acc` and combinational
+    /// power into `comb_acc` (`reg_acc[i] += P_reg(points[i])`, likewise for
+    /// comb), scoring forest-major: per component, one shared `HW_EVENTS`
+    /// feature matrix feeds the activity ensemble and then the variation
+    /// ensemble over the entire batch, keeping each ensemble's nodes
+    /// cache-resident.  Bit-identical to [`LogicPowerModel::predict_register_with`]
+    /// and [`LogicPowerModel::predict_comb_with`] per point.
+    pub(crate) fn predict_batch_into(
+        &self,
+        points: &[PredictInput<'_>],
+        scratch: &mut FeatureScratch,
+        reg_acc: &mut [f64],
+        comb_acc: &mut [f64],
+    ) {
+        debug_assert_eq!(points.len(), reg_acc.len());
+        debug_assert_eq!(points.len(), comb_acc.len());
+        if points.is_empty() {
+            return;
+        }
+        let mut ensemble = Vec::with_capacity(points.len());
+        for &component in Component::ALL.iter() {
+            let m = &self.per_component[component.index()];
+            let matrix = batch_feature_matrix(ModelFeatures::HW_EVENTS, component, points);
+            m.reg_activity.forest().predict_into(&matrix, &mut ensemble);
+            for (i, p) in points.iter().enumerate() {
+                let row = scratch.row_mut();
+                hw_features_into(component, p.config, row);
+                let r = m.reg_hardware.predict(row).max(1.0);
+                reg_acc[i] += r * ensemble[i].max(0.0);
+            }
+            m.comb_variation
+                .forest()
+                .predict_into(&matrix, &mut ensemble);
+            for (i, p) in points.iter().enumerate() {
+                let row = scratch.row_mut();
+                hw_features_into(component, p.config, row);
+                let stable = m.comb_stable.predict(row).max(0.0);
+                comb_acc[i] += stable * ensemble[i].max(0.0);
+            }
+        }
     }
 }
 

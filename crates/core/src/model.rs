@@ -5,7 +5,7 @@ use crate::dataset::{Corpus, RunData};
 use crate::error::AutoPowerError;
 use crate::features::{FeatureScratch, ModelFeatures};
 use crate::logic::LogicPowerModel;
-use crate::power_model::{ModelKind, PowerModel};
+use crate::power_model::{ModelKind, PowerModel, PredictInput};
 use crate::prediction::{ComponentBreakdown, Prediction};
 use crate::serialize::{decode_library, encode_library};
 use crate::sram::SramPowerModel;
@@ -156,6 +156,40 @@ impl PowerModel for AutoPower {
         Prediction::grouped(self.predict_scratch(config, events, workload, scratch))
     }
 
+    /// Forest-major batch prediction: every sub-model ensemble scores the
+    /// whole batch before the next one runs, instead of ~77 ensembles
+    /// alternating per point and evicting each other from cache.
+    /// Bit-identical to the per-point default (each sub-model's batch path
+    /// pins that invariant), so the sweep engine batches freely without
+    /// perturbing goldens.
+    fn predict_batch_with(
+        &self,
+        points: &[PredictInput<'_>],
+        scratch: &mut FeatureScratch,
+        out: &mut Vec<Prediction>,
+    ) {
+        let n = points.len();
+        let mut clock = vec![0.0; n];
+        let mut sram = vec![0.0; n];
+        let mut register = vec![0.0; n];
+        let mut combinational = vec![0.0; n];
+        self.clock.predict_batch_into(points, scratch, &mut clock);
+        self.sram
+            .predict_batch_into(points, &self.library, scratch, &mut sram);
+        self.logic
+            .predict_batch_into(points, scratch, &mut register, &mut combinational);
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            out.push(Prediction::grouped(PowerGroups {
+                clock: clock[i],
+                sram: sram[i],
+                register: register[i],
+                combinational: combinational[i],
+            }));
+        }
+    }
+
     /// The per-component detail view (each component fully group-resolved).
     fn predict_components(
         &self,
@@ -253,6 +287,50 @@ mod tests {
             sum += model.predict_component(comp, &run.config, &run.sim.events, run.workload);
         }
         assert!((sum.total() - core.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_point() {
+        let c = corpus();
+        let model = AutoPower::train(&c, &[ConfigId::new(1), ConfigId::new(15)]).unwrap();
+        let runs = c.runs();
+        let points: Vec<PredictInput<'_>> = runs
+            .iter()
+            .map(|run| PredictInput {
+                config: &run.config,
+                events: &run.sim.events,
+                workload: run.workload,
+            })
+            .collect();
+        let mut scratch = FeatureScratch::new();
+        let mut batch = Vec::new();
+        PowerModel::predict_batch_with(&model, &points, &mut scratch, &mut batch);
+        assert_eq!(batch.len(), runs.len());
+        for (run, batched) in runs.iter().zip(&batch) {
+            let single = PowerModel::predict_with(
+                &model,
+                &run.config,
+                &run.sim.events,
+                run.workload,
+                &mut scratch,
+            );
+            let (s, b) = (single.groups().unwrap(), batched.groups().unwrap());
+            for (name, sv, bv) in [
+                ("clock", s.clock, b.clock),
+                ("sram", s.sram, b.sram),
+                ("register", s.register, b.register),
+                ("combinational", s.combinational, b.combinational),
+            ] {
+                assert_eq!(
+                    sv.to_bits(),
+                    bv.to_bits(),
+                    "{name} drifted on {} {}: {sv} vs {bv}",
+                    run.config.id,
+                    run.workload,
+                );
+            }
+            assert_eq!(single.total().to_bits(), batched.total().to_bits());
+        }
     }
 
     #[test]

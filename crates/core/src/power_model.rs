@@ -74,6 +74,18 @@ use serde::codec::{Codec, Reader, Writer};
 use std::fmt;
 use std::str::FromStr;
 
+/// One `(configuration, events, workload)` point of a batched prediction
+/// ([`PowerModel::predict_batch_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictInput<'a> {
+    /// The configuration under prediction.
+    pub config: &'a CpuConfig,
+    /// Its event parameters (simulated or surrogate-predicted).
+    pub events: &'a EventParams,
+    /// The workload the events describe.
+    pub workload: Workload,
+}
+
 /// A trained architecture-level power predictor.
 ///
 /// Object-safe: the inference engines hold `&dyn PowerModel` / `Box<dyn
@@ -110,6 +122,29 @@ pub trait PowerModel: fmt::Debug + Send + Sync {
         workload: Workload,
         scratch: &mut FeatureScratch,
     ) -> Prediction;
+
+    /// Predicts a batch of points into `out` (cleared first), one
+    /// [`Prediction`] per input in input order.
+    ///
+    /// The default walks [`PowerModel::predict_with`] point by point.  Models
+    /// built from many internal tree ensembles override it to score
+    /// *forest-major* — each ensemble over every point before moving to the
+    /// next ensemble — which keeps an ensemble's nodes cache-hot across the
+    /// whole batch instead of evicting them between points.  Overrides MUST
+    /// be bit-identical to the point-by-point walk; that invariant is what
+    /// lets the sweep engine batch freely without perturbing goldens.
+    fn predict_batch_with(
+        &self,
+        points: &[PredictInput<'_>],
+        scratch: &mut FeatureScratch,
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.reserve(points.len());
+        for p in points {
+            out.push(self.predict_with(p.config, p.events, p.workload, scratch));
+        }
+    }
 
     /// Predicts per-component power, for models that resolve components
     /// (AutoPower, AutoPower−, McPAT-Calib + Component); `None` otherwise.

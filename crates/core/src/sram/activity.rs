@@ -92,6 +92,26 @@ impl SramActivityModel {
         self.position
     }
 
+    /// The feature mode this model was trained with.
+    pub fn feature_mode(&self) -> ModelFeatures {
+        self.feature_mode
+    }
+
+    /// Scores a whole feature matrix (rows assembled exactly as
+    /// [`SramActivityModel::predict_with`] assembles them) through the read
+    /// and write ensembles.  Outputs are the *raw* ensemble predictions —
+    /// bit-identical per row to `predict_row` — so the caller applies the
+    /// same `.max(0.0)` clamp the per-point path does.
+    pub(crate) fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        reads: &mut Vec<f64>,
+        writes: &mut Vec<f64>,
+    ) {
+        self.read_model.forest().predict_into(x, reads);
+        self.write_model.forest().predict_into(x, writes);
+    }
+
     /// Predicts `(reads_per_cycle, writes_per_cycle)` per SRAM Block.
     pub fn predict(
         &self,

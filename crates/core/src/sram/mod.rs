@@ -21,7 +21,8 @@ pub use mapping::predicted_block_power_mw;
 
 use crate::dataset::Corpus;
 use crate::error::AutoPowerError;
-use crate::features::{FeatureScratch, ModelFeatures};
+use crate::features::{batch_feature_matrix, FeatureScratch, ModelFeatures};
+use crate::power_model::PredictInput;
 use autopower_config::{Component, ConfigId, CpuConfig, SramPositionId, Workload};
 use autopower_perfsim::EventParams;
 use autopower_techlib::TechLibrary;
@@ -308,6 +309,79 @@ impl SramPowerModel {
             .iter()
             .map(|&c| self.predict_component_with(c, config, events, workload, library, scratch))
             .sum()
+    }
+
+    /// Accumulates the whole-core SRAM power of every point into `acc`
+    /// (`acc[i] += P_sram(points[i])`), scoring forest-major: per component,
+    /// one shared feature matrix feeds every position's read and write
+    /// ensembles over the entire batch, keeping each ensemble's nodes
+    /// cache-resident.  Bit-identical to [`SramPowerModel::predict_with`] per
+    /// point: per-component subtotals are folded position by position from
+    /// `0.0` and then added to `acc` in [`Component::ALL`] order — exactly the
+    /// nested left-to-right summation of the per-point path.
+    pub(crate) fn predict_batch_into(
+        &self,
+        points: &[PredictInput<'_>],
+        library: &TechLibrary,
+        scratch: &mut FeatureScratch,
+        acc: &mut [f64],
+    ) {
+        debug_assert_eq!(points.len(), acc.len());
+        if points.is_empty() {
+            return;
+        }
+        let mut subtotal = vec![0.0; points.len()];
+        let mut reads = Vec::with_capacity(points.len());
+        let mut writes = Vec::with_capacity(points.len());
+        for &component in Component::ALL.iter() {
+            subtotal.fill(0.0);
+            // Built lazily: components without SRAM positions never pay for
+            // feature assembly.
+            let mut matrix = None;
+            for model in self
+                .positions
+                .iter()
+                .filter(|m| m.hardware.position().component == component)
+            {
+                if model.activity.feature_mode() == self.feature_mode {
+                    let x = matrix.get_or_insert_with(|| {
+                        batch_feature_matrix(self.feature_mode, component, points)
+                    });
+                    model
+                        .activity
+                        .predict_batch_into(x, &mut reads, &mut writes);
+                    for (i, p) in points.iter().enumerate() {
+                        let block = model.hardware.predict_block(p.config);
+                        subtotal[i] += mapping::predicted_block_power_mw(
+                            &block,
+                            reads[i].max(0.0),
+                            writes[i].max(0.0),
+                            self.pin_constant_mw,
+                            library,
+                        );
+                    }
+                } else {
+                    // A position whose activity model carries a different
+                    // feature mode than the model-level one (only reachable
+                    // through hand-edited serialized models): score it point
+                    // by point on the exact per-point path.
+                    for (i, p) in points.iter().enumerate() {
+                        subtotal[i] += Self::predict_model_with(
+                            model,
+                            self.pin_constant_mw,
+                            p.config,
+                            p.events,
+                            p.workload,
+                            library,
+                            scratch,
+                        );
+                    }
+                }
+            }
+            for (a, s) in acc.iter_mut().zip(&subtotal) {
+                *a += *s;
+            }
+        }
     }
 }
 

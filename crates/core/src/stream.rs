@@ -34,6 +34,7 @@
 
 use crate::error::AutoPowerError;
 use crate::serialize::{decode_config, encode_config};
+use crate::surrogate::AuditAccumulator;
 use crate::sweep::{config_summary, efficiency_sort_key, ConfigSummary, SweepEngine, SweepPoint};
 use autopower_config::{CpuConfig, HwParam, Workload};
 use autopower_powersim::PowerGroups;
@@ -462,6 +463,66 @@ impl ParetoFrontier {
 // The streaming aggregator
 // ---------------------------------------------------------------------------
 
+/// Feasibility constraints applied to candidates **before** they are offered
+/// to the Pareto frontier.
+///
+/// Filtering happens pre-fold, so the reported frontier is by construction
+/// the Pareto frontier *of the feasible set*: every retained entry satisfies
+/// the bounds, and infeasible candidates never enter the dominance tests or
+/// inflate the retained state.  (For these bound directions — a power cap and
+/// an IPC floor — any dominator of a feasible point is itself feasible, so
+/// the result also coincides with filtering afterwards; pre-filtering keeps
+/// the memory bound and makes the scoping explicit rather than accidental.)
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParetoConstraints {
+    /// Upper bound on mean predicted total power in mW, inclusive.
+    pub max_power: Option<f64>,
+    /// Lower bound on mean simulated IPC, inclusive.
+    pub min_ipc: Option<f64>,
+}
+
+impl ParetoConstraints {
+    /// Whether a summary satisfies every present constraint.
+    pub fn admits(&self, summary: &ConfigSummary) -> bool {
+        self.max_power.is_none_or(|p| summary.mean_total <= p)
+            && self.min_ipc.is_none_or(|i| summary.mean_ipc >= i)
+    }
+
+    /// Whether any constraint is present.
+    pub fn is_constrained(&self) -> bool {
+        self.max_power.is_some() || self.min_ipc.is_some()
+    }
+
+    /// Validates the bounds: a present `max_power` must be finite and
+    /// positive, a present `min_ipc` finite and non-negative (anything else —
+    /// NaN, a non-positive power cap, a negative or infinite IPC floor —
+    /// excludes every physical configuration or nothing definable, and is
+    /// refused up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first offending bound;
+    /// the CLI reports it at parse time, library callers wrap it in
+    /// [`AutoPowerError::Surrogate`]-style input errors of their own.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(p) = self.max_power {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(format!(
+                    "--max-power must be a finite positive power bound in mW, got {p}"
+                ));
+            }
+        }
+        if let Some(i) = self.min_ipc {
+            if !i.is_finite() || i < 0.0 {
+                return Err(format!(
+                    "--min-ipc must be a finite non-negative IPC bound, got {i}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Aggregation knobs of a streaming sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamSpec {
@@ -511,6 +572,7 @@ pub struct SweepAggregator {
     series: Vec<SeriesSketch>,
     top: Vec<TopEntry>,
     pareto: ParetoFrontier,
+    constraints: ParetoConstraints,
 }
 
 impl SweepAggregator {
@@ -538,7 +600,30 @@ impl SweepAggregator {
                 .collect(),
             top: Vec::with_capacity(spec.top_k + 1),
             pareto: ParetoFrontier::new(),
+            constraints: ParetoConstraints::default(),
         }
+    }
+
+    /// Same aggregator with feasibility constraints applied to every summary
+    /// before it is offered to the Pareto frontier.  The top-k table and the
+    /// power-series sketches still fold **all** summaries — the constraints
+    /// scope the frontier, not the sweep statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraints fail [`ParetoConstraints::validate`]
+    /// (callers validate user input before building an aggregator).
+    pub fn with_pareto_constraints(mut self, constraints: ParetoConstraints) -> Self {
+        if let Err(message) = constraints.validate() {
+            panic!("invalid pareto constraints: {message}");
+        }
+        self.constraints = constraints;
+        self
+    }
+
+    /// The feasibility constraints scoping the Pareto frontier.
+    pub fn pareto_constraints(&self) -> &ParetoConstraints {
+        &self.constraints
     }
 
     /// Folds one sweep point.  Workloads of a configuration must arrive
@@ -591,7 +676,12 @@ impl SweepAggregator {
             self.top.truncate(self.top_k);
         }
 
-        self.pareto.offer(summary);
+        // Constraint filtering happens before the frontier fold: an
+        // infeasible summary must not get the chance to dominate and evict a
+        // feasible one.
+        if self.constraints.admits(&summary) {
+            self.pareto.offer(summary);
+        }
     }
 
     /// Number of whole configurations folded so far.
@@ -732,6 +822,27 @@ impl Codec for SweepAggregator {
             w.end();
         }
         w.end();
+        // Optional trailing section: written only when constraints are
+        // present, so unconstrained aggregators encode byte-identically to
+        // the pre-constraint format (and old checkpoints decode).
+        if self.constraints.is_constrained() {
+            w.begin("constraints");
+            match self.constraints.max_power {
+                Some(p) => {
+                    w.bool("has_max_power", true);
+                    w.f64("max_power", p);
+                }
+                None => w.bool("has_max_power", false),
+            }
+            match self.constraints.min_ipc {
+                Some(i) => {
+                    w.bool("has_min_ipc", true);
+                    w.f64("min_ipc", i);
+                }
+                None => w.bool("has_min_ipc", false),
+            }
+            w.end();
+        }
         w.end();
     }
 
@@ -802,6 +913,16 @@ impl Codec for SweepAggregator {
             entries.push(ParetoEntry { summary, area });
         }
         r.end()?;
+        let mut constraints = ParetoConstraints::default();
+        if r.try_begin("constraints")? {
+            if r.bool("has_max_power")? {
+                constraints.max_power = Some(r.f64("max_power")?);
+            }
+            if r.bool("has_min_ipc")? {
+                constraints.min_ipc = Some(r.f64("min_ipc")?);
+            }
+            r.end()?;
+        }
         r.end()?;
         Ok(Self {
             per_config,
@@ -812,6 +933,7 @@ impl Codec for SweepAggregator {
             series,
             top,
             pareto: ParetoFrontier { entries },
+            constraints,
         })
     }
 }
@@ -857,6 +979,10 @@ pub struct SweepCheckpoint {
     pub cursor: ChunkCursor,
     /// Everything folded so far.
     pub aggregator: SweepAggregator,
+    /// Surrogate audit-error accumulation at the checkpoint, `Some` exactly
+    /// for surrogate-backed sweeps.  Joins the snapshot so a resumed sweep's
+    /// audit table is bit-identical to an uninterrupted run's.
+    pub audit: Option<AuditAccumulator>,
 }
 
 impl Codec for SweepCheckpoint {
@@ -866,6 +992,12 @@ impl Codec for SweepCheckpoint {
         w.u64("fingerprint", self.fingerprint);
         self.cursor.encode(w);
         self.aggregator.encode(w);
+        // Optional trailing section: exact-backend checkpoints encode
+        // byte-identically to the pre-surrogate format, and old checkpoints
+        // decode with no audit state.
+        if let Some(audit) = &self.audit {
+            audit.encode(w);
+        }
         w.end();
     }
 
@@ -885,11 +1017,17 @@ impl Codec for SweepCheckpoint {
         let fingerprint = r.u64("fingerprint")?;
         let cursor = ChunkCursor::decode(r)?;
         let aggregator = SweepAggregator::decode(r)?;
+        let audit = if r.try_begin("audit")? {
+            Some(AuditAccumulator::decode_fields(r)?)
+        } else {
+            None
+        };
         r.end()?;
         Ok(Self {
             fingerprint,
             cursor,
             aggregator,
+            audit,
         })
     }
 }
@@ -1341,6 +1479,7 @@ mod tests {
             fingerprint: 0xDEAD_BEEF_1234_5678,
             cursor: ChunkCursor { offset: 5 },
             aggregator: agg,
+            audit: None,
         };
         let dir = std::env::temp_dir().join(format!("autopower-ckpt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1382,6 +1521,7 @@ mod tests {
             fingerprint: 1,
             cursor: ChunkCursor { offset: 0 },
             aggregator: agg,
+            audit: None,
         };
         let err = save_checkpoint(&checkpoint, std::env::temp_dir().join("never-written.ckpt"))
             .unwrap_err();
@@ -1460,5 +1600,169 @@ mod tests {
             .unwrap();
         assert!(tail.complete);
         assert_eq!(resumed, one_shot, "resumed state diverged from one-shot");
+    }
+
+    #[test]
+    fn pareto_constraints_filter_before_the_frontier_fold() {
+        // Two genuine frontier points (neither dominates: the hot one buys
+        // its IPC with power) — constraints carve out one or the other.
+        let hot = summary(1, 12.0, 2.0, 6.0); // power 12 mW, ipc 2.0
+        let cool = summary(2, 8.0, 1.5, 5.3); // power 8 mW, ipc 1.5
+
+        let spec = StreamSpec {
+            top_k: 3,
+            sketch_level_capacity: 8,
+        };
+        let mut unconstrained = SweepAggregator::new(1, &spec);
+        unconstrained.push_summary(hot);
+        unconstrained.push_summary(cool);
+        assert_eq!(unconstrained.pareto().len(), 2);
+
+        let power_capped = ParetoConstraints {
+            max_power: Some(10.0),
+            min_ipc: None,
+        };
+        assert!(power_capped.admits(&cool));
+        assert!(!power_capped.admits(&hot));
+        let mut constrained = SweepAggregator::new(1, &spec).with_pareto_constraints(power_capped);
+        constrained.push_summary(hot);
+        constrained.push_summary(cool);
+        assert_eq!(constrained.pareto().len(), 1);
+        assert_eq!(
+            constrained.pareto().entries()[0].summary.config.id,
+            ConfigId::generated(2),
+            "only the feasible point reaches the frontier"
+        );
+        // Sweep statistics are unscoped: both summaries still folded into the
+        // top table and sketches.
+        assert_eq!(constrained.configs_folded(), 2);
+        assert_eq!(constrained.top().len(), 2);
+        assert_eq!(constrained.series(PowerSeries::Total).sketch().count(), 2);
+
+        let ipc_floored = ParetoConstraints {
+            max_power: None,
+            min_ipc: Some(1.8),
+        };
+        let mut floored = SweepAggregator::new(1, &spec).with_pareto_constraints(ipc_floored);
+        floored.push_summary(hot);
+        floored.push_summary(cool);
+        assert_eq!(floored.pareto().len(), 1);
+        assert_eq!(
+            floored.pareto().entries()[0].summary.config.id,
+            ConfigId::generated(1)
+        );
+    }
+
+    #[test]
+    fn constraint_bounds_are_inclusive() {
+        let constraints = ParetoConstraints {
+            max_power: Some(8.0),
+            min_ipc: Some(1.5),
+        };
+        assert!(constraints.admits(&summary(1, 8.0, 1.5, 5.3)));
+        assert!(!constraints.admits(&summary(2, 8.0 + 1e-9, 1.5, 5.3)));
+        assert!(!constraints.admits(&summary(3, 8.0, 1.5 - 1e-9, 5.3)));
+        assert!(ParetoConstraints::default().admits(&summary(4, 1e12, 0.0, 1e12)));
+    }
+
+    #[test]
+    fn invalid_constraints_are_refused() {
+        for bad_power in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = ParetoConstraints {
+                max_power: Some(bad_power),
+                min_ipc: None,
+            };
+            assert!(c.validate().is_err(), "max_power {bad_power} accepted");
+        }
+        for bad_ipc in [-0.1, f64::NAN, f64::INFINITY] {
+            let c = ParetoConstraints {
+                max_power: None,
+                min_ipc: Some(bad_ipc),
+            };
+            assert!(c.validate().is_err(), "min_ipc {bad_ipc} accepted");
+        }
+        assert!(ParetoConstraints {
+            max_power: Some(10.0),
+            min_ipc: Some(0.0),
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pareto constraints")]
+    fn aggregator_refuses_invalid_constraints() {
+        let _ = SweepAggregator::new(1, &StreamSpec::default()).with_pareto_constraints(
+            ParetoConstraints {
+                max_power: Some(f64::NAN),
+                min_ipc: None,
+            },
+        );
+    }
+
+    #[test]
+    fn constrained_aggregators_roundtrip_and_unconstrained_encoding_is_unchanged() {
+        let spec = StreamSpec {
+            top_k: 2,
+            sketch_level_capacity: 8,
+        };
+        let constraints = ParetoConstraints {
+            max_power: Some(9.5),
+            min_ipc: Some(0.75),
+        };
+        let mut constrained = SweepAggregator::new(1, &spec).with_pareto_constraints(constraints);
+        constrained.push_summary(summary(1, 9.0, 1.0, 9.0));
+        constrained.push_summary(summary(2, 11.0, 2.0, 5.5)); // filtered out
+        let restored = roundtrip(&constrained);
+        assert_eq!(restored, constrained);
+        assert_eq!(restored.pareto_constraints(), &constraints);
+
+        // The optional section only appears when constraints are present, so
+        // pre-constraint checkpoints stay byte-compatible.
+        let mut plain = SweepAggregator::new(1, &spec);
+        plain.push_summary(summary(1, 9.0, 1.0, 9.0));
+        let mut w = Writer::new();
+        plain.encode(&mut w);
+        assert!(!w.finish().contains("constraints"));
+        assert_eq!(roundtrip(&plain), plain);
+    }
+
+    #[test]
+    fn checkpoints_carry_optional_audit_state_bit_exactly() {
+        use crate::surrogate::AuditAccumulator;
+        use autopower_perfsim::EventParams;
+
+        let spec = StreamSpec {
+            top_k: 2,
+            sketch_level_capacity: 8,
+        };
+        let mut agg = SweepAggregator::new(1, &spec);
+        agg.push_summary(summary(1, 5.0, 1.0, 5.0));
+
+        let n = EventParams::names().len();
+        let mut audit = AuditAccumulator::new(n);
+        let exact: Vec<f64> = (0..n).map(|e| 1.0 + e as f64).collect();
+        let predicted: Vec<f64> = exact.iter().map(|v| v * 1.01).collect();
+        audit.record(&exact, &predicted, 50.0, 51.0);
+
+        let with_audit = SweepCheckpoint {
+            fingerprint: 42,
+            cursor: ChunkCursor { offset: 1 },
+            aggregator: agg.clone(),
+            audit: Some(audit),
+        };
+        let restored = decode_checkpoint(&encode_checkpoint(&with_audit)).unwrap();
+        assert_eq!(restored, with_audit);
+
+        // Exact-backend checkpoints omit the section entirely.
+        let without = SweepCheckpoint {
+            fingerprint: 42,
+            cursor: ChunkCursor { offset: 1 },
+            aggregator: agg,
+            audit: None,
+        };
+        let text = encode_checkpoint(&without);
+        assert!(!text.contains("audit"));
+        assert_eq!(decode_checkpoint(&text).unwrap(), without);
     }
 }

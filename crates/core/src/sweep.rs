@@ -42,17 +42,21 @@
 //! [`ConfigSummary::mean_groups`] is `Some` exactly when the model resolved
 //! groups.
 
+use crate::error::AutoPowerError;
 use crate::features::FeatureScratch;
 use crate::model::AutoPower;
 use crate::pipeline::parallel_map_with;
-use crate::power_model::PowerModel;
+use crate::power_model::{PowerModel, PredictInput};
 use crate::prediction::Prediction;
+use crate::surrogate::{audit_selected, ActivitySurrogate, AuditAccumulator, AuditReport};
 use autopower_config::{CpuConfig, Workload};
+use autopower_ml::Matrix;
 use autopower_perfsim::{
     simulate_counters_with, EventCounters, EventParams, SimCache, SimCacheStats, SimConfig, SimKey,
     SimScratch,
 };
 use autopower_powersim::PowerGroups;
+use std::sync::Mutex;
 
 /// Knobs of a design-space sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,11 +155,16 @@ pub struct ConfigSummary {
 }
 
 /// Per-worker reusable state of a sweep: simulation scratch, feature-row
-/// scratch and one event-parameter set absorbing every derivation.
+/// scratch, one event-parameter set absorbing every derivation, and the
+/// surrogate backend's raw-rate and shadow-event buffers.
 struct SweepScratch {
     sim: SimScratch,
     features: FeatureScratch,
     events: EventParams,
+    /// Shadow event parameters derived from the surrogate prediction on
+    /// audited points, so error accounting never disturbs the exact events
+    /// the emitted point is scored from.
+    surrogate_events: EventParams,
 }
 
 impl SweepScratch {
@@ -164,8 +173,85 @@ impl SweepScratch {
             sim: SimScratch::new(),
             features: FeatureScratch::new(),
             events: EventParams::empty(),
+            surrogate_events: EventParams::empty(),
         }
     }
+}
+
+/// Audit bookkeeping of one chunk point: everything needed to fold the
+/// surrogate's shadow prediction into the error bound after the batched
+/// power prediction lands.
+struct ChunkAudit {
+    /// Flat point index within the chunk (`config_index * workloads +
+    /// workload_index`).
+    index: usize,
+    /// Raw event rates of the exact simulation.
+    exact_raw: Vec<f64>,
+    /// Raw event rates the surrogate predicted.
+    surrogate_raw: Vec<f64>,
+    /// Event parameters derived from the surrogate prediction, scored through
+    /// the model as the shadow entry of the batch.
+    shadow_events: EventParams,
+}
+
+/// Per-worker reusable state of the chunk-batched scoring path: the per-point
+/// scratch plus chunk-wide buffers holding every point's events, IPC and
+/// prediction so the power model can score the whole chunk forest-major.
+struct ChunkScratch {
+    point: SweepScratch,
+    /// Per-point event parameters (exact or surrogate-derived), point-major.
+    events: Vec<EventParams>,
+    /// Per-point simulated (or surrogate-predicted) IPC.
+    ipcs: Vec<f64>,
+    /// Audited points of the chunk.
+    audits: Vec<ChunkAudit>,
+    /// Batched prediction output: one slot per point, then one shadow slot
+    /// per audited point.
+    predictions: Vec<Prediction>,
+    /// Surrogate-predicted raw event rates of every point, row-major
+    /// (`raw_all[idx * events + e]`, `idx` in chunk point order).
+    raw_all: Vec<f64>,
+    /// Per-workload batched-prediction staging (configuration-major rows).
+    raw_batch: Vec<f64>,
+    /// Per-ensemble output scratch of the batched surrogate prediction.
+    forest_out: Vec<f64>,
+}
+
+impl ChunkScratch {
+    fn new() -> Self {
+        Self {
+            point: SweepScratch::new(),
+            events: Vec::new(),
+            ipcs: Vec::new(),
+            audits: Vec::new(),
+            predictions: Vec::new(),
+            raw_all: Vec::new(),
+            raw_batch: Vec::new(),
+            forest_out: Vec::new(),
+        }
+    }
+}
+
+/// How a sweep obtains each point's event parameters.
+#[derive(Debug, Clone, Copy)]
+pub enum SimBackend<'a> {
+    /// Simulate every `(configuration, workload)` pair exactly (the default).
+    Exact,
+    /// Predict event rates with a trained [`ActivitySurrogate`], simulating
+    /// only a deterministic audit fraction of configurations exactly.
+    ///
+    /// Audited configurations are emitted from the exact path — bit-identical
+    /// to an [`SimBackend::Exact`] sweep — and additionally scored through
+    /// the surrogate to accumulate the per-event and end-to-end power error
+    /// bound reported by [`SweepEngine::audit_report`].
+    Surrogate {
+        /// The trained surrogate; must cover every swept workload and match
+        /// the sweep's simulation knobs.
+        surrogate: &'a ActivitySurrogate,
+        /// Fraction of configurations audited against the exact simulator
+        /// (`audit_selected`), in `(0, 1]`.
+        audit_rate: f64,
+    },
 }
 
 /// Whole-run counters for one pair, answered from `cache` when enabled.
@@ -196,21 +282,59 @@ pub struct SweepEngine<'a> {
     model: &'a dyn PowerModel,
     spec: SweepSpec,
     cache: SimCache,
+    backend: SimBackend<'a>,
+    /// Audit-error accumulation of the surrogate backend.  Integer
+    /// (fixed-point) sums make the fold order-independent, so the report is
+    /// bit-identical for every thread count despite the shared lock.
+    audit: Mutex<AuditAccumulator>,
 }
 
 impl<'a> SweepEngine<'a> {
-    /// Creates an engine around any trained [`PowerModel`].
+    /// Creates an engine around any trained [`PowerModel`], simulating every
+    /// point exactly ([`SimBackend::Exact`]).
     pub fn new(model: &'a dyn PowerModel, spec: SweepSpec) -> Self {
         Self {
             model,
             spec,
             cache: SimCache::new(),
+            backend: SimBackend::Exact,
+            audit: Mutex::new(AuditAccumulator::new(EventParams::names().len())),
         }
+    }
+
+    /// Replaces the engine's simulation backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoPowerError::Surrogate`] when a surrogate backend's audit
+    /// rate is not in `(0, 1]` (a sweep that can never audit has no error
+    /// bound and is refused up front) or the surrogate was trained for
+    /// different simulation knobs than this engine sweeps with.
+    pub fn with_backend(mut self, backend: SimBackend<'a>) -> Result<Self, AutoPowerError> {
+        if let SimBackend::Surrogate {
+            surrogate,
+            audit_rate,
+        } = backend
+        {
+            if !audit_rate.is_finite() || audit_rate <= 0.0 || audit_rate > 1.0 {
+                return Err(AutoPowerError::Surrogate(format!(
+                    "audit rate must be in (0, 1], got {audit_rate}"
+                )));
+            }
+            surrogate.compatible_with(&self.spec.sim)?;
+        }
+        self.backend = backend;
+        Ok(self)
     }
 
     /// The sweep settings.
     pub fn spec(&self) -> &SweepSpec {
         &self.spec
+    }
+
+    /// The simulation backend.
+    pub fn backend(&self) -> &SimBackend<'a> {
+        &self.backend
     }
 
     /// Hit/miss statistics of the simulation cache across every sweep this
@@ -219,34 +343,216 @@ impl<'a> SweepEngine<'a> {
         self.cache.stats()
     }
 
-    /// Scores one `(configuration, workload)` pair into a [`SweepPoint`],
-    /// reusing `scratch` for simulation, event derivation and feature rows.
-    fn score_point(
+    /// The audit error table accumulated so far — `Some` exactly when the
+    /// engine runs a surrogate backend (even before anything was audited, so
+    /// callers can distinguish "exact sweep" from "surrogate sweep that
+    /// audited nothing" and refuse to report the latter as error-bounded).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        match self.backend {
+            SimBackend::Exact => None,
+            SimBackend::Surrogate { .. } => Some(self.audit.lock().unwrap().report()),
+        }
+    }
+
+    /// Snapshot of the raw audit accumulator (for checkpointing), `Some`
+    /// exactly when the engine runs a surrogate backend.
+    pub fn audit_state(&self) -> Option<AuditAccumulator> {
+        match self.backend {
+            SimBackend::Exact => None,
+            SimBackend::Surrogate { .. } => Some(self.audit.lock().unwrap().clone()),
+        }
+    }
+
+    /// Restores an audit accumulator captured by [`SweepEngine::audit_state`]
+    /// (when resuming a checkpointed surrogate sweep).
+    pub fn restore_audit_state(&self, state: AuditAccumulator) {
+        *self.audit.lock().unwrap() = state;
+    }
+
+    /// Scores one contiguous run of configurations as a single batch,
+    /// emitting its [`SweepPoint`]s through `sink` in configuration-major
+    /// input order.
+    ///
+    /// Three phases: (1) obtain every point's event parameters — exact
+    /// simulation, or surrogate prediction with the deterministic audit
+    /// fraction simulated exactly; (2) predict power for the whole chunk in
+    /// one [`PowerModel::predict_batch_with`] call (audited points append a
+    /// shadow entry scored from the surrogate's events), which scores
+    /// forest-major and is pinned bit-identical to the per-point path; (3)
+    /// fold the audited points into the error bound and emit.  Output is
+    /// bit-identical to scoring each point on its own — the batch only
+    /// reorders *when* sub-models run, never what they compute.
+    fn score_chunk(
         &self,
         cache: Option<&SimCache>,
-        config: &CpuConfig,
-        workload: Workload,
-        scratch: &mut SweepScratch,
-    ) -> SweepPoint {
-        let counters =
-            simulated_counters(cache, config, workload, &self.spec.sim, &mut scratch.sim);
-        EventParams::from_counters_into(
-            &counters,
-            config.id,
-            workload,
-            self.spec.sim.event_distortion,
-            &mut scratch.events,
-        );
-        SweepPoint {
-            config: *config,
-            workload,
-            power: self.model.predict_with(
-                config,
-                &scratch.events,
-                workload,
-                &mut scratch.features,
-            ),
-            ipc: counters.ipc(),
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+        scratch: &mut ChunkScratch,
+        mut sink: impl FnMut(SweepPoint),
+    ) {
+        let per_config = workloads.len();
+        let n = configs.len() * per_config;
+        let ChunkScratch {
+            point,
+            events,
+            ipcs,
+            audits,
+            predictions,
+            raw_all,
+            raw_batch,
+            forest_out,
+        } = scratch;
+        events.resize(n, EventParams::empty());
+        ipcs.clear();
+        ipcs.resize(n, 0.0);
+        audits.clear();
+        let event_count = EventParams::names().len();
+
+        // Phase 0 (surrogate backend only): batched raw-rate inference.
+        // One feature matrix per workload over the whole chunk, scored
+        // forest-major by `predict_raw_batch_into` — bit-identical to the
+        // per-point `predict_raw_into`, but each per-event ensemble walks the
+        // entire chunk while its nodes are cache-hot.
+        if let SimBackend::Surrogate { surrogate, .. } = self.backend {
+            raw_all.clear();
+            raw_all.resize(n * event_count, 0.0);
+            for (w, &workload) in workloads.iter().enumerate() {
+                let mut flat = Vec::with_capacity(configs.len() * SimKey::FEATURE_COUNT);
+                for config in configs {
+                    flat.extend_from_slice(
+                        &SimKey::new(config, workload, &self.spec.sim).features(),
+                    );
+                }
+                let x = Matrix::from_flat(configs.len(), SimKey::FEATURE_COUNT, flat);
+                raw_batch.clear();
+                raw_batch.resize(configs.len() * event_count, 0.0);
+                surrogate.predict_raw_batch_into(workload, &x, forest_out, raw_batch);
+                for c in 0..configs.len() {
+                    let idx = c * per_config + w;
+                    raw_all[idx * event_count..(idx + 1) * event_count]
+                        .copy_from_slice(&raw_batch[c * event_count..(c + 1) * event_count]);
+                }
+            }
+        }
+
+        // Phase 1: event parameters and IPC per point.
+        let mut idx = 0;
+        for config in configs {
+            for &workload in workloads {
+                match self.backend {
+                    SimBackend::Exact => {
+                        let counters = simulated_counters(
+                            cache,
+                            config,
+                            workload,
+                            &self.spec.sim,
+                            &mut point.sim,
+                        );
+                        EventParams::from_counters_into(
+                            &counters,
+                            config.id,
+                            workload,
+                            self.spec.sim.event_distortion,
+                            &mut events[idx],
+                        );
+                        ipcs[idx] = counters.ipc();
+                    }
+                    SimBackend::Surrogate { audit_rate, .. } => {
+                        let raw = &raw_all[idx * event_count..(idx + 1) * event_count];
+                        if audit_selected(config.id, audit_rate) {
+                            // Audited point: emitted from the exact path
+                            // (bit-identical to an Exact sweep — same
+                            // counters, same distortion, same prediction);
+                            // the surrogate's shadow events ride the batch as
+                            // an extra entry for the error bound.
+                            let counters = simulated_counters(
+                                cache,
+                                config,
+                                workload,
+                                &self.spec.sim,
+                                &mut point.sim,
+                            );
+                            EventParams::from_counters_into(
+                                &counters,
+                                config.id,
+                                workload,
+                                self.spec.sim.event_distortion,
+                                &mut events[idx],
+                            );
+                            ipcs[idx] = counters.ipc();
+                            EventParams::from_raw_rates_into(
+                                raw,
+                                config.id,
+                                workload,
+                                self.spec.sim.event_distortion,
+                                &mut point.surrogate_events,
+                            );
+                            audits.push(ChunkAudit {
+                                index: idx,
+                                exact_raw: EventParams::raw_rates(&counters).to_vec(),
+                                surrogate_raw: raw.to_vec(),
+                                shadow_events: point.surrogate_events.clone(),
+                            });
+                        } else {
+                            EventParams::from_raw_rates_into(
+                                raw,
+                                config.id,
+                                workload,
+                                self.spec.sim.event_distortion,
+                                &mut events[idx],
+                            );
+                            // The surrogate's IPC is its first raw rate (the
+                            // exact path's `counters.ipc()` equals
+                            // `raw_rates()[0]`).
+                            ipcs[idx] = raw[0];
+                        }
+                    }
+                }
+                idx += 1;
+            }
+        }
+
+        // Phase 2: one batched power prediction over every point plus the
+        // audited points' shadow entries.
+        let mut inputs = Vec::with_capacity(n + audits.len());
+        for (idx, e) in events[..n].iter().enumerate() {
+            inputs.push(PredictInput {
+                config: &configs[idx / per_config],
+                events: e,
+                workload: workloads[idx % per_config],
+            });
+        }
+        for audit in audits.iter() {
+            inputs.push(PredictInput {
+                config: &configs[audit.index / per_config],
+                events: &audit.shadow_events,
+                workload: workloads[audit.index % per_config],
+            });
+        }
+        self.model
+            .predict_batch_with(&inputs, &mut point.features, predictions);
+        drop(inputs);
+
+        // Phase 3: error-bound accounting, then emission in input order.
+        // The audit accumulator is an order-independent integer fold, so
+        // recording chunk-grouped instead of point-interleaved cannot change
+        // the report.
+        let shadows = predictions.split_off(n);
+        for (audit, shadow) in audits.iter().zip(&shadows) {
+            self.audit.lock().unwrap().record(
+                &audit.exact_raw,
+                &audit.surrogate_raw,
+                predictions[audit.index].total(),
+                shadow.total(),
+            );
+        }
+        for (idx, power) in predictions.drain(..).enumerate() {
+            sink(SweepPoint {
+                config: configs[idx / per_config],
+                workload: workloads[idx % per_config],
+                power,
+                ipc: ipcs[idx],
+            });
         }
     }
 
@@ -270,36 +576,34 @@ impl<'a> SweepEngine<'a> {
         let threads = self.spec.effective_threads();
         let per_config = workloads.len();
         let cache = self.spec.use_sim_cache.then_some(&self.cache);
+        let chunk = self.spec.chunk_configs.max(1);
         if threads <= 1 {
             // Serial fast path: one scratch for the whole sweep, so replay
-            // streams and pipeline state are materialized once instead of
-            // once per shard.  Scoring order — and therefore output — is
-            // identical to the sharded path.
-            let mut scratch = SweepScratch::new();
-            for config in configs {
-                for &workload in workloads {
-                    sink(self.score_point(cache, config, workload, &mut scratch));
-                }
+            // streams, pipeline state and batch buffers are materialized once
+            // instead of once per shard.  Scoring order — and therefore
+            // output — is identical to the sharded path.
+            let mut scratch = ChunkScratch::new();
+            for shard in configs.chunks(chunk) {
+                self.score_chunk(cache, shard, workloads, &mut scratch, &mut sink);
             }
             return;
         }
-        let chunk = self.spec.chunk_configs.max(1);
         for shard in configs.chunks(chunk) {
-            // Each worker owns one SweepScratch for its whole lifetime, so
-            // scoring a point simulates into a reused machine, derives events
-            // into reused storage and assembles every feature row without
-            // allocating per sub-model.
-            for point in parallel_map_with(
-                threads,
-                shard.len() * per_config,
-                SweepScratch::new,
-                |scratch, i| {
-                    let config = shard[i / per_config];
-                    let workload = workloads[i % per_config];
-                    self.score_point(cache, &config, workload, scratch)
-                },
-            ) {
-                sink(point);
+            // Each worker owns one ChunkScratch for its whole lifetime and
+            // claims contiguous runs of configurations, scoring each run as
+            // one forest-major batch.  Results are collected in input order,
+            // so the emission — like the scoring itself — is bit-identical
+            // to the serial path.
+            let run = shard.len().div_ceil(threads).max(1);
+            let runs: Vec<&[CpuConfig]> = shard.chunks(run).collect();
+            for points in parallel_map_with(threads, runs.len(), ChunkScratch::new, |scratch, k| {
+                let mut out = Vec::with_capacity(runs[k].len() * per_config);
+                self.score_chunk(cache, runs[k], workloads, scratch, |p| out.push(p));
+                out
+            }) {
+                for point in points {
+                    sink(point);
+                }
             }
         }
     }
@@ -782,5 +1086,195 @@ mod tests {
         let configs = DesignSpace::boom().sample(1, 1);
         let points = model.predict_batch(&configs, &[Workload::Vvadd], &SweepSpec::fast());
         let _ = summarize(&points, 2);
+    }
+
+    mod surrogate_backend {
+        use super::*;
+        use crate::surrogate::{surrogate_gbdt_params, SURROGATE_TRAIN_SEED};
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        const WORKLOADS: [Workload; 2] = [Workload::Dhrystone, Workload::Vvadd];
+
+        /// One trained model + surrogate shared across every test in this
+        /// module (training either per proptest case would dominate runtime).
+        fn fixture() -> &'static (AutoPower, ActivitySurrogate) {
+            static FIXTURE: OnceLock<(AutoPower, ActivitySurrogate)> = OnceLock::new();
+            FIXTURE.get_or_init(|| {
+                let model = trained_model();
+                let surrogate = ActivitySurrogate::train(
+                    &DesignSpace::boom(),
+                    &WORKLOADS,
+                    &SimConfig::fast(),
+                    24,
+                    SURROGATE_TRAIN_SEED,
+                    &surrogate_gbdt_params(),
+                )
+                .unwrap();
+                (model, surrogate)
+            })
+        }
+
+        proptest! {
+            /// A surrogate sweep auditing **every** configuration is
+            /// bit-identical to an exact sweep over any sampled slice of the
+            /// space — the audited path really is the exact path.
+            #[test]
+            fn full_audit_equals_exact_bit_for_bit(
+                count in 1usize..6,
+                sample_seed in 0u64..100_000,
+            ) {
+                let (model, surrogate) = fixture();
+                let configs = DesignSpace::boom().sample(count, sample_seed);
+                let spec = SweepSpec::fast().threads(1);
+                let exact = SweepEngine::new(model, spec).run(&configs, &WORKLOADS);
+                let engine = SweepEngine::new(model, spec)
+                    .with_backend(SimBackend::Surrogate {
+                        surrogate,
+                        audit_rate: 1.0,
+                    })
+                    .unwrap();
+                let audited = engine.run(&configs, &WORKLOADS);
+                prop_assert_eq!(&audited, &exact);
+                let report = engine.audit_report().expect("surrogate backend reports");
+                prop_assert_eq!(report.audited_points, (count * WORKLOADS.len()) as u64);
+                prop_assert_eq!(report.total_samples, (count * WORKLOADS.len()) as u64);
+            }
+        }
+
+        #[test]
+        fn partial_audit_emits_exact_points_for_audited_configs() {
+            let (model, surrogate) = fixture();
+            let configs = DesignSpace::boom().sample(40, 4242);
+            let audit_rate = 0.3;
+            let spec = SweepSpec::fast().threads(1);
+            let exact = SweepEngine::new(model, spec).run(&configs, &WORKLOADS);
+            let engine = SweepEngine::new(model, spec)
+                .with_backend(SimBackend::Surrogate {
+                    surrogate,
+                    audit_rate,
+                })
+                .unwrap();
+            let mixed = engine.run(&configs, &WORKLOADS);
+            assert_eq!(mixed.len(), exact.len());
+
+            let mut audited_configs = 0;
+            for (i, config) in configs.iter().enumerate() {
+                for (w, _) in WORKLOADS.iter().enumerate() {
+                    let k = i * WORKLOADS.len() + w;
+                    if audit_selected(config.id, audit_rate) {
+                        assert_eq!(mixed[k], exact[k], "audited point {k} diverged");
+                    } else {
+                        // Surrogate points are physical and near the exact
+                        // answer, but not the exact answer.
+                        assert!(mixed[k].power.total() > 0.0);
+                        assert!(mixed[k].ipc > 0.0);
+                    }
+                }
+                audited_configs += usize::from(audit_selected(config.id, audit_rate));
+            }
+            assert!(
+                audited_configs > 0 && audited_configs < configs.len(),
+                "rate {audit_rate} audited {audited_configs} of {} — tune the test seed",
+                configs.len()
+            );
+            let report = engine.audit_report().unwrap();
+            assert_eq!(
+                report.audited_points,
+                (audited_configs * WORKLOADS.len()) as u64
+            );
+            // The error bound is meaningful: defined for IPC, and small for a
+            // surrogate trained on this very space.
+            let ipc = &report.per_event[0];
+            assert_eq!(ipc.name, "ipc");
+            assert_eq!(ipc.samples, report.audited_points);
+            assert!(ipc.mape.unwrap() < 0.25, "ipc MAPE {:?}", ipc.mape);
+            assert!(report.total_mape.unwrap() < 0.25);
+        }
+
+        #[test]
+        fn surrogate_sweep_is_thread_count_invariant_including_the_audit_table() {
+            let (model, surrogate) = fixture();
+            let configs = DesignSpace::boom().sample(12, 77);
+            let backend = |s| SimBackend::Surrogate {
+                surrogate: s,
+                audit_rate: 0.5,
+            };
+            let serial_engine = SweepEngine::new(
+                model,
+                SweepSpec {
+                    chunk_configs: 2,
+                    ..SweepSpec::fast().threads(1)
+                },
+            )
+            .with_backend(backend(surrogate))
+            .unwrap();
+            let serial = serial_engine.run(&configs, &WORKLOADS);
+            let parallel_engine = SweepEngine::new(model, SweepSpec::fast().threads(8))
+                .with_backend(backend(surrogate))
+                .unwrap();
+            let parallel = parallel_engine.run(&configs, &WORKLOADS);
+            assert_eq!(serial, parallel);
+            // Fixed-point audit sums: the report is bit-identical too, not
+            // merely statistically close.
+            assert_eq!(serial_engine.audit_report(), parallel_engine.audit_report());
+        }
+
+        #[test]
+        fn exact_backend_reports_no_audit() {
+            let (model, _) = fixture();
+            let engine = SweepEngine::new(model, SweepSpec::fast().threads(1));
+            assert!(engine.audit_report().is_none());
+            assert!(engine.audit_state().is_none());
+        }
+
+        #[test]
+        fn invalid_backends_are_refused() {
+            let (model, surrogate) = fixture();
+            for bad_rate in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+                let err = SweepEngine::new(model, SweepSpec::fast())
+                    .with_backend(SimBackend::Surrogate {
+                        surrogate,
+                        audit_rate: bad_rate,
+                    })
+                    .unwrap_err();
+                assert!(
+                    matches!(err, AutoPowerError::Surrogate(_)),
+                    "rate {bad_rate} not refused"
+                );
+            }
+            // A surrogate trained for different simulation knobs is refused.
+            let mut spec = SweepSpec::fast();
+            spec.sim.stream_seed += 1;
+            assert!(SweepEngine::new(model, spec)
+                .with_backend(SimBackend::Surrogate {
+                    surrogate,
+                    audit_rate: 0.5,
+                })
+                .is_err());
+        }
+
+        #[test]
+        fn audit_state_roundtrips_through_restore() {
+            let (model, surrogate) = fixture();
+            let configs = DesignSpace::boom().sample(8, 909);
+            let backend = SimBackend::Surrogate {
+                surrogate,
+                audit_rate: 1.0,
+            };
+            let spec = SweepSpec::fast().threads(1);
+            // One-shot engine over both halves.
+            let one_shot = SweepEngine::new(model, spec).with_backend(backend).unwrap();
+            one_shot.run(&configs, &WORKLOADS);
+            // Split across two engines, carrying the audit state over like a
+            // checkpoint resume does.
+            let first = SweepEngine::new(model, spec).with_backend(backend).unwrap();
+            first.run(&configs[..4], &WORKLOADS);
+            let carried = first.audit_state().unwrap();
+            let second = SweepEngine::new(model, spec).with_backend(backend).unwrap();
+            second.restore_audit_state(carried);
+            second.run(&configs[4..], &WORKLOADS);
+            assert_eq!(second.audit_report(), one_shot.audit_report());
+        }
     }
 }

@@ -10,9 +10,12 @@
 //! `(configuration, workload)` pair.
 
 use crate::report::format_table;
+use crate::stream_sweep::SurrogateSpec;
+use crate::surrogate_exp::{audit_section, refuse_unaudited};
 use crate::Experiments;
 use autopower::{
-    rank_by_efficiency, summarize, AutoPowerError, ConfigSummary, ModelKind, SweepEngine, SweepSpec,
+    rank_by_efficiency, summarize, AuditReport, AutoPowerError, ConfigSummary, ModelKind,
+    SimBackend, SweepEngine, SweepSpec,
 };
 use autopower_config::{ConfigId, CpuConfig, HwParam, Workload};
 use autopower_perfsim::SimCacheStats;
@@ -42,6 +45,10 @@ pub struct DesignSweepResult {
     /// Simulation-cache statistics of the sweep — `None` when the cache was
     /// disabled (`--no-sim-cache`).
     pub cache_stats: Option<SimCacheStats>,
+    /// Audit error table of the surrogate backend, `None` for exact sweeps.
+    pub audit: Option<AuditReport>,
+    /// Audited fraction of the surrogate run, `None` for exact sweeps.
+    pub audit_rate: Option<f64>,
 }
 
 impl DesignSweepResult {
@@ -189,7 +196,21 @@ impl fmt::Display for DesignSweepResult {
                 ],
                 &rows
             )
-        )
+        )?;
+        if let Some(report) = &self.audit {
+            writeln!(f)?;
+            write!(
+                f,
+                "{}",
+                audit_section(
+                    report,
+                    self.audit_rate.unwrap_or(0.0),
+                    self.workloads.len(),
+                    self.summaries.len() as u64,
+                )
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -296,7 +317,58 @@ impl Experiments {
         let corpus = self.sweep_training_corpus();
         let model = kind.train(&corpus, &inputs.train)?;
         let train = Some(inputs.train.clone());
-        Ok(self.sweep_with(inputs, model.as_ref(), train))
+        self.sweep_with(inputs, model.as_ref(), train, None)
+    }
+
+    /// [`Experiments::design_space_sweep_model`] scored by a learned activity
+    /// surrogate instead of per-point exact simulation (the materializing
+    /// `sweep --surrogate` CLI path): every configuration's event rates come
+    /// from `spec.surrogate`, and the deterministic `spec.audit_rate` fraction
+    /// is additionally simulated exactly to bound the surrogate's error (those
+    /// audited points are emitted bit-identically to an exact sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails, the surrogate is incompatible with
+    /// the sweep settings, or the run audited zero configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn design_space_sweep_surrogate(
+        &self,
+        count: usize,
+        kind: ModelKind,
+        spec: SurrogateSpec<'_>,
+    ) -> Result<DesignSweepResult, AutoPowerError> {
+        assert!(count > 0, "a sweep needs at least one configuration");
+        let inputs = self.sweep_inputs(count);
+        let corpus = self.sweep_training_corpus();
+        let model = kind.train(&corpus, &inputs.train)?;
+        let train = Some(inputs.train.clone());
+        self.sweep_with(inputs, model.as_ref(), train, Some(spec))
+    }
+
+    /// [`Experiments::design_space_sweep_loaded`] under a surrogate backend
+    /// (the `sweep --surrogate --load-model FILE` CLI path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the surrogate is incompatible with the sweep
+    /// settings or the run audited zero configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn design_space_sweep_loaded_surrogate(
+        &self,
+        count: usize,
+        model: &dyn autopower::PowerModel,
+        spec: SurrogateSpec<'_>,
+    ) -> Result<DesignSweepResult, AutoPowerError> {
+        assert!(count > 0, "a sweep needs at least one configuration");
+        let inputs = self.sweep_inputs(count);
+        self.sweep_with(inputs, model, None, Some(spec))
     }
 
     /// Sweeps `count` generated design points through an **already trained**
@@ -318,7 +390,8 @@ impl Experiments {
         // regenerating any golden data, and the report states it was loaded
         // (the file records no training set).
         let inputs = self.sweep_inputs(count);
-        self.sweep_with(inputs, model, None)
+        self.sweep_with(inputs, model, None, None)
+            .expect("exact sweeps cannot fail")
     }
 
     fn sweep_with(
@@ -326,22 +399,86 @@ impl Experiments {
         inputs: SweepInputs,
         model: &dyn autopower::PowerModel,
         train_configs: Option<Vec<ConfigId>>,
-    ) -> DesignSweepResult {
-        let engine = SweepEngine::new(model, inputs.spec);
+        surrogate: Option<SurrogateSpec<'_>>,
+    ) -> Result<DesignSweepResult, AutoPowerError> {
+        let mut engine = SweepEngine::new(model, inputs.spec);
+        if let Some(s) = &surrogate {
+            engine = engine.with_backend(SimBackend::Surrogate {
+                surrogate: s.surrogate,
+                audit_rate: s.audit_rate,
+            })?;
+        }
         let points = engine.run(&inputs.configs, &inputs.workloads);
-        DesignSweepResult {
+        let audit = engine.audit_report();
+        if let (Some(report), Some(s)) = (&audit, &surrogate) {
+            refuse_unaudited(report, inputs.configs.len() as u64, s.audit_rate)?;
+        }
+        Ok(DesignSweepResult {
             model: model.kind(),
             train_configs,
             summaries: summarize(&points, inputs.workloads.len()),
             workloads: inputs.workloads,
             cache_stats: inputs.spec.use_sim_cache.then(|| engine.cache_stats()),
-        }
+            audit,
+            audit_rate: surrogate.map(|s| s.audit_rate),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::surrogate_exp::SurrogateOptions;
+
+    #[test]
+    fn surrogate_materialized_sweep_audits_and_matches_exact_under_full_audit() {
+        let exp = Experiments::fast();
+        let surrogate = exp
+            .sweep_surrogate(&SurrogateOptions {
+                train_count: 10,
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        let exact = exp.design_space_sweep(12);
+        let audited = exp
+            .design_space_sweep_surrogate(
+                12,
+                ModelKind::AutoPower,
+                SurrogateSpec {
+                    surrogate: &surrogate,
+                    audit_rate: 1.0,
+                },
+            )
+            .unwrap();
+        // Every point was simulated exactly, so the summaries are bit-equal.
+        assert_eq!(audited.summaries, exact.summaries);
+        let report = audited
+            .audit
+            .as_ref()
+            .expect("surrogate sweeps carry an audit");
+        assert_eq!(
+            report.audited_points,
+            12 * exp.settings().average_workloads.len() as u64
+        );
+        let text = audited.to_string();
+        assert!(text.contains("surrogate audit"), "got: {text}");
+        assert!(text.contains("predicted total power"));
+        assert!(!exact.to_string().contains("surrogate audit"));
+
+        // A materialized surrogate sweep that audits nothing is refused
+        // outright — it is never "interrupted", so there is no exemption.
+        let err = exp
+            .design_space_sweep_surrogate(
+                12,
+                ModelKind::AutoPower,
+                SurrogateSpec {
+                    surrogate: &surrogate,
+                    audit_rate: 1e-9,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("audited zero"), "got: {err}");
+    }
 
     #[test]
     fn sweep_scores_the_requested_number_of_generated_configs() {

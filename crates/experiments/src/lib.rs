@@ -45,6 +45,7 @@ mod obs1;
 mod report;
 mod settings;
 mod stream_sweep;
+mod surrogate_exp;
 mod sweep;
 mod table1;
 mod trace_exp;
@@ -58,7 +59,10 @@ pub use detail::{ComponentDetailRow, GroupDetailResult, SubModelAccuracy};
 pub use obs1::BreakdownResult;
 pub use report::{format_table, percent};
 pub use settings::ExperimentSettings;
-pub use stream_sweep::{ParetoResult, StreamOptions, StreamScope, StreamSweepResult};
+pub use stream_sweep::{
+    ParetoResult, StreamExtras, StreamOptions, StreamScope, StreamSweepResult, SurrogateSpec,
+};
+pub use surrogate_exp::{SurrogateOptions, DEFAULT_AUDIT_RATE, DEFAULT_SURROGATE_TRAIN};
 pub use sweep::{SweepPoint, SweepResult};
 pub use table1::{BlockShape, Table1Result};
 pub use trace_exp::{TraceCase, TraceResult};

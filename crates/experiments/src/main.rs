@@ -43,9 +43,10 @@
 //! diagnostics (cache hit rates, peak retained points) go to stderr so
 //! one-shot and resumed stdout compare equal.
 
-use autopower::{CorpusSpec, ModelKind};
+use autopower::{CorpusSpec, ModelKind, ParetoConstraints};
 use autopower_experiments::{
-    ExperimentSettings, Experiments, StreamOptions, StreamScope, StreamSweepResult,
+    ExperimentSettings, Experiments, StreamExtras, StreamOptions, StreamScope, StreamSweepResult,
+    SurrogateOptions, SurrogateSpec, DEFAULT_AUDIT_RATE, DEFAULT_SURROGATE_TRAIN,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -75,6 +76,16 @@ const STREAM_EXPERIMENTS: [&str; 2] = ["sweep", "pareto"];
 /// keeps no checkpoint file).
 const CHECKPOINT_EXPERIMENTS: [&str; 1] = ["sweep"];
 
+/// Experiments `--surrogate` (and its `--surrogate-train`, `--audit-rate`,
+/// `--save-surrogate`, `--load-surrogate` companions) applies to: the
+/// design-space scoring verbs.  Everything else reproduces paper numbers and
+/// must simulate exactly.
+const SURROGATE_EXPERIMENTS: [&str; 2] = ["sweep", "pareto"];
+
+/// Experiments `--max-power`/`--min-ipc` apply to: only the frontier fold
+/// filters by feasibility.
+const CONSTRAINT_EXPERIMENTS: [&str; 1] = ["pareto"];
+
 /// The verb that trains and saves a model instead of running an experiment
 /// (deliberately not part of `all`: it writes a file).
 const SAVE_MODEL: &str = "save-model";
@@ -90,7 +101,9 @@ fn usage() -> String {
     format!(
         "usage: autopower-experiments [--fast] [--threads N] [--count N] [--model NAME] \
          [--load-model FILE] [--out FILE] [--no-sim-cache] [--stream] [--full] [--chunk N] \
-         [--checkpoint FILE] [--resume] [--max-chunks N] [{}|{SAVE_MODEL}|all ...]\n\
+         [--checkpoint FILE] [--resume] [--max-chunks N] [--surrogate] [--surrogate-train N] \
+         [--audit-rate R] [--save-surrogate FILE] [--load-surrogate FILE] [--max-power MW] \
+         [--min-ipc IPC] [{}|{SAVE_MODEL}|all ...]\n\
          models: {} (default: {})\n\
          {SAVE_MODEL} trains --model and writes it to --out (default <model>.apm); \
          --load-model applies to {} only; --no-sim-cache disables sweep simulation \
@@ -98,7 +111,15 @@ fn usage() -> String {
          streaming ({} only): --stream folds with bounded memory, --full streams the whole \
          enumerable space (instead of --count samples), --chunk sets configurations per \
          chunk; --checkpoint writes a snapshot after every chunk, --resume continues from \
-         it (byte-identical report), --max-chunks stops after N chunks ({} only)",
+         it (byte-identical report), --max-chunks stops after N chunks ({} only)\n\
+         surrogate ({} only): --surrogate scores with a learned activity surrogate and \
+         simulates only a deterministic --audit-rate fraction (default {DEFAULT_AUDIT_RATE}, \
+         in (0, 1]) exactly to report the error bound; --surrogate-train N sets the oracle \
+         training-set size (default {DEFAULT_SURROGATE_TRAIN}); --save-surrogate/\
+         --load-surrogate persist the trained surrogate\n\
+         pareto feasibility ({} only): --max-power keeps configurations predicted at or \
+         under the bound (mW), --min-ipc keeps those at or above the IPC bound; both are \
+         applied before the frontier fold",
         ALL_EXPERIMENTS.join("|"),
         models.join(", "),
         ModelKind::AutoPower,
@@ -106,6 +127,8 @@ fn usage() -> String {
         SIM_CACHE_EXPERIMENTS.join("/"),
         STREAM_EXPERIMENTS.join("/"),
         CHECKPOINT_EXPERIMENTS.join("/"),
+        SURROGATE_EXPERIMENTS.join("/"),
+        CONSTRAINT_EXPERIMENTS.join("/"),
     )
 }
 
@@ -146,6 +169,22 @@ struct CliArgs {
     resume: bool,
     /// `--max-chunks N`: stop (checkpointed) after N chunks (`0` = no limit).
     max_chunks: u64,
+    /// `--surrogate`: score the sweep with a learned activity surrogate,
+    /// simulating only the audited fraction exactly.
+    surrogate: bool,
+    /// `--surrogate-train N`: oracle training-set size (`None` = default).
+    surrogate_train: Option<usize>,
+    /// `--audit-rate R`: deterministic fraction of swept configurations
+    /// simulated exactly (`None` = default).
+    audit_rate: Option<f64>,
+    /// `--save-surrogate FILE`: persist the trained surrogate.
+    save_surrogate: Option<String>,
+    /// `--load-surrogate FILE`: restore a surrogate instead of training.
+    load_surrogate: Option<String>,
+    /// `--max-power MW`: pareto feasibility bound on mean total power.
+    max_power: Option<f64>,
+    /// `--min-ipc IPC`: pareto feasibility bound on mean IPC.
+    min_ipc: Option<f64>,
     help: bool,
     requested: Vec<String>,
 }
@@ -174,6 +213,29 @@ impl CliArgs {
             max_chunks: self.max_chunks,
         }
     }
+
+    /// How the surrogate is acquired (`--surrogate-train` /
+    /// `--load-surrogate` / `--save-surrogate`).
+    fn surrogate_options(&self) -> SurrogateOptions {
+        SurrogateOptions {
+            train_count: self.surrogate_train.unwrap_or(DEFAULT_SURROGATE_TRAIN),
+            load: self.load_surrogate.as_ref().map(PathBuf::from),
+            save: self.save_surrogate.as_ref().map(PathBuf::from),
+        }
+    }
+
+    /// The audited fraction of a surrogate sweep.
+    fn effective_audit_rate(&self) -> f64 {
+        self.audit_rate.unwrap_or(DEFAULT_AUDIT_RATE)
+    }
+
+    /// The pareto feasibility bounds (validated at parse time).
+    fn constraints(&self) -> ParetoConstraints {
+        ParetoConstraints {
+            max_power: self.max_power,
+            min_ipc: self.min_ipc,
+        }
+    }
 }
 
 /// Parses the argument list; flags and experiment names may be interleaved freely.
@@ -198,6 +260,13 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
         checkpoint: None,
         resume: false,
         max_chunks: 0,
+        surrogate: false,
+        surrogate_train: None,
+        audit_rate: None,
+        save_surrogate: None,
+        load_surrogate: None,
+        max_power: None,
+        min_ipc: None,
         help: false,
         requested: Vec::new(),
     };
@@ -223,6 +292,46 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
             "--stream" => parsed.stream = true,
             "--full" => parsed.full = true,
             "--resume" => parsed.resume = true,
+            "--surrogate" => parsed.surrogate = true,
+            "--surrogate-train" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--surrogate-train needs a value\n{}", usage()))?;
+                parsed.surrogate_train = Some(
+                    parse_sweep_count(&value)
+                        .map_err(|e| e.replace("--count", "--surrogate-train"))?,
+                );
+            }
+            "--audit-rate" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--audit-rate needs a value\n{}", usage()))?;
+                parsed.audit_rate = Some(parse_audit_rate(&value)?);
+            }
+            "--save-surrogate" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--save-surrogate needs a file path\n{}", usage()))?;
+                parsed.save_surrogate = Some(value);
+            }
+            "--load-surrogate" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--load-surrogate needs a file path\n{}", usage()))?;
+                parsed.load_surrogate = Some(value);
+            }
+            "--max-power" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--max-power needs a value\n{}", usage()))?;
+                parsed.max_power = Some(parse_bound(&value, "--max-power")?);
+            }
+            "--min-ipc" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--min-ipc needs a value\n{}", usage()))?;
+                parsed.min_ipc = Some(parse_bound(&value, "--min-ipc")?);
+            }
             "--chunk" => {
                 let value = iter
                     .next()
@@ -278,6 +387,21 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
                     parsed.max_chunks = parse_sweep_count(value)
                         .map_err(|e| e.replace("--count", "--max-chunks"))?
                         as u64;
+                } else if let Some(value) = other.strip_prefix("--surrogate-train=") {
+                    parsed.surrogate_train = Some(
+                        parse_sweep_count(value)
+                            .map_err(|e| e.replace("--count", "--surrogate-train"))?,
+                    );
+                } else if let Some(value) = other.strip_prefix("--audit-rate=") {
+                    parsed.audit_rate = Some(parse_audit_rate(value)?);
+                } else if let Some(value) = other.strip_prefix("--save-surrogate=") {
+                    parsed.save_surrogate = Some(value.to_owned());
+                } else if let Some(value) = other.strip_prefix("--load-surrogate=") {
+                    parsed.load_surrogate = Some(value.to_owned());
+                } else if let Some(value) = other.strip_prefix("--max-power=") {
+                    parsed.max_power = Some(parse_bound(value, "--max-power")?);
+                } else if let Some(value) = other.strip_prefix("--min-ipc=") {
+                    parsed.min_ipc = Some(parse_bound(value, "--min-ipc")?);
                 } else if let Some(value) = other.strip_prefix("--model=") {
                     parsed.model = parse_model(value)?;
                     parsed.model_explicit = true;
@@ -393,6 +517,62 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String>
             ));
         }
     }
+    for (flag, present) in [
+        ("--surrogate-train", parsed.surrogate_train.is_some()),
+        ("--audit-rate", parsed.audit_rate.is_some()),
+        ("--save-surrogate", parsed.save_surrogate.is_some()),
+        ("--load-surrogate", parsed.load_surrogate.is_some()),
+    ] {
+        if present && !parsed.surrogate {
+            return Err(format!(
+                "{flag} configures the surrogate backend; it requires --surrogate\n{}",
+                usage()
+            ));
+        }
+    }
+    if parsed.save_surrogate.is_some() && parsed.load_surrogate.is_some() {
+        return Err(format!(
+            "--save-surrogate with --load-surrogate would rewrite the file it just read; \
+             pick one\n{}",
+            usage()
+        ));
+    }
+    if parsed.surrogate_train.is_some() && parsed.load_surrogate.is_some() {
+        return Err(format!(
+            "--surrogate-train sizes a fresh training run; it conflicts with \
+             --load-surrogate\n{}",
+            usage()
+        ));
+    }
+    if parsed.surrogate {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !SURROGATE_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--surrogate applies to {} only; '{bad}' always simulates exactly\n{}",
+                SURROGATE_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+    }
+    if parsed.max_power.is_some() || parsed.min_ipc.is_some() {
+        if let Some(bad) = parsed
+            .requested
+            .iter()
+            .find(|name| !CONSTRAINT_EXPERIMENTS.contains(&name.as_str()))
+        {
+            return Err(format!(
+                "--max-power/--min-ipc apply to {} only; '{bad}' computes no frontier\n{}",
+                CONSTRAINT_EXPERIMENTS.join("/"),
+                usage()
+            ));
+        }
+        if let Err(message) = parsed.constraints().validate() {
+            return Err(format!("{message}\n{}", usage()));
+        }
+    }
     Ok(parsed)
 }
 
@@ -415,6 +595,28 @@ fn parse_sweep_count(value: &str) -> Result<usize, String> {
             usage()
         )),
     }
+}
+
+/// Parses `--audit-rate`: a finite fraction in `(0, 1]`.  Zero is rejected
+/// here — a surrogate sweep that can never audit would only fail later with
+/// "audited zero configurations".
+fn parse_audit_rate(value: &str) -> Result<f64, String> {
+    match value.parse::<f64>() {
+        Ok(rate) if rate.is_finite() && rate > 0.0 && rate <= 1.0 => Ok(rate),
+        _ => Err(format!(
+            "--audit-rate expects a fraction in (0, 1], got '{value}'\n{}",
+            usage()
+        )),
+    }
+}
+
+/// Parses a pareto feasibility bound as a number; domain checks (finite,
+/// sign) are [`ParetoConstraints::validate`]'s, so the CLI and the library
+/// reject exactly the same bounds.
+fn parse_bound(value: &str, flag: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("{flag} expects a number, got '{value}'\n{}", usage()))
 }
 
 /// Resolves a `--model` value against the [`ModelKind`] registry.
@@ -444,6 +646,22 @@ fn load_cli_model(args: &CliArgs, path: &str) -> Result<Box<dyn autopower::Power
 fn print_streaming(result: &StreamSweepResult) {
     println!("{result}\n");
     eprintln!("{}", result.diagnostics());
+}
+
+/// Trains or loads the `--surrogate` backend for a sweep verb (`None` when
+/// the flag is absent).
+fn acquire_surrogate(
+    experiments: &Experiments,
+    name: &str,
+    args: &CliArgs,
+) -> Result<Option<autopower::ActivitySurrogate>, String> {
+    if !args.surrogate {
+        return Ok(None);
+    }
+    experiments
+        .sweep_surrogate(&args.surrogate_options())
+        .map(Some)
+        .map_err(|e| format!("{name}: {e}"))
 }
 
 fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), String> {
@@ -495,45 +713,83 @@ fn run_one(experiments: &Experiments, name: &str, args: &CliArgs) -> Result<(), 
         "sweep" if args.wants_streaming_sweep() => {
             let scope = args.stream_scope();
             let options = args.stream_options();
+            let surrogate = acquire_surrogate(experiments, name, args)?;
+            let extras = StreamExtras {
+                surrogate: surrogate.as_ref().map(|s| SurrogateSpec {
+                    surrogate: s,
+                    audit_rate: args.effective_audit_rate(),
+                }),
+                constraints: ParetoConstraints::default(),
+            };
             let result = match &args.load_model {
                 Some(path) => {
                     let model = load_cli_model(args, path)?;
                     experiments
-                        .streaming_sweep_loaded(scope, model.as_ref(), &options)
+                        .streaming_sweep_loaded_opts(scope, model.as_ref(), &options, &extras)
                         .map_err(err)?
                 }
                 None => experiments
-                    .streaming_sweep(scope, args.model, &options)
+                    .streaming_sweep_opts(scope, args.model, &options, &extras)
                     .map_err(err)?,
             };
             print_streaming(&result);
         }
-        "sweep" => match &args.load_model {
-            Some(path) => {
-                let model = load_cli_model(args, path)?;
-                println!(
+        "sweep" => {
+            let surrogate = acquire_surrogate(experiments, name, args)?;
+            let spec = surrogate.as_ref().map(|s| SurrogateSpec {
+                surrogate: s,
+                audit_rate: args.effective_audit_rate(),
+            });
+            match (&args.load_model, spec) {
+                (Some(path), Some(spec)) => {
+                    let model = load_cli_model(args, path)?;
+                    println!(
+                        "{}\n",
+                        experiments
+                            .design_space_sweep_loaded_surrogate(args.count, model.as_ref(), spec)
+                            .map_err(err)?
+                    );
+                }
+                (Some(path), None) => {
+                    let model = load_cli_model(args, path)?;
+                    println!(
+                        "{}\n",
+                        experiments.design_space_sweep_loaded(args.count, model.as_ref())
+                    );
+                }
+                (None, Some(spec)) => println!(
                     "{}\n",
-                    experiments.design_space_sweep_loaded(args.count, model.as_ref())
-                );
+                    experiments
+                        .design_space_sweep_surrogate(args.count, args.model, spec)
+                        .map_err(err)?
+                ),
+                (None, None) => println!(
+                    "{}\n",
+                    experiments
+                        .design_space_sweep_model(args.count, args.model)
+                        .map_err(err)?
+                ),
             }
-            None => println!(
-                "{}\n",
-                experiments
-                    .design_space_sweep_model(args.count, args.model)
-                    .map_err(err)?
-            ),
-        },
+        }
         "pareto" => {
             let scope = args.stream_scope();
+            let surrogate = acquire_surrogate(experiments, name, args)?;
+            let extras = StreamExtras {
+                surrogate: surrogate.as_ref().map(|s| SurrogateSpec {
+                    surrogate: s,
+                    audit_rate: args.effective_audit_rate(),
+                }),
+                constraints: args.constraints(),
+            };
             let result = match &args.load_model {
                 Some(path) => {
                     let model = load_cli_model(args, path)?;
                     experiments
-                        .pareto_frontier_loaded(scope, model.as_ref())
+                        .pareto_frontier_loaded_opts(scope, model.as_ref(), &extras)
                         .map_err(err)?
                 }
                 None => experiments
-                    .pareto_frontier(scope, args.model)
+                    .pareto_frontier_opts(scope, args.model, &extras)
                     .map_err(err)?,
             };
             println!("{result}\n");
@@ -868,6 +1124,126 @@ mod tests {
         assert!(parse_args(args(&["--out"])).is_err());
         let parsed = parse_args(args(&[SAVE_MODEL, "--out=x.apm"])).expect("valid arguments");
         assert_eq!(parsed.out.as_deref(), Some("x.apm"));
+    }
+
+    #[test]
+    fn surrogate_flags_parse_in_both_forms_with_defaults() {
+        let parsed = parse_args(args(&["sweep"])).expect("valid arguments");
+        assert!(!parsed.surrogate);
+        assert_eq!(parsed.effective_audit_rate(), DEFAULT_AUDIT_RATE);
+        assert_eq!(
+            parsed.surrogate_options().train_count,
+            DEFAULT_SURROGATE_TRAIN
+        );
+
+        let parsed = parse_args(args(&[
+            "sweep",
+            "--surrogate",
+            "--surrogate-train",
+            "48",
+            "--audit-rate",
+            "0.5",
+            "--save-surrogate",
+            "/tmp/s.aps",
+        ]))
+        .expect("valid arguments");
+        assert!(parsed.surrogate);
+        assert_eq!(parsed.surrogate_options().train_count, 48);
+        assert_eq!(parsed.effective_audit_rate(), 0.5);
+        assert_eq!(
+            parsed.surrogate_options().save.as_deref(),
+            Some("/tmp/s.aps".as_ref())
+        );
+
+        let parsed = parse_args(args(&[
+            "pareto",
+            "--surrogate",
+            "--audit-rate=1",
+            "--load-surrogate=/tmp/s.aps",
+        ]))
+        .expect("valid arguments");
+        assert_eq!(parsed.effective_audit_rate(), 1.0);
+        assert_eq!(
+            parsed.surrogate_options().load.as_deref(),
+            Some("/tmp/s.aps".as_ref())
+        );
+    }
+
+    #[test]
+    fn surrogate_flags_are_validated_at_parse_time() {
+        // The companions require --surrogate itself.
+        for list in [
+            &["sweep", "--surrogate-train", "48"][..],
+            &["sweep", "--audit-rate", "0.5"][..],
+            &["sweep", "--save-surrogate", "s.aps"][..],
+            &["pareto", "--load-surrogate", "s.aps"][..],
+        ] {
+            let err = parse_args(args(list)).unwrap_err();
+            assert!(err.contains("requires --surrogate"), "got: {err}");
+        }
+        // Save and load together are contradictory, as is sizing a training
+        // run that --load-surrogate skips.
+        let err = parse_args(args(&[
+            "sweep",
+            "--surrogate",
+            "--save-surrogate=a",
+            "--load-surrogate=b",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("pick one"), "got: {err}");
+        let err = parse_args(args(&[
+            "sweep",
+            "--surrogate",
+            "--surrogate-train=8",
+            "--load-surrogate=b",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("conflicts with"), "got: {err}");
+        // Audit rate domain: (0, 1], finite.
+        for bad in ["0", "0.0", "1.5", "-0.25", "inf", "nan", "lots"] {
+            let err = parse_args(args(&["sweep", "--surrogate", "--audit-rate", bad])).unwrap_err();
+            assert!(err.contains("(0, 1]"), "'{bad}' got: {err}");
+        }
+        // Training-set size must be positive.
+        let err =
+            parse_args(args(&["sweep", "--surrogate", "--surrogate-train", "0"])).unwrap_err();
+        assert!(err.contains("--surrogate-train"), "got: {err}");
+        // The surrogate applies to the design-space scoring verbs only
+        // (including the implicit `all` expansion).
+        let err = parse_args(args(&["fig4", "--surrogate"])).unwrap_err();
+        assert!(err.contains("simulates exactly"), "got: {err}");
+        assert!(parse_args(args(&["--surrogate"])).is_err());
+        assert!(parse_args(args(&["sweep", "--surrogate"])).is_ok());
+        assert!(parse_args(args(&["pareto", "--surrogate"])).is_ok());
+    }
+
+    #[test]
+    fn pareto_constraint_flags_parse_and_are_validated() {
+        let parsed = parse_args(args(&["pareto", "--max-power", "12.5", "--min-ipc=0.8"]))
+            .expect("valid arguments");
+        assert_eq!(parsed.max_power, Some(12.5));
+        assert_eq!(parsed.min_ipc, Some(0.8));
+        let constraints = parsed.constraints();
+        assert!(constraints.is_constrained());
+        assert!(constraints.validate().is_ok());
+
+        // Pareto-only.
+        let err = parse_args(args(&["sweep", "--max-power", "10"])).unwrap_err();
+        assert!(err.contains("computes no frontier"), "got: {err}");
+        assert!(parse_args(args(&["--min-ipc", "1"])).is_err());
+        // Non-finite or out-of-domain bounds fail at parse time.
+        for bad in [
+            &["pareto", "--max-power", "0"][..],
+            &["pareto", "--max-power", "-3"][..],
+            &["pareto", "--max-power", "inf"][..],
+            &["pareto", "--max-power", "watts"][..],
+            &["pareto", "--min-ipc", "-0.1"][..],
+            &["pareto", "--min-ipc", "nan"][..],
+        ] {
+            assert!(parse_args(args(bad)).is_err(), "accepted {bad:?}");
+        }
+        // Zero is a legal IPC floor (inclusive bound).
+        assert!(parse_args(args(&["pareto", "--min-ipc", "0"])).is_ok());
     }
 
     #[test]

@@ -24,11 +24,12 @@
 
 use crate::design_sweep::{describe_cache, SAMPLE_SEED, TOP_K};
 use crate::report::format_table;
+use crate::surrogate_exp::{audit_section, refuse_unaudited};
 use crate::Experiments;
 use autopower::{
-    encode_model, load_checkpoint, save_checkpoint, AutoPowerError, ChunkCursor, ModelKind,
-    ParetoEntry, PowerModel, PowerSeries, StreamSpec, SweepAggregator, SweepCheckpoint,
-    SweepEngine,
+    encode_model, encode_surrogate, load_checkpoint, save_checkpoint, ActivitySurrogate,
+    AuditReport, AutoPowerError, ChunkCursor, ModelKind, ParetoConstraints, ParetoEntry,
+    PowerModel, PowerSeries, SimBackend, StreamSpec, SweepAggregator, SweepCheckpoint, SweepEngine,
 };
 use autopower_config::{ConfigId, DesignSpace, HwParam, Workload};
 use autopower_perfsim::{SimCacheStats, SimConfig};
@@ -65,6 +66,29 @@ pub struct StreamOptions {
     pub max_chunks: u64,
 }
 
+/// Surrogate backing of a sweep run: the trained per-event surrogate plus the
+/// deterministic audit fraction (`--surrogate` / `--audit-rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateSpec<'a> {
+    /// The trained surrogate the engine predicts raw event rates with.
+    pub surrogate: &'a ActivitySurrogate,
+    /// Fraction of swept configurations simulated exactly to bound the
+    /// surrogate's error; must be in `(0, 1]`.
+    pub audit_rate: f64,
+}
+
+/// Scoring extras of a sweep run beyond model/scope/checkpointing: surrogate
+/// backing and Pareto feasibility constraints.  `Default` is the classic run —
+/// exact simulation, unconstrained frontier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamExtras<'a> {
+    /// Score with a learned surrogate instead of exact simulation.
+    pub surrogate: Option<SurrogateSpec<'a>>,
+    /// Feasibility constraints applied before the Pareto frontier fold
+    /// (`--max-power` / `--min-ipc`; the `pareto` verb only).
+    pub constraints: ParetoConstraints,
+}
+
 /// Result of a streaming design-space sweep.
 #[derive(Debug, Clone)]
 pub struct StreamSweepResult {
@@ -93,6 +117,11 @@ pub struct StreamSweepResult {
     pub cache_stats: Option<SimCacheStats>,
     /// This-process peak number of points materialized at once (one chunk).
     pub peak_retained_points: usize,
+    /// Audit error table of the surrogate backend, `None` for exact sweeps.
+    /// Resume-invariant: the accumulator travels with the checkpoint.
+    pub audit: Option<AuditReport>,
+    /// Audited fraction of the surrogate run, `None` for exact sweeps.
+    pub audit_rate: Option<f64>,
 }
 
 impl StreamSweepResult {
@@ -234,7 +263,21 @@ impl fmt::Display for StreamSweepResult {
                 ],
                 &rows
             )
-        )
+        )?;
+        if let Some(report) = &self.audit {
+            writeln!(f)?;
+            write!(
+                f,
+                "{}",
+                audit_section(
+                    report,
+                    self.audit_rate.unwrap_or(0.0),
+                    self.workloads.len(),
+                    self.streamed,
+                )
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +297,13 @@ pub struct ParetoResult {
     pub scope_total: u64,
     /// The frontier, sorted by mean total power ascending.
     pub frontier: Vec<ParetoEntry>,
+    /// Feasibility constraints applied before the frontier fold
+    /// (`--max-power` / `--min-ipc`); default = unconstrained.
+    pub constraints: ParetoConstraints,
+    /// Audit error table of the surrogate backend, `None` for exact runs.
+    pub audit: Option<AuditReport>,
+    /// Audited fraction of the surrogate run, `None` for exact runs.
+    pub audit_rate: Option<f64>,
     /// This-process cache statistics (stderr diagnostics, like the streaming
     /// sweep's).
     pub cache_stats: Option<SimCacheStats>,
@@ -297,6 +347,20 @@ impl fmt::Display for ParetoResult {
             "{} non-dominated configurations (minimize power and area proxy, maximize IPC)",
             self.frontier.len()
         )?;
+        if self.constraints.is_constrained() {
+            let mut bounds = Vec::new();
+            if let Some(p) = self.constraints.max_power {
+                bounds.push(format!("mean power <= {p} mW"));
+            }
+            if let Some(i) = self.constraints.min_ipc {
+                bounds.push(format!("mean IPC >= {i}"));
+            }
+            writeln!(
+                f,
+                "feasibility: {} (applied before the frontier fold)",
+                bounds.join(", ")
+            )?;
+        }
         writeln!(f)?;
         let rows: Vec<Vec<String>> = self
             .frontier
@@ -335,7 +399,21 @@ impl fmt::Display for ParetoResult {
                 ],
                 &rows
             )
-        )
+        )?;
+        if let Some(report) = &self.audit {
+            writeln!(f)?;
+            write!(
+                f,
+                "{}",
+                audit_section(
+                    report,
+                    self.audit_rate.unwrap_or(0.0),
+                    self.workloads.len(),
+                    self.scope_total,
+                )
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -412,6 +490,29 @@ impl Experiments {
         kind: ModelKind,
         options: &StreamOptions,
     ) -> Result<StreamSweepResult, AutoPowerError> {
+        self.streaming_sweep_opts(scope, kind, options, &StreamExtras::default())
+    }
+
+    /// [`Experiments::streaming_sweep`] with scoring extras: a surrogate
+    /// backend (`--surrogate`) and/or Pareto feasibility constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails, checkpoint handling fails, the
+    /// surrogate is incompatible with the sweep, or a *completed* surrogate
+    /// sweep audited zero configurations (its error table would be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extras.constraints` carry a non-finite or non-positive
+    /// bound (the CLI validates them at parse time).
+    pub fn streaming_sweep_opts(
+        &self,
+        scope: StreamScope,
+        kind: ModelKind,
+        options: &StreamOptions,
+        extras: &StreamExtras<'_>,
+    ) -> Result<StreamSweepResult, AutoPowerError> {
         let corpus = self.sweep_training_corpus();
         let model = kind.train(&corpus, &self.settings().train_two)?;
         self.streaming_sweep_with(
@@ -419,6 +520,7 @@ impl Experiments {
             model.as_ref(),
             Some(self.settings().train_two.clone()),
             options,
+            extras,
         )
     }
 
@@ -434,7 +536,25 @@ impl Experiments {
         model: &dyn PowerModel,
         options: &StreamOptions,
     ) -> Result<StreamSweepResult, AutoPowerError> {
-        self.streaming_sweep_with(scope, model, None, options)
+        self.streaming_sweep_with(scope, model, None, options, &StreamExtras::default())
+    }
+
+    /// [`Experiments::streaming_sweep_loaded`] with scoring extras (see
+    /// [`Experiments::streaming_sweep_opts`] for the error and panic
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`Experiments::streaming_sweep_opts`].
+    pub fn streaming_sweep_loaded_opts(
+        &self,
+        scope: StreamScope,
+        model: &dyn PowerModel,
+        options: &StreamOptions,
+        extras: &StreamExtras<'_>,
+    ) -> Result<StreamSweepResult, AutoPowerError> {
+        self.streaming_sweep_with(scope, model, None, options, extras)
     }
 
     fn streaming_sweep_with(
@@ -443,6 +563,7 @@ impl Experiments {
         model: &dyn PowerModel,
         train_configs: Option<Vec<ConfigId>>,
         options: &StreamOptions,
+        extras: &StreamExtras<'_>,
     ) -> Result<StreamSweepResult, AutoPowerError> {
         let space = &self.settings().sweep_space;
         let workloads = self.settings().average_workloads.clone();
@@ -455,12 +576,31 @@ impl Experiments {
             StreamScope::Full => space.total(),
         };
         assert!(scope_total > 0, "the design space is empty");
-        let fingerprint = sweep_fingerprint(space, &workloads, model, scope, &spec.sim);
+        let mut fingerprint = sweep_fingerprint(space, &workloads, model, scope, &spec.sim);
+        // Surrogate backing and constraints join the fingerprint: resuming a
+        // checkpoint under a different surrogate, audit rate or feasibility
+        // bound would silently mix two different sweeps.  Exact unconstrained
+        // runs fold nothing, keeping their fingerprints (and old checkpoints)
+        // unchanged.
+        let mut extra = String::new();
+        if let Some(p) = extras.constraints.max_power {
+            let _ = write!(extra, "max-power {:016x};", p.to_bits());
+        }
+        if let Some(i) = extras.constraints.min_ipc {
+            let _ = write!(extra, "min-ipc {:016x};", i.to_bits());
+        }
+        if let Some(s) = &extras.surrogate {
+            let _ = write!(extra, "audit-rate {:016x};", s.audit_rate.to_bits());
+        }
+        fingerprint = fnv1a(fingerprint, extra.as_bytes());
+        if let Some(s) = &extras.surrogate {
+            fingerprint = fnv1a(fingerprint, encode_surrogate(s.surrogate).as_bytes());
+        }
         let stream_spec = StreamSpec {
             top_k: TOP_K,
             sketch_level_capacity: SKETCH_LEVEL_CAPACITY,
         };
-        let (mut aggregator, start) = if options.resume {
+        let (mut aggregator, start, saved_audit) = if options.resume {
             let path = options.checkpoint.as_ref().ok_or_else(|| {
                 AutoPowerError::Checkpoint("--resume requires --checkpoint FILE".to_owned())
             })?;
@@ -480,12 +620,31 @@ impl Experiments {
                     workloads.len()
                 )));
             }
-            (checkpoint.aggregator, checkpoint.cursor.offset)
+            (
+                checkpoint.aggregator,
+                checkpoint.cursor.offset,
+                checkpoint.audit,
+            )
         } else {
-            (SweepAggregator::new(workloads.len(), &stream_spec), 0)
+            (
+                SweepAggregator::new(workloads.len(), &stream_spec)
+                    .with_pareto_constraints(extras.constraints),
+                0,
+                None,
+            )
         };
 
-        let engine = SweepEngine::new(model, spec);
+        let mut engine = SweepEngine::new(model, spec);
+        if let Some(s) = &extras.surrogate {
+            engine = engine.with_backend(SimBackend::Surrogate {
+                surrogate: s.surrogate,
+                audit_rate: s.audit_rate,
+            })?;
+        }
+        let engine = engine;
+        if let Some(audit) = saved_audit {
+            engine.restore_audit_state(audit);
+        }
         let checkpoint_path = options.checkpoint.clone();
         let max_chunks = options.max_chunks;
         let mut chunks_done = 0u64;
@@ -498,6 +657,7 @@ impl Experiments {
                             offset: start + folded,
                         },
                         aggregator: aggregator.clone(),
+                        audit: engine.audit_state(),
                     },
                     path,
                 )?;
@@ -525,6 +685,15 @@ impl Experiments {
             aggregator.configs_folded(),
             start + progress.configs_streamed
         );
+        let audit = engine.audit_report();
+        if let (Some(report), Some(s)) = (&audit, &extras.surrogate) {
+            // An *interrupted* run may legitimately have audited nothing yet;
+            // a completed one presenting an empty error table would be a
+            // silently-unvalidated report.
+            if progress.complete {
+                refuse_unaudited(report, aggregator.configs_folded(), s.audit_rate)?;
+            }
+        }
         Ok(StreamSweepResult {
             model: model.kind(),
             train_configs,
@@ -536,6 +705,8 @@ impl Experiments {
             checkpoint: options.checkpoint.clone(),
             cache_stats: spec.use_sim_cache.then(|| engine.cache_stats()),
             peak_retained_points: progress.peak_retained_points,
+            audit,
+            audit_rate: extras.surrogate.as_ref().map(|s| s.audit_rate),
             aggregator,
         })
     }
@@ -552,12 +723,35 @@ impl Experiments {
         scope: StreamScope,
         kind: ModelKind,
     ) -> Result<ParetoResult, AutoPowerError> {
+        self.pareto_frontier_opts(scope, kind, &StreamExtras::default())
+    }
+
+    /// [`Experiments::pareto_frontier`] with scoring extras: feasibility
+    /// constraints (`--max-power` / `--min-ipc`) applied before the frontier
+    /// fold and/or a surrogate backend (`--surrogate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training fails, the surrogate is incompatible, or
+    /// a surrogate run audited zero configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extras.constraints` carry a non-finite or non-positive
+    /// bound (the CLI validates them at parse time).
+    pub fn pareto_frontier_opts(
+        &self,
+        scope: StreamScope,
+        kind: ModelKind,
+        extras: &StreamExtras<'_>,
+    ) -> Result<ParetoResult, AutoPowerError> {
         let corpus = self.sweep_training_corpus();
         let model = kind.train(&corpus, &self.settings().train_two)?;
         self.pareto_with(
             scope,
             model.as_ref(),
             Some(self.settings().train_two.clone()),
+            extras,
         )
     }
 
@@ -572,7 +766,23 @@ impl Experiments {
         scope: StreamScope,
         model: &dyn PowerModel,
     ) -> Result<ParetoResult, AutoPowerError> {
-        self.pareto_with(scope, model, None)
+        self.pareto_with(scope, model, None, &StreamExtras::default())
+    }
+
+    /// [`Experiments::pareto_frontier_loaded`] with scoring extras (see
+    /// [`Experiments::pareto_frontier_opts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`Experiments::pareto_frontier_opts`].
+    pub fn pareto_frontier_loaded_opts(
+        &self,
+        scope: StreamScope,
+        model: &dyn PowerModel,
+        extras: &StreamExtras<'_>,
+    ) -> Result<ParetoResult, AutoPowerError> {
+        self.pareto_with(scope, model, None, extras)
     }
 
     fn pareto_with(
@@ -580,9 +790,15 @@ impl Experiments {
         scope: StreamScope,
         model: &dyn PowerModel,
         train_configs: Option<Vec<ConfigId>>,
+        extras: &StreamExtras<'_>,
     ) -> Result<ParetoResult, AutoPowerError> {
-        let sweep =
-            self.streaming_sweep_with(scope, model, train_configs, &StreamOptions::default())?;
+        let sweep = self.streaming_sweep_with(
+            scope,
+            model,
+            train_configs,
+            &StreamOptions::default(),
+            extras,
+        )?;
         Ok(ParetoResult {
             model: sweep.model,
             train_configs: sweep.train_configs,
@@ -596,6 +812,9 @@ impl Experiments {
                 .into_iter()
                 .cloned()
                 .collect(),
+            constraints: *sweep.aggregator.pareto_constraints(),
+            audit: sweep.audit,
+            audit_rate: sweep.audit_rate,
             cache_stats: sweep.cache_stats,
         })
     }
@@ -620,6 +839,7 @@ fn tiny_space() -> DesignSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::surrogate_exp::SurrogateOptions;
     use crate::ExperimentSettings;
     use autopower::area_proxy;
 
@@ -849,6 +1069,331 @@ mod tests {
         assert!(text.contains("Pareto frontier"));
         assert!(text.contains("area(kFBE)"));
         assert!(text.contains("full space"));
+    }
+
+    #[test]
+    fn surrogate_streaming_with_full_audit_matches_exact_bit_for_bit() {
+        let exp = Experiments::fast();
+        let surrogate = exp
+            .sweep_surrogate(&SurrogateOptions {
+                train_count: 10,
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        let exact = exp
+            .streaming_sweep(
+                StreamScope::Sampled(12),
+                ModelKind::AutoPower,
+                &StreamOptions::default(),
+            )
+            .unwrap();
+        let extras = StreamExtras {
+            surrogate: Some(SurrogateSpec {
+                surrogate: &surrogate,
+                audit_rate: 1.0,
+            }),
+            ..StreamExtras::default()
+        };
+        let audited = exp
+            .streaming_sweep_opts(
+                StreamScope::Sampled(12),
+                ModelKind::AutoPower,
+                &StreamOptions::default(),
+                &extras,
+            )
+            .unwrap();
+        // Audit rate 1.0 simulates every configuration exactly, so the folded
+        // aggregate is bit-identical to the exact backend's.
+        assert_eq!(audited.aggregator, exact.aggregator);
+        let report = audited
+            .audit
+            .as_ref()
+            .expect("surrogate runs carry an audit");
+        assert_eq!(
+            report.audited_points,
+            12 * exp.settings().average_workloads.len() as u64
+        );
+        assert_eq!(audited.audit_rate, Some(1.0));
+        let text = audited.to_string();
+        assert!(text.contains("surrogate audit"), "got: {text}");
+        assert!(text.contains("12 of 12 configurations"), "got: {text}");
+        assert!(text.contains("predicted total power"));
+        // Exact sweeps print no audit section at all.
+        assert!(exact.audit.is_none());
+        assert!(!exact.to_string().contains("surrogate audit"));
+    }
+
+    #[test]
+    fn surrogate_checkpoint_resume_is_byte_identical_including_the_audit_table() {
+        let dir = std::env::temp_dir().join(format!("autopower-surres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("surrogate.ckpt");
+        let settings = || {
+            ExperimentSettings::fast()
+                .with_sweep_space(tiny_space())
+                .with_chunk(3)
+                .with_threads(2)
+        };
+        let scope = StreamScope::Full;
+        // The surrogate is trained deterministically, so each harness can
+        // train its own copy and the fingerprints still match.
+        let train = |exp: &Experiments| {
+            exp.sweep_surrogate(&SurrogateOptions {
+                train_count: 8,
+                ..SurrogateOptions::default()
+            })
+            .unwrap()
+        };
+
+        let one_shot_exp = Experiments::new(settings());
+        let one_shot_surrogate = train(&one_shot_exp);
+        let extras = |surrogate| StreamExtras {
+            surrogate: Some(SurrogateSpec {
+                surrogate,
+                audit_rate: 0.5,
+            }),
+            ..StreamExtras::default()
+        };
+        let one_shot = one_shot_exp
+            .streaming_sweep_opts(
+                scope,
+                ModelKind::AutoPower,
+                &StreamOptions::default(),
+                &extras(&one_shot_surrogate),
+            )
+            .unwrap();
+        assert!(one_shot.complete);
+        assert!(one_shot.audit.as_ref().unwrap().audited_points > 0);
+
+        let interrupted_exp = Experiments::new(settings());
+        let interrupted_surrogate = train(&interrupted_exp);
+        let interrupted = interrupted_exp
+            .streaming_sweep_opts(
+                scope,
+                ModelKind::AutoPower,
+                &StreamOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: false,
+                    max_chunks: 2,
+                },
+                &extras(&interrupted_surrogate),
+            )
+            .unwrap();
+        assert!(!interrupted.complete);
+
+        let resumed_exp = Experiments::new(settings());
+        let resumed_surrogate = train(&resumed_exp);
+        let resumed = resumed_exp
+            .streaming_sweep_opts(
+                scope,
+                ModelKind::AutoPower,
+                &StreamOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    max_chunks: 0,
+                },
+                &extras(&resumed_surrogate),
+            )
+            .unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.aggregator, one_shot.aggregator);
+        assert_eq!(resumed.audit, one_shot.audit);
+        assert_eq!(
+            resumed.to_string(),
+            one_shot.to_string(),
+            "resumed surrogate report (audit table included) is not byte-identical"
+        );
+
+        // An exact checkpoint cannot be resumed as a surrogate sweep (and
+        // vice versa): the surrogate and audit rate join the fingerprint.
+        let err = resumed_exp
+            .streaming_sweep(
+                scope,
+                ModelKind::AutoPower,
+                &StreamOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: true,
+                    max_chunks: 0,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("different sweep"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unaudited_surrogate_runs_are_refused_unless_interrupted() {
+        let dir = std::env::temp_dir().join(format!("autopower-unaud-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unaudited.ckpt");
+        // Two-configuration chunks, so `max_chunks: 1` genuinely interrupts
+        // the six-configuration sweep below.
+        let exp = Experiments::new(ExperimentSettings::fast().with_chunk(2));
+        let surrogate = exp
+            .sweep_surrogate(&SurrogateOptions {
+                train_count: 8,
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        // An audit rate this small deterministically selects none of the
+        // sampled configurations.
+        let extras = StreamExtras {
+            surrogate: Some(SurrogateSpec {
+                surrogate: &surrogate,
+                audit_rate: 1e-9,
+            }),
+            ..StreamExtras::default()
+        };
+        let err = exp
+            .streaming_sweep_opts(
+                StreamScope::Sampled(6),
+                ModelKind::AutoPower,
+                &StreamOptions::default(),
+                &extras,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("audited zero"), "got: {err}");
+
+        // Interrupted at a chunk boundary the same run is *not* refused (the
+        // audit may simply not have reached an audited configuration yet) —
+        // and with zero exact simulations the enabled cache reports itself
+        // idle instead of a misleading 0.0% hit rate.
+        let interrupted = exp
+            .streaming_sweep_opts(
+                StreamScope::Sampled(6),
+                ModelKind::AutoPower,
+                &StreamOptions {
+                    checkpoint: Some(path.clone()),
+                    resume: false,
+                    max_chunks: 1,
+                },
+                &extras,
+            )
+            .unwrap();
+        assert!(!interrupted.complete);
+        assert_eq!(interrupted.audit.as_ref().unwrap().audited_points, 0);
+        let diagnostics = interrupted.diagnostics();
+        assert!(diagnostics.contains("idle"), "got: {diagnostics}");
+        assert!(!diagnostics.contains("0.0%"), "got: {diagnostics}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn constrained_pareto_drops_infeasible_configurations_end_to_end() {
+        let settings = ExperimentSettings::fast().with_sweep_space(tiny_space());
+        let exp = Experiments::new(settings);
+        let unconstrained = exp
+            .pareto_frontier(StreamScope::Full, ModelKind::AutoPower)
+            .unwrap();
+        assert!(!unconstrained.constraints.is_constrained());
+        assert!(
+            unconstrained.frontier.len() >= 2,
+            "need a splittable frontier"
+        );
+        // Bound the power between the frontier's extremes so the constraint
+        // genuinely carves something away.
+        let bound = unconstrained.frontier[unconstrained.frontier.len() / 2]
+            .summary
+            .mean_total;
+        let extras = StreamExtras {
+            constraints: ParetoConstraints {
+                max_power: Some(bound),
+                min_ipc: None,
+            },
+            ..StreamExtras::default()
+        };
+        let constrained = exp
+            .pareto_frontier_opts(StreamScope::Full, ModelKind::AutoPower, &extras)
+            .unwrap();
+        assert!(constrained.frontier.len() < unconstrained.frontier.len());
+        assert!(!constrained.frontier.is_empty());
+        for entry in &constrained.frontier {
+            assert!(entry.summary.mean_total <= bound);
+            // For a max-power bound, pre-filtering coincides with filtering
+            // the unconstrained frontier: every surviving entry is one of
+            // the unconstrained frontier's entries.
+            assert!(
+                unconstrained
+                    .frontier
+                    .iter()
+                    .any(|u| u.summary.config.id == entry.summary.config.id),
+                "{} is not on the unconstrained frontier",
+                entry.summary.config.id
+            );
+        }
+        let text = constrained.to_string();
+        assert!(text.contains("feasibility:"), "got: {text}");
+        assert!(text.contains("applied before the frontier fold"));
+        assert!(!unconstrained.to_string().contains("feasibility:"));
+    }
+
+    #[test]
+    fn surrogate_pareto_reports_the_audit_table() {
+        let settings = ExperimentSettings::fast().with_sweep_space(tiny_space());
+        let exp = Experiments::new(settings);
+        let surrogate = exp
+            .sweep_surrogate(&SurrogateOptions {
+                train_count: 8,
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        let extras = StreamExtras {
+            surrogate: Some(SurrogateSpec {
+                surrogate: &surrogate,
+                audit_rate: 1.0,
+            }),
+            ..StreamExtras::default()
+        };
+        let result = exp
+            .pareto_frontier_opts(StreamScope::Full, ModelKind::AutoPower, &extras)
+            .unwrap();
+        // Full audit: the frontier equals the exact run's.
+        let exact = exp
+            .pareto_frontier(StreamScope::Full, ModelKind::AutoPower)
+            .unwrap();
+        assert_eq!(result.frontier, exact.frontier);
+        assert!(result.audit.as_ref().unwrap().audited_points > 0);
+        let text = result.to_string();
+        assert!(text.contains("surrogate audit"), "got: {text}");
+        assert!(text.contains("predicted total power"));
+    }
+
+    #[test]
+    fn surrogate_error_bound_stays_within_the_committed_envelope() {
+        // The acceptance space: 200 sampled configurations, default training
+        // budget, default audit rate.  The thresholds are the committed error
+        // envelope — if surrogate quality regresses past them, this fails.
+        let exp = Experiments::fast();
+        let surrogate = exp.sweep_surrogate(&SurrogateOptions::default()).unwrap();
+        let extras = StreamExtras {
+            surrogate: Some(SurrogateSpec {
+                surrogate: &surrogate,
+                audit_rate: 0.25,
+            }),
+            ..StreamExtras::default()
+        };
+        let result = exp
+            .streaming_sweep_opts(
+                StreamScope::Sampled(200),
+                ModelKind::AutoPower,
+                &StreamOptions::default(),
+                &extras,
+            )
+            .unwrap();
+        let report = result.audit.expect("audited sweep");
+        assert!(report.audited_points > 0);
+        let ipc = &report.per_event[0];
+        assert_eq!(ipc.name, "ipc");
+        let ipc_mape = ipc.mape.expect("ipc error is defined");
+        let total_mape = report.total_mape.expect("total error is defined");
+        assert!(
+            ipc_mape < 0.15,
+            "surrogate ipc MAPE {ipc_mape:.4} breached the committed 15% envelope"
+        );
+        assert!(
+            total_mape < 0.10,
+            "surrogate total-power MAPE {total_mape:.4} breached the committed 10% envelope"
+        );
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Surrogate acquisition and audit reporting for the sweep experiments.
+//!
+//! `sweep --surrogate` and `pareto --surrogate` score the design space with a
+//! learned activity surrogate ([`ActivitySurrogate`]) instead of running the
+//! performance simulator per point; the simulator is demoted to an *oracle*
+//! that (a) generates the surrogate's training set from a seeded sample of the
+//! sweep space and (b) re-checks a deterministic fraction of the swept
+//! configurations exactly (`--audit-rate`), producing the per-event and
+//! per-total error table every surrogate report must print.  This module owns
+//! the acquisition path (train / `--load-surrogate` / `--save-surrogate`) and
+//! the shared audit-table formatting.
+
+use crate::report::format_table;
+use crate::Experiments;
+use autopower::{
+    load_surrogate, save_surrogate, surrogate_gbdt_params, ActivitySurrogate, AuditReport,
+    AutoPowerError, SURROGATE_TRAIN_SEED,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Default number of oracle-simulated configurations `--surrogate` trains on.
+pub const DEFAULT_SURROGATE_TRAIN: usize = 96;
+
+/// Default deterministic fraction of swept configurations simulated exactly
+/// to audit the surrogate (`--audit-rate`).
+pub const DEFAULT_AUDIT_RATE: f64 = 0.25;
+
+/// How a sweep experiment obtains its activity surrogate (`--surrogate`,
+/// `--surrogate-train`, `--load-surrogate`, `--save-surrogate`).
+#[derive(Debug, Clone)]
+pub struct SurrogateOptions {
+    /// Oracle training-set size (`--surrogate-train N`); ignored when
+    /// `load` restores an already-trained surrogate.
+    pub train_count: usize,
+    /// Restore a saved surrogate instead of training (`--load-surrogate`).
+    pub load: Option<PathBuf>,
+    /// Persist the trained surrogate here (`--save-surrogate`).
+    pub save: Option<PathBuf>,
+}
+
+impl Default for SurrogateOptions {
+    fn default() -> Self {
+        Self {
+            train_count: DEFAULT_SURROGATE_TRAIN,
+            load: None,
+            save: None,
+        }
+    }
+}
+
+impl Experiments {
+    /// Obtains the activity surrogate a `--surrogate` sweep scores with:
+    /// either restores it ([`load_surrogate`]) or trains it on an
+    /// oracle-simulated, [`SURROGATE_TRAIN_SEED`]-sampled subset of the sweep
+    /// space — then checks it against this harness's simulation settings and
+    /// workloads, so an incompatible file fails here instead of producing
+    /// silently wrong predictions mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutoPowerError::Surrogate`] when training or loading fails,
+    /// when the surrogate was trained under different simulation settings, or
+    /// when it does not cover every sweep workload.
+    pub fn sweep_surrogate(
+        &self,
+        options: &SurrogateOptions,
+    ) -> Result<ActivitySurrogate, AutoPowerError> {
+        let sim = self.settings().average_sim;
+        let workloads = &self.settings().average_workloads;
+        let surrogate = match &options.load {
+            Some(path) => load_surrogate(path)?,
+            None => ActivitySurrogate::train(
+                &self.settings().sweep_space,
+                workloads,
+                &sim,
+                options.train_count,
+                SURROGATE_TRAIN_SEED,
+                &surrogate_gbdt_params(),
+            )?,
+        };
+        surrogate.compatible_with(&sim)?;
+        for &workload in workloads {
+            if !surrogate.covers(workload) {
+                return Err(AutoPowerError::Surrogate(format!(
+                    "surrogate does not cover workload {workload} (trained for {})",
+                    surrogate
+                        .workloads()
+                        .iter()
+                        .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                )));
+            }
+        }
+        if let Some(path) = &options.save {
+            save_surrogate(&surrogate, path)?;
+        }
+        Ok(surrogate)
+    }
+}
+
+/// Refuses to present a *finished* surrogate sweep that audited nothing: with
+/// zero exactly-simulated configurations the error table is empty and the
+/// report would look trustworthy while being entirely unvalidated.
+pub(crate) fn refuse_unaudited(
+    report: &AuditReport,
+    swept: u64,
+    audit_rate: f64,
+) -> Result<(), AutoPowerError> {
+    if report.audited_points == 0 {
+        return Err(AutoPowerError::Surrogate(format!(
+            "surrogate sweep audited zero of {swept} configurations (audit rate {audit_rate}): \
+             no error bound was measured — raise --audit-rate",
+        )));
+    }
+    Ok(())
+}
+
+/// One MAPE table cell: percentage with three decimals, or `n/a` when no
+/// audited point had a defined error for the row.
+fn mape_cell(mape: Option<f64>) -> String {
+    match mape {
+        Some(m) => format!("{:.3}%", 100.0 * m),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// The audit section every surrogate report prints: the header naming how
+/// many of the swept configurations were simulated exactly, then one MAPE row
+/// per event feature plus the predicted-total-power row.  Built only from the
+/// (checkpointed, thread-order-independent) [`AuditReport`], so it is
+/// resume-invariant like the rest of the report.
+pub(crate) fn audit_section(
+    report: &AuditReport,
+    audit_rate: f64,
+    per_config: usize,
+    swept: u64,
+) -> String {
+    let audited_configs = if per_config == 0 {
+        0
+    } else {
+        report.audited_points / per_config as u64
+    };
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "surrogate audit — {audited_configs} of {swept} configurations simulated exactly \
+         (audit rate {audit_rate}); surrogate error vs the exact simulation:"
+    );
+    let mut rows: Vec<Vec<String>> = report
+        .per_event
+        .iter()
+        .map(|e| vec![e.name.to_owned(), mape_cell(e.mape), e.samples.to_string()])
+        .collect();
+    rows.push(vec![
+        "predicted total power".to_owned(),
+        mape_cell(report.total_mape),
+        report.total_samples.to_string(),
+    ]);
+    text.push_str(&format_table(&["event feature", "MAPE", "samples"], &rows));
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopower::encode_surrogate;
+
+    #[test]
+    fn surrogate_is_trained_checked_and_persisted() {
+        let exp = Experiments::fast();
+        let options = SurrogateOptions {
+            train_count: 12,
+            ..SurrogateOptions::default()
+        };
+        let trained = exp.sweep_surrogate(&options).unwrap();
+        assert_eq!(trained.train_count(), 12);
+        assert_eq!(trained.train_seed(), SURROGATE_TRAIN_SEED);
+        for &w in &exp.settings().average_workloads {
+            assert!(trained.covers(w));
+        }
+
+        // Round-trip through --save-surrogate / --load-surrogate.
+        let dir = std::env::temp_dir().join(format!("autopower-surro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.aps");
+        let saved = exp
+            .sweep_surrogate(&SurrogateOptions {
+                train_count: 12,
+                save: Some(path.clone()),
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        let loaded = exp
+            .sweep_surrogate(&SurrogateOptions {
+                load: Some(path.clone()),
+                ..SurrogateOptions::default()
+            })
+            .unwrap();
+        assert_eq!(encode_surrogate(&saved), encode_surrogate(&loaded));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incompatible_surrogates_are_refused_at_acquisition() {
+        use autopower_perfsim::SimConfig;
+
+        let exp = Experiments::fast();
+        // Train under different simulation settings, save, then try to load
+        // it into this harness: the compatibility check must fire.
+        let foreign_sim = SimConfig {
+            stream_seed: exp.settings().average_sim.stream_seed + 1,
+            ..exp.settings().average_sim
+        };
+        let foreign = ActivitySurrogate::train(
+            &exp.settings().sweep_space,
+            &exp.settings().average_workloads,
+            &foreign_sim,
+            8,
+            SURROGATE_TRAIN_SEED,
+            &surrogate_gbdt_params(),
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("autopower-foreign-s-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("foreign.aps");
+        save_surrogate(&foreign, &path).unwrap();
+        let err = exp
+            .sweep_surrogate(&SurrogateOptions {
+                load: Some(path.clone()),
+                ..SurrogateOptions::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("stream_seed"), "got: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unaudited_finished_sweeps_are_refused() {
+        let report = AuditReport {
+            audited_points: 0,
+            per_event: Vec::new(),
+            total_mape: None,
+            total_samples: 0,
+        };
+        let err = refuse_unaudited(&report, 200, 0.25).unwrap_err();
+        assert!(err.to_string().contains("zero of 200"), "got: {err}");
+        let audited = AuditReport {
+            audited_points: 4,
+            per_event: Vec::new(),
+            total_mape: Some(0.01),
+            total_samples: 4,
+        };
+        assert!(refuse_unaudited(&audited, 200, 0.25).is_ok());
+    }
+
+    #[test]
+    fn audit_section_prints_every_event_row_and_the_total() {
+        use autopower::AuditEventError;
+
+        let report = AuditReport {
+            audited_points: 6,
+            per_event: vec![
+                AuditEventError {
+                    name: "ipc",
+                    mape: Some(0.0123),
+                    samples: 6,
+                },
+                AuditEventError {
+                    name: "dcache_access",
+                    mape: None,
+                    samples: 0,
+                },
+            ],
+            total_mape: Some(0.045),
+            total_samples: 6,
+        };
+        let text = audit_section(&report, 0.25, 2, 40);
+        assert!(text.contains("3 of 40 configurations"), "got: {text}");
+        assert!(text.contains("audit rate 0.25"));
+        assert!(text.contains("ipc"));
+        assert!(text.contains("1.230%"));
+        assert!(text.contains("n/a"));
+        assert!(text.contains("predicted total power"));
+        assert!(text.contains("4.500%"));
+    }
+}

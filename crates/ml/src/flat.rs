@@ -24,6 +24,24 @@ fn node_depth(node: &Node) -> u32 {
     }
 }
 
+/// Whether every leaf of the tree is exactly `±0.0`.
+///
+/// Such a tree contributes `learning_rate · ±0.0 = ±0.0` to every
+/// prediction, and adding `±0.0` to the leaf-sum accumulator is a bitwise
+/// no-op: the accumulator starts at `+0.0` and IEEE-754 round-to-nearest
+/// addition can never produce `-0.0` from a `+0.0` starting point (exact
+/// cancellation yields `+0.0`), so the accumulator is never `-0.0` and
+/// `acc + ±0.0` returns `acc` bit for bit.  Boosting drives residuals to
+/// exactly zero on the few-shot training sets this crate targets, so late
+/// rounds routinely emit these all-zero trees — skipping their walks is pure
+/// saved work, pinned bit-identical by the flat-vs-recursive parity tests.
+fn all_leaves_zero(node: &Node) -> bool {
+    match node {
+        Node::Leaf { weight } => *weight == 0.0,
+        Node::Split { left, right, .. } => all_leaves_zero(left) && all_leaves_zero(right),
+    }
+}
+
 /// Sentinel in [`FlatNode::feature`] marking a leaf node (the `threshold`
 /// slot then holds the leaf weight).
 const LEAF: u32 = u32::MAX;
@@ -71,11 +89,18 @@ impl FlatForest {
         forest.max_depth = trees
             .iter()
             .filter_map(RegressionTree::root_node)
+            .filter(|root| !all_leaves_zero(root))
             .map(node_depth)
             .max()
             .unwrap_or(0);
         for tree in trees {
             if let Some(root) = tree.root_node() {
+                // All-zero trees are bitwise no-ops (see `all_leaves_zero`):
+                // dropping them here removes their walks from every predict
+                // path without changing a single output bit.
+                if all_leaves_zero(root) {
+                    continue;
+                }
                 let idx = forest.push_node(root, forest.max_depth);
                 forest.roots.push(idx);
             }
@@ -135,7 +160,9 @@ impl FlatForest {
         idx
     }
 
-    /// Number of trees in the forest.
+    /// Number of trees the forest actually walks (all-zero no-op trees are
+    /// dropped at compile time, so this can be less than the fitted
+    /// ensemble's boosting-round count).
     pub fn tree_count(&self) -> usize {
         self.roots.len()
     }
@@ -260,14 +287,152 @@ impl FlatForest {
     /// Batched prediction: scores every row of `x` into `out` (cleared
     /// first).
     ///
-    /// Rows are processed in blocks with all trees walked per block, keeping
-    /// the node arrays hot in cache; each row's accumulation order is still
-    /// tree-major, so every output is bit-identical to
-    /// [`FlatForest::predict_row`].
+    /// Rows are processed eight at a time: all trees are walked for the group
+    /// (one tree's nodes stay hot across the lanes) and each tree descends the
+    /// eight rows together through the same fixed-depth conditional-move walk
+    /// [`FlatForest::predict_row`] uses — the padded uniform depth removes
+    /// the leaf-reached branch, and the eight independent descents keep
+    /// their node loads in flight together.  Each row's accumulation order
+    /// is still tree-major (boosting order), so every output is
+    /// bit-identical to [`FlatForest::predict_row`].
     pub fn predict_into(&self, x: &Matrix, out: &mut Vec<f64>) {
-        const BLOCK: usize = 64;
         out.clear();
         out.resize(x.rows(), 0.0);
+        if x.rows() == 0 {
+            return;
+        }
+        if x.cols() == 0 || self.max_depth == 0 {
+            // Bare-leaf forests (and degenerate empty rows, which the padded
+            // walk cannot probe): the sequential walk is exact and cheap.
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.predict_row_sequential(x.row(i));
+            }
+            return;
+        }
+        match self.max_depth {
+            1 => self.predict_into_fixed::<1>(x, out),
+            2 => self.predict_into_fixed::<2>(x, out),
+            3 => self.predict_into_fixed::<3>(x, out),
+            4 => self.predict_into_fixed::<4>(x, out),
+            _ => self.predict_into_blocked(x, out),
+        }
+        for slot in out.iter_mut() {
+            *slot += self.base_score;
+        }
+    }
+
+    /// Fixed-depth batched walk with eight fully scalarised lanes.
+    ///
+    /// The walk state (one node index and one accumulator per row lane) is
+    /// spelled out as named locals rather than arrays: with arrays the
+    /// compiler keeps the lane state on the stack and every level pays a
+    /// store-forwarding round trip, which serialises the supposedly
+    /// independent descents.  Named locals stay in registers, so the eight
+    /// dependent load chains (node → feature → compare → next node) actually
+    /// overlap and the walk runs at memory-level-parallelism speed.
+    #[allow(clippy::too_many_lines)]
+    fn predict_into_fixed<const D: u32>(&self, x: &Matrix, out: &mut [f64]) {
+        debug_assert_eq!(self.max_depth, D);
+        const LANES: usize = 8;
+        let data = x.data();
+        let cols = x.cols();
+        let rows = x.rows();
+        let nodes = &self.nodes[..];
+        let lr = self.learning_rate;
+        let mut r = 0;
+        while r + LANES <= rows {
+            let b0 = r * cols;
+            let (b1, b2, b3) = (b0 + cols, b0 + 2 * cols, b0 + 3 * cols);
+            let (b4, b5, b6, b7) = (b0 + 4 * cols, b0 + 5 * cols, b0 + 6 * cols, b0 + 7 * cols);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut a4, mut a5, mut a6, mut a7) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for &root in &self.roots {
+                let root = root as usize;
+                let (mut i0, mut i1, mut i2, mut i3) = (root, root, root, root);
+                let (mut i4, mut i5, mut i6, mut i7) = (root, root, root, root);
+                for _ in 0..D {
+                    let n0 = nodes[i0];
+                    let n1 = nodes[i1];
+                    let n2 = nodes[i2];
+                    let n3 = nodes[i3];
+                    let n4 = nodes[i4];
+                    let n5 = nodes[i5];
+                    let n6 = nodes[i6];
+                    let n7 = nodes[i7];
+                    i0 = if data[b0 + n0.feature as usize] <= n0.threshold {
+                        i0 + 1
+                    } else {
+                        n0.right as usize
+                    };
+                    i1 = if data[b1 + n1.feature as usize] <= n1.threshold {
+                        i1 + 1
+                    } else {
+                        n1.right as usize
+                    };
+                    i2 = if data[b2 + n2.feature as usize] <= n2.threshold {
+                        i2 + 1
+                    } else {
+                        n2.right as usize
+                    };
+                    i3 = if data[b3 + n3.feature as usize] <= n3.threshold {
+                        i3 + 1
+                    } else {
+                        n3.right as usize
+                    };
+                    i4 = if data[b4 + n4.feature as usize] <= n4.threshold {
+                        i4 + 1
+                    } else {
+                        n4.right as usize
+                    };
+                    i5 = if data[b5 + n5.feature as usize] <= n5.threshold {
+                        i5 + 1
+                    } else {
+                        n5.right as usize
+                    };
+                    i6 = if data[b6 + n6.feature as usize] <= n6.threshold {
+                        i6 + 1
+                    } else {
+                        n6.right as usize
+                    };
+                    i7 = if data[b7 + n7.feature as usize] <= n7.threshold {
+                        i7 + 1
+                    } else {
+                        n7.right as usize
+                    };
+                }
+                a0 += lr * nodes[i0].threshold;
+                a1 += lr * nodes[i1].threshold;
+                a2 += lr * nodes[i2].threshold;
+                a3 += lr * nodes[i3].threshold;
+                a4 += lr * nodes[i4].threshold;
+                a5 += lr * nodes[i5].threshold;
+                a6 += lr * nodes[i6].threshold;
+                a7 += lr * nodes[i7].threshold;
+            }
+            out[r] = a0;
+            out[r + 1] = a1;
+            out[r + 2] = a2;
+            out[r + 3] = a3;
+            out[r + 4] = a4;
+            out[r + 5] = a5;
+            out[r + 6] = a6;
+            out[r + 7] = a7;
+            r += LANES;
+        }
+        while r < rows {
+            let mut a = 0.0;
+            for &root in &self.roots {
+                a += self.learning_rate * self.tree_leaf(root, x.row(r));
+            }
+            out[r] = a;
+            r += 1;
+        }
+    }
+
+    /// Batched walk for unusually deep forests: the original
+    /// one-row-at-a-time descent, still row-blocked and tree-major.
+    fn predict_into_blocked(&self, x: &Matrix, out: &mut [f64]) {
+        const BLOCK: usize = 64;
         let mut lo = 0;
         while lo < x.rows() {
             let hi = (lo + BLOCK).min(x.rows());
@@ -277,9 +442,6 @@ impl FlatForest {
                 }
             }
             lo = hi;
-        }
-        for slot in out.iter_mut() {
-            *slot += self.base_score;
         }
     }
 }

@@ -82,7 +82,7 @@ impl GbdtParams {
 /// This is the stand-in for XGBoost, which the paper uses for the effective-active-rate,
 /// SRAM-activity, register-activity and combinational-variation sub-models as well as
 /// for the McPAT-Calib baselines.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoosting {
     params: GbdtParams,
     base_score: f64,

@@ -45,6 +45,7 @@ mod gbdt;
 mod linear;
 mod matrix;
 pub mod metrics;
+mod multi;
 mod tree;
 
 pub use dataset::{Dataset, Standardizer};
@@ -53,6 +54,7 @@ pub use flat::FlatForest;
 pub use gbdt::{GbdtParams, GradientBoosting};
 pub use linear::RidgeRegression;
 pub use matrix::Matrix;
+pub use multi::fit_multi_output;
 pub use tree::{RegressionTree, TreeParams};
 
 /// A regression model that can be fitted on a feature matrix and queried row by row.

@@ -37,7 +37,7 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Node {
     Leaf {
         weight: f64,
@@ -55,7 +55,7 @@ pub(crate) enum Node {
 /// For squared loss the gradient of sample `i` is `prediction_i - target_i` and the
 /// hessian is 1, in which case the tree fits the residuals with mean-valued leaves
 /// shrunk by `lambda`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     params: TreeParams,
     root: Option<Node>,

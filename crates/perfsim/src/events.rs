@@ -190,9 +190,27 @@ impl EventParams {
         distortion: f64,
         out: &mut Self,
     ) {
+        Self::from_raw_rates_into(
+            &Self::raw_rates(counters),
+            config,
+            workload,
+            distortion,
+            out,
+        );
+    }
+
+    /// The undistorted per-cycle rates of `counters`, in canonical
+    /// [`EventParams::names`] order.
+    ///
+    /// These are the surrogate's regression targets: a learned model predicts
+    /// the *raw* rates, and [`EventParams::from_raw_rates_into`] re-applies
+    /// the same deterministic simulator-inaccuracy distortion the exact path
+    /// applies, so a perfect surrogate reproduces the exact pipeline's
+    /// [`EventParams`] bit for bit.
+    pub fn raw_rates(counters: &EventCounters) -> [f64; EVENT_NAMES.len()] {
         let c = counters;
         let cyc = c.cycles.max(1) as f64;
-        let raw = [
+        [
             c.committed as f64 / cyc,
             c.fetched as f64 / cyc,
             c.fetch_groups as f64 / cyc,
@@ -218,7 +236,33 @@ impl EventParams {
             c.lsq_occupancy_sum as f64 / cyc,
             c.frontend_stall_cycles as f64 / cyc,
             c.backend_stall_cycles as f64 / cyc,
-        ];
+        ]
+    }
+
+    /// Builds event parameters from raw (undistorted) per-cycle rates,
+    /// applying the same deterministic `(config, workload, event name)`
+    /// distortion as [`EventParams::from_counters_into`].
+    ///
+    /// The distortion factor never depends on the counters themselves, so
+    /// surrogate-predicted rates pass through the identical perturbation the
+    /// exact simulation path would apply to that configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not hold one value per [`EventParams::names`]
+    /// entry.
+    pub fn from_raw_rates_into(
+        raw: &[f64],
+        config: ConfigId,
+        workload: Workload,
+        distortion: f64,
+        out: &mut Self,
+    ) {
+        assert_eq!(
+            raw.len(),
+            EVENT_NAMES.len(),
+            "raw rates must hold one value per event parameter"
+        );
         out.values.clear();
         out.values
             .extend(raw.iter().zip(EVENT_NAMES.iter()).map(|(&v, name)| {
@@ -436,6 +480,26 @@ mod tests {
             if *a > 0.0 {
                 assert!((b / a - 1.0).abs() < 0.4);
             }
+        }
+    }
+
+    #[test]
+    fn raw_rates_roundtrip_through_from_raw_rates() {
+        let c = sample_counters();
+        let raw = EventParams::raw_rates(&c);
+        assert_eq!(raw.len(), EventParams::names().len());
+        for distortion in [0.0, 0.08] {
+            let direct =
+                EventParams::from_counters(&c, ConfigId::new(7), Workload::Towers, distortion);
+            let mut rebuilt = EventParams::empty();
+            EventParams::from_raw_rates_into(
+                &raw,
+                ConfigId::new(7),
+                Workload::Towers,
+                distortion,
+                &mut rebuilt,
+            );
+            assert_eq!(direct, rebuilt, "distortion {distortion} diverged");
         }
     }
 

@@ -49,7 +49,28 @@ pub struct SimKey {
     workload: Workload,
 }
 
+/// Names of the numeric simulation-visible parameters, in the order
+/// [`SimKey::features`] emits them.  This is the canonical surrogate feature
+/// order: everything the simulator reads from the hardware configuration,
+/// nothing it does not.
+const FEATURE_NAMES: [&str; 11] = [
+    "fetch_width",
+    "fetch_buffer_entries",
+    "decode_width",
+    "rob_entries",
+    "int_issue_width",
+    "mem_fp_issue_width",
+    "cache_ways",
+    "tlb_entries",
+    "ldq_stq_entries",
+    "mshr_entries",
+    "predictor_entries",
+];
+
 impl SimKey {
+    /// Number of numeric features in [`SimKey::features`].
+    pub const FEATURE_COUNT: usize = FEATURE_NAMES.len();
+
     /// Projects `(config, workload, sim)` onto the simulation-visible key.
     pub fn new(config: &CpuConfig, workload: Workload, sim: &SimConfig) -> Self {
         let p = &config.params;
@@ -69,6 +90,38 @@ impl SimKey {
             stream_seed: sim.stream_seed,
             workload,
         }
+    }
+
+    /// The key's numeric parameters as an ML feature vector, in
+    /// [`SimKey::feature_names`] order.
+    ///
+    /// Two configurations with equal feature vectors (for the same workload
+    /// and simulation knobs) run bit-identical simulations — the projection
+    /// that makes [`SimCache`] sound is exactly what makes these features
+    /// *sufficient* for a learned surrogate of the simulator.  The workload,
+    /// `max_instructions` and `stream_seed` are deliberately absent: a
+    /// surrogate is trained per workload under fixed simulation knobs, and
+    /// the sweep fingerprint guards those from drifting between training and
+    /// inference.
+    pub fn features(&self) -> [f64; Self::FEATURE_COUNT] {
+        [
+            f64::from(self.fetch_width),
+            f64::from(self.fetch_buffer_entries),
+            f64::from(self.decode_width),
+            f64::from(self.rob_entries),
+            f64::from(self.int_issue_width),
+            f64::from(self.mem_fp_issue_width),
+            f64::from(self.cache_ways),
+            f64::from(self.tlb_entries),
+            f64::from(self.ldq_stq_entries),
+            f64::from(self.mshr_entries),
+            f64::from(self.predictor_entries),
+        ]
+    }
+
+    /// Names of the features [`SimKey::features`] emits, in order.
+    pub fn feature_names() -> &'static [&'static str] {
+        &FEATURE_NAMES
     }
 }
 
@@ -261,6 +314,23 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(cache.stats(), SimCacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn features_align_with_names_and_separate_visible_differences() {
+        let cfgs = boom_configs();
+        let sim = SimConfig::fast();
+        let a = SimKey::new(&cfgs[0], Workload::Qsort, &sim);
+        let b = SimKey::new(&cfgs[14], Workload::Qsort, &sim);
+        assert_eq!(SimKey::feature_names().len(), SimKey::FEATURE_COUNT);
+        assert_eq!(a.features().len(), SimKey::FEATURE_COUNT);
+        assert!(a.features().iter().all(|v| v.is_finite() && *v >= 1.0));
+        assert_ne!(a.features(), b.features());
+        // Equal keys project onto equal feature vectors by construction.
+        assert_eq!(
+            a.features(),
+            SimKey::new(&cfgs[0], Workload::Qsort, &sim).features()
+        );
     }
 
     #[test]
