@@ -1,0 +1,150 @@
+//! Load generator for the prediction server: requests/sec and latency
+//! percentiles over loopback TCP against an in-process `serve::Server`.
+//!
+//! Starts a server from a saved fast-trained `autopower` model (the
+//! cold-start path the real binary takes — no retraining), then drives it
+//! with concurrent client connections issuing fixed batches and records the
+//! mean per-request wall time (the throughput entry: requests/sec =
+//! 1e9 / ns_per_iter) and the p50/p99 request latencies.  Two batch shapes
+//! bracket the service's envelope: single-config requests (latency-bound)
+//! and 16-config × 3-workload requests (batch-scoring-bound).
+//!
+//! Run with `cargo bench --bench serve [filter] [--json FILE]`.
+
+use autopower::{save_model, Corpus, CorpusSpec, ModelKind};
+use autopower_bench::harness::Bench;
+use autopower_config::{boom_configs, ConfigId, CpuConfig, DesignSpace, Workload};
+use autopower_serve::client::Client;
+use autopower_serve::server::{ServeOptions, Server};
+use std::time::{Duration, Instant};
+
+/// Client connections driving the server concurrently.
+const CONNECTIONS: usize = 4;
+
+/// Requests issued per connection per scenario.
+const REQUESTS_PER_CONNECTION: usize = 25;
+
+/// Trains the served model once and saves it where the server will load it.
+fn saved_model_path() -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("autopower-serve-bench-{}.apm", std::process::id()));
+    let cfgs = boom_configs();
+    let corpus = Corpus::generate(
+        &[cfgs[0], cfgs[14]],
+        &[Workload::Dhrystone, Workload::Vvadd],
+        &CorpusSpec::fast(),
+    );
+    let model = ModelKind::AutoPower
+        .train(&corpus, &[ConfigId::new(1), ConfigId::new(15)])
+        .expect("train the served model");
+    save_model(model.as_ref(), &path).expect("save the served model");
+    path
+}
+
+/// Drives one scenario: every connection issues `REQUESTS_PER_CONNECTION`
+/// identical batches; returns every request latency plus the scenario wall
+/// time.
+fn drive(
+    server: &Server,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+) -> (Vec<Duration>, Duration) {
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(server.addr()).expect("connect");
+                    (0..REQUESTS_PER_CONNECTION)
+                        .map(|_| {
+                            let sent = Instant::now();
+                            client
+                                .predict(ModelKind::AutoPower, configs, workloads)
+                                .expect("predict");
+                            sent.elapsed()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    (latencies, wall)
+}
+
+/// The `k`-th percentile of sorted latencies (nearest-rank).
+fn percentile(sorted: &[Duration], k: usize) -> Duration {
+    let rank = (sorted.len() * k).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn scenario(
+    bench: &Bench,
+    server: &Server,
+    label: &str,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+) {
+    // One untimed warm-up pass populates the simulation cache and worker
+    // scratch, so the measured pass reflects steady-state serving.
+    drive(server, configs, workloads);
+    let (latencies, wall) = drive(server, configs, workloads);
+    let total = latencies.len() as u64;
+    let per_request = wall / total as u32;
+    let rps = 1e9 / per_request.as_nanos() as f64;
+    println!(
+        "serve_{label}: {total} requests over {CONNECTIONS} connections in {:.2?} -> {rps:.1} req/s",
+        wall
+    );
+    bench.record(&format!("serve_rps_{label}"), per_request, total);
+    bench.record(
+        &format!("serve_p50_{label}"),
+        percentile(&latencies, 50),
+        total,
+    );
+    bench.record(
+        &format!("serve_p99_{label}"),
+        percentile(&latencies, 99),
+        total,
+    );
+}
+
+fn main() {
+    let bench = Bench::from_args();
+    let path = saved_model_path();
+
+    // Immediate dispatch (max-wait 0): the latency-bound configuration.
+    let server = Server::start(
+        "127.0.0.1:0",
+        vec![path.clone()],
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::fast()
+        },
+    )
+    .expect("server starts");
+
+    let single = DesignSpace::boom().sample(1, 3);
+    let batch = DesignSpace::boom().sample(16, 3);
+    let one_workload = [Workload::Dhrystone];
+    let three_workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+
+    if bench.should_run("serve_rps_b1w1") {
+        scenario(&bench, &server, "b1w1", &single, &one_workload);
+    }
+    if bench.should_run("serve_rps_b16w3") {
+        scenario(&bench, &server, "b16w3", &batch, &three_workloads);
+    }
+
+    let mut client = Client::connect(server.addr()).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+    let _ = std::fs::remove_file(&path);
+
+    bench.finish();
+}

@@ -99,7 +99,7 @@ pub use surrogate::{
 };
 pub use sweep::{
     config_summary, rank_by_efficiency, summarize, sweep_multi, sweep_multi_with_stats,
-    ConfigSummary, SimBackend, SweepEngine, SweepPoint, SweepSpec,
+    ConfigSummary, EngineScratch, SimBackend, SweepEngine, SweepPoint, SweepSpec,
 };
 pub use trace::{
     evaluate_trace_prediction, trace_errors, PowerTracePredictor, PredictedPowerTrace,

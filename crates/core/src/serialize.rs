@@ -92,12 +92,19 @@ pub fn save_model(model: &dyn PowerModel, path: impl AsRef<Path>) -> Result<(), 
 /// # Errors
 ///
 /// Returns [`AutoPowerError::ModelIo`] if the file cannot be read and
-/// [`AutoPowerError::ModelFormat`] if it does not parse.
+/// [`AutoPowerError::ModelFormat`] if it does not parse.  Both name the
+/// offending path: a server cold-starting from several model files (or hot
+/// reloading them) must be able to say *which* file is broken.
 pub fn load_model(path: impl AsRef<Path>) -> Result<Box<dyn PowerModel>, AutoPowerError> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)
         .map_err(|e| AutoPowerError::ModelIo(format!("reading {}: {e}", path.display())))?;
-    decode_model(&text)
+    decode_model(&text).map_err(|e| match e {
+        AutoPowerError::ModelFormat(message) => {
+            AutoPowerError::ModelFormat(format!("{}: {message}", path.display()))
+        }
+        other => other,
+    })
 }
 
 impl From<CodecError> for AutoPowerError {
@@ -421,6 +428,33 @@ mod tests {
 
         let err = load_model(dir.join("does-not-exist.apm")).unwrap_err();
         assert!(matches!(err, AutoPowerError::ModelIo(_)));
+    }
+
+    #[test]
+    fn load_errors_name_the_offending_file() {
+        let dir = std::env::temp_dir().join("autopower-serialize-path-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // I/O failure: the missing file's path is in the message.
+        let missing = dir.join("missing.apm");
+        let err = load_model(&missing).unwrap_err();
+        assert!(matches!(err, AutoPowerError::ModelIo(_)));
+        assert!(
+            err.to_string().contains("missing.apm"),
+            "I/O error must name the file: {err}"
+        );
+
+        // Format failure: a readable but malformed file is named too — a
+        // server loading several model files must say which one is broken.
+        let garbage = dir.join("garbage.apm");
+        std::fs::write(&garbage, "not a model file\n").unwrap();
+        let err = load_model(&garbage).unwrap_err();
+        assert!(matches!(err, AutoPowerError::ModelFormat(_)));
+        assert!(
+            err.to_string().contains("garbage.apm"),
+            "format error must name the file: {err}"
+        );
+        std::fs::remove_file(&garbage).ok();
     }
 
     #[test]

@@ -470,7 +470,8 @@ pub fn load_surrogate(path: impl AsRef<Path>) -> Result<ActivitySurrogate, AutoP
 /// audited points of a sweep.
 ///
 /// Absolute percentage errors are accumulated as fixed-point integers
-/// ([`APE_SCALE`]), so the sums — and therefore the reported MAPE — are
+/// (scaled by the private `APE_SCALE` constant, 2^32 per unit), so the
+/// sums — and therefore the reported MAPE — are
 /// bit-identical for every thread count and accumulation order, and
 /// serialize exactly into a sweep checkpoint for resume.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -232,6 +232,39 @@ impl ChunkScratch {
     }
 }
 
+/// Reusable worker state of [`SweepEngine::run_with`] /
+/// [`SweepEngine::for_each_point_with`]: the per-chunk scoring scratch
+/// (pipeline machine, replay streams, [`FeatureScratch`], batch buffers),
+/// opaque so its layout can evolve with the engine.
+///
+/// A long-running caller — the serving layer's worker pool — holds one per
+/// worker thread and reuses it across every batch it scores, so the
+/// heavyweight allocations are materialized once per worker instead of once
+/// per request.  Reuse is correctness-neutral: scoring with a fresh scratch
+/// and with an arbitrarily reused one is bit-identical (pinned by the
+/// `design_sweep` integration tests).
+#[derive(Default)]
+pub struct EngineScratch(ChunkScratch);
+
+impl EngineScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self(ChunkScratch::new())
+    }
+}
+
+impl std::fmt::Debug for EngineScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineScratch").finish_non_exhaustive()
+    }
+}
+
+impl Default for ChunkScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// How a sweep obtains each point's event parameters.
 #[derive(Debug, Clone, Copy)]
 pub enum SimBackend<'a> {
@@ -582,10 +615,8 @@ impl<'a> SweepEngine<'a> {
             // streams, pipeline state and batch buffers are materialized once
             // instead of once per shard.  Scoring order — and therefore
             // output — is identical to the sharded path.
-            let mut scratch = ChunkScratch::new();
-            for shard in configs.chunks(chunk) {
-                self.score_chunk(cache, shard, workloads, &mut scratch, &mut sink);
-            }
+            let mut scratch = EngineScratch::new();
+            self.for_each_point_with(configs, workloads, &mut scratch, sink);
             return;
         }
         for shard in configs.chunks(chunk) {
@@ -608,6 +639,29 @@ impl<'a> SweepEngine<'a> {
         }
     }
 
+    /// [`SweepEngine::for_each_point`] scoring serially through a
+    /// caller-owned [`EngineScratch`], so a resident process can reuse one
+    /// scratch across many engine runs.
+    ///
+    /// Ignores [`SweepSpec::threads`] — the caller owns the parallelism (one
+    /// scratch per worker thread, as the serving layer does).  Output is
+    /// bit-identical to [`SweepEngine::for_each_point`] at any thread count
+    /// and to a fresh-scratch run: reuse only skips re-allocating buffers
+    /// that are fully overwritten per chunk.
+    pub fn for_each_point_with(
+        &self,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+        scratch: &mut EngineScratch,
+        mut sink: impl FnMut(SweepPoint),
+    ) {
+        let cache = self.spec.use_sim_cache.then_some(&self.cache);
+        let chunk = self.spec.chunk_configs.max(1);
+        for shard in configs.chunks(chunk) {
+            self.score_chunk(cache, shard, workloads, &mut scratch.0, &mut sink);
+        }
+    }
+
     /// Scores every `(configuration, workload)` pair, configuration-major, in
     /// deterministic input order.
     ///
@@ -616,6 +670,21 @@ impl<'a> SweepEngine<'a> {
         let mut points = Vec::with_capacity(configs.len() * workloads.len());
         self.for_each_point(configs, workloads, |p| points.push(p));
         points
+    }
+
+    /// Materializing wrapper over [`SweepEngine::for_each_point_with`]:
+    /// serial scoring into `out` (cleared first) through a caller-owned
+    /// reusable scratch.
+    pub fn run_with(
+        &self,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+        scratch: &mut EngineScratch,
+        out: &mut Vec<SweepPoint>,
+    ) {
+        out.clear();
+        out.reserve(configs.len() * workloads.len());
+        self.for_each_point_with(configs, workloads, scratch, |p| out.push(p));
     }
 
     /// Scores every pair and folds the points into one [`ConfigSummary`] per
@@ -915,6 +984,24 @@ mod tests {
         let parallel =
             SweepEngine::new(&model, SweepSpec::fast().threads(8)).run(&configs, &workloads);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reused_engine_scratch_scoring_is_bit_identical() {
+        let model = trained_model();
+        let first = DesignSpace::boom().sample(4, 13);
+        let second = DesignSpace::boom().sample(5, 99);
+        let workloads = [Workload::Dhrystone, Workload::Qsort];
+        let spec = SweepSpec::fast().threads(1);
+        let engine = SweepEngine::new(&model, spec);
+        let mut scratch = EngineScratch::new();
+        let mut out = Vec::new();
+        engine.run_with(&first, &workloads, &mut scratch, &mut out);
+        assert_eq!(out, engine.run(&first, &workloads));
+        // The same scratch carried into a different batch (and a different
+        // shape) scores identically to a fresh engine with a fresh scratch.
+        engine.run_with(&second, &workloads, &mut scratch, &mut out);
+        assert_eq!(out, SweepEngine::new(&model, spec).run(&second, &workloads));
     }
 
     #[test]

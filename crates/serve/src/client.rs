@@ -1,0 +1,195 @@
+//! The client library: one blocking connection, typed request/response pairs.
+//!
+//! Used by the `predict-remote` CLI verb, the serve load-generator bench and
+//! the integration tests — anything that talks to a running
+//! [`Server`](crate::server::Server).  One [`Client`] owns one TCP
+//! connection and pipelines nothing: every method writes one frame and reads
+//! one frame, so errors map one-to-one onto requests.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError, MAX_CONFIGS,
+    MAX_POINTS, MAX_WORKLOADS,
+};
+use autopower::ModelKind;
+use autopower_config::{CpuConfig, Workload};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a request can fail with, client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection could not be opened or died mid-request.
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a frame.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The request was refused locally before anything hit the wire
+    /// (empty batch, protocol limits exceeded).
+    Request(String),
+    /// The server answered with a frame type this request does not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Wire(e) => write!(f, "bad response: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused ({code}): {message}")
+            }
+            ClientError::Request(m) => write!(f, "invalid request: {m}"),
+            ClientError::Unexpected(what) => {
+                write!(f, "unexpected response frame: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A blocking connection to a prediction server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be opened.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// One request/response exchange.
+    fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Scores `configs × workloads` under `kind` on the server.  The points
+    /// come back configuration-major in request order — the same order as an
+    /// offline [`SweepEngine::run`](autopower::SweepEngine::run) over the
+    /// same slices — and bit-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Request`] for an empty or over-limit batch (checked
+    /// locally), [`ClientError::Server`] for a typed server refusal
+    /// (unknown model, draining, internal failure), [`ClientError::Io`] /
+    /// [`ClientError::Wire`] for transport trouble.
+    pub fn predict(
+        &mut self,
+        kind: ModelKind,
+        configs: &[CpuConfig],
+        workloads: &[Workload],
+    ) -> Result<Vec<ServedPoint>, ClientError> {
+        if configs.is_empty() || configs.len() > MAX_CONFIGS {
+            return Err(ClientError::Request(format!(
+                "config count {} out of range (1..={MAX_CONFIGS})",
+                configs.len()
+            )));
+        }
+        if workloads.is_empty() || workloads.len() > MAX_WORKLOADS {
+            return Err(ClientError::Request(format!(
+                "workload count {} out of range (1..={MAX_WORKLOADS})",
+                workloads.len()
+            )));
+        }
+        let expected = configs.len() * workloads.len();
+        if expected > MAX_POINTS {
+            return Err(ClientError::Request(format!(
+                "{} configs x {} workloads exceeds the {MAX_POINTS}-point limit",
+                configs.len(),
+                workloads.len()
+            )));
+        }
+        let request = Frame::PredictRequest {
+            kind,
+            configs: configs.to_vec(),
+            workloads: workloads.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Frame::PredictResponse { points } => {
+                if points.len() != expected {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "expected {expected} points, server sent {}",
+                        points.len()
+                    ))));
+                }
+                Ok(points)
+            }
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("wanted predict-response")),
+        }
+    }
+
+    /// Asks the server what it is serving and under which knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`Client::predict`].
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.roundtrip(&Frame::Info)? {
+            Frame::InfoResponse(info) => Ok(info),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("wanted info-response")),
+        }
+    }
+
+    /// Asks the server to re-read its model files and swap them in
+    /// atomically; returns the freshly loaded kinds.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::ReloadFailed`] when any
+    /// file refuses to load (the message names the file; the old models
+    /// keep serving).
+    pub fn reload(&mut self) -> Result<Vec<ModelKind>, ClientError> {
+        match self.roundtrip(&Frame::Reload)? {
+            Frame::ReloadResponse { kinds } => Ok(kinds),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("wanted reload-response")),
+        }
+    }
+
+    /// Asks the server to drain and exit.  Returns once the server has
+    /// acknowledged; pair with [`Server::join`](crate::server::Server::join)
+    /// to wait for the exit itself.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`Client::predict`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::ShutdownResponse => Ok(()),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("wanted shutdown-response")),
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Command-line entry point of the prediction service.
+//!
+//! ```text
+//! autopower-serve serve          --model FILE [--model FILE ...] [--addr HOST:PORT]
+//!                                [--workers N] [--max-batch N] [--max-wait-us N] [--fast]
+//! autopower-serve predict-remote --addr HOST:PORT [--kind NAME] [--count N]
+//!                                [--seed N] [--workloads a,b,c]
+//! autopower-serve predict-local  --model FILE [--fast] [--count N] [--seed N]
+//!                                [--workloads a,b,c]
+//! autopower-serve info|reload|shutdown --addr HOST:PORT
+//! ```
+//!
+//! `serve` cold-starts from saved model files (written by
+//! `autopower-experiments save-model`) and prints the bound address —
+//! `--addr 127.0.0.1:0` picks an ephemeral port, which is how the CI smoke
+//! runs it.  `predict-remote` and `predict-local` print the **same report
+//! for the same inputs**: every value is rendered with its raw IEEE-754 bit
+//! pattern, so a byte-for-byte `diff` of the two outputs proves the served
+//! predictions are bit-identical to the offline sweep, not merely close.
+//! The sampled configurations are deterministic in `--count`/`--seed`, so
+//! client and offline runs agree on the inputs without sharing state.
+
+use autopower::{load_model, ModelKind, SweepEngine, SweepSpec};
+use autopower_config::{CpuConfig, DesignSpace, Workload};
+use autopower_serve::client::Client;
+use autopower_serve::protocol::ServedPoint;
+use autopower_serve::server::{ServeOptions, Server};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Default configurations sampled by the predict verbs.
+const DEFAULT_COUNT: usize = 8;
+
+/// Default design-space sampling seed of the predict verbs.
+const DEFAULT_SEED: u64 = 7;
+
+/// Default workload list of the predict verbs.
+const DEFAULT_WORKLOADS: &str = "dhrystone,qsort";
+
+/// The usage string, with model and workload names derived from the
+/// registries so help text cannot drift.
+fn usage() -> String {
+    let models: Vec<&str> = ModelKind::ALL
+        .iter()
+        .map(|kind| kind.registry_name())
+        .collect();
+    let workloads: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+    format!(
+        "usage: autopower-serve serve --model FILE [--model FILE ...] [--addr HOST:PORT] \
+         [--workers N] [--max-batch N] [--max-wait-us N] [--fast]\n\
+         \x20      autopower-serve predict-remote --addr HOST:PORT [--kind NAME] [--count N] \
+         [--seed N] [--workloads a,b,c]\n\
+         \x20      autopower-serve predict-local --model FILE [--fast] [--count N] [--seed N] \
+         [--workloads a,b,c]\n\
+         \x20      autopower-serve info|reload|shutdown --addr HOST:PORT\n\
+         serve loads saved models (autopower-experiments save-model) and answers predict \
+         requests until a shutdown request drains it; --addr defaults to 127.0.0.1:0 (an \
+         ephemeral port; the bound address is printed), --workers 0 means one per core, \
+         --max-wait-us 0 dispatches each request immediately\n\
+         predict-remote and predict-local print bit-exact reports over the same \
+         deterministically sampled configurations, so their outputs diff clean when the \
+         server serves the same model file under the same (--fast or paper) settings\n\
+         kinds: {}\n\
+         workloads: {} (default: {DEFAULT_WORKLOADS})",
+        models.join(", "),
+        workloads.join(", "),
+    )
+}
+
+/// One parsed invocation.
+#[derive(Debug, PartialEq)]
+enum Command {
+    /// Run the server until drained.
+    Serve {
+        models: Vec<PathBuf>,
+        addr: String,
+        workers: usize,
+        max_batch: usize,
+        max_wait_us: u64,
+        fast: bool,
+    },
+    /// Score sampled configurations against a running server.
+    PredictRemote {
+        addr: String,
+        kind: Option<ModelKind>,
+        count: usize,
+        seed: u64,
+        workloads: Vec<Workload>,
+    },
+    /// Score the same sampled configurations offline — the diff reference.
+    PredictLocal {
+        model: PathBuf,
+        fast: bool,
+        count: usize,
+        seed: u64,
+        workloads: Vec<Workload>,
+    },
+    /// Print what a running server serves.
+    Info { addr: String },
+    /// Ask a running server to re-read its model files.
+    Reload { addr: String },
+    /// Ask a running server to drain and exit.
+    Shutdown { addr: String },
+    /// Print usage.
+    Help,
+}
+
+fn parse_number<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value.parse::<T>().map_err(|_| {
+        format!(
+            "{flag} needs a non-negative integer, got '{value}'\n{}",
+            usage()
+        )
+    })
+}
+
+/// Parses a comma-separated workload list against [`Workload::ALL`] names.
+fn parse_workloads(list: &str) -> Result<Vec<Workload>, String> {
+    list.split(',')
+        .map(|name| {
+            let name = name.trim();
+            Workload::ALL
+                .iter()
+                .copied()
+                .find(|w| w.name() == name)
+                .ok_or_else(|| format!("unknown workload '{name}'\n{}", usage()))
+        })
+        .collect()
+}
+
+/// Parses the argument list (verb first, flags after, `--flag value` form).
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String> {
+    let mut iter = args.into_iter();
+    let verb = match iter.next() {
+        Some(v) => v,
+        None => return Ok(Command::Help),
+    };
+    if verb == "--help" || verb == "-h" {
+        return Ok(Command::Help);
+    }
+
+    // Flag accumulators shared across verbs; each verb validates what it
+    // consumes and rejects what it does not.
+    let mut models: Vec<PathBuf> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut workers = 0usize;
+    let mut max_batch = ServeOptions::paper().max_batch;
+    let mut max_wait_us = 0u64;
+    let mut fast = false;
+    let mut kind: Option<ModelKind> = None;
+    let mut count = DEFAULT_COUNT;
+    let mut seed = DEFAULT_SEED;
+    let mut workloads = parse_workloads(DEFAULT_WORKLOADS).expect("default workloads parse");
+    let mut seen: Vec<String> = Vec::new();
+
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| -> Result<String, String> {
+            iter.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--fast" => fast = true,
+            "--model" => models.push(PathBuf::from(value_for("--model")?)),
+            "--addr" => addr = Some(value_for("--addr")?),
+            "--workers" => workers = parse_number(&value_for("--workers")?, "--workers")?,
+            "--max-batch" => {
+                max_batch = parse_number(&value_for("--max-batch")?, "--max-batch")?;
+                if max_batch == 0 {
+                    return Err(format!("--max-batch must be at least 1\n{}", usage()));
+                }
+            }
+            "--max-wait-us" => {
+                max_wait_us = parse_number(&value_for("--max-wait-us")?, "--max-wait-us")?;
+            }
+            "--kind" => {
+                let name = value_for("--kind")?;
+                kind = Some(
+                    name.parse::<ModelKind>()
+                        .map_err(|e| format!("{e}\n{}", usage()))?,
+                );
+            }
+            "--count" => {
+                count = parse_number(&value_for("--count")?, "--count")?;
+                if count == 0 {
+                    return Err(format!("--count must be at least 1\n{}", usage()));
+                }
+            }
+            "--seed" => seed = parse_number(&value_for("--seed")?, "--seed")?,
+            "--workloads" => workloads = parse_workloads(&value_for("--workloads")?)?,
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+        seen.push(arg);
+    }
+
+    let reject = |allowed: &[&str], seen: &[String]| -> Result<(), String> {
+        for flag in seen {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(format!("'{flag}' does not apply to '{verb}'\n{}", usage()));
+            }
+        }
+        Ok(())
+    };
+    let required_addr = |addr: Option<String>| -> Result<String, String> {
+        addr.ok_or_else(|| format!("'{verb}' needs --addr HOST:PORT\n{}", usage()))
+    };
+
+    match verb.as_str() {
+        "serve" => {
+            reject(
+                &[
+                    "--model",
+                    "--addr",
+                    "--workers",
+                    "--max-batch",
+                    "--max-wait-us",
+                    "--fast",
+                ],
+                &seen,
+            )?;
+            if models.is_empty() {
+                return Err(format!(
+                    "serve needs at least one --model FILE\n{}",
+                    usage()
+                ));
+            }
+            Ok(Command::Serve {
+                models,
+                addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_owned()),
+                workers,
+                max_batch,
+                max_wait_us,
+                fast,
+            })
+        }
+        "predict-remote" => {
+            reject(
+                &["--addr", "--kind", "--count", "--seed", "--workloads"],
+                &seen,
+            )?;
+            Ok(Command::PredictRemote {
+                addr: required_addr(addr)?,
+                kind,
+                count,
+                seed,
+                workloads,
+            })
+        }
+        "predict-local" => {
+            reject(
+                &["--model", "--fast", "--count", "--seed", "--workloads"],
+                &seen,
+            )?;
+            if models.len() != 1 {
+                return Err(format!(
+                    "predict-local needs exactly one --model FILE\n{}",
+                    usage()
+                ));
+            }
+            Ok(Command::PredictLocal {
+                model: models.remove(0),
+                fast,
+                count,
+                seed,
+                workloads,
+            })
+        }
+        "info" => {
+            reject(&["--addr"], &seen)?;
+            Ok(Command::Info {
+                addr: required_addr(addr)?,
+            })
+        }
+        "reload" => {
+            reject(&["--addr"], &seen)?;
+            Ok(Command::Reload {
+                addr: required_addr(addr)?,
+            })
+        }
+        "shutdown" => {
+            reject(&["--addr"], &seen)?;
+            Ok(Command::Shutdown {
+                addr: required_addr(addr)?,
+            })
+        }
+        other => Err(format!("unknown verb '{other}'\n{}", usage())),
+    }
+}
+
+/// The deterministic inputs both predict verbs score: `count` generated
+/// configurations sampled at `seed` from the BOOM design space.
+fn sampled_configs(count: usize, seed: u64) -> Vec<CpuConfig> {
+    DesignSpace::boom().sample(count, seed)
+}
+
+/// Renders one prediction report.  Every floating-point value carries its
+/// raw bit pattern, so two reports diff byte-for-byte equal **iff** the
+/// predictions are bit-identical.
+fn render_report(
+    kind: ModelKind,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+    points: &[ServedPoint],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model {kind}: {} configs x {} workloads ({} points)",
+        configs.len(),
+        workloads.len(),
+        points.len()
+    );
+    for (i, config) in configs.iter().enumerate() {
+        for (j, workload) in workloads.iter().enumerate() {
+            let point = &points[i * workloads.len() + j];
+            let total = point.power.total();
+            let _ = write!(
+                out,
+                "{} {} ipc {:016x} total {:016x} ({:.6} mW)",
+                config.id,
+                workload.name(),
+                point.ipc.to_bits(),
+                total.to_bits(),
+                total
+            );
+            if let Some(groups) = point.power.groups() {
+                let _ = write!(
+                    out,
+                    " groups {:016x} {:016x} {:016x} {:016x}",
+                    groups.clock.to_bits(),
+                    groups.sram.to_bits(),
+                    groups.register.to_bits(),
+                    groups.combinational.to_bits()
+                );
+            }
+            if let Some(breakdown) = point.power.components() {
+                let _ = write!(out, " components");
+                for (_, entry) in breakdown.iter() {
+                    let _ = write!(out, " {:016x}", entry.total.to_bits());
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Command::Serve {
+            models,
+            addr,
+            workers,
+            max_batch,
+            max_wait_us,
+            fast,
+        } => {
+            let base = if fast {
+                ServeOptions::fast()
+            } else {
+                ServeOptions::paper()
+            };
+            let options = ServeOptions {
+                workers,
+                max_batch,
+                max_wait: Duration::from_micros(max_wait_us),
+                ..base
+            };
+            let server =
+                Server::start(addr.as_str(), models, options).map_err(|e| e.to_string())?;
+            println!(
+                "autopower-serve listening on {} ({} workers, max-batch {}, max-wait {}us)",
+                server.addr(),
+                options.effective_workers(),
+                options.max_batch,
+                max_wait_us
+            );
+            server.join().map_err(|e| e.to_string())
+        }
+        Command::PredictRemote {
+            addr,
+            kind,
+            count,
+            seed,
+            workloads,
+        } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            let kind = match kind {
+                Some(kind) => kind,
+                None => {
+                    // No --kind: take the server's word, but only when it is
+                    // unambiguous.
+                    let info = client.info().map_err(|e| e.to_string())?;
+                    match info.kinds.as_slice() {
+                        [only] => *only,
+                        many => {
+                            let names: Vec<&str> = many.iter().map(|k| k.registry_name()).collect();
+                            return Err(format!(
+                                "server serves several models ({}); pick one with --kind",
+                                names.join(", ")
+                            ));
+                        }
+                    }
+                }
+            };
+            let configs = sampled_configs(count, seed);
+            let points = client
+                .predict(kind, &configs, &workloads)
+                .map_err(|e| e.to_string())?;
+            print!("{}", render_report(kind, &configs, &workloads, &points));
+            Ok(())
+        }
+        Command::PredictLocal {
+            model,
+            fast,
+            count,
+            seed,
+            workloads,
+        } => {
+            let model = load_model(&model).map_err(|e| e.to_string())?;
+            let spec = if fast {
+                SweepSpec::fast()
+            } else {
+                SweepSpec::paper()
+            };
+            let configs = sampled_configs(count, seed);
+            let engine = SweepEngine::new(model.as_ref(), spec);
+            let points: Vec<ServedPoint> = engine
+                .run(&configs, &workloads)
+                .into_iter()
+                .map(|p| ServedPoint {
+                    power: p.power,
+                    ipc: p.ipc,
+                })
+                .collect();
+            print!(
+                "{}",
+                render_report(model.kind(), &configs, &workloads, &points)
+            );
+            Ok(())
+        }
+        Command::Info { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            let info = client.info().map_err(|e| e.to_string())?;
+            let kinds: Vec<&str> = info.kinds.iter().map(|k| k.registry_name()).collect();
+            println!(
+                "serving: {} ({} workers, max-batch {}, max-wait {}us)",
+                kinds.join(", "),
+                info.workers,
+                info.max_batch,
+                info.max_wait_us
+            );
+            Ok(())
+        }
+        Command::Reload { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            let kinds = client.reload().map_err(|e| e.to_string())?;
+            let names: Vec<&str> = kinds.iter().map(|k| k.registry_name()).collect();
+            println!("reloaded: {}", names.join(", "));
+            Ok(())
+        }
+        Command::Shutdown { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown acknowledged; server is draining");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(command) => match run(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_repeated_models() {
+        let parsed = parse(&["serve", "--model", "a.apm", "--model", "b.apm", "--fast"]).unwrap();
+        assert_eq!(
+            parsed,
+            Command::Serve {
+                models: vec![PathBuf::from("a.apm"), PathBuf::from("b.apm")],
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 0,
+                max_batch: ServeOptions::paper().max_batch,
+                max_wait_us: 0,
+                fast: true,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_without_models_is_rejected() {
+        assert!(parse(&["serve"]).unwrap_err().contains("--model"));
+    }
+
+    #[test]
+    fn predict_remote_parses_kind_and_workloads() {
+        let parsed = parse(&[
+            "predict-remote",
+            "--addr",
+            "127.0.0.1:9000",
+            "--kind",
+            "mcpat-calib",
+            "--count",
+            "3",
+            "--seed",
+            "11",
+            "--workloads",
+            "gemm,vvadd",
+        ])
+        .unwrap();
+        assert_eq!(
+            parsed,
+            Command::PredictRemote {
+                addr: "127.0.0.1:9000".to_owned(),
+                kind: Some(ModelKind::McpatCalib),
+                count: 3,
+                seed: 11,
+                workloads: vec![Workload::Gemm, Workload::Vvadd],
+            }
+        );
+    }
+
+    #[test]
+    fn predict_remote_requires_addr() {
+        assert!(parse(&["predict-remote"]).unwrap_err().contains("--addr"));
+    }
+
+    #[test]
+    fn unknown_workload_and_kind_fail_at_parse_time() {
+        let err = parse(&[
+            "predict-remote",
+            "--addr",
+            "x:1",
+            "--workloads",
+            "dhrystone,nope",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown workload 'nope'"));
+        let err = parse(&["predict-remote", "--addr", "x:1", "--kind", "nope"]).unwrap_err();
+        assert!(err.to_lowercase().contains("unknown model"));
+    }
+
+    #[test]
+    fn flags_are_scoped_to_their_verb() {
+        let err = parse(&["info", "--addr", "x:1", "--count", "3"]).unwrap_err();
+        assert!(err.contains("does not apply"));
+        let err = parse(&["serve", "--model", "a.apm", "--kind", "autopower"]).unwrap_err();
+        assert!(err.contains("does not apply"));
+    }
+
+    #[test]
+    fn predict_local_needs_exactly_one_model() {
+        let err = parse(&["predict-local"]).unwrap_err();
+        assert!(err.contains("exactly one --model"));
+        let parsed = parse(&["predict-local", "--model", "a.apm", "--fast"]).unwrap();
+        assert_eq!(
+            parsed,
+            Command::PredictLocal {
+                model: PathBuf::from("a.apm"),
+                fast: true,
+                count: DEFAULT_COUNT,
+                seed: DEFAULT_SEED,
+                workloads: vec![Workload::Dhrystone, Workload::Qsort],
+            }
+        );
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        assert!(parse(&["predict-remote", "--addr", "x:1", "--count", "0"]).is_err());
+        assert!(parse(&["serve", "--model", "a.apm", "--max-batch", "0"]).is_err());
+    }
+}

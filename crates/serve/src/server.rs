@@ -1,0 +1,684 @@
+//! The resident server: accept loop, request-batching queue, scoring workers.
+//!
+//! # Thread shape (no async runtime — the workspace is offline)
+//!
+//! ```text
+//! accept thread ──► one thread per connection ──► queue (Mutex + Condvar)
+//!                                                    │
+//!                                              batcher thread
+//!                                         (merge compatible jobs,
+//!                                          max-batch / max-wait knob)
+//!                                                    │
+//!                                            worker pool (N threads,
+//!                                      each owns one long-lived scratch)
+//! ```
+//!
+//! Connection threads decode frames and enqueue jobs; the batcher merges
+//! jobs that score under the same model and workload list into one batch
+//! (sound because batch scoring is pinned bit-identical to per-point
+//! scoring); workers run each batch through
+//! [`SweepEngine::run_with`] with a per-worker [`EngineScratch`] that lives
+//! as long as the worker — the same reuse discipline as `parallel_map_with`
+//! in the sweep, so the heavyweight buffers are materialized once per
+//! worker, not once per request.
+//!
+//! # Hot reload and drain
+//!
+//! The loaded models live behind `Mutex<Arc<ModelSet>>`.  A predict request
+//! captures its `Arc` at enqueue time, so a concurrent reload never changes
+//! an in-flight request: reload loads every path fresh (all-or-nothing — a
+//! corrupt file refuses the whole reload and the old set keeps serving),
+//! then swaps the `Arc`.  Shutdown acknowledges, stops accepting, lets every
+//! queued job finish, joins every thread, and returns — never a panic, never
+//! a hang.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError,
+    MAX_ERROR_MESSAGE,
+};
+use autopower::{
+    load_model, AutoPowerError, EngineScratch, ModelKind, PowerModel, SweepEngine, SweepSpec,
+};
+use autopower_config::{CpuConfig, Workload};
+use autopower_perfsim::SimConfig;
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle connection thread re-checks the drain flag.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// How long a started frame may take to arrive in full before the
+/// connection is declared dead (guards drain against half-frame stalls).
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serving knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeOptions {
+    /// Scoring worker threads: `0` (the default) uses one per available
+    /// core.  Predictions are bit-identical for every value.
+    pub workers: usize,
+    /// The latency/throughput knob, throughput side: once this many points
+    /// are queued the batcher dispatches without waiting out the window.
+    /// Larger batches amortize forest-major scoring; bit-identical either
+    /// way.
+    pub max_batch: usize,
+    /// The latency/throughput knob, latency side: how long the batcher holds
+    /// the first queued job to let mergeable jobs arrive.  Zero (the
+    /// default) dispatches immediately.
+    pub max_wait: Duration,
+    /// Performance-simulation settings every request is scored under — must
+    /// match the offline run being compared against.
+    pub sim: SimConfig,
+}
+
+impl ServeOptions {
+    /// Paper-scale simulation settings.
+    pub fn paper() -> Self {
+        Self {
+            workers: 0,
+            max_batch: 256,
+            max_wait: Duration::ZERO,
+            sim: SimConfig::paper(),
+        }
+    }
+
+    /// Small, fast settings for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            sim: SimConfig::fast(),
+            ..Self::paper()
+        }
+    }
+
+    /// The worker count the server will actually use.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        }
+    }
+
+    /// The sweep settings every scoring batch runs under (serial: the worker
+    /// pool is the parallelism).
+    fn sweep_spec(&self) -> SweepSpec {
+        SweepSpec {
+            sim: self.sim,
+            threads: 1,
+            chunk_configs: 64,
+            use_sim_cache: true,
+        }
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Everything that can go wrong starting or running a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup or accept-loop failure.
+    Io(String),
+    /// A model file failed to load (the message names the path).
+    Model(AutoPowerError),
+    /// Invalid configuration (no model files, duplicate kinds).
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(m) => write!(f, "server I/O failed: {m}"),
+            ServeError::Model(e) => write!(f, "model load failed: {e}"),
+            ServeError::Config(m) => write!(f, "invalid server configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AutoPowerError> for ServeError {
+    fn from(e: AutoPowerError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// The set of models currently serving: one per registry kind, each shared
+/// behind an `Arc` so in-flight work survives a reload swap.
+struct ModelSet {
+    entries: Vec<(ModelKind, Arc<dyn PowerModel>)>,
+}
+
+impl ModelSet {
+    /// Loads every path; refuses an empty list and duplicate kinds.
+    fn load(paths: &[PathBuf]) -> Result<Self, ServeError> {
+        if paths.is_empty() {
+            return Err(ServeError::Config(
+                "at least one --model file is required".to_owned(),
+            ));
+        }
+        let mut entries: Vec<(ModelKind, Arc<dyn PowerModel>)> = Vec::with_capacity(paths.len());
+        for path in paths {
+            let model = load_model(path)?;
+            let kind = model.kind();
+            if entries.iter().any(|(k, _)| *k == kind) {
+                return Err(ServeError::Config(format!(
+                    "duplicate model kind '{kind}' (from {})",
+                    path.display()
+                )));
+            }
+            entries.push((kind, Arc::from(model)));
+        }
+        Ok(Self { entries })
+    }
+
+    fn get(&self, kind: ModelKind) -> Option<Arc<dyn PowerModel>> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| Arc::clone(m))
+    }
+
+    fn kinds(&self) -> Vec<ModelKind> {
+        self.entries.iter().map(|(k, _)| *k).collect()
+    }
+}
+
+/// Where a scored (or failed) job is answered to.
+type Reply = mpsc::Sender<Result<Vec<ServedPoint>, String>>;
+
+/// One enqueued predict request.  The model `Arc` is captured here, at
+/// enqueue time, so a reload between enqueue and scoring cannot change what
+/// the request is answered with.
+struct Job {
+    model: Arc<dyn PowerModel>,
+    configs: Vec<CpuConfig>,
+    workloads: Vec<Workload>,
+    reply: Reply,
+}
+
+impl Job {
+    fn points(&self) -> usize {
+        self.configs.len() * self.workloads.len()
+    }
+}
+
+/// Jobs merged into one scoring batch: same model (by pointer), same
+/// workload list, configurations concatenated in arrival order.
+struct BatchGroup {
+    model: Arc<dyn PowerModel>,
+    workloads: Vec<Workload>,
+    configs: Vec<CpuConfig>,
+    /// `(reply channel, config count)` per merged job, in merge order.
+    segments: Vec<(Reply, usize)>,
+}
+
+/// The connection threads' job queue.
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Cleared during drain, once no connection thread can enqueue anymore.
+    open: bool,
+}
+
+/// Shared server state.
+struct ServerState {
+    options: ServeOptions,
+    addr: SocketAddr,
+    /// Model files given at startup; reload re-reads exactly these.
+    paths: Vec<PathBuf>,
+    models: Mutex<Arc<ModelSet>>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+}
+
+impl ServerState {
+    /// Snapshot of the current model set (cheap: one `Arc` clone).
+    fn model_set(&self) -> Arc<ModelSet> {
+        Arc::clone(&self.models.lock().expect("models lock poisoned"))
+    }
+
+    fn info(&self) -> ServerInfo {
+        ServerInfo {
+            kinds: self.model_set().kinds(),
+            workers: self.options.effective_workers() as u32,
+            max_batch: self.options.max_batch as u32,
+            max_wait_us: self.options.max_wait.as_micros() as u64,
+        }
+    }
+
+    /// Re-loads every startup path and swaps the set — all-or-nothing.  The
+    /// load happens outside the swap lock so serving is never blocked on
+    /// disk I/O.
+    fn reload(&self) -> Result<Vec<ModelKind>, ServeError> {
+        let fresh = ModelSet::load(&self.paths)?;
+        let kinds = fresh.kinds();
+        *self.models.lock().expect("models lock poisoned") = Arc::new(fresh);
+        Ok(kinds)
+    }
+
+    fn enqueue(&self, job: Job) {
+        let mut queue = self.queue.lock().expect("queue lock poisoned");
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.queue_cv.notify_all();
+    }
+
+    /// Starts the drain: refuse new work, wake every sleeper, unblock the
+    /// accept loop with a self-connection.
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        // The accept loop sits in a blocking accept(); a throwaway loopback
+        // connection wakes it so it can observe the flag and stop.
+        drop(TcpStream::connect(self.addr));
+    }
+}
+
+/// A running prediction server.
+///
+/// Dropping the handle does **not** stop the server; send a
+/// [`Frame::Shutdown`] (e.g. via
+/// [`Client::shutdown`](crate::client::Client::shutdown)) and then
+/// [`Server::join`] it.
+pub struct Server {
+    addr: SocketAddr,
+    run: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port), cold-starts every
+    /// model file via [`load_model`] — no retraining — and spawns the accept
+    /// loop, batcher and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] when a file fails to load (the message names
+    /// the path), [`ServeError::Config`] for an empty path list or duplicate
+    /// kinds, [`ServeError::Io`] when the socket cannot be bound.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        model_paths: Vec<PathBuf>,
+        options: ServeOptions,
+    ) -> Result<Server, ServeError> {
+        let models = ModelSet::load(&model_paths)?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("binding: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("resolving bound address: {e}")))?;
+        let state = Arc::new(ServerState {
+            options,
+            addr,
+            paths: model_paths,
+            models: Mutex::new(Arc::new(models)),
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+        });
+
+        let (group_tx, group_rx) = mpsc::channel::<BatchGroup>();
+        let group_rx = Arc::new(Mutex::new(group_rx));
+        let workers: Vec<JoinHandle<()>> = (0..options.effective_workers())
+            .map(|_| {
+                let rx = Arc::clone(&group_rx);
+                let spec = options.sweep_spec();
+                std::thread::spawn(move || worker_loop(&rx, spec))
+            })
+            .collect();
+        let batcher = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || batcher_loop(&state, &group_tx))
+        };
+
+        let run = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&listener, &state, batcher, workers))
+        };
+        Ok(Server { addr, run })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to drain and exit (triggered by a
+    /// [`Frame::Shutdown`] request).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the server thread panicked.
+    pub fn join(self) -> Result<(), ServeError> {
+        self.run
+            .join()
+            .map_err(|_| ServeError::Io("server thread panicked".to_owned()))
+    }
+}
+
+/// The accept loop; on drain it joins every thread before returning, so
+/// [`Server::join`] returning means the process holds no server threads.
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    // The drain wake-up (or a late client); refuse and stop.
+                    drop(stream);
+                    break;
+                }
+                // Reap finished connection threads so a long-lived server
+                // does not accumulate handles.
+                connections.retain(|h| !h.is_finished());
+                let state = Arc::clone(state);
+                connections.push(std::thread::spawn(move || {
+                    handle_connection(&state, stream)
+                }));
+            }
+            Err(_) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (e.g. fd exhaustion); back off.
+                std::thread::sleep(IDLE_TICK);
+            }
+        }
+    }
+    // Drain: connection threads first (each finishes at most one in-flight
+    // request), then close the queue so the batcher flushes what is left and
+    // exits, dropping the group channel — which ends the workers.
+    for h in connections {
+        let _ = h.join();
+    }
+    {
+        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        queue.open = false;
+    }
+    state.queue_cv.notify_all();
+    let _ = batcher.join();
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Merges queued jobs into batch groups and dispatches them to the workers,
+/// holding the first job up to [`ServeOptions::max_wait`] (or until
+/// [`ServeOptions::max_batch`] points are queued) so concurrent requests can
+/// ride one scoring batch.
+fn batcher_loop(state: &ServerState, groups: &mpsc::Sender<BatchGroup>) {
+    loop {
+        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        while queue.jobs.is_empty() && queue.open {
+            queue = state.queue_cv.wait(queue).expect("queue lock poisoned");
+        }
+        if queue.jobs.is_empty() && !queue.open {
+            return;
+        }
+        // The batching window: wait for more jobs until the deadline or the
+        // batch target, whichever comes first.  `max_wait == 0` skips the
+        // window entirely — pure latency mode.
+        let max_wait = state.options.max_wait;
+        if !max_wait.is_zero() {
+            let deadline = Instant::now() + max_wait;
+            loop {
+                let queued: usize = queue.jobs.iter().map(Job::points).sum();
+                if queued >= state.options.max_batch || !queue.open {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = state
+                    .queue_cv
+                    .wait_timeout(queue, deadline - now)
+                    .expect("queue lock poisoned");
+                queue = guard;
+            }
+        }
+        let jobs: Vec<Job> = queue.jobs.drain(..).collect();
+        drop(queue);
+
+        for group in merge_jobs(jobs, state.options.max_batch) {
+            if groups.send(group).is_err() {
+                // Workers are gone (shutdown path); nothing left to serve.
+                return;
+            }
+        }
+    }
+}
+
+/// Groups jobs by `(model pointer, workload list)`, concatenating their
+/// configurations in arrival order.  A group stops absorbing jobs once it
+/// reaches `max_batch` points (a single oversized job still forms one
+/// group — the engine chunks internally).
+fn merge_jobs(jobs: Vec<Job>, max_batch: usize) -> Vec<BatchGroup> {
+    let mut groups: Vec<BatchGroup> = Vec::new();
+    for job in jobs {
+        let merged = groups.iter_mut().find(|g| {
+            Arc::ptr_eq(&g.model, &job.model)
+                && g.workloads == job.workloads
+                && g.configs.len() * g.workloads.len() < max_batch
+        });
+        match merged {
+            Some(group) => {
+                group.configs.extend_from_slice(&job.configs);
+                group.segments.push((job.reply, job.configs.len()));
+            }
+            None => groups.push(BatchGroup {
+                model: job.model,
+                workloads: job.workloads,
+                segments: vec![(job.reply, job.configs.len())],
+                configs: job.configs,
+            }),
+        }
+    }
+    groups
+}
+
+/// One scoring worker: owns a long-lived [`EngineScratch`] and scores batch
+/// groups until the channel closes.
+fn worker_loop(groups: &Mutex<mpsc::Receiver<BatchGroup>>, spec: SweepSpec) {
+    let mut scratch = EngineScratch::new();
+    let mut points = Vec::new();
+    loop {
+        let group = {
+            let rx = groups.lock().expect("group channel lock poisoned");
+            rx.recv()
+        };
+        let Ok(group) = group else {
+            return; // channel closed: drain complete
+        };
+        // A panic while scoring (e.g. a degenerate configuration that slipped
+        // through wire validation) must not kill the worker: answer every
+        // merged job with a typed internal error and keep serving.
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let engine = SweepEngine::new(group.model.as_ref(), spec);
+            engine.run_with(&group.configs, &group.workloads, &mut scratch, &mut points);
+        }));
+        match scored {
+            Ok(()) => {
+                let mut offset = 0;
+                for (reply, n_configs) in &group.segments {
+                    let n = n_configs * group.workloads.len();
+                    let served = points[offset..offset + n]
+                        .iter()
+                        .map(|p| ServedPoint {
+                            power: p.power.clone(),
+                            ipc: p.ipc,
+                        })
+                        .collect();
+                    offset += n;
+                    let _ = reply.send(Ok(served));
+                }
+            }
+            Err(_) => {
+                // The scratch may be mid-update; rebuild it.
+                scratch = EngineScratch::new();
+                points = Vec::new();
+                for (reply, _) in &group.segments {
+                    let _ = reply.send(Err("scoring panicked on this batch".to_owned()));
+                }
+            }
+        }
+    }
+}
+
+/// Builds an error frame, truncating the message to the wire limit on a
+/// character boundary.
+fn error_frame(code: ErrorCode, message: &str) -> Frame {
+    let mut message = message.to_owned();
+    while message.len() > MAX_ERROR_MESSAGE {
+        message.pop();
+    }
+    Frame::Error { code, message }
+}
+
+/// Whether an I/O error is a read-timeout tick rather than a dead stream.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// One connection: read frames, answer frames, until close or drain.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut probe = [0u8; 1];
+    loop {
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // Idle wait: peek (consuming nothing) under a short timeout so the
+        // drain flag is re-checked even on a silent connection.
+        if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
+            return;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => return,
+        }
+        // A frame has started; give it a generous-but-bounded window so a
+        // stalled half-frame cannot hang the drain forever.
+        if stream.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                if !answer_frame(state, &mut stream, frame) {
+                    return;
+                }
+            }
+            Err(WireError::Closed) => return,
+            Err(e) if e.is_fatal() => {
+                // Framing can no longer be trusted; best-effort error frame,
+                // then close.
+                let _ = write_frame(
+                    &mut stream,
+                    &error_frame(ErrorCode::BadFrame, &e.to_string()),
+                );
+                return;
+            }
+            Err(e) => {
+                // Recoverable (wrong version / malformed payload): the
+                // stream is still frame-aligned — answer and keep going.
+                if write_frame(
+                    &mut stream,
+                    &error_frame(ErrorCode::BadFrame, &e.to_string()),
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one decoded frame; returns `false` when the connection should
+/// close (write failure or shutdown).
+fn answer_frame(state: &Arc<ServerState>, stream: &mut TcpStream, frame: Frame) -> bool {
+    let response = match frame {
+        Frame::PredictRequest {
+            kind,
+            configs,
+            workloads,
+        } => predict(state, kind, configs, workloads),
+        Frame::Info => Frame::InfoResponse(state.info()),
+        Frame::Reload => match state.reload() {
+            Ok(kinds) => Frame::ReloadResponse { kinds },
+            Err(e) => error_frame(ErrorCode::ReloadFailed, &e.to_string()),
+        },
+        Frame::Shutdown => {
+            let _ = write_frame(stream, &Frame::ShutdownResponse);
+            state.start_drain();
+            return false;
+        }
+        // A server never expects response-type frames; refuse but keep the
+        // connection usable.
+        Frame::PredictResponse { .. }
+        | Frame::InfoResponse(_)
+        | Frame::ReloadResponse { .. }
+        | Frame::ShutdownResponse
+        | Frame::Error { .. } => error_frame(
+            ErrorCode::BadFrame,
+            "unexpected response-type frame from client",
+        ),
+    };
+    write_frame(stream, &response).is_ok()
+}
+
+/// Scores one predict request through the batching queue.
+fn predict(
+    state: &Arc<ServerState>,
+    kind: ModelKind,
+    configs: Vec<CpuConfig>,
+    workloads: Vec<Workload>,
+) -> Frame {
+    if state.draining.load(Ordering::SeqCst) {
+        return error_frame(ErrorCode::Draining, "server is draining");
+    }
+    let Some(model) = state.model_set().get(kind) else {
+        let loaded = state
+            .model_set()
+            .kinds()
+            .iter()
+            .map(|k| k.registry_name().to_owned())
+            .collect::<Vec<_>>()
+            .join(", ");
+        return error_frame(
+            ErrorCode::UnknownModel,
+            &format!("model '{kind}' is not loaded (serving: {loaded})"),
+        );
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    state.enqueue(Job {
+        model,
+        configs,
+        workloads,
+        reply: reply_tx,
+    });
+    match reply_rx.recv() {
+        Ok(Ok(points)) => Frame::PredictResponse { points },
+        Ok(Err(message)) => error_frame(ErrorCode::Internal, &message),
+        Err(_) => error_frame(ErrorCode::Internal, "scoring pipeline dropped the request"),
+    }
+}

@@ -1,0 +1,309 @@
+//! Property tests of the wire protocol: every constructible frame
+//! round-trips bit-identically, and corrupt bytes — truncated, oversized,
+//! wrong-version, garbage — are rejected with the right error class, never a
+//! panic or a hang.
+
+use autopower::{ComponentBreakdown, ComponentPower, ModelKind, Prediction};
+use autopower_config::{Component, ConfigId, CpuConfig, HardwareParams, Workload};
+use autopower_powersim::PowerGroups;
+use autopower_serve::protocol::{
+    decode_frame, encode_frame, read_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Maps arbitrary sampled bits onto a finite, non-NaN `f64` (NaN never
+/// round-trips through `PartialEq`, and the models never produce it; the
+/// *bit pattern* still varies freely across sign, exponent and mantissa).
+fn finite_f64(bits: u64) -> f64 {
+    let f = f64::from_bits(bits);
+    if f.is_finite() {
+        f
+    } else {
+        // Clear the top exponent bit: every NaN/infinity becomes a finite
+        // value while the rest of the pattern survives.
+        f64::from_bits(bits & !0x4000_0000_0000_0000)
+    }
+}
+
+/// Builds a config from sampled raw material, exercising both id kinds and
+/// the whole accepted parameter range.
+fn build_config(id_select: u32, params: &[u64]) -> CpuConfig {
+    let id = if id_select.is_multiple_of(2) {
+        ConfigId::new((id_select % 15 + 1) as u8)
+    } else {
+        ConfigId::generated(id_select % 100_000 + 1)
+    };
+    let mut values = [1u32; 14];
+    for (slot, &raw) in values.iter_mut().zip(params) {
+        *slot = (raw % (1 << 20)) as u32 + 1;
+    }
+    CpuConfig::new(id, HardwareParams::new(values))
+}
+
+/// Builds a prediction in one of the three resolutions from sampled bits.
+fn build_prediction(variant: u8, bits: &[u64]) -> Prediction {
+    match variant % 3 {
+        0 => Prediction::total_only(finite_f64(bits[0])),
+        1 => Prediction::grouped(PowerGroups {
+            clock: finite_f64(bits[0]),
+            sram: finite_f64(bits[1]),
+            register: finite_f64(bits[2]),
+            combinational: finite_f64(bits[3]),
+        }),
+        _ => {
+            let entries = (0..Component::ALL.len())
+                .map(|i| {
+                    let total = finite_f64(bits[i % bits.len()].rotate_left(i as u32));
+                    if i % 2 == 0 {
+                        ComponentPower {
+                            total,
+                            groups: None,
+                        }
+                    } else {
+                        ComponentPower {
+                            total,
+                            groups: Some(PowerGroups {
+                                clock: finite_f64(bits[(i + 1) % bits.len()]),
+                                sram: finite_f64(bits[(i + 2) % bits.len()]),
+                                register: finite_f64(bits[(i + 3) % bits.len()]),
+                                combinational: finite_f64(bits[(i + 4) % bits.len()]),
+                            }),
+                        }
+                    }
+                })
+                .collect();
+            Prediction::per_component(ComponentBreakdown::new(entries))
+        }
+    }
+}
+
+/// Round-trips one frame and checks exactness both ways: structural equality
+/// and re-encoded byte equality (the latter proves the floating-point bits
+/// survived untouched).
+fn assert_roundtrip(frame: &Frame) -> Result<(), proptest::TestCaseError> {
+    let bytes = encode_frame(frame);
+    let (decoded, consumed) = match decode_frame(&bytes) {
+        Ok(ok) => ok,
+        Err(e) => return Err(proptest::TestCaseError::fail(format!("decode failed: {e}"))),
+    };
+    prop_assert_eq!(consumed, bytes.len());
+    prop_assert!(&decoded == frame, "decoded frame differs structurally");
+    prop_assert!(
+        encode_frame(&decoded) == bytes,
+        "re-encoded bytes differ — a floating-point bit was lost"
+    );
+    // The streaming reader agrees with the slice decoder.
+    let mut cursor = std::io::Cursor::new(&bytes);
+    match read_frame(&mut cursor) {
+        Ok(streamed) => prop_assert!(&streamed == frame, "read_frame decoded differently"),
+        Err(e) => {
+            return Err(proptest::TestCaseError::fail(format!(
+                "read_frame failed: {e}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Predict requests of arbitrary shape round-trip exactly.
+    #[test]
+    fn predict_requests_roundtrip(
+        kind_index in 0usize..4,
+        n_workloads in 1usize..6,
+        workload_picks in vec(0usize..10, 8),
+        id_material in vec(0u32..1_000_000, 1usize..7),
+        param_material in vec(0u64..u64::MAX, 14),
+    ) {
+        let kind = ModelKind::ALL[kind_index];
+        let workloads: Vec<Workload> = workload_picks[..n_workloads]
+            .iter()
+            .map(|&i| Workload::ALL[i])
+            .collect();
+        let configs: Vec<CpuConfig> = id_material
+            .iter()
+            .map(|&sel| build_config(sel, &param_material))
+            .collect();
+        assert_roundtrip(&Frame::PredictRequest { kind, configs, workloads })?;
+    }
+
+    /// Predict responses with every prediction resolution — and arbitrary
+    /// floating-point bit patterns — round-trip exactly.
+    #[test]
+    fn predict_responses_roundtrip(
+        variants in vec(0u8..6, 1usize..9),
+        bits in vec(0u64..u64::MAX, 8),
+    ) {
+        let points: Vec<ServedPoint> = variants
+            .iter()
+            .enumerate()
+            .map(|(i, &variant)| ServedPoint {
+                power: build_prediction(variant, &bits),
+                ipc: finite_f64(bits[i % bits.len()].rotate_right(7)),
+            })
+            .collect();
+        assert_roundtrip(&Frame::PredictResponse { points })?;
+    }
+
+    /// Control frames (info/reload/shutdown and their responses) and error
+    /// frames round-trip exactly.
+    #[test]
+    fn control_and_error_frames_roundtrip(
+        code in 1u16..6,
+        message_len in 0usize..200,
+        n_kinds in 0usize..5,
+        workers in 0u32..64,
+        max_batch in 1u32..10_000,
+        max_wait_us in 0u64..10_000_000,
+    ) {
+        let kinds: Vec<ModelKind> =
+            (0..n_kinds).map(|i| ModelKind::ALL[i % 4]).collect();
+        let message: String = "xyzzy ".chars().cycle().take(message_len).collect();
+        assert_roundtrip(&Frame::Error {
+            code: ErrorCode::from_code(code).expect("sampled code is valid"),
+            message,
+        })?;
+        assert_roundtrip(&Frame::Info)?;
+        assert_roundtrip(&Frame::Reload)?;
+        assert_roundtrip(&Frame::Shutdown)?;
+        assert_roundtrip(&Frame::ShutdownResponse)?;
+        assert_roundtrip(&Frame::ReloadResponse { kinds: kinds.clone() })?;
+        assert_roundtrip(&Frame::InfoResponse(ServerInfo {
+            kinds,
+            workers,
+            max_batch,
+            max_wait_us,
+        }))?;
+    }
+
+    /// A frame cut at **any** byte is rejected as truncated — never decoded,
+    /// never a panic.
+    #[test]
+    fn truncated_frames_are_rejected(
+        n_workloads in 1usize..4,
+        cut_fraction in 0u64..1_000,
+    ) {
+        let workloads: Vec<Workload> = Workload::ALL[..n_workloads].to_vec();
+        let configs = vec![build_config(3, &[42; 14])];
+        let bytes = encode_frame(&Frame::PredictRequest {
+            kind: ModelKind::AutoPower,
+            configs,
+            workloads,
+        });
+        let cut = (cut_fraction as usize * (bytes.len() - 1)) / 1_000;
+        match decode_frame(&bytes[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => prop_assert!(false, "cut at {cut}/{} gave {other:?}", bytes.len()),
+        }
+        // The streaming reader sees the same cut as a mid-frame EOF (or, at
+        // zero bytes, a clean close).
+        let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+        match read_frame(&mut cursor) {
+            Err(WireError::Truncated) => prop_assert!(cut > 0),
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0),
+            other => prop_assert!(false, "read_frame at cut {cut} gave {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder; at most it decodes a
+    /// frame when the bytes happen to spell one (which random bytes cannot:
+    /// they would need the magic).
+    #[test]
+    fn garbage_bytes_never_panic(garbage in vec(0u64..u64::MAX, 0usize..64)) {
+        let bytes: Vec<u8> = garbage.iter().flat_map(|v| v.to_le_bytes()).collect();
+        if let Ok((_, consumed)) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// A wrong declared version is rejected as recoverable (the stream stays
+    /// aligned: the payload was fully consumed) — the server answers an
+    /// error frame and the connection keeps working.
+    #[test]
+    fn wrong_version_is_rejected_but_recoverable(version in 0u16..u16::MAX) {
+        let frame = Frame::Info;
+        let mut bytes = encode_frame(&frame);
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        match decode_frame(&bytes) {
+            Ok((decoded, _)) => {
+                prop_assert_eq!(version, PROTOCOL_VERSION);
+                prop_assert_eq!(decoded, frame);
+            }
+            Err(WireError::BadVersion(v)) => {
+                prop_assert!(version != PROTOCOL_VERSION);
+                prop_assert_eq!(v, version);
+                prop_assert!(!WireError::BadVersion(v).is_fatal());
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_declared_length_is_fatal() {
+    let mut bytes = encode_frame(&Frame::Info);
+    let oversized = MAX_PAYLOAD + 1;
+    bytes[8..12].copy_from_slice(&oversized.to_le_bytes());
+    match decode_frame(&bytes) {
+        Err(e @ WireError::Oversized(len)) => {
+            assert_eq!(len, oversized);
+            assert!(
+                e.is_fatal(),
+                "an oversized length must close the connection"
+            );
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_is_fatal() {
+    let mut bytes = encode_frame(&Frame::Reload);
+    bytes[0] = b'X';
+    match decode_frame(&bytes) {
+        Err(e @ WireError::BadMagic(_)) => assert!(e.is_fatal()),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_payload_bytes_are_rejected() {
+    let mut bytes = encode_frame(&Frame::Shutdown);
+    bytes.push(0xEE);
+    let padded_len = 1u32;
+    bytes[8..12].copy_from_slice(&padded_len.to_le_bytes());
+    match decode_frame(&bytes) {
+        Err(e @ WireError::Malformed(_)) => {
+            assert!(!e.is_fatal(), "trailing bytes are a recoverable refusal")
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_frame_type_is_recoverable() {
+    let mut bytes = encode_frame(&Frame::Info);
+    bytes[6..8].copy_from_slice(&999u16.to_le_bytes());
+    match decode_frame(&bytes) {
+        Err(e @ WireError::Malformed(_)) => assert!(!e.is_fatal()),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_request_shapes_are_rejected() {
+    // A request whose declared counts multiply past the point limit.
+    let workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let configs: Vec<CpuConfig> = (0..500).map(|i| build_config(i, &[7; 14])).collect();
+    let bytes = encode_frame(&Frame::PredictRequest {
+        kind: ModelKind::AutoPower,
+        configs,
+        workloads,
+    });
+    match decode_frame(&bytes) {
+        Err(WireError::Malformed(m)) => assert!(m.contains("point limit"), "{m}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
