@@ -14,7 +14,7 @@
 use autopower::{save_model, Corpus, CorpusSpec, ModelKind};
 use autopower_bench::harness::Bench;
 use autopower_config::{boom_configs, ConfigId, CpuConfig, DesignSpace, Workload};
-use autopower_serve::client::Client;
+use autopower_serve::client::{Client, RetryPolicy};
 use autopower_serve::server::{ServeOptions, Server};
 use std::time::{Duration, Instant};
 
@@ -23,6 +23,14 @@ const CONNECTIONS: usize = 4;
 
 /// Requests issued per connection per scenario.
 const REQUESTS_PER_CONNECTION: usize = 25;
+
+/// Connections in the overload scenario — enough to keep the shedding queue
+/// saturated on one worker.
+const OVERLOAD_CONNECTIONS: usize = 8;
+
+/// Queue bound (points) of the overload scenario's server: small enough that
+/// shedding actually happens under `OVERLOAD_CONNECTIONS` concurrent batches.
+const OVERLOAD_MAX_QUEUE: usize = 64;
 
 /// Trains the served model once and saves it where the server will load it.
 fn saved_model_path() -> std::path::PathBuf {
@@ -114,6 +122,85 @@ fn scenario(
     );
 }
 
+/// Drives a deliberately overloaded server: every connection retries shed
+/// requests with jittered backoff until they land, so each latency sample is
+/// the *end-to-end* time a well-behaved client pays under load shedding —
+/// queueing, Overloaded refusals, reconnects and backoff included.
+fn drive_overloaded(
+    server: &Server,
+    configs: &[CpuConfig],
+    workloads: &[Workload],
+) -> (Vec<Duration>, Duration) {
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..OVERLOAD_CONNECTIONS)
+            .map(|connection| {
+                scope.spawn(move || {
+                    let policy = RetryPolicy {
+                        attempts: 100,
+                        base_backoff: Duration::from_millis(1),
+                        max_backoff: Duration::from_millis(50),
+                        seed: connection as u64,
+                        timeout: Duration::from_secs(30),
+                    };
+                    let mut client = Client::connect_with(server.addr(), policy).expect("connect");
+                    (0..REQUESTS_PER_CONNECTION)
+                        .map(|_| {
+                            let sent = Instant::now();
+                            client
+                                .predict(ModelKind::AutoPower, configs, workloads)
+                                .expect("overloaded predict converges");
+                            sent.elapsed()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    (latencies, wall)
+}
+
+/// The load-shedding scenario: one worker, a small queue bound, twice the
+/// connections — a saturated service answering honestly instead of queueing
+/// without bound.
+fn overload_scenario(bench: &Bench, path: &std::path::Path) {
+    let server = Server::start(
+        "127.0.0.1:0",
+        vec![path.to_path_buf()],
+        ServeOptions {
+            workers: 1,
+            max_queue: OVERLOAD_MAX_QUEUE,
+            ..ServeOptions::fast()
+        },
+    )
+    .expect("overload server starts");
+    let configs = DesignSpace::boom().sample(4, 3);
+    let workloads = [Workload::Dhrystone, Workload::Qsort, Workload::Vvadd];
+
+    drive_overloaded(&server, &configs, &workloads);
+    let (latencies, wall) = drive_overloaded(&server, &configs, &workloads);
+    let total = latencies.len() as u64;
+    let per_request = wall / total as u32;
+    let rps = 1e9 / per_request.as_nanos() as f64;
+    println!(
+        "serve_overload: {total} requests over {OVERLOAD_CONNECTIONS} connections \
+         (queue bound {OVERLOAD_MAX_QUEUE} points) in {wall:.2?} -> {rps:.1} req/s"
+    );
+    bench.record("serve_rps_overload", per_request, total);
+    bench.record("serve_p50_overload", percentile(&latencies, 50), total);
+    bench.record("serve_p99_overload", percentile(&latencies, 99), total);
+
+    let mut client = Client::connect(server.addr()).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean exit");
+}
+
 fn main() {
     let bench = Bench::from_args();
     let path = saved_model_path();
@@ -144,6 +231,11 @@ fn main() {
     let mut client = Client::connect(server.addr()).expect("connect for shutdown");
     client.shutdown().expect("shutdown");
     server.join().expect("clean exit");
+
+    // The shedding scenario runs on its own deliberately undersized server.
+    if bench.should_run("serve_rps_overload") {
+        overload_scenario(&bench, &path);
+    }
     let _ = std::fs::remove_file(&path);
 
     bench.finish();

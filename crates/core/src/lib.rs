@@ -87,10 +87,10 @@ pub use sram::{
     SramActivityModel, SramPowerModel,
 };
 pub use stream::{
-    area_proxy, decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint,
-    ChunkCursor, ParetoConstraints, ParetoEntry, ParetoFrontier, PowerSeries, QuantileSketch,
-    SeriesSketch, StreamProgress, StreamSpec, SweepAggregator, SweepCheckpoint,
-    CHECKPOINT_FORMAT_VERSION,
+    area_proxy, decode_checkpoint, encode_checkpoint, load_checkpoint, load_checkpoint_salvaged,
+    save_checkpoint, save_checkpoint_with, CheckpointSalvage, ChunkCursor, ParetoConstraints,
+    ParetoEntry, ParetoFrontier, PowerSeries, QuantileSketch, SeriesSketch, StreamProgress,
+    StreamSpec, SweepAggregator, SweepCheckpoint, CHECKPOINT_FORMAT_VERSION,
 };
 pub use surrogate::{
     audit_selected, decode_surrogate, encode_surrogate, load_surrogate, save_surrogate,

@@ -83,8 +83,15 @@ pub fn decode_model(text: &str) -> Result<Box<dyn PowerModel>, AutoPowerError> {
 /// Returns [`AutoPowerError::ModelIo`] if the file cannot be written.
 pub fn save_model(model: &dyn PowerModel, path: impl AsRef<Path>) -> Result<(), AutoPowerError> {
     let path = path.as_ref();
-    std::fs::write(path, encode_model(model))
-        .map_err(|e| AutoPowerError::ModelIo(format!("writing {}: {e}", path.display())))
+    // Temp file + rename: a crash mid-save can never leave a torn model file
+    // where a serving process (hot reload, `--watch-models-ms`) would read it.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    std::fs::write(tmp, encode_model(model))
+        .map_err(|e| AutoPowerError::ModelIo(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(tmp, path)
+        .map_err(|e| AutoPowerError::ModelIo(format!("renaming into {}: {e}", path.display())))
 }
 
 /// Loads a trained model saved by [`save_model`].

@@ -40,7 +40,7 @@ use autopower_config::{CpuConfig, HwParam, Workload};
 use autopower_powersim::PowerGroups;
 use serde::codec::{Codec, CodecError, Reader, Writer};
 use std::cmp::Ordering;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Version tag of the checkpoint format; bumped on layout changes so a stale
 /// file fails loudly instead of deserializing garbage.
@@ -1068,6 +1068,25 @@ pub fn save_checkpoint(
     checkpoint: &SweepCheckpoint,
     path: impl AsRef<Path>,
 ) -> Result<(), AutoPowerError> {
+    save_checkpoint_with(checkpoint, path, |tmp, text| std::fs::write(tmp, text))
+}
+
+/// [`save_checkpoint`] with an injectable temp-file writer — the seam the
+/// chaos tests use to tear a checkpoint write at a chosen byte offset.  The
+/// writer receives the temp path and the full encoded text; the rename into
+/// `path` happens only when it returns `Ok`, exactly mirroring a process
+/// killed mid-write (torn temp file, untouched main file).
+///
+/// # Errors
+///
+/// Returns [`AutoPowerError::Checkpoint`] if the aggregator is
+/// mid-configuration ([`SweepAggregator::pending_points`] non-zero), the
+/// writer fails, or the rename fails.
+pub fn save_checkpoint_with(
+    checkpoint: &SweepCheckpoint,
+    path: impl AsRef<Path>,
+    write: impl FnOnce(&Path, &str) -> std::io::Result<()>,
+) -> Result<(), AutoPowerError> {
     let path = path.as_ref();
     if checkpoint.aggregator.pending_points() != 0 {
         return Err(AutoPowerError::Checkpoint(format!(
@@ -1075,13 +1094,18 @@ pub fn save_checkpoint(
             checkpoint.aggregator.pending_points()
         )));
     }
+    let tmp = sibling_tmp(path);
+    write(&tmp, &encode_checkpoint(checkpoint))
+        .map_err(|e| AutoPowerError::Checkpoint(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| AutoPowerError::Checkpoint(format!("renaming into {}: {e}", path.display())))
+}
+
+/// The temp-file sibling [`save_checkpoint`] stages writes through.
+fn sibling_tmp(path: &Path) -> PathBuf {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
-    let tmp = Path::new(&tmp);
-    std::fs::write(tmp, encode_checkpoint(checkpoint))
-        .map_err(|e| AutoPowerError::Checkpoint(format!("writing {}: {e}", tmp.display())))?;
-    std::fs::rename(tmp, path)
-        .map_err(|e| AutoPowerError::Checkpoint(format!("renaming into {}: {e}", path.display())))
+    PathBuf::from(tmp)
 }
 
 /// Loads a checkpoint written by [`save_checkpoint`].
@@ -1095,6 +1119,88 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<SweepCheckpoint, AutoPo
     let text = std::fs::read_to_string(path)
         .map_err(|e| AutoPowerError::Checkpoint(format!("reading {}: {e}", path.display())))?;
     decode_checkpoint(&text)
+}
+
+/// What [`load_checkpoint_salvaged`] had to do when the main checkpoint file
+/// was not usable as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSalvage {
+    /// The file the returned checkpoint was actually read from.
+    pub path: PathBuf,
+    /// Human-readable account of what was wrong and what was recovered.
+    pub reason: String,
+}
+
+/// Crash-safe [`load_checkpoint`]: when the main file is torn or missing, or
+/// the `.tmp` sibling left behind by a writer killed between write and rename
+/// holds a *newer* durable cursor, recover the last durable state instead of
+/// failing.  Returns the checkpoint plus `Some(CheckpointSalvage)` whenever
+/// anything other than a clean main file was used — callers surface that to
+/// the operator.
+///
+/// `expected_fingerprint` guards salvage: a sibling is only ever adopted when
+/// its fingerprint matches (pass `None` to accept any).  A clean main file
+/// with a *mismatched* fingerprint is still returned (with no salvage) so
+/// callers keep reporting their own, more specific mismatch error.
+///
+/// The invariant chaos tests pin: for a writer killed at **any** byte offset,
+/// this either returns the last durably completed checkpoint or refuses
+/// loudly — it never fabricates or silently rewinds state.
+///
+/// # Errors
+///
+/// Returns [`AutoPowerError::Checkpoint`] when neither the main file nor a
+/// fingerprint-matching sibling holds a complete checkpoint; the message
+/// names the main file.
+pub fn load_checkpoint_salvaged(
+    path: impl AsRef<Path>,
+    expected_fingerprint: Option<u64>,
+) -> Result<(SweepCheckpoint, Option<CheckpointSalvage>), AutoPowerError> {
+    let path = path.as_ref();
+    let tmp = sibling_tmp(path);
+    let matches = |cp: &SweepCheckpoint| expected_fingerprint.is_none_or(|fp| cp.fingerprint == fp);
+    let main = load_checkpoint(path);
+    let sibling = load_checkpoint(&tmp);
+    match (main, sibling) {
+        (Ok(main_cp), Ok(tmp_cp)) => {
+            if matches(&tmp_cp) && tmp_cp.cursor.offset > main_cp.cursor.offset {
+                // Crash between write and rename: the sibling is the newer
+                // durable state.
+                let reason = format!(
+                    "sibling {} holds a newer durable cursor (offset {}) than {} (offset {}); \
+                     the previous run was interrupted between write and rename",
+                    tmp.display(),
+                    tmp_cp.cursor.offset,
+                    path.display(),
+                    main_cp.cursor.offset,
+                );
+                Ok((tmp_cp, Some(CheckpointSalvage { path: tmp, reason })))
+            } else if matches(&tmp_cp) && !matches(&main_cp) {
+                let reason = format!(
+                    "{} belongs to a different sweep; recovered sibling {} (offset {}) instead",
+                    path.display(),
+                    tmp.display(),
+                    tmp_cp.cursor.offset,
+                );
+                Ok((tmp_cp, Some(CheckpointSalvage { path: tmp, reason })))
+            } else {
+                Ok((main_cp, None))
+            }
+        }
+        // A torn sibling next to a clean main file is the normal debris of a
+        // writer killed mid-write: the main file is the last durable state.
+        (Ok(main_cp), Err(_)) => Ok((main_cp, None)),
+        (Err(main_err), Ok(tmp_cp)) if matches(&tmp_cp) => {
+            let reason = format!(
+                "{} is unreadable ({main_err}); recovered sibling {} at offset {}",
+                path.display(),
+                tmp.display(),
+                tmp_cp.cursor.offset,
+            );
+            Ok((tmp_cp, Some(CheckpointSalvage { path: tmp, reason })))
+        }
+        (Err(main_err), _) => Err(main_err),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1529,6 +1635,121 @@ mod tests {
         // The direct codec path refuses at decode time too.
         let text = encode_checkpoint(&checkpoint);
         assert!(decode_checkpoint(&text).is_err());
+    }
+
+    #[test]
+    fn writer_killed_at_every_byte_offset_salvages_last_durable_cursor_or_refuses() {
+        let spec = StreamSpec {
+            top_k: 2,
+            sketch_level_capacity: 8,
+        };
+        let checkpoint_at = |offset: u32| {
+            let mut agg = SweepAggregator::new(1, &spec);
+            for i in 0..offset {
+                let total = 10.0 - f64::from(i);
+                agg.push_summary(summary(i + 1, total, 1.0, total));
+            }
+            SweepCheckpoint {
+                fingerprint: 0xF00D_F00D,
+                cursor: ChunkCursor {
+                    offset: u64::from(offset),
+                },
+                aggregator: agg,
+                audit: None,
+            }
+        };
+        let cp1 = checkpoint_at(3);
+        let cp2 = checkpoint_at(7);
+        let dir = std::env::temp_dir().join(format!("autopower-salvage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        let tmp = dir.join("sweep.ckpt.tmp");
+        let text1 = encode_checkpoint(&cp1);
+        let text2 = encode_checkpoint(&cp2);
+
+        // Second save killed after k bytes of the temp write (the rename
+        // never ran): resume must come back with the durable cp1 — unless
+        // the torn prefix still parses as the complete cp2, in which case
+        // adopting it is correct but must be reported as a salvage.
+        for k in 0..=text2.len() {
+            save_checkpoint(&cp1, &path).unwrap();
+            std::fs::write(&tmp, &text2[..k]).unwrap();
+            let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(cp1.fingerprint)).unwrap();
+            if loaded == cp2 {
+                let salvage = salvage.expect("adopting the sibling must be reported");
+                assert_eq!(salvage.path, tmp);
+                assert!(salvage.reason.contains("newer durable cursor"));
+            } else {
+                assert_eq!(loaded, cp1, "kill at byte {k} must yield durable state");
+                assert!(salvage.is_none());
+            }
+        }
+        // At k == len the sibling is complete and must be adopted.
+        save_checkpoint(&cp1, &path).unwrap();
+        std::fs::write(&tmp, &text2).unwrap();
+        let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(cp1.fingerprint)).unwrap();
+        assert_eq!(loaded, cp2);
+        assert!(salvage.is_some());
+
+        // First-ever save killed after k bytes: nothing durable exists, so
+        // resume refuses loudly (naming the main file) for every torn
+        // prefix — it never fabricates state from a partial write.
+        for k in 0..text1.len() {
+            std::fs::remove_file(&path).ok();
+            std::fs::write(&tmp, &text1[..k]).unwrap();
+            match load_checkpoint_salvaged(&path, Some(cp1.fingerprint)) {
+                Err(e) => assert!(e.to_string().contains("sweep.ckpt")),
+                // A prefix that still parses (e.g. missing only the final
+                // newline) must decode to exactly the durable checkpoint.
+                Ok((loaded, salvage)) => {
+                    assert_eq!(loaded, cp1, "kill at byte {k} fabricated a checkpoint");
+                    assert!(salvage.is_some());
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&tmp, &text1).unwrap();
+        let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(cp1.fingerprint)).unwrap();
+        assert_eq!(loaded, cp1);
+        assert!(salvage.unwrap().reason.contains("unreadable"));
+
+        // A torn main file with a complete sibling recovers the sibling.
+        std::fs::write(&path, &text2[..text2.len() / 2]).unwrap();
+        std::fs::write(&tmp, &text1).unwrap();
+        let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(cp1.fingerprint)).unwrap();
+        assert_eq!(loaded, cp1);
+        assert!(salvage.is_some());
+
+        // An alien sibling (different sweep) is never adopted: the clean
+        // main file wins even though the sibling's cursor is further along.
+        let alien = SweepCheckpoint {
+            fingerprint: 0x0BAD_0BAD,
+            ..cp2.clone()
+        };
+        save_checkpoint(&cp1, &path).unwrap();
+        save_checkpoint(&alien, &tmp).unwrap();
+        let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(cp1.fingerprint)).unwrap();
+        assert_eq!(loaded, cp1);
+        assert!(salvage.is_none());
+
+        // A clean-but-mismatched main file comes back unsalvaged so callers
+        // keep reporting their own fingerprint error.
+        std::fs::remove_file(&tmp).ok();
+        let (loaded, salvage) = load_checkpoint_salvaged(&path, Some(0x5EED)).unwrap();
+        assert_eq!(loaded, cp1);
+        assert!(salvage.is_none());
+
+        // The writer seam: a torn injected write fails the save and leaves
+        // the previous durable file untouched.
+        save_checkpoint(&cp1, &path).unwrap();
+        let err = save_checkpoint_with(&cp2, &path, |tmp_path, text| {
+            std::fs::write(tmp_path, &text[..text.len() / 2])?;
+            Err(std::io::Error::other("injected torn write"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("injected torn write"));
+        assert_eq!(load_checkpoint(&path).unwrap(), cp1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,9 +27,10 @@ use crate::report::format_table;
 use crate::surrogate_exp::{audit_section, refuse_unaudited};
 use crate::Experiments;
 use autopower::{
-    encode_model, encode_surrogate, load_checkpoint, save_checkpoint, ActivitySurrogate,
-    AuditReport, AutoPowerError, ChunkCursor, ModelKind, ParetoConstraints, ParetoEntry,
-    PowerModel, PowerSeries, SimBackend, StreamSpec, SweepAggregator, SweepCheckpoint, SweepEngine,
+    encode_model, encode_surrogate, load_checkpoint_salvaged, save_checkpoint, ActivitySurrogate,
+    AuditReport, AutoPowerError, CheckpointSalvage, ChunkCursor, ModelKind, ParetoConstraints,
+    ParetoEntry, PowerModel, PowerSeries, SimBackend, StreamSpec, SweepAggregator, SweepCheckpoint,
+    SweepEngine,
 };
 use autopower_config::{ConfigId, DesignSpace, HwParam, Workload};
 use autopower_perfsim::{SimCacheStats, SimConfig};
@@ -122,6 +123,11 @@ pub struct StreamSweepResult {
     pub audit: Option<AuditReport>,
     /// Audited fraction of the surrogate run, `None` for exact sweeps.
     pub audit_rate: Option<f64>,
+    /// What checkpoint salvage had to recover on resume (torn main file,
+    /// newer `.tmp` sibling), `None` for a clean load.  **Not**
+    /// resume-invariant — reported via [`StreamSweepResult::diagnostics`],
+    /// never in `Display`.
+    pub salvage: Option<CheckpointSalvage>,
 }
 
 impl StreamSweepResult {
@@ -147,6 +153,9 @@ impl StreamSweepResult {
             self.scope_total * self.workloads.len() as u64,
             self.aggregator.retained_state(),
         );
+        if let Some(salvage) = &self.salvage {
+            let _ = write!(text, "\ncheckpoint salvaged: {}", salvage.reason);
+        }
         text
     }
 }
@@ -600,11 +609,14 @@ impl Experiments {
             top_k: TOP_K,
             sketch_level_capacity: SKETCH_LEVEL_CAPACITY,
         };
-        let (mut aggregator, start, saved_audit) = if options.resume {
+        let (mut aggregator, start, saved_audit, salvage) = if options.resume {
             let path = options.checkpoint.as_ref().ok_or_else(|| {
                 AutoPowerError::Checkpoint("--resume requires --checkpoint FILE".to_owned())
             })?;
-            let checkpoint = load_checkpoint(path)?;
+            // Salvage mode: a main file torn by a crash falls back to a
+            // complete fingerprint-matching `.tmp` sibling; what was
+            // recovered is surfaced through `diagnostics()`.
+            let (checkpoint, salvage) = load_checkpoint_salvaged(path, Some(fingerprint))?;
             if checkpoint.fingerprint != fingerprint {
                 return Err(AutoPowerError::Checkpoint(format!(
                     "{} belongs to a different sweep (space, workloads, model, scope or \
@@ -624,12 +636,14 @@ impl Experiments {
                 checkpoint.aggregator,
                 checkpoint.cursor.offset,
                 checkpoint.audit,
+                salvage,
             )
         } else {
             (
                 SweepAggregator::new(workloads.len(), &stream_spec)
                     .with_pareto_constraints(extras.constraints),
                 0,
+                None,
                 None,
             )
         };
@@ -707,6 +721,7 @@ impl Experiments {
             peak_retained_points: progress.peak_retained_points,
             audit,
             audit_rate: extras.surrogate.as_ref().map(|s| s.audit_rate),
+            salvage,
             aggregator,
         })
     }

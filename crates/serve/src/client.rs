@@ -1,18 +1,94 @@
-//! The client library: one blocking connection, typed request/response pairs.
+//! The client library: one logical connection, typed request/response pairs,
+//! optional retry with deterministic backoff.
 //!
 //! Used by the `predict-remote` CLI verb, the serve load-generator bench and
 //! the integration tests — anything that talks to a running
 //! [`Server`](crate::server::Server).  One [`Client`] owns one TCP
 //! connection and pipelines nothing: every method writes one frame and reads
 //! one frame, so errors map one-to-one onto requests.
+//!
+//! # Retry semantics
+//!
+//! A [`RetryPolicy`] makes the *idempotent* verbs ([`Client::predict`],
+//! [`Client::info`], [`Client::ping`]) transparent over transient trouble:
+//! connection resets reconnect, [`ErrorCode::Overloaded`] and
+//! [`ErrorCode::Draining`] refusals (and [`ErrorCode::Internal`] scoring
+//! failures) back off and try again, and each attempt runs under its own
+//! socket deadline.  Backoff is exponential with *deterministic* seeded
+//! jitter — same policy, same seed, same delays, so chaos tests replay
+//! exactly.  The non-idempotent verbs ([`Client::reload`],
+//! [`Client::shutdown`]) retry only the *connect* step: once the request has
+//! hit the wire the server may have acted on it, and replaying it is not the
+//! client's call to make.
 
+use crate::faults::mix;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError, MAX_CONFIGS,
-    MAX_POINTS, MAX_WORKLOADS,
+    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerHealth, ServerInfo, WireError,
+    MAX_CONFIGS, MAX_POINTS, MAX_WORKLOADS,
 };
 use autopower::ModelKind;
 use autopower_config::{CpuConfig, Workload};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How (and whether) a [`Client`] retries.  `attempts` counts *total* tries:
+/// `1` means fail on the first error, the [`RetryPolicy::none`] default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream — same seed, same delays.
+    pub seed: u64,
+    /// Per-attempt socket read/write deadline; [`Duration::ZERO`] disables.
+    pub timeout: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries, no per-attempt deadline — the pre-PR-10 behaviour.
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+            timeout: Duration::ZERO,
+        }
+    }
+
+    /// `attempts` total tries with the default backoff shape.
+    pub fn with_attempts(attempts: u32) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            ..Self::none()
+        }
+    }
+
+    /// The deterministic sleep before retry number `retry` (1-based):
+    /// exponential growth from `base_backoff`, capped at `max_backoff`,
+    /// jittered into `[50%, 100%]` of the capped value by a pure function
+    /// of `seed` and `retry`.
+    pub fn backoff_before(&self, retry: u32) -> Duration {
+        let doublings = retry.saturating_sub(1).min(16);
+        let full = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let h = mix(self.seed ^ mix(u64::from(retry)));
+        // 512..=1023 over 1024 keeps the fraction in [50%, 100%).
+        let num = 512 + (h % 512) as u32;
+        full.saturating_mul(num) / 1024
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// Everything a request can fail with, client-side.
 #[derive(Debug)]
@@ -33,6 +109,39 @@ pub enum ClientError {
     Request(String),
     /// The server answered with a frame type this request does not expect.
     Unexpected(&'static str),
+}
+
+impl ClientError {
+    /// Whether a retry might change the outcome: transport failures, framing
+    /// desync, and the server's own "try later" answers (overloaded,
+    /// draining) or transient scoring failures.  Local validation errors and
+    /// typed refusals like `UnknownModel` are deterministic — retrying them
+    /// only wastes the budget.
+    fn retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Wire(e) => e.is_fatal(),
+            ClientError::Server { code, .. } => matches!(
+                code,
+                ErrorCode::Overloaded | ErrorCode::Draining | ErrorCode::Internal
+            ),
+            ClientError::Request(_) | ClientError::Unexpected(_) => false,
+        }
+    }
+
+    /// Whether the connection can no longer be trusted after this error —
+    /// either the transport broke mid-frame or the server answers-and-closes
+    /// for this code (overload shed, drain refusal).
+    fn poisons_connection(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Wire(e) => e.is_fatal(),
+            ClientError::Server { code, .. } => {
+                matches!(code, ErrorCode::Overloaded | ErrorCode::Draining)
+            }
+            ClientError::Request(_) | ClientError::Unexpected(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -68,41 +177,145 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// A blocking connection to a prediction server.
+/// A blocking connection to a prediction server.  Remembers the resolved
+/// address so a broken connection can be re-dialled mid-retry.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    stream: Option<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with no retries ([`RetryPolicy::none`]).
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] when the connection cannot be opened.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Self::connect_with(addr, RetryPolicy::none())
     }
 
-    /// One request/response exchange.
+    /// Connects with an explicit retry policy.  The initial dial itself is
+    /// retried under the policy, like any other connect step.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be opened within the
+    /// policy's attempt budget.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        // Resolve once so retries re-dial the same endpoint the first
+        // attempt reached (or was aiming at).
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Request("address resolved to nothing".to_owned()))?;
+        let mut client = Self {
+            addr,
+            policy,
+            stream: None,
+        };
+        let mut retry = 0;
+        loop {
+            match client.ensure_stream() {
+                Ok(()) => return Ok(client),
+                Err(e) => {
+                    retry += 1;
+                    if retry >= client.policy.attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(client.policy.backoff_before(retry));
+                }
+            }
+        }
+    }
+
+    /// The resolved server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dials the remembered address if no live connection is held.
+    fn ensure_stream(&mut self) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        let deadline = (!self.policy.timeout.is_zero()).then_some(self.policy.timeout);
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// One request/response exchange on the held connection.
     fn roundtrip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
-        write_frame(&mut self.stream, request)?;
-        Ok(read_frame(&mut self.stream)?)
+        let result = (|| -> Result<Frame, ClientError> {
+            self.ensure_stream()?;
+            let stream = self.stream.as_mut().expect("ensure_stream just connected");
+            write_frame(stream, request)?;
+            Ok(read_frame(stream)?)
+        })();
+        if let Err(e) = &result {
+            if e.poisons_connection() {
+                self.stream = None;
+            }
+        }
+        result
+    }
+
+    /// Runs `request` under the retry policy.  When `idempotent` is false
+    /// only the connect step is retried: a request that already hit the wire
+    /// is never replayed.
+    fn with_retries<T>(
+        &mut self,
+        idempotent: bool,
+        request: impl Fn(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let attempts = self.policy.attempts.max(1);
+        let mut retry = 0;
+        loop {
+            let error = match self.ensure_stream() {
+                // Connect failures are always safe to retry.
+                Err(e) => e,
+                Ok(()) => match request(self) {
+                    Ok(value) => return Ok(value),
+                    Err(e) => {
+                        if e.poisons_connection() {
+                            self.stream = None;
+                        }
+                        if !idempotent || !e.retryable() {
+                            return Err(e);
+                        }
+                        e
+                    }
+                },
+            };
+            retry += 1;
+            if retry >= attempts {
+                return Err(error);
+            }
+            std::thread::sleep(self.policy.backoff_before(retry));
+        }
     }
 
     /// Scores `configs × workloads` under `kind` on the server.  The points
     /// come back configuration-major in request order — the same order as an
     /// offline [`SweepEngine::run`](autopower::SweepEngine::run) over the
-    /// same slices — and bit-identical to it.
+    /// same slices — and bit-identical to it.  Idempotent: retried
+    /// transparently under the policy, reconnecting as needed.
     ///
     /// # Errors
     ///
     /// [`ClientError::Request`] for an empty or over-limit batch (checked
     /// locally), [`ClientError::Server`] for a typed server refusal
     /// (unknown model, draining, internal failure), [`ClientError::Io`] /
-    /// [`ClientError::Wire`] for transport trouble.
+    /// [`ClientError::Wire`] for transport trouble — the latter three only
+    /// after the retry budget is spent.
     pub fn predict(
         &mut self,
         kind: ModelKind,
@@ -134,7 +347,7 @@ impl Client {
             configs: configs.to_vec(),
             workloads: workloads.to_vec(),
         };
-        match self.roundtrip(&request)? {
+        self.with_retries(true, |client| match client.roundtrip(&request)? {
             Frame::PredictResponse { points } => {
                 if points.len() != expected {
                     return Err(ClientError::Wire(WireError::Malformed(format!(
@@ -146,24 +359,42 @@ impl Client {
             }
             Frame::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("wanted predict-response")),
-        }
+        })
     }
 
     /// Asks the server what it is serving and under which knobs.
+    /// Idempotent: retried transparently under the policy.
     ///
     /// # Errors
     ///
     /// Same taxonomy as [`Client::predict`].
     pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
-        match self.roundtrip(&Frame::Info)? {
+        self.with_retries(true, |client| match client.roundtrip(&Frame::Info)? {
             Frame::InfoResponse(info) => Ok(info),
             Frame::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("wanted info-response")),
-        }
+        })
+    }
+
+    /// Asks the server for a live health snapshot: queue depth, in-flight
+    /// points, worker count, queue bound.  Idempotent: retried transparently
+    /// under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`Client::predict`].
+    pub fn ping(&mut self) -> Result<ServerHealth, ClientError> {
+        self.with_retries(true, |client| match client.roundtrip(&Frame::Ping)? {
+            Frame::PingResponse(health) => Ok(health),
+            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("wanted ping-response")),
+        })
     }
 
     /// Asks the server to re-read its model files and swap them in
-    /// atomically; returns the freshly loaded kinds.
+    /// atomically; returns the freshly loaded kinds.  **Not idempotent**:
+    /// only the connect step is retried — once the reload request has hit
+    /// the wire a failure is reported, never silently replayed.
     ///
     /// # Errors
     ///
@@ -171,25 +402,61 @@ impl Client {
     /// file refuses to load (the message names the file; the old models
     /// keep serving).
     pub fn reload(&mut self) -> Result<Vec<ModelKind>, ClientError> {
-        match self.roundtrip(&Frame::Reload)? {
+        self.with_retries(false, |client| match client.roundtrip(&Frame::Reload)? {
             Frame::ReloadResponse { kinds } => Ok(kinds),
             Frame::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("wanted reload-response")),
-        }
+        })
     }
 
     /// Asks the server to drain and exit.  Returns once the server has
     /// acknowledged; pair with [`Server::join`](crate::server::Server::join)
-    /// to wait for the exit itself.
+    /// to wait for the exit itself.  **Not idempotent**: only the connect
+    /// step is retried.
     ///
     /// # Errors
     ///
     /// Same taxonomy as [`Client::predict`].
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        match self.roundtrip(&Frame::Shutdown)? {
-            Frame::ShutdownResponse => Ok(()),
-            Frame::Error { code, message } => Err(ClientError::Server { code, message }),
-            _ => Err(ClientError::Unexpected("wanted shutdown-response")),
+        self.with_retries(false, |client| {
+            match client.roundtrip(&Frame::Shutdown)? {
+                Frame::ShutdownResponse => Ok(()),
+                Frame::Error { code, message } => Err(ClientError::Server { code, message }),
+                _ => Err(ClientError::Unexpected("wanted shutdown-response")),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            seed: 42,
+            timeout: Duration::ZERO,
+        };
+        let replay = policy;
+        for retry in 1..=16 {
+            let d = policy.backoff_before(retry);
+            assert_eq!(d, replay.backoff_before(retry), "same seed, same delay");
+            assert!(d <= policy.max_backoff);
+            // Jitter floor: at least half the capped exponential value.
+            let full = policy
+                .base_backoff
+                .saturating_mul(1u32 << (retry - 1).min(16))
+                .min(policy.max_backoff);
+            assert!(d >= full / 2);
         }
+        let other_seed = RetryPolicy { seed: 43, ..policy };
+        assert!(
+            (1..=16).any(|r| policy.backoff_before(r) != other_seed.backoff_before(r)),
+            "different seeds should jitter differently"
+        );
     }
 }

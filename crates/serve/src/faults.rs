@@ -1,0 +1,246 @@
+//! Deterministic fault injection: a seeded schedule of I/O mishaps.
+//!
+//! Robustness claims are only testable if the faults are reproducible, so a
+//! [`FaultPlan`] is a *pure function* of its seed and an operation counter —
+//! the same spirit as `DesignSpace::sample`: same seed, same byte-identical
+//! schedule, forever.  The plan is consulted by
+//!
+//! * [`FaultStream`], an I/O shim the server wraps around connection
+//!   [`TcpStream`]s when a plan is armed (`--fault-seed` or the
+//!   `ServeOptions::fault_seed` knob): short reads/writes, bounded mid-frame
+//!   stalls, connection resets;
+//! * the scoring workers, which consult [`FaultPlan::next_worker_panic`] to
+//!   inject a panic into the `catch_unwind`-guarded scoring path;
+//! * torn-write tests of the checkpoint path, which use
+//!   [`FaultPlan::next_torn_write`] with `save_checkpoint_with`'s injectable
+//!   writer to cut a checkpoint write at a deterministic byte offset.
+//!
+//! Production servers never construct a plan: the connection loop carries a
+//! plain [`TcpStream`] arm and the workers skip the (absent) plan entirely,
+//! so the happy path pays nothing for the machinery being compiled in.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Longest injected stall; bounded so fault runs terminate and stay under
+/// any sane `--io-timeout-ms`.
+pub const MAX_STALL: Duration = Duration::from_millis(10);
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver at most one byte on this read (exercises `read_exactly`
+    /// loops and mid-frame resumption).
+    ShortRead,
+    /// Accept at most one byte on this write (exercises partial-write
+    /// handling in `write_all` paths).
+    ShortWrite,
+    /// Sleep this long before the operation (at most [`MAX_STALL`]).
+    Stall(Duration),
+    /// Fail the operation with `ConnectionReset`.
+    Reset,
+}
+
+/// splitmix64 — the workspace's standard cheap bit mixer.  Shared with the
+/// client's jittered backoff so retry schedules are seeded the same way
+/// fault schedules are.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain separators so the three decision streams (I/O, worker panics,
+/// torn writes) are independent functions of the same seed.
+const IO_SALT: u64 = 0x10;
+const PANIC_SALT: u64 = 0x5A1C;
+const TEAR_SALT: u64 = 0x7EA4;
+
+/// The pure I/O-fault schedule: what (if anything) goes wrong on operation
+/// `op` of a plan seeded with `seed`.  [`FaultPlan::next_io_fault`] is this
+/// function applied to an incrementing counter; exposing it keeps the
+/// determinism contract directly testable.
+pub fn io_fault_at(seed: u64, op: u64) -> Option<Fault> {
+    let h = mix(seed ^ mix(op.wrapping_add(IO_SALT)));
+    match h % 32 {
+        0 => Some(Fault::Reset),
+        1 | 2 => Some(Fault::Stall(Duration::from_millis(1 + (h >> 8) % 10))),
+        3..=6 => Some(Fault::ShortRead),
+        7..=10 => Some(Fault::ShortWrite),
+        _ => None,
+    }
+}
+
+/// The pure worker-panic schedule: whether scoring batch `batch` of a plan
+/// seeded with `seed` panics.
+pub fn panic_at(seed: u64, batch: u64) -> bool {
+    mix(seed ^ mix(batch.wrapping_add(PANIC_SALT))).is_multiple_of(16)
+}
+
+/// The pure torn-write schedule: `Some(cut)` when checkpoint write `write`
+/// of a plan seeded with `seed` should be cut after `cut` bytes of a
+/// `len`-byte payload (always a strict prefix), `None` for a clean write.
+pub fn torn_write_at(seed: u64, write: u64, len: usize) -> Option<usize> {
+    let h = mix(seed ^ mix(write.wrapping_add(TEAR_SALT)));
+    if len > 0 && h.is_multiple_of(8) {
+        Some(((h >> 8) % len as u64) as usize)
+    } else {
+        None
+    }
+}
+
+/// A seeded, deterministic fault schedule with per-domain operation
+/// counters.  Cloning the `Arc` shares the counters: every consulting site
+/// (connections, workers) draws from one global schedule, so a run is fully
+/// described by its seed.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    io_ops: AtomicU64,
+    batches: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates the schedule for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            io_ops: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// The seed this plan replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next I/O fault decision (advances the I/O counter).
+    pub fn next_io_fault(&self) -> Option<Fault> {
+        io_fault_at(self.seed, self.io_ops.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Draws the next worker-panic decision (advances the batch counter).
+    pub fn next_worker_panic(&self) -> bool {
+        panic_at(self.seed, self.batches.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Draws the next torn-write decision for a `len`-byte payload
+    /// (advances the write counter).
+    pub fn next_torn_write(&self, len: usize) -> Option<usize> {
+        torn_write_at(self.seed, self.writes.fetch_add(1, Ordering::Relaxed), len)
+    }
+}
+
+/// A [`TcpStream`] wrapper that consults a [`FaultPlan`] before every read
+/// and write.  Fault kinds that do not apply to the operation at hand (a
+/// `ShortWrite` drawn on a read, or vice versa) inject nothing — the
+/// schedule is one stream of decisions, consumed in operation order.
+#[derive(Debug)]
+pub struct FaultStream {
+    inner: TcpStream,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultStream {
+    /// Wraps a connection stream in the plan's fault schedule.
+    pub fn new(inner: TcpStream, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The wrapped stream (for socket options and `peek`, which stay
+    /// fault-free: the idle poll is not an interesting place to fail).
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+}
+
+fn reset() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.plan.next_io_fault() {
+            Some(Fault::Reset) => Err(reset()),
+            Some(Fault::Stall(d)) => {
+                std::thread::sleep(d.min(MAX_STALL));
+                self.inner.read(buf)
+            }
+            Some(Fault::ShortRead) if !buf.is_empty() => self.inner.read(&mut buf[..1]),
+            _ => self.inner.read(buf),
+        }
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.plan.next_io_fault() {
+            Some(Fault::Reset) => Err(reset()),
+            Some(Fault::Stall(d)) => {
+                std::thread::sleep(d.min(MAX_STALL));
+                self.inner.write(buf)
+            }
+            Some(Fault::ShortWrite) if !buf.is_empty() => self.inner.write(&buf[..1]),
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_pure_functions_of_seed_and_counter() {
+        let a = FaultPlan::new(99);
+        let b = FaultPlan::new(99);
+        for op in 0..512 {
+            assert_eq!(a.next_io_fault(), io_fault_at(99, op));
+            assert_eq!(b.next_io_fault(), io_fault_at(99, op));
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_appears_and_stalls_are_bounded() {
+        let (mut reset, mut stall, mut short_r, mut short_w, mut clean) = (0, 0, 0, 0, 0);
+        for op in 0..4096 {
+            match io_fault_at(7, op) {
+                Some(Fault::Reset) => reset += 1,
+                Some(Fault::Stall(d)) => {
+                    assert!(d <= MAX_STALL);
+                    stall += 1;
+                }
+                Some(Fault::ShortRead) => short_r += 1,
+                Some(Fault::ShortWrite) => short_w += 1,
+                None => clean += 1,
+            }
+        }
+        assert!(reset > 0 && stall > 0 && short_r > 0 && short_w > 0);
+        // The happy path must dominate or nothing ever completes.
+        assert!(clean > reset + stall + short_r + short_w);
+    }
+
+    #[test]
+    fn torn_writes_always_cut_a_strict_prefix() {
+        let mut torn = 0;
+        for write in 0..1024 {
+            if let Some(cut) = torn_write_at(3, write, 1000) {
+                assert!(cut < 1000);
+                torn += 1;
+            }
+        }
+        assert!(torn > 0);
+        assert_eq!(torn_write_at(3, 0, 0), None, "empty payloads cannot tear");
+    }
+}

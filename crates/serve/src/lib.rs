@@ -37,5 +37,6 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod server;

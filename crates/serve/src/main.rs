@@ -22,7 +22,7 @@
 
 use autopower::{load_model, ModelKind, SweepEngine, SweepSpec};
 use autopower_config::{CpuConfig, DesignSpace, Workload};
-use autopower_serve::client::Client;
+use autopower_serve::client::{Client, RetryPolicy};
 use autopower_serve::protocol::ServedPoint;
 use autopower_serve::server::{ServeOptions, Server};
 use std::fmt::Write as _;
@@ -49,16 +49,25 @@ fn usage() -> String {
     let workloads: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
     format!(
         "usage: autopower-serve serve --model FILE [--model FILE ...] [--addr HOST:PORT] \
-         [--workers N] [--max-batch N] [--max-wait-us N] [--fast]\n\
+         [--workers N] [--max-batch N] [--max-wait-us N] [--max-queue N] \
+         [--idle-timeout-ms N] [--io-timeout-ms N] [--watch-models-ms N] [--fast]\n\
          \x20      autopower-serve predict-remote --addr HOST:PORT [--kind NAME] [--count N] \
-         [--seed N] [--workloads a,b,c]\n\
+         [--seed N] [--workloads a,b,c] [--retries N] [--timeout-ms N]\n\
          \x20      autopower-serve predict-local --model FILE [--fast] [--count N] [--seed N] \
          [--workloads a,b,c]\n\
-         \x20      autopower-serve info|reload|shutdown --addr HOST:PORT\n\
+         \x20      autopower-serve info|ping|reload|shutdown --addr HOST:PORT\n\
          serve loads saved models (autopower-experiments save-model) and answers predict \
          requests until a shutdown request drains it; --addr defaults to 127.0.0.1:0 (an \
          ephemeral port; the bound address is printed), --workers 0 means one per core, \
-         --max-wait-us 0 dispatches each request immediately\n\
+         --max-wait-us 0 dispatches each request immediately, --max-queue bounds queued \
+         points before requests are shed as overloaded (0 = unbounded), --idle-timeout-ms \
+         drops idle connections (0 = keep forever), --io-timeout-ms bounds each mid-frame \
+         read/write (0 = no deadline), --watch-models-ms hot-reloads when a model file's \
+         mtime changes\n\
+         predict-remote retries transient failures (resets, overload, draining) --retries \
+         times with jittered exponential backoff; --timeout-ms bounds each attempt's socket \
+         I/O\n\
+         ping prints a live health snapshot (queued points, in-flight points, workers)\n\
          predict-remote and predict-local print bit-exact reports over the same \
          deterministically sampled configurations, so their outputs diff clean when the \
          server serves the same model file under the same (--fast or paper) settings\n\
@@ -79,6 +88,11 @@ enum Command {
         workers: usize,
         max_batch: usize,
         max_wait_us: u64,
+        max_queue: usize,
+        idle_timeout_ms: u64,
+        io_timeout_ms: u64,
+        watch_models_ms: Option<u64>,
+        fault_seed: Option<u64>,
         fast: bool,
     },
     /// Score sampled configurations against a running server.
@@ -88,6 +102,8 @@ enum Command {
         count: usize,
         seed: u64,
         workloads: Vec<Workload>,
+        retries: u32,
+        timeout_ms: u64,
     },
     /// Score the same sampled configurations offline — the diff reference.
     PredictLocal {
@@ -99,6 +115,8 @@ enum Command {
     },
     /// Print what a running server serves.
     Info { addr: String },
+    /// Print a running server's live health snapshot.
+    Ping { addr: String },
     /// Ask a running server to re-read its model files.
     Reload { addr: String },
     /// Ask a running server to drain and exit.
@@ -148,11 +166,18 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
     let mut workers = 0usize;
     let mut max_batch = ServeOptions::paper().max_batch;
     let mut max_wait_us = 0u64;
+    let mut max_queue = ServeOptions::paper().max_queue;
+    let mut idle_timeout_ms = ServeOptions::paper().idle_timeout.as_millis() as u64;
+    let mut io_timeout_ms = ServeOptions::paper().io_timeout.as_millis() as u64;
+    let mut watch_models_ms: Option<u64> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut fast = false;
     let mut kind: Option<ModelKind> = None;
     let mut count = DEFAULT_COUNT;
     let mut seed = DEFAULT_SEED;
     let mut workloads = parse_workloads(DEFAULT_WORKLOADS).expect("default workloads parse");
+    let mut retries = 0u32;
+    let mut timeout_ms = 0u64;
     let mut seen: Vec<String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -174,6 +199,33 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
             }
             "--max-wait-us" => {
                 max_wait_us = parse_number(&value_for("--max-wait-us")?, "--max-wait-us")?;
+            }
+            "--max-queue" => {
+                max_queue = parse_number(&value_for("--max-queue")?, "--max-queue")?;
+            }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms =
+                    parse_number(&value_for("--idle-timeout-ms")?, "--idle-timeout-ms")?;
+            }
+            "--io-timeout-ms" => {
+                io_timeout_ms = parse_number(&value_for("--io-timeout-ms")?, "--io-timeout-ms")?;
+            }
+            "--watch-models-ms" => {
+                let interval: u64 =
+                    parse_number(&value_for("--watch-models-ms")?, "--watch-models-ms")?;
+                if interval == 0 {
+                    return Err(format!("--watch-models-ms must be at least 1\n{}", usage()));
+                }
+                watch_models_ms = Some(interval);
+            }
+            // Deliberately undocumented: arms deterministic fault injection
+            // for chaos tests and the CI chaos smoke.
+            "--fault-seed" => {
+                fault_seed = Some(parse_number(&value_for("--fault-seed")?, "--fault-seed")?);
+            }
+            "--retries" => retries = parse_number(&value_for("--retries")?, "--retries")?,
+            "--timeout-ms" => {
+                timeout_ms = parse_number(&value_for("--timeout-ms")?, "--timeout-ms")?;
             }
             "--kind" => {
                 let name = value_for("--kind")?;
@@ -216,6 +268,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
                     "--workers",
                     "--max-batch",
                     "--max-wait-us",
+                    "--max-queue",
+                    "--idle-timeout-ms",
+                    "--io-timeout-ms",
+                    "--watch-models-ms",
+                    "--fault-seed",
                     "--fast",
                 ],
                 &seen,
@@ -232,12 +289,25 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
                 workers,
                 max_batch,
                 max_wait_us,
+                max_queue,
+                idle_timeout_ms,
+                io_timeout_ms,
+                watch_models_ms,
+                fault_seed,
                 fast,
             })
         }
         "predict-remote" => {
             reject(
-                &["--addr", "--kind", "--count", "--seed", "--workloads"],
+                &[
+                    "--addr",
+                    "--kind",
+                    "--count",
+                    "--seed",
+                    "--workloads",
+                    "--retries",
+                    "--timeout-ms",
+                ],
                 &seen,
             )?;
             Ok(Command::PredictRemote {
@@ -246,6 +316,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
                 count,
                 seed,
                 workloads,
+                retries,
+                timeout_ms,
             })
         }
         "predict-local" => {
@@ -270,6 +342,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String>
         "info" => {
             reject(&["--addr"], &seen)?;
             Ok(Command::Info {
+                addr: required_addr(addr)?,
+            })
+        }
+        "ping" => {
+            reject(&["--addr"], &seen)?;
+            Ok(Command::Ping {
                 addr: required_addr(addr)?,
             })
         }
@@ -359,6 +437,11 @@ fn run(command: Command) -> Result<(), String> {
             workers,
             max_batch,
             max_wait_us,
+            max_queue,
+            idle_timeout_ms,
+            io_timeout_ms,
+            watch_models_ms,
+            fault_seed,
             fast,
         } => {
             let base = if fast {
@@ -370,8 +453,19 @@ fn run(command: Command) -> Result<(), String> {
                 workers,
                 max_batch,
                 max_wait: Duration::from_micros(max_wait_us),
+                max_queue,
+                idle_timeout: Duration::from_millis(idle_timeout_ms),
+                io_timeout: Duration::from_millis(io_timeout_ms),
+                watch_models: watch_models_ms.map(Duration::from_millis),
+                fault_seed,
                 ..base
             };
+            if let Some(seed) = fault_seed {
+                eprintln!(
+                    "autopower-serve: deterministic fault injection armed (seed {seed}) — \
+                     test mode, not for production"
+                );
+            }
             let server =
                 Server::start(addr.as_str(), models, options).map_err(|e| e.to_string())?;
             println!(
@@ -389,8 +483,19 @@ fn run(command: Command) -> Result<(), String> {
             count,
             seed,
             workloads,
+            retries,
+            timeout_ms,
         } => {
-            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            // Jitter is seeded from the sampling seed so a retried run is
+            // reproducible end to end.
+            let policy = RetryPolicy {
+                attempts: retries.saturating_add(1),
+                seed,
+                timeout: Duration::from_millis(timeout_ms),
+                ..RetryPolicy::none()
+            };
+            let mut client =
+                Client::connect_with(addr.as_str(), policy).map_err(|e| e.to_string())?;
             let kind = match kind {
                 Some(kind) => kind,
                 None => {
@@ -458,6 +563,20 @@ fn run(command: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Ping { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            let health = client.ping().map_err(|e| e.to_string())?;
+            let bound = if health.max_queue == 0 {
+                "unbounded".to_owned()
+            } else {
+                health.max_queue.to_string()
+            };
+            println!(
+                "healthy: {} points queued (bound {}), {} in flight, {} workers",
+                health.queued_points, bound, health.in_flight_points, health.workers
+            );
+            Ok(())
+        }
         Command::Reload { addr } => {
             let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
             let kinds = client.reload().map_err(|e| e.to_string())?;
@@ -509,9 +628,53 @@ mod tests {
                 workers: 0,
                 max_batch: ServeOptions::paper().max_batch,
                 max_wait_us: 0,
+                max_queue: ServeOptions::paper().max_queue,
+                idle_timeout_ms: 0,
+                io_timeout_ms: 10_000,
+                watch_models_ms: None,
+                fault_seed: None,
                 fast: true,
             }
         );
+    }
+
+    #[test]
+    fn serve_parses_hardening_flags_and_hidden_fault_seed() {
+        let parsed = parse(&[
+            "serve",
+            "--model",
+            "a.apm",
+            "--max-queue",
+            "128",
+            "--idle-timeout-ms",
+            "30000",
+            "--io-timeout-ms",
+            "2500",
+            "--watch-models-ms",
+            "200",
+            "--fault-seed",
+            "77",
+        ])
+        .unwrap();
+        assert_eq!(
+            parsed,
+            Command::Serve {
+                models: vec![PathBuf::from("a.apm")],
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 0,
+                max_batch: ServeOptions::paper().max_batch,
+                max_wait_us: 0,
+                max_queue: 128,
+                idle_timeout_ms: 30_000,
+                io_timeout_ms: 2_500,
+                watch_models_ms: Some(200),
+                fault_seed: Some(77),
+                fast: false,
+            }
+        );
+        // Hidden: armed via the flag, absent from the help text.
+        assert!(!usage().contains("--fault-seed"));
+        assert!(parse(&["serve", "--model", "a.apm", "--watch-models-ms", "0"]).is_err());
     }
 
     #[test]
@@ -543,8 +706,49 @@ mod tests {
                 count: 3,
                 seed: 11,
                 workloads: vec![Workload::Gemm, Workload::Vvadd],
+                retries: 0,
+                timeout_ms: 0,
             }
         );
+    }
+
+    #[test]
+    fn predict_remote_parses_retry_flags() {
+        let parsed = parse(&[
+            "predict-remote",
+            "--addr",
+            "x:1",
+            "--retries",
+            "5",
+            "--timeout-ms",
+            "1500",
+        ])
+        .unwrap();
+        match parsed {
+            Command::PredictRemote {
+                retries,
+                timeout_ms,
+                ..
+            } => {
+                assert_eq!(retries, 5);
+                assert_eq!(timeout_ms, 1500);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Retry flags are client-side: the server verbs reject them.
+        let err = parse(&["serve", "--model", "a.apm", "--retries", "2"]).unwrap_err();
+        assert!(err.contains("does not apply"));
+    }
+
+    #[test]
+    fn ping_parses_and_requires_addr() {
+        assert_eq!(
+            parse(&["ping", "--addr", "x:1"]).unwrap(),
+            Command::Ping {
+                addr: "x:1".to_owned()
+            }
+        );
+        assert!(parse(&["ping"]).unwrap_err().contains("--addr"));
     }
 
     #[test]

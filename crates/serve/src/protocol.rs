@@ -102,6 +102,22 @@ pub struct ServerInfo {
     pub max_wait_us: u64,
 }
 
+/// What a `Ping` request answers: an instantaneous health snapshot, so load
+/// and saturation are observable in-band without a side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHealth {
+    /// Points sitting in the job queue, not yet dispatched to a worker.
+    pub queued_points: u64,
+    /// Points dispatched to workers and not yet answered.
+    pub in_flight_points: u64,
+    /// Scoring worker threads.
+    pub workers: u32,
+    /// The load-shedding bound: queued points are capped here (`0` =
+    /// unbounded); past it predict requests are refused with
+    /// [`ErrorCode::Overloaded`].
+    pub max_queue: u64,
+}
+
 /// Typed error codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -116,6 +132,9 @@ pub enum ErrorCode {
     Draining,
     /// The server failed internally while scoring the request.
     Internal,
+    /// The job queue hit its `--max-queue` bound; the request was shed
+    /// instead of queued.  Retry with backoff.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -127,6 +146,7 @@ impl ErrorCode {
             ErrorCode::ReloadFailed => 3,
             ErrorCode::Draining => 4,
             ErrorCode::Internal => 5,
+            ErrorCode::Overloaded => 6,
         }
     }
 
@@ -138,6 +158,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::ReloadFailed),
             4 => Some(ErrorCode::Draining),
             5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -151,6 +172,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ReloadFailed => "reload-failed",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
         };
         f.write_str(name)
     }
@@ -198,6 +220,10 @@ pub enum Frame {
     Shutdown,
     /// Server → client: drain acknowledged.
     ShutdownResponse,
+    /// Client → server: health check — answered instantly, never queued.
+    Ping,
+    /// Server → client: answer to [`Frame::Ping`].
+    PingResponse(ServerHealth),
 }
 
 impl Frame {
@@ -213,6 +239,8 @@ impl Frame {
             Frame::ReloadResponse { .. } => 7,
             Frame::Shutdown => 8,
             Frame::ShutdownResponse => 9,
+            Frame::Ping => 10,
+            Frame::PingResponse(_) => 11,
         }
     }
 }
@@ -388,7 +416,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             payload.u16(code.code());
             payload.str(message);
         }
-        Frame::Info | Frame::Reload | Frame::Shutdown | Frame::ShutdownResponse => {}
+        Frame::Info | Frame::Reload | Frame::Shutdown | Frame::ShutdownResponse | Frame::Ping => {}
+        Frame::PingResponse(health) => {
+            payload.u64(health.queued_points);
+            payload.u64(health.in_flight_points);
+            payload.u32(health.workers);
+            payload.u64(health.max_queue);
+        }
         Frame::InfoResponse(info) => {
             payload.u16(info.kinds.len() as u16);
             for kind in &info.kinds {
@@ -687,6 +721,13 @@ fn decode_payload(type_code: u16, payload: &[u8]) -> Result<Frame, WireError> {
         }
         8 => Frame::Shutdown,
         9 => Frame::ShutdownResponse,
+        10 => Frame::Ping,
+        11 => Frame::PingResponse(ServerHealth {
+            queued_points: d.u64("queued points")?,
+            in_flight_points: d.u64("in-flight points")?,
+            workers: d.u32("worker count")?,
+            max_queue: d.u64("max queue")?,
+        }),
         other => return Err(WireError::Malformed(format!("unknown frame type {other}"))),
     };
     d.finish()?;

@@ -32,8 +32,9 @@
 //! queued job finish, joins every thread, and returns — never a panic, never
 //! a hang.
 
+use crate::faults::{FaultPlan, FaultStream};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError,
+    read_frame, write_frame, ErrorCode, Frame, ServedPoint, ServerHealth, ServerInfo, WireError,
     MAX_ERROR_MESSAGE,
 };
 use autopower::{
@@ -42,20 +43,26 @@ use autopower::{
 use autopower_config::{CpuConfig, Workload};
 use autopower_perfsim::SimConfig;
 use std::collections::VecDeque;
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-/// How often an idle connection thread re-checks the drain flag.
+/// How often an idle connection thread re-checks the drain flag (and the
+/// granularity at which idle timeouts and the model watcher observe drain).
 const IDLE_TICK: Duration = Duration::from_millis(50);
 
-/// How long a started frame may take to arrive in full before the
-/// connection is declared dead (guards drain against half-frame stalls).
-const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+/// Locks a mutex, recovering from poisoning: every structure guarded here
+/// (model set, job queue, worker channel) is valid at rest — a panicking
+/// holder can at worst lose its own in-flight job, which the panic already
+/// answered or dropped — so the right response to poison is to keep serving,
+/// not to cascade the whole server down.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Serving knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +79,25 @@ pub struct ServeOptions {
     /// the first queued job to let mergeable jobs arrive.  Zero (the
     /// default) dispatches immediately.
     pub max_wait: Duration,
+    /// Load-shedding bound: the most points the job queue holds before
+    /// predict requests are refused with [`ErrorCode::Overloaded`] (and the
+    /// connection closed) instead of queued.  `0` disables the bound.
+    pub max_queue: usize,
+    /// Drop a connection that has been idle (no frame started) this long;
+    /// [`Duration::ZERO`] (the default) keeps idle connections forever.
+    pub idle_timeout: Duration,
+    /// Per-call read/write deadline once a frame has started — bounds how
+    /// long a slowloris peer can pin a connection thread mid-frame without
+    /// ever dropping an idle keep-alive.  [`Duration::ZERO`] disables it.
+    pub io_timeout: Duration,
+    /// Poll the model files' mtimes at this interval and hot-reload
+    /// (all-or-nothing, exactly like the `reload` verb) when any changes;
+    /// `None` disables the watcher.
+    pub watch_models: Option<Duration>,
+    /// Arms deterministic fault injection ([`FaultPlan`]) on every
+    /// connection and scoring batch.  `None` — the production default —
+    /// leaves the plain code path untouched.
+    pub fault_seed: Option<u64>,
     /// Performance-simulation settings every request is scored under — must
     /// match the offline run being compared against.
     pub sim: SimConfig,
@@ -84,6 +110,11 @@ impl ServeOptions {
             workers: 0,
             max_batch: 256,
             max_wait: Duration::ZERO,
+            max_queue: 65_536,
+            idle_timeout: Duration::ZERO,
+            io_timeout: Duration::from_secs(10),
+            watch_models: None,
+            fault_seed: None,
             sim: SimConfig::paper(),
         }
     }
@@ -225,6 +256,9 @@ struct BatchGroup {
 /// The connection threads' job queue.
 struct Queue {
     jobs: VecDeque<Job>,
+    /// Points across `jobs`, maintained on push/drain so the load-shedding
+    /// check and the `ping` answer are O(1).
+    queued_points: usize,
     /// Cleared during drain, once no connection thread can enqueue anymore.
     open: bool,
 }
@@ -239,12 +273,17 @@ struct ServerState {
     queue: Mutex<Queue>,
     queue_cv: Condvar,
     draining: AtomicBool,
+    /// Points dispatched to workers and not yet answered (the `ping` verb's
+    /// in-flight gauge).
+    in_flight_points: AtomicU64,
+    /// Armed fault schedule; `None` on every production server.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ServerState {
     /// Snapshot of the current model set (cheap: one `Arc` clone).
     fn model_set(&self) -> Arc<ModelSet> {
-        Arc::clone(&self.models.lock().expect("models lock poisoned"))
+        Arc::clone(&relock(&self.models))
     }
 
     fn info(&self) -> ServerInfo {
@@ -256,21 +295,39 @@ impl ServerState {
         }
     }
 
+    fn health(&self) -> ServerHealth {
+        ServerHealth {
+            queued_points: relock(&self.queue).queued_points as u64,
+            in_flight_points: self.in_flight_points.load(Ordering::Relaxed),
+            workers: self.options.effective_workers() as u32,
+            max_queue: self.options.max_queue as u64,
+        }
+    }
+
     /// Re-loads every startup path and swaps the set — all-or-nothing.  The
     /// load happens outside the swap lock so serving is never blocked on
     /// disk I/O.
     fn reload(&self) -> Result<Vec<ModelKind>, ServeError> {
         let fresh = ModelSet::load(&self.paths)?;
         let kinds = fresh.kinds();
-        *self.models.lock().expect("models lock poisoned") = Arc::new(fresh);
+        *relock(&self.models) = Arc::new(fresh);
         Ok(kinds)
     }
 
-    fn enqueue(&self, job: Job) {
-        let mut queue = self.queue.lock().expect("queue lock poisoned");
+    /// Queues a job, unless that would push the queue past
+    /// [`ServeOptions::max_queue`] points — then the job is shed and
+    /// `Err(queued)` reports the load that refused it.
+    fn enqueue(&self, job: Job) -> Result<(), usize> {
+        let mut queue = relock(&self.queue);
+        let bound = self.options.max_queue;
+        if bound != 0 && queue.queued_points + job.points() > bound {
+            return Err(queue.queued_points);
+        }
+        queue.queued_points += job.points();
         queue.jobs.push_back(job);
         drop(queue);
         self.queue_cv.notify_all();
+        Ok(())
     }
 
     /// Starts the drain: refuse new work, wake every sleeper, unblock the
@@ -292,6 +349,7 @@ impl ServerState {
 /// [`Server::join`] it.
 pub struct Server {
     addr: SocketAddr,
+    state: Arc<ServerState>,
     run: JoinHandle<()>,
 }
 
@@ -323,10 +381,15 @@ impl Server {
             models: Mutex::new(Arc::new(models)),
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
+                queued_points: 0,
                 open: true,
             }),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
+            in_flight_points: AtomicU64::new(0),
+            faults: options
+                .fault_seed
+                .map(|seed| Arc::new(FaultPlan::new(seed))),
         });
 
         let (group_tx, group_rx) = mpsc::channel::<BatchGroup>();
@@ -334,25 +397,43 @@ impl Server {
         let workers: Vec<JoinHandle<()>> = (0..options.effective_workers())
             .map(|_| {
                 let rx = Arc::clone(&group_rx);
-                let spec = options.sweep_spec();
-                std::thread::spawn(move || worker_loop(&rx, spec))
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&rx, &state))
             })
             .collect();
         let batcher = {
             let state = Arc::clone(&state);
             std::thread::spawn(move || batcher_loop(&state, &group_tx))
         };
+        let watcher = options.watch_models.map(|interval| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || watcher_loop(&state, interval))
+        });
 
         let run = {
             let state = Arc::clone(&state);
-            std::thread::spawn(move || accept_loop(&listener, &state, batcher, workers))
+            std::thread::spawn(move || accept_loop(&listener, &state, batcher, workers, watcher))
         };
-        Ok(Server { addr, run })
+        Ok(Server { addr, state, run })
     }
 
     /// The address the server actually bound (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Test hook: poisons the internal job-queue lock by panicking a thread
+    /// that holds it.  Exists to pin the poison-recovery contract — the
+    /// server must degrade to per-request errors at worst, never cascade
+    /// down — without reaching into private state from the test crate.
+    #[doc(hidden)]
+    pub fn poison_queue_lock(&self) {
+        let state = Arc::clone(&self.state);
+        let _ = std::thread::spawn(move || {
+            let _guard = state.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("deliberate poison for the recovery test");
+        })
+        .join();
     }
 
     /// Waits for the server to drain and exit (triggered by a
@@ -375,6 +456,7 @@ fn accept_loop(
     state: &Arc<ServerState>,
     batcher: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     loop {
@@ -409,13 +491,64 @@ fn accept_loop(
         let _ = h.join();
     }
     {
-        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        let mut queue = relock(&state.queue);
         queue.open = false;
     }
     state.queue_cv.notify_all();
     let _ = batcher.join();
     for h in workers {
         let _ = h.join();
+    }
+    if let Some(h) = watcher {
+        let _ = h.join();
+    }
+}
+
+/// The model-file watcher: polls every startup path's mtime at the
+/// configured interval and triggers the hot-reload path (all-or-nothing,
+/// identical to the `reload` verb) when any changes.  A failed reload — a
+/// file mid-copy, or corrupt — leaves the old set serving and the stamp
+/// unadvanced, so the watcher retries on the next tick until the file
+/// settles.
+fn watcher_loop(state: &Arc<ServerState>, interval: Duration) {
+    let stamp = |paths: &[PathBuf]| -> Vec<Option<SystemTime>> {
+        paths
+            .iter()
+            .map(|p| std::fs::metadata(p).and_then(|m| m.modified()).ok())
+            .collect()
+    };
+    let mut last = stamp(&state.paths);
+    let mut since_poll = Duration::ZERO;
+    loop {
+        // Sleep in short ticks so drain is observed promptly even under a
+        // long polling interval.
+        std::thread::sleep(IDLE_TICK.min(interval));
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        since_poll += IDLE_TICK.min(interval);
+        if since_poll < interval {
+            continue;
+        }
+        since_poll = Duration::ZERO;
+        let now = stamp(&state.paths);
+        if now == last {
+            continue;
+        }
+        match state.reload() {
+            Ok(kinds) => {
+                last = now;
+                let names: Vec<&str> = kinds.iter().map(|k| k.registry_name()).collect();
+                eprintln!(
+                    "autopower-serve: model file changed on disk; reloaded {}",
+                    names.join(", ")
+                );
+            }
+            Err(e) => {
+                // Keep `last` so the next tick retries; the old set serves on.
+                eprintln!("autopower-serve: watched reload refused ({e}); still serving old set");
+            }
+        }
     }
 }
 
@@ -425,9 +558,12 @@ fn accept_loop(
 /// ride one scoring batch.
 fn batcher_loop(state: &ServerState, groups: &mpsc::Sender<BatchGroup>) {
     loop {
-        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        let mut queue = relock(&state.queue);
         while queue.jobs.is_empty() && queue.open {
-            queue = state.queue_cv.wait(queue).expect("queue lock poisoned");
+            queue = state
+                .queue_cv
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if queue.jobs.is_empty() && !queue.open {
             return;
@@ -439,8 +575,7 @@ fn batcher_loop(state: &ServerState, groups: &mpsc::Sender<BatchGroup>) {
         if !max_wait.is_zero() {
             let deadline = Instant::now() + max_wait;
             loop {
-                let queued: usize = queue.jobs.iter().map(Job::points).sum();
-                if queued >= state.options.max_batch || !queue.open {
+                if queue.queued_points >= state.options.max_batch || !queue.open {
                     break;
                 }
                 let now = Instant::now();
@@ -450,16 +585,24 @@ fn batcher_loop(state: &ServerState, groups: &mpsc::Sender<BatchGroup>) {
                 let (guard, _) = state
                     .queue_cv
                     .wait_timeout(queue, deadline - now)
-                    .expect("queue lock poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
             }
         }
         let jobs: Vec<Job> = queue.jobs.drain(..).collect();
+        queue.queued_points = 0;
         drop(queue);
 
         for group in merge_jobs(jobs, state.options.max_batch) {
+            let points: usize = group.configs.len() * group.workloads.len();
+            state
+                .in_flight_points
+                .fetch_add(points as u64, Ordering::Relaxed);
             if groups.send(group).is_err() {
                 // Workers are gone (shutdown path); nothing left to serve.
+                state
+                    .in_flight_points
+                    .fetch_sub(points as u64, Ordering::Relaxed);
                 return;
             }
         }
@@ -496,21 +639,27 @@ fn merge_jobs(jobs: Vec<Job>, max_batch: usize) -> Vec<BatchGroup> {
 
 /// One scoring worker: owns a long-lived [`EngineScratch`] and scores batch
 /// groups until the channel closes.
-fn worker_loop(groups: &Mutex<mpsc::Receiver<BatchGroup>>, spec: SweepSpec) {
+fn worker_loop(groups: &Mutex<mpsc::Receiver<BatchGroup>>, state: &ServerState) {
+    let spec = state.options.sweep_spec();
     let mut scratch = EngineScratch::new();
     let mut points = Vec::new();
     loop {
         let group = {
-            let rx = groups.lock().expect("group channel lock poisoned");
+            let rx = relock(groups);
             rx.recv()
         };
         let Ok(group) = group else {
             return; // channel closed: drain complete
         };
+        let group_points = group.configs.len() * group.workloads.len();
         // A panic while scoring (e.g. a degenerate configuration that slipped
-        // through wire validation) must not kill the worker: answer every
-        // merged job with a typed internal error and keep serving.
+        // through wire validation, or an injected fault) must not kill the
+        // worker: answer every merged job with a typed internal error and
+        // keep serving.
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(plan) = &state.faults {
+                assert!(!plan.next_worker_panic(), "injected worker panic");
+            }
             let engine = SweepEngine::new(group.model.as_ref(), spec);
             engine.run_with(&group.configs, &group.workloads, &mut scratch, &mut points);
         }));
@@ -539,6 +688,9 @@ fn worker_loop(groups: &Mutex<mpsc::Receiver<BatchGroup>>, spec: SweepSpec) {
                 }
             }
         }
+        state
+            .in_flight_points
+            .fetch_sub(group_points as u64, Ordering::Relaxed);
     }
 }
 
@@ -557,65 +709,137 @@ fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
-/// One connection: read frames, answer frames, until close or drain.
-fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+/// The connection transport: a plain stream on production servers, the
+/// fault-injecting shim when a plan is armed.  One enum branch per I/O call;
+/// the plain arm delegates directly, so a disabled plan costs nothing
+/// beyond a predictable branch.
+enum Conn {
+    Plain(TcpStream),
+    Faulty(FaultStream),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, faults: Option<&Arc<FaultPlan>>) -> Self {
+        match faults {
+            Some(plan) => Conn::Faulty(FaultStream::new(stream, Arc::clone(plan))),
+            None => Conn::Plain(stream),
+        }
+    }
+
+    /// The underlying socket, for options and `peek` (both fault-free: the
+    /// idle poll is not an interesting place to fail).
+    fn socket(&self) -> &TcpStream {
+        match self {
+            Conn::Plain(s) => s,
+            Conn::Faulty(f) => f.get_ref(),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.read(buf),
+            Conn::Faulty(f) => f.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.write(buf),
+            Conn::Faulty(f) => f.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Plain(s) => s.flush(),
+            Conn::Faulty(f) => f.flush(),
+        }
+    }
+}
+
+/// One connection: read frames, answer frames, until close, drain, or a
+/// deadline.  Two distinct timeouts keep slowloris peers and idle keep-alive
+/// connections apart: `idle_timeout` bounds how long the connection may sit
+/// *between* frames (zero = forever, the keep-alive default), `io_timeout`
+/// bounds every read/write call once a frame has *started* — a peer trickling
+/// a half-frame is dropped, a quiet-but-healthy one is not.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let idle_timeout = state.options.idle_timeout;
+    let io_timeout = (!state.options.io_timeout.is_zero()).then_some(state.options.io_timeout);
+    // Response writes run under the same deadline as mid-frame reads, so a
+    // peer that stops reading cannot pin the thread on a full send buffer.
+    if stream.set_write_timeout(io_timeout).is_err() {
+        return;
+    }
+    let mut conn = Conn::new(stream, state.faults.as_ref());
     let mut probe = [0u8; 1];
+    let mut idle_since = Instant::now();
     loop {
         if state.draining.load(Ordering::SeqCst) {
             return;
         }
+        if !idle_timeout.is_zero() && idle_since.elapsed() >= idle_timeout {
+            return; // idle deadline expired with no frame started
+        }
         // Idle wait: peek (consuming nothing) under a short timeout so the
-        // drain flag is re-checked even on a silent connection.
-        if stream.set_read_timeout(Some(IDLE_TICK)).is_err() {
+        // drain flag and the idle deadline are re-checked even on a silent
+        // connection.
+        if conn.socket().set_read_timeout(Some(IDLE_TICK)).is_err() {
             return;
         }
-        match stream.peek(&mut probe) {
+        match conn.socket().peek(&mut probe) {
             Ok(0) => return, // peer closed
             Ok(_) => {}
             Err(e) if is_timeout(&e) => continue,
             Err(_) => return,
         }
-        // A frame has started; give it a generous-but-bounded window so a
-        // stalled half-frame cannot hang the drain forever.
-        if stream.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+        // A frame has started; every read is now individually bounded so a
+        // stalled half-frame cannot hang the thread (or the drain) forever.
+        if conn.socket().set_read_timeout(io_timeout).is_err() {
             return;
         }
-        match read_frame(&mut stream) {
+        match read_frame(&mut conn) {
             Ok(frame) => {
-                if !answer_frame(state, &mut stream, frame) {
+                if !answer_frame(state, &mut conn, frame) {
                     return;
                 }
+                idle_since = Instant::now();
             }
             Err(WireError::Closed) => return,
+            // The transport itself failed (reset, mid-frame deadline): there
+            // is no one reliable to answer — close and let the peer's retry
+            // logic classify it as the reconnectable error it is.
+            Err(WireError::Io(_)) => return,
             Err(e) if e.is_fatal() => {
                 // Framing can no longer be trusted; best-effort error frame,
                 // then close.
-                let _ = write_frame(
-                    &mut stream,
-                    &error_frame(ErrorCode::BadFrame, &e.to_string()),
-                );
+                let _ = write_frame(&mut conn, &error_frame(ErrorCode::BadFrame, &e.to_string()));
                 return;
             }
             Err(e) => {
                 // Recoverable (wrong version / malformed payload): the
                 // stream is still frame-aligned — answer and keep going.
-                if write_frame(
-                    &mut stream,
-                    &error_frame(ErrorCode::BadFrame, &e.to_string()),
-                )
-                .is_err()
+                if write_frame(&mut conn, &error_frame(ErrorCode::BadFrame, &e.to_string()))
+                    .is_err()
                 {
                     return;
                 }
+                idle_since = Instant::now();
             }
         }
     }
 }
 
 /// Handles one decoded frame; returns `false` when the connection should
-/// close (write failure or shutdown).
-fn answer_frame(state: &Arc<ServerState>, stream: &mut TcpStream, frame: Frame) -> bool {
+/// close (write failure, shutdown, or an overload shed — answering *and
+/// closing* keeps a saturated server's connection count bounded along with
+/// its queue).
+fn answer_frame(state: &Arc<ServerState>, stream: &mut Conn, frame: Frame) -> bool {
     let response = match frame {
         Frame::PredictRequest {
             kind,
@@ -623,6 +847,7 @@ fn answer_frame(state: &Arc<ServerState>, stream: &mut TcpStream, frame: Frame) 
             workloads,
         } => predict(state, kind, configs, workloads),
         Frame::Info => Frame::InfoResponse(state.info()),
+        Frame::Ping => Frame::PingResponse(state.health()),
         Frame::Reload => match state.reload() {
             Ok(kinds) => Frame::ReloadResponse { kinds },
             Err(e) => error_frame(ErrorCode::ReloadFailed, &e.to_string()),
@@ -638,12 +863,20 @@ fn answer_frame(state: &Arc<ServerState>, stream: &mut TcpStream, frame: Frame) 
         | Frame::InfoResponse(_)
         | Frame::ReloadResponse { .. }
         | Frame::ShutdownResponse
+        | Frame::PingResponse(_)
         | Frame::Error { .. } => error_frame(
             ErrorCode::BadFrame,
             "unexpected response-type frame from client",
         ),
     };
-    write_frame(stream, &response).is_ok()
+    let shed = matches!(
+        &response,
+        Frame::Error {
+            code: ErrorCode::Overloaded,
+            ..
+        }
+    );
+    write_frame(stream, &response).is_ok() && !shed
 }
 
 /// Scores one predict request through the batching queue.
@@ -670,12 +903,23 @@ fn predict(
         );
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    state.enqueue(Job {
+    if let Err(queued) = state.enqueue(Job {
         model,
         configs,
         workloads,
         reply: reply_tx,
-    });
+    }) {
+        // Shed instead of queueing without bound: the caller gets an honest
+        // "try later" answer while the already-admitted points keep their
+        // latency; the connection closes after the reply (see answer_frame).
+        return error_frame(
+            ErrorCode::Overloaded,
+            &format!(
+                "queue full ({queued} points queued, bound {}); retry with backoff",
+                state.options.max_queue
+            ),
+        );
+    }
     match reply_rx.recv() {
         Ok(Ok(points)) => Frame::PredictResponse { points },
         Ok(Err(message)) => error_frame(ErrorCode::Internal, &message),

@@ -7,8 +7,8 @@ use autopower::{ComponentBreakdown, ComponentPower, ModelKind, Prediction};
 use autopower_config::{Component, ConfigId, CpuConfig, HardwareParams, Workload};
 use autopower_powersim::PowerGroups;
 use autopower_serve::protocol::{
-    decode_frame, encode_frame, read_frame, ErrorCode, Frame, ServedPoint, ServerInfo, WireError,
-    MAX_PAYLOAD, PROTOCOL_VERSION,
+    decode_frame, encode_frame, read_frame, ErrorCode, Frame, ServedPoint, ServerHealth,
+    ServerInfo, WireError, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -147,16 +147,18 @@ proptest! {
         assert_roundtrip(&Frame::PredictResponse { points })?;
     }
 
-    /// Control frames (info/reload/shutdown and their responses) and error
-    /// frames round-trip exactly.
+    /// Control frames (info/reload/shutdown/ping and their responses) and
+    /// error frames round-trip exactly.
     #[test]
     fn control_and_error_frames_roundtrip(
-        code in 1u16..6,
+        code in 1u16..7,
         message_len in 0usize..200,
         n_kinds in 0usize..5,
         workers in 0u32..64,
         max_batch in 1u32..10_000,
         max_wait_us in 0u64..10_000_000,
+        queued in 0u64..1_000_000,
+        in_flight in 0u64..1_000_000,
     ) {
         let kinds: Vec<ModelKind> =
             (0..n_kinds).map(|i| ModelKind::ALL[i % 4]).collect();
@@ -169,6 +171,13 @@ proptest! {
         assert_roundtrip(&Frame::Reload)?;
         assert_roundtrip(&Frame::Shutdown)?;
         assert_roundtrip(&Frame::ShutdownResponse)?;
+        assert_roundtrip(&Frame::Ping)?;
+        assert_roundtrip(&Frame::PingResponse(ServerHealth {
+            queued_points: queued,
+            in_flight_points: in_flight,
+            workers,
+            max_queue: queued.saturating_mul(2),
+        }))?;
         assert_roundtrip(&Frame::ReloadResponse { kinds: kinds.clone() })?;
         assert_roundtrip(&Frame::InfoResponse(ServerInfo {
             kinds,

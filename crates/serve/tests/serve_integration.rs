@@ -379,6 +379,81 @@ fn malformed_frames_get_error_frames_and_the_connection_survives() {
 }
 
 #[test]
+fn poisoned_queue_lock_does_not_stop_service() {
+    let fx = fixture();
+    let options = ServeOptions {
+        workers: 2,
+        ..ServeOptions::fast()
+    };
+    let server = start_server(vec![fx.autopower.clone()], options);
+    let mut client = connect(&server);
+    let configs = DesignSpace::boom().sample(3, 21);
+    let workloads = [Workload::Dhrystone, Workload::Multiply];
+    let reference = offline_points(&fx.autopower, &configs, &workloads);
+
+    let before = client
+        .predict(ModelKind::AutoPower, &configs, &workloads)
+        .expect("predict before the poisoning");
+    assert_matches_offline(&before, &reference);
+
+    // Panic while holding the queue lock: every later lock acquisition sees
+    // the mutex poisoned.  The server must recover (the queue itself is
+    // valid at rest) and keep answering bit-identically, not cascade down.
+    server.poison_queue_lock();
+    let after = client
+        .predict(ModelKind::AutoPower, &configs, &workloads)
+        .expect("predict after the poisoning still succeeds");
+    assert_matches_offline(&after, &reference);
+    stop(server);
+}
+
+#[test]
+fn model_watcher_hot_reloads_when_the_file_changes_on_disk() {
+    let fx = fixture();
+    let path = scratch_path("watched");
+    std::fs::copy(&fx.autopower, &path).expect("seed the served file");
+
+    let options = ServeOptions {
+        watch_models: Some(Duration::from_millis(50)),
+        ..ServeOptions::fast()
+    };
+    let server = start_server(vec![path.clone()], options);
+    let mut client = connect(&server);
+    let configs = DesignSpace::boom().sample(2, 31);
+    let workloads = [Workload::Towers];
+
+    let before = client
+        .predict(ModelKind::AutoPower, &configs, &workloads)
+        .expect("predict against the original file");
+    assert_matches_offline(
+        &before,
+        &offline_points(&fx.autopower, &configs, &workloads),
+    );
+
+    // Swap the file on disk — no reload verb — and wait for the watcher to
+    // notice the mtime change and swap the model set.
+    std::fs::copy(&fx.component, &path).expect("swap the served file");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let info = client.info().expect("info while watching");
+        if info.kinds == vec![ModelKind::McpatCalibComponent] {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never reloaded; still serving {:?}",
+            info.kinds
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let after = client
+        .predict(ModelKind::McpatCalibComponent, &configs, &workloads)
+        .expect("predict against the watched-in file");
+    assert_matches_offline(&after, &offline_points(&fx.component, &configs, &workloads));
+    stop(server);
+}
+
+#[test]
 fn draining_server_refuses_new_predicts_and_exits() {
     let fx = fixture();
     let server = start_server(vec![fx.autopower.clone()], ServeOptions::fast());
